@@ -1,0 +1,113 @@
+// Command idequery is a small SQL REPL over the synthetic datasets,
+// executed on either engine cost profile. It prints results plus the cost
+// accounting (pages, tuples, model latency) so the disk/memory contrast is
+// visible per query.
+//
+// Usage:
+//
+//	idequery [-profile disk|memory] [-seed N] [-roads N] [-movies N] [-listings N] [query]
+//
+// With a query argument it runs once; otherwise it reads queries from
+// stdin, one per line (or terminated by ';').
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+func main() {
+	profile := flag.String("profile", "memory", "engine cost profile: disk or memory")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	roads := flag.Int("roads", 100000, "road tuples to generate (0 to skip)")
+	movies := flag.Int("movies", dataset.MovieCount, "movie tuples to generate (0 to skip)")
+	listings := flag.Int("listings", dataset.DefaultListingCount, "listing tuples to generate (0 to skip)")
+	flag.Parse()
+
+	var prof engine.Profile
+	switch *profile {
+	case "disk":
+		prof = engine.ProfileDisk
+	case "memory":
+		prof = engine.ProfileMemory
+	default:
+		fmt.Fprintf(os.Stderr, "idequery: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	e := engine.New(prof)
+	if *movies > 0 {
+		m := dataset.Movies(*seed, *movies)
+		e.Register(m)
+		ratings, details := dataset.MovieRatingSplit(m)
+		e.Register(ratings)
+		e.Register(details)
+	}
+	if *roads > 0 {
+		e.Register(dataset.Roads(*seed, *roads))
+	}
+	if *listings > 0 {
+		e.Register(dataset.Listings(*seed, *listings))
+	}
+
+	if flag.NArg() > 0 {
+		if !runQuery(e, strings.Join(flag.Args(), " ")) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("idequery (%s profile) — tables: imdb, imdbrating, movie, dataroad, listings\n", prof.Name)
+	fmt.Println(`type a SELECT and press enter; "quit" to exit`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(scanner.Text()), ";"))
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if line != "" {
+			runQuery(e, line)
+		}
+		fmt.Print("> ")
+	}
+}
+
+func runQuery(e *engine.Engine, q string) bool {
+	res, err := e.Query(q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return false
+	}
+	const maxRows = 25
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for i, row := range res.Rows {
+		if i >= maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	s := res.Stats
+	fmt.Printf("-- %d rows; scanned %d tuples, %d pages (%d misses); model latency %v (real %v)%s\n",
+		len(res.Rows), s.TuplesScanned, s.PagesTouched, s.PageMisses, s.ModelCost, s.RealTime,
+		fastPathNote(s.UsedFastPath))
+	return true
+}
+
+func fastPathNote(used bool) string {
+	if used {
+		return "; histogram fast path"
+	}
+	return ""
+}

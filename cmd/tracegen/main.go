@@ -1,0 +1,114 @@
+// Command tracegen generates the synthetic interaction traces the case
+// studies analyze and dumps them as JSON lines, one record per event, so
+// that external tooling (or a real backend) can replay them.
+//
+// Usage:
+//
+//	tracegen -kind scroll  [-seed N] [-users N] [-tuples N]
+//	tracegen -kind slider  [-seed N] [-users N] [-device mouse|touch|leapmotion] [-moves N]
+//	tracegen -kind session [-seed N] [-users N] [-minutes N]
+//	tracegen -spec workload.json        # IDEBench-style declarative workload
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/session"
+	"repro/internal/tracefmt"
+	"repro/internal/workloadspec"
+)
+
+func main() {
+	kind := flag.String("kind", "scroll", "scroll, slider, or session")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	users := flag.Int("users", 1, "number of users to simulate")
+	tuples := flag.Int("tuples", dataset.MovieCount, "tuples to scroll through (scroll)")
+	dev := flag.String("device", "mouse", "input device (slider)")
+	moves := flag.Int("moves", 12, "slider adjustments per session (slider)")
+	minutes := flag.Int("minutes", 20, "minimum session length (session)")
+	specPath := flag.String("spec", "", "compile a declarative workload spec (JSON) instead of simulating users")
+	flag.Parse()
+
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		spec, err := workloadspec.FromJSON(f)
+		if err != nil {
+			fail("%v", err)
+		}
+		evs, err := spec.Events()
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tracefmt.WriteSliderTrace(os.Stdout, 0, "spec:"+spec.Name, evs); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	switch *kind {
+	case "scroll":
+		for u := 0; u < *users; u++ {
+			rng := rand.New(rand.NewSource(*seed + int64(u)))
+			tr := behavior.SimulateScroller(rng, behavior.NewScrollerParams(rng), *tuples)
+			if err := tracefmt.WriteScrollTrace(os.Stdout, u, tr.Events); err != nil {
+				fail("%v", err)
+			}
+			if err := tracefmt.WriteScrollSelections(os.Stdout, u, tr.Selections); err != nil {
+				fail("%v", err)
+			}
+		}
+	case "slider":
+		prof, ok := device.ByName(*dev)
+		if !ok {
+			fail("unknown device %q", *dev)
+		}
+		lonLo, lonHi, latLo, latHi, altLo, altHi := dataset.RoadBounds()
+		domains := [][2]float64{{lonLo, lonHi}, {latLo, latHi}, {altLo, altHi}}
+		for u := 0; u < *users; u++ {
+			rng := rand.New(rand.NewSource(*seed + int64(u)))
+			sess := behavior.SimulateSliderUser(rng, prof, domains, *moves)
+			if err := tracefmt.WriteSliderTrace(os.Stdout, u, prof.Name, sess.Events); err != nil {
+				fail("%v", err)
+			}
+		}
+	case "session":
+		sessions := session.RunStudy(*seed, *users, time.Duration(*minutes)*time.Minute)
+		for _, s := range sessions {
+			for _, q := range s.Queries {
+				emit(enc, map[string]any{
+					"user": s.User, "timestamp_ms": ms(q.At), "widget": q.Widget.String(),
+					"zoom": q.Zoom, "filters": q.FilterCount, "tabURL": q.URL,
+					"request_ms": ms(q.RequestTime), "explore_ms": ms(q.ExploreTime),
+				})
+			}
+		}
+	default:
+		fail("unknown kind %q", *kind)
+	}
+}
+
+func emit(enc *json.Encoder, v any) {
+	if err := enc.Encode(v); err != nil {
+		fail("encode: %v", err)
+	}
+}
+
+func ms(d time.Duration) int64 { return int64(d / time.Millisecond) }
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Advisor: the survey as a library.
+//
+// Describes three hypothetical systems and asks the taxonomy package which
+// metrics to measure (Table 3 / §3.3) and how to design the user study
+// (Figures 4–5), printing the bias checklist (Table 4) for the in-person
+// case.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	systems := []struct {
+		name    string
+		profile taxonomy.SystemProfile
+		study   taxonomy.StudyQuestion
+	}{
+		{
+			name: "gesture-driven crossfilter dashboard",
+			profile: taxonomy.SystemProfile{
+				LargeData:           true,
+				HighFrameRateDevice: true,
+				ConsecutiveQueries:  true,
+				Audience:            taxonomy.AudienceNovice,
+			},
+			study: taxonomy.StudyQuestion{DeviceDependent: true, ComparisonAgainstControl: true},
+		},
+		{
+			name: "approximate visualization recommender for analysts",
+			profile: taxonomy.SystemProfile{
+				Exploratory: true,
+				Approximate: true,
+				TaskBased:   true,
+				Audience:    taxonomy.AudienceExpert,
+			},
+			study: taxonomy.StudyQuestion{DependsOnInherentAbility: true},
+		},
+		{
+			name: "distributed geo-spatial prefetching tier",
+			profile: taxonomy.SystemProfile{
+				Distributed:         true,
+				LargeData:           true,
+				SpeculativePrefetch: true,
+			},
+			study: taxonomy.StudyQuestion{InteractionsDefinitive: true, NavigationEnumerable: true},
+		},
+	}
+
+	for _, s := range systems {
+		fmt.Printf("=== %s ===\n", s.name)
+		fmt.Println("metrics to measure:")
+		for _, rec := range taxonomy.RecommendMetrics(s.profile) {
+			fmt.Printf("  %-26s %s\n", rec.Metric.Name, rec.Reason)
+		}
+		setting := taxonomy.AdviseSetting(s.study)
+		subjects := taxonomy.AdviseSubjects(s.study)
+		fmt.Printf("study design: %s; %s\n", setting, subjects)
+		if setting == taxonomy.InPerson && subjects != taxonomy.Simulation {
+			fmt.Println("bias checklist for the in-person study:")
+			for _, b := range taxonomy.Biases {
+				fmt.Printf("  - %s (%s): %s\n", b.Name, b.Source, b.Mitigation)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("latency budgets from the perception literature:")
+	for _, p := range taxonomy.PerceptualThresholds {
+		fmt.Printf("  %-28s %-10s %s\n", p.Context, p.Threshold, p.Source)
+	}
+}

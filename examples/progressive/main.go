@@ -1,0 +1,50 @@
+// Progressive: online-aggregation-style approximate answers.
+//
+// Runs the crossfilter histogram query progressively over the road
+// network: snapshots refine geometrically until exact, and the accuracy
+// metric (MSE against the truth) quantifies the survey's
+// accuracy-vs-latency trade-off — the flipped contract of interactive
+// systems, where latency is bounded and accuracy is what varies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/progressive"
+)
+
+func main() {
+	roads := dataset.Roads(1, dataset.RoadCount)
+	ex := progressive.NewExecutor(roads, 3)
+
+	lonLo, lonHi, latLo, latHi, _, _ := dataset.RoadBounds()
+	q := progressive.Query{
+		Column: "y", Lo: latLo, Hi: latHi, Bins: 20,
+		Filters: map[string][2]float64{"x": {lonLo, (lonLo + lonHi) / 2}},
+	}
+	snaps, err := ex.Run(q, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%12s %8s %12s %12s\n", "rows", "%data", "model cost", "mse")
+	for _, s := range snaps {
+		fmt.Printf("%12d %7.1f%% %12v %12.2e\n", s.SampleRows, s.Fraction*100, s.Cost, s.MSE)
+	}
+
+	for _, tol := range []float64{1e-3, 1e-4, 1e-5} {
+		s, ok := progressive.FirstWithin(snaps, tol)
+		status := "reached"
+		if !ok {
+			status = "only at full scan"
+		}
+		fmt.Printf("mse ≤ %.0e %s at %.1f%% of the data (cost %v)\n",
+			tol, status, s.Fraction*100, s.Cost)
+	}
+	full := snaps[len(snaps)-1]
+	early, _ := progressive.FirstWithin(snaps, 1e-4)
+	fmt.Printf("\nstopping at mse ≤ 1e-4 is %.0fx cheaper than the exact answer\n",
+		float64(full.Cost)/float64(early.Cost))
+}

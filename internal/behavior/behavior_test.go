@@ -1,0 +1,286 @@
+package behavior
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/widget"
+)
+
+func TestScrollerParamsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		p := NewScrollerParams(rng)
+		if p.MaxTuplesPerSec < 12 || p.MaxTuplesPerSec > 200 {
+			t.Fatalf("MaxTuplesPerSec = %v", p.MaxTuplesPerSec)
+		}
+		if p.SelectRate <= 0 || p.SelectRate > 0.5 {
+			t.Fatalf("SelectRate = %v", p.SelectRate)
+		}
+	}
+}
+
+// TestScrollerPopulationMatchesTable7 simulates a 15-user study and checks
+// the measured speed statistics land in the paper's Table 7 bands.
+func TestScrollerPopulationMatchesTable7(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var maxTuples, avgTuples []float64
+	for u := 0; u < 15; u++ {
+		st := SimulateScroller(rng, NewScrollerParams(rng), 1000)
+		s := MeasureSpeed(st.Events)
+		maxTuples = append(maxTuples, s.MaxTuplesSec)
+		avgTuples = append(avgTuples, s.AvgTuplesSec)
+	}
+	ms := metrics.Summarize(maxTuples)
+	as := metrics.Summarize(avgTuples)
+	// Table 7: max in [12,200] median 58 mean 80; avg in [2,30] median 5
+	// mean 10. Allow generous slack — the population is random.
+	if ms.Min < 8 || ms.Max > 260 {
+		t.Errorf("max speed range [%v, %v] far outside Table 7's [12,200]", ms.Min, ms.Max)
+	}
+	if ms.Median < 25 || ms.Median > 130 {
+		t.Errorf("max speed median %v, paper 58", ms.Median)
+	}
+	if as.Mean < 2 || as.Mean > 40 {
+		t.Errorf("avg speed mean %v, paper 10", as.Mean)
+	}
+	// Average must sit far below max — the signature of coasting decay.
+	if as.Mean > ms.Mean/2 {
+		t.Errorf("avg %v not ≪ max %v", as.Mean, ms.Mean)
+	}
+}
+
+func TestScrollerCoversAllTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st := SimulateScroller(rng, NewScrollerParams(rng), 500)
+	if len(st.Events) == 0 {
+		t.Fatal("no events")
+	}
+	last := st.Events[len(st.Events)-1]
+	if last.ScrollNum < 490 {
+		t.Errorf("session ended at tuple %d of 500", last.ScrollNum)
+	}
+	// Timestamps nondecreasing.
+	for i := 1; i < len(st.Events); i++ {
+		if st.Events[i].At < st.Events[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+	if st.Duration <= 0 {
+		t.Error("no duration")
+	}
+}
+
+func TestScrollerBackscrolls(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewScrollerParams(rng)
+	p.SelectRate = 0.5
+	p.OvershootRate = 0.9
+	st := SimulateScroller(rng, p, 800)
+	if len(st.Selections) == 0 {
+		t.Fatal("no selections at SelectRate 0.5")
+	}
+	backSel := 0
+	for _, s := range st.Selections {
+		if s.Backscrolled {
+			backSel++
+		}
+	}
+	if backSel == 0 {
+		t.Fatal("no backscrolled selections at OvershootRate 0.9")
+	}
+	if st.Backscrolls < backSel {
+		t.Errorf("backscroll count %d < backscrolled selections %d", st.Backscrolls, backSel)
+	}
+	// Negative deltas must appear (actual reverse scrolling).
+	neg := 0
+	for _, e := range st.Events {
+		if e.Delta < 0 {
+			neg++
+		}
+	}
+	if neg == 0 {
+		t.Error("no reverse-scroll events in trace")
+	}
+}
+
+// TestInertialVsPlainDeltas reproduces Figure 7's contrast: inertial wheel
+// deltas two orders of magnitude above plain scrolling deltas.
+func TestInertialVsPlainDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inert := SimulateScroller(rng, ScrollerParams{MaxTuplesPerSec: 120, ReadPause: time.Second, SelectRate: 0, OvershootRate: 0}, 400)
+	plain := SimulatePlainScroller(rng, 400, 10*time.Second)
+	maxI, maxP := 0.0, 0.0
+	for _, e := range inert.Events {
+		if e.Delta > maxI {
+			maxI = e.Delta
+		}
+	}
+	for _, e := range plain.Events {
+		if e.Delta > maxP {
+			maxP = e.Delta
+		}
+	}
+	if maxP == 0 || maxI < 40*maxP {
+		t.Errorf("inertial max delta %v vs plain %v; want ~100x gap (Figure 7's 400 vs 4)", maxI, maxP)
+	}
+}
+
+func TestMeasureSpeedDegenerate(t *testing.T) {
+	if s := MeasureSpeed(nil); s.MaxPxPerSec != 0 {
+		t.Error("empty trace produced speed")
+	}
+}
+
+func TestSliderUserDeviceContrast(t *testing.T) {
+	domains := [][2]float64{{0, 100}, {0, 50}, {-10, 10}}
+	counts := map[string]int{}
+	for _, dev := range device.Profiles() {
+		rng := rand.New(rand.NewSource(5))
+		sess := SimulateSliderUser(rng, dev, domains, 12)
+		counts[dev.Name] = len(sess.Events)
+		if len(sess.Pointer) == 0 {
+			t.Fatalf("%s: no pointer samples", dev.Name)
+		}
+		for i := 1; i < len(sess.Events); i++ {
+			if sess.Events[i].At < sess.Events[i-1].At {
+				t.Fatalf("%s: slider events out of order", dev.Name)
+			}
+		}
+		for _, ev := range sess.Events {
+			if ev.SliderIdx < 0 || ev.SliderIdx >= 3 {
+				t.Fatalf("%s: slider index %d", dev.Name, ev.SliderIdx)
+			}
+			d := domains[ev.SliderIdx]
+			if ev.MinVal < d[0]-1e-9 || ev.MaxVal > d[1]+1e-9 || ev.MinVal > ev.MaxVal {
+				t.Fatalf("%s: range [%v,%v] outside domain %v", dev.Name, ev.MinVal, ev.MaxVal, d)
+			}
+		}
+	}
+	// Figure 14's contrast: the Leap Motion issues far more queries.
+	if counts["leapmotion"] < 3*counts["mouse"] {
+		t.Errorf("leap events %d not ≫ mouse %d", counts["leapmotion"], counts["mouse"])
+	}
+	if counts["leapmotion"] < 3*counts["touch"] {
+		t.Errorf("leap events %d not ≫ touch %d", counts["leapmotion"], counts["touch"])
+	}
+}
+
+func TestSliderUserFinalRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	domains := [][2]float64{{0, 1}}
+	sess := SimulateSliderUser(rng, device.Mouse, domains, 5)
+	if len(sess.Ranges) != 1 {
+		t.Fatal("missing final ranges")
+	}
+	if sess.Ranges[0][0] > sess.Ranges[0][1] {
+		t.Error("final range inverted")
+	}
+}
+
+func TestExplorerWidgetMixMatchesTable9(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	e := NewExplorer(rng, NewExplorerParams(rng))
+	counts := map[widget.Kind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[e.Next().Kind.Widget()]++
+	}
+	frac := func(k widget.Kind) float64 { return float64(counts[k]) / n }
+	if f := frac(widget.KindMap); math.Abs(f-0.628) > 0.03 {
+		t.Errorf("map fraction %v, want ≈0.628", f)
+	}
+	if f := frac(widget.KindSlider) + frac(widget.KindCheckbox); math.Abs(f-0.299) > 0.03 {
+		t.Errorf("slider+checkbox fraction %v, want ≈0.299", f)
+	}
+	if f := frac(widget.KindButton); math.Abs(f-0.036) > 0.01 {
+		t.Errorf("button fraction %v, want ≈0.036", f)
+	}
+	if f := frac(widget.KindTextBox); math.Abs(f-0.037) > 0.01 {
+		t.Errorf("text fraction %v, want ≈0.036", f)
+	}
+}
+
+func TestExplorerZoomBounds(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewExplorerParams(rng)
+		e := NewExplorer(rng, p)
+		inBand := 0
+		total := 0
+		for i := 0; i < 3000; i++ {
+			e.Next()
+			z := e.Zoom()
+			if z < p.StartZoom-p.MaxZoomDelta || z > p.StartZoom+p.MaxZoomDelta {
+				t.Fatalf("seed %d: zoom %d outside start %d ± %d", seed, z, p.StartZoom, p.MaxZoomDelta)
+			}
+			total++
+			if z >= 11 && z <= 14 {
+				inBand++
+			}
+		}
+		if float64(inBand)/float64(total) < 0.6 {
+			t.Errorf("seed %d: only %d/%d steps in zoom band 11–14", seed, inBand, total)
+		}
+	}
+}
+
+// TestExplorerFilterCountsMatchFig20: ~70% of steps carry ≤4 conditions.
+func TestExplorerFilterCountsMatchFig20(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	e := NewExplorer(rng, NewExplorerParams(rng))
+	var counts []float64
+	for i := 0; i < 10000; i++ {
+		e.Next()
+		counts = append(counts, float64(e.FilterCount()))
+	}
+	cdf := metrics.NewCDF(counts)
+	at4 := cdf.At(4)
+	if at4 < 0.5 || at4 > 0.95 {
+		t.Errorf("P(filters ≤ 4) = %v, paper ≈0.7", at4)
+	}
+	// Nobody should exceed the pool size + base conditions.
+	if cdf.Quantile(1) > 12 {
+		t.Errorf("max filter count %v implausible", cdf.Quantile(1))
+	}
+}
+
+func TestExplorerFilterCoherence(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	e := NewExplorer(rng, NewExplorerParams(rng))
+	active := map[string]bool{"guests": true}
+	for i := 0; i < 5000; i++ {
+		a := e.Next()
+		switch a.Kind {
+		case ActSlider, ActCheckbox, ActTextBox:
+			if a.Remove {
+				if !active[a.FilterKey] {
+					t.Fatalf("step %d: removed inactive filter %q", i, a.FilterKey)
+				}
+				delete(active, a.FilterKey)
+			} else if a.FilterKey != "" {
+				if a.FilterValue == "" {
+					t.Fatalf("step %d: set %q to empty value", i, a.FilterKey)
+				}
+				active[a.FilterKey] = true
+			}
+		}
+	}
+}
+
+func TestDragDeltasBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	e := NewExplorer(rng, NewExplorerParams(rng))
+	for i := 0; i < 5000; i++ {
+		a := e.Next()
+		if a.Kind == ActDrag {
+			if math.Abs(a.DX) > 400 || math.Abs(a.DY) > 300 {
+				t.Fatalf("drag delta (%v,%v) exceeds clamp", a.DX, a.DY)
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package behavior
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/widget"
+)
+
+// ActionKind classifies one composite-interface user action. Every action
+// updates the tab URL and therefore issues one query (the unit the paper's
+// Table 9 percentages count).
+type ActionKind int
+
+// Composite-interface actions.
+const (
+	ActZoomIn ActionKind = iota
+	ActZoomOut
+	ActDrag
+	ActSlider   // price range adjustment
+	ActCheckbox // room type / amenity toggle
+	ActButton   // pagination or re-search button
+	ActTextBox  // place search
+)
+
+// Widget maps an action to its widget kind for Table 9 accounting.
+func (a ActionKind) Widget() widget.Kind {
+	switch a {
+	case ActZoomIn, ActZoomOut, ActDrag:
+		return widget.KindMap
+	case ActSlider:
+		return widget.KindSlider
+	case ActCheckbox:
+		return widget.KindCheckbox
+	case ActButton:
+		return widget.KindButton
+	default:
+		return widget.KindTextBox
+	}
+}
+
+// Action is one user step in a composite-interface session.
+type Action struct {
+	Kind ActionKind
+	// DX, DY are the drag deltas in pixels (ActDrag only).
+	DX, DY float64
+	// FilterKey/FilterValue describe the filter change (slider, checkbox,
+	// text box). Remove reports a condition being cleared.
+	FilterKey   string
+	FilterValue string
+	Remove      bool
+}
+
+// ExplorerParams configures a composite-interface user.
+type ExplorerParams struct {
+	// StartZoom is the zoom level the session opens at.
+	StartZoom int
+	// MaxZoomDelta bounds how far from StartZoom the user wanders (the
+	// paper observes ≤3 for all but one user).
+	MaxZoomDelta int
+	// PreferredLo/Hi is the zoom band users concentrate in (11–14).
+	PreferredLo, PreferredHi int
+}
+
+// NewExplorerParams samples a user. Start zooms land so that the preferred
+// 11–14 band is reachable within the ±3 wander bound.
+func NewExplorerParams(rng *rand.Rand) ExplorerParams {
+	return ExplorerParams{
+		StartZoom:    10 + rng.Intn(4), // 10–13
+		MaxZoomDelta: 3,
+		PreferredLo:  11,
+		PreferredHi:  14,
+	}
+}
+
+// Explorer generates the action stream of one composite-interface session.
+// The widget mix targets Table 9: map 62.8%, slider+checkbox 29.9%, button
+// 3.6%, text box 3.6%.
+type Explorer struct {
+	rng    *rand.Rand
+	params ExplorerParams
+	zoom   int
+	// filter bookkeeping so that filter actions are coherent (no removing
+	// what is not set; growth pressure toward ≤4 conditions per Figure 20).
+	filters map[string]string
+	nextID  int
+}
+
+// filterPool is the menu of conditions an explorer toggles. Sliders own the
+// price range; checkboxes own the discrete facets.
+var sliderFilters = []string{"price_min", "price_max"}
+var checkboxFilters = []string{"room_type", "instant_book", "superhost", "wifi", "kitchen", "parking", "pool", "pets"}
+
+// NewExplorer creates an explorer session generator.
+func NewExplorer(rng *rand.Rand, params ExplorerParams) *Explorer {
+	return &Explorer{
+		rng:     rng,
+		params:  params,
+		zoom:    params.StartZoom,
+		filters: map[string]string{"guests": "2"},
+	}
+}
+
+// Zoom returns the explorer's current zoom level.
+func (e *Explorer) Zoom() int { return e.zoom }
+
+// FilterCount returns the current number of filter conditions.
+func (e *Explorer) FilterCount() int { return len(e.filters) }
+
+// Next produces the next user action.
+func (e *Explorer) Next() Action {
+	r := e.rng.Float64()
+	switch {
+	case r < 0.628:
+		return e.mapAction()
+	case r < 0.628+0.299:
+		return e.filterAction()
+	case r < 0.628+0.299+0.036:
+		return Action{Kind: ActButton}
+	default:
+		e.nextID++
+		return Action{
+			Kind:        ActTextBox,
+			FilterKey:   "place",
+			FilterValue: fmt.Sprintf("city-%d", e.nextID),
+		}
+	}
+}
+
+// mapAction picks a zoom or drag, steering the zoom walk into the
+// preferred band and within the wander bound.
+func (e *Explorer) mapAction() Action {
+	p := e.params
+	lo := p.StartZoom - p.MaxZoomDelta
+	hi := p.StartZoom + p.MaxZoomDelta
+	// ~55% of map actions drag, the rest zoom (zoom changes are what
+	// Figure 18 plots, drags what Table 10 measures).
+	if e.rng.Float64() < 0.55 {
+		// Pixel-scale drags: the same hand motion at any zoom, which is
+		// precisely why Table 10's degree ranges shrink at deeper zooms.
+		dx := e.rng.NormFloat64() * 150
+		dy := e.rng.NormFloat64() * 100
+		if dx > 400 {
+			dx = 400
+		}
+		if dx < -400 {
+			dx = -400
+		}
+		if dy > 300 {
+			dy = 300
+		}
+		if dy < -300 {
+			dy = -300
+		}
+		return Action{Kind: ActDrag, DX: dx, DY: dy}
+	}
+	up := e.rng.Float64() < e.zoomInBias()
+	if up && e.zoom < hi {
+		e.zoom++
+		return Action{Kind: ActZoomIn}
+	}
+	if !up && e.zoom > lo {
+		e.zoom--
+		return Action{Kind: ActZoomOut}
+	}
+	// Bounced off the wander bound: drag instead.
+	return Action{Kind: ActDrag, DX: e.rng.NormFloat64() * 120, DY: e.rng.NormFloat64() * 80}
+}
+
+// zoomInBias returns the probability the next zoom step goes inward,
+// pulling the walk toward the preferred band.
+func (e *Explorer) zoomInBias() float64 {
+	switch {
+	case e.zoom < e.params.PreferredLo:
+		return 0.85
+	case e.zoom >= e.params.PreferredHi:
+		return 0.15
+	default:
+		return 0.5
+	}
+}
+
+// filterAction adds, changes, or removes a slider/checkbox condition.
+// Removal pressure grows with the number of active conditions; the 0.14
+// coefficient puts the stationary distribution at P(count ≤ 4) ≈ 0.7,
+// matching the Figure 20 CDF.
+func (e *Explorer) filterAction() Action {
+	var removable []string
+	for k := range e.filters {
+		if k != "guests" && k != "place" {
+			removable = append(removable, k)
+		}
+	}
+	sort.Strings(removable) // deterministic under the seed
+	removeP := 0.14 * float64(len(removable))
+	if removeP > 0.8 {
+		removeP = 0.8
+	}
+	if len(removable) > 0 && e.rng.Float64() < removeP {
+		key := removable[e.rng.Intn(len(removable))]
+		delete(e.filters, key)
+		kind := ActCheckbox
+		for _, s := range sliderFilters {
+			if s == key {
+				kind = ActSlider
+			}
+		}
+		return Action{Kind: kind, FilterKey: key, Remove: true}
+	}
+
+	slider := e.rng.Float64() < 0.5
+	pool := checkboxFilters
+	kind := ActCheckbox
+	if slider {
+		pool = sliderFilters
+		kind = ActSlider
+	}
+	key := pool[e.rng.Intn(len(pool))]
+	var value string
+	if slider {
+		value = fmt.Sprintf("%d", 10+e.rng.Intn(300))
+	} else {
+		value = "true"
+		if key == "room_type" {
+			value = []string{"entire_home", "private_room", "shared_room"}[e.rng.Intn(3)]
+		}
+	}
+	e.filters[key] = value
+	return Action{Kind: kind, FilterKey: key, FilterValue: value}
+}

@@ -1,0 +1,212 @@
+// Package behavior implements stochastic user models standing in for the
+// paper's human study participants. Each model is seeded per user and
+// calibrated to the statistics the paper reports, so the workloads they
+// generate have the published shape:
+//
+//   - Scroller (case study 1): inertial-scrolling users whose speed
+//     statistics match Table 7 (max tuples/sec in [12,200], median ≈58;
+//     average an order of magnitude lower) and whose overshoot/backscroll
+//     behavior reproduces Figure 9.
+//   - SliderUser (case study 2): range-slider target acquisition through a
+//     device profile, producing the per-device workloads of Figures 11/14.
+//   - Explorer (case study 3): composite-interface exploration whose widget
+//     mix matches Table 9, zoom usage Figure 18, drag extents Table 10, and
+//     filter-count distribution Figure 20.
+//
+// The paper itself licenses this substitution: simulation is valid "when
+// results depend only on plausible user interaction sequences" (§4.1.3).
+package behavior
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/widget"
+)
+
+// TupleHeightPx is the rendered height of one movie tuple. Table 7's
+// pixel-to-tuple speed ratios put it near 155 px (e.g. median max speed
+// 8741 px/s ÷ 58 tuples/s).
+const TupleHeightPx = 155
+
+// ScrollerParams configures one simulated scrolling user.
+type ScrollerParams struct {
+	// MaxTuplesPerSec is the user's peak scrolling speed — the velocity
+	// their strongest flick reaches.
+	MaxTuplesPerSec float64
+	// ReadPause is the mean pause between flicks while the user skims.
+	ReadPause time.Duration
+	// SelectRate is the per-flick probability of spotting a movie worth
+	// selecting.
+	SelectRate float64
+	// OvershootRate is the probability a selection requires backscrolling
+	// because momentum carried the user past the target.
+	OvershootRate float64
+}
+
+// NewScrollerParams samples a user from the study population. Peak speeds
+// are log-normal with median ≈58 tuples/s and σ≈0.8, clamped to Table 7's
+// observed [12, 200] range.
+func NewScrollerParams(rng *rand.Rand) ScrollerParams {
+	speed := 58 * math.Exp(rng.NormFloat64()*0.8)
+	if speed < 12 {
+		speed = 12
+	}
+	if speed > 200 {
+		speed = 200
+	}
+	return ScrollerParams{
+		MaxTuplesPerSec: speed,
+		ReadPause:       time.Duration(800+rng.Intn(1700)) * time.Millisecond,
+		SelectRate:      0.08 + rng.Float64()*0.35,
+		OvershootRate:   0.45 + rng.Float64()*0.45,
+	}
+}
+
+// ScrollTrace is one user's full scrolling session.
+type ScrollTrace struct {
+	Params     ScrollerParams
+	Events     []trace.ScrollEvent
+	Selections []trace.SelectEvent
+	// Backscrolls counts reverse-scroll maneuvers; a single overshot
+	// selection can take several (Figure 9's "backscrolled selections").
+	Backscrolls int
+	Duration    time.Duration
+}
+
+// SimulateScroller runs one user skimming all numTuples tuples on an
+// inertial scroll view, per the case study task.
+func SimulateScroller(rng *rand.Rand, p ScrollerParams, numTuples int) *ScrollTrace {
+	sv := widget.NewScrollView(numTuples, TupleHeightPx, true)
+	st := &ScrollTrace{Params: p}
+	now := time.Duration(0)
+	framesPerSec := float64(time.Second) / float64(sv.FrameEvery)
+	peakImpulse := p.MaxTuplesPerSec * TupleHeightPx / framesPerSec
+
+	endPx := float64(numTuples-1) * TupleHeightPx
+	for sv.Pos() < endPx {
+		// Flick strength varies; the strongest flicks hit the user's peak.
+		impulse := peakImpulse * (0.55 + 0.45*rng.Float64())
+		sv.Flick(impulse)
+		for sv.Coasting() {
+			now += sv.FrameEvery
+			if ev, moved := sv.Step(now); moved {
+				st.Events = append(st.Events, ev)
+			}
+		}
+		// Reading pause.
+		pause := time.Duration(float64(p.ReadPause) * (0.5 + rng.Float64()))
+		now += pause
+
+		// Possibly select a movie spotted during the coast.
+		if rng.Float64() < p.SelectRate {
+			target := sv.TupleAt(sv.Pos())
+			backscrolled := rng.Float64() < p.OvershootRate
+			if backscrolled {
+				// The movie was passed a few tuples ago; scroll back with
+				// small corrective flicks, possibly overshooting again.
+				overshoot := 2 + rng.Intn(6)
+				target -= overshoot
+				if target < 0 {
+					target = 0
+				}
+				corrections := 1 + geometric(rng, 0.45)
+				for c := 0; c < corrections; c++ {
+					st.Backscrolls++
+					dir := -1.0
+					if c%2 == 1 {
+						dir = 1 // overshot backwards, nudge forward again
+					}
+					dist := float64(overshoot) * TupleHeightPx * (0.7 + 0.6*rng.Float64())
+					// Corrective scroll: slow wheel movement over ~0.5s.
+					steps := 8 + rng.Intn(12)
+					for i := 0; i < steps; i++ {
+						now += sv.FrameEvery
+						if ev, moved := sv.Wheel(now, dir*dist/float64(steps)); moved {
+							st.Events = append(st.Events, ev)
+						}
+					}
+					now += time.Duration(200+rng.Intn(300)) * time.Millisecond
+				}
+			}
+			st.Selections = append(st.Selections, trace.SelectEvent{
+				At: now, TupleIndex: target, Backscrolled: backscrolled,
+			})
+			now += time.Duration(300+rng.Intn(700)) * time.Millisecond
+		}
+	}
+	st.Duration = now
+	return st
+}
+
+// SimulatePlainScroller runs a user on a non-inertial view for the Figure 7
+// contrast: fixed small wheel deltas, no coasting.
+func SimulatePlainScroller(rng *rand.Rand, numTuples int, duration time.Duration) *ScrollTrace {
+	sv := widget.NewScrollView(numTuples, TupleHeightPx, false)
+	st := &ScrollTrace{}
+	now := time.Duration(0)
+	for now < duration {
+		// A burst of wheel ticks, then a pause.
+		ticks := 10 + rng.Intn(30)
+		for i := 0; i < ticks && now < duration; i++ {
+			now += time.Duration(15+rng.Intn(6)) * time.Millisecond
+			delta := 2 + rng.Float64()*2 // the Figure 7b scale: deltas of ~2–4
+			if ev, moved := sv.Wheel(now, delta); moved {
+				st.Events = append(st.Events, ev)
+			}
+		}
+		now += time.Duration(300+rng.Intn(900)) * time.Millisecond
+	}
+	st.Duration = now
+	return st
+}
+
+// SpeedStats measures a trace the way the case study does: instantaneous
+// speed per event (|delta| over the inter-event gap), then max and mean,
+// in both pixels/sec and tuples/sec.
+type SpeedStats struct {
+	MaxPxPerSec  float64
+	AvgPxPerSec  float64
+	MaxTuplesSec float64
+	AvgTuplesSec float64
+}
+
+// MeasureSpeed computes speed statistics from a scroll trace.
+func MeasureSpeed(events []trace.ScrollEvent) SpeedStats {
+	var s SpeedStats
+	if len(events) < 2 {
+		return s
+	}
+	var sum float64
+	n := 0
+	for i := 1; i < len(events); i++ {
+		gap := events[i].At - events[i-1].At
+		if gap <= 0 {
+			continue
+		}
+		speed := math.Abs(events[i].Delta) / gap.Seconds()
+		sum += speed
+		n++
+		if speed > s.MaxPxPerSec {
+			s.MaxPxPerSec = speed
+		}
+	}
+	if n > 0 {
+		s.AvgPxPerSec = sum / float64(n)
+	}
+	s.MaxTuplesSec = s.MaxPxPerSec / TupleHeightPx
+	s.AvgTuplesSec = s.AvgPxPerSec / TupleHeightPx
+	return s
+}
+
+// geometric samples a geometric random variable with success probability p
+// (number of failures before the first success).
+func geometric(rng *rand.Rand, p float64) int {
+	n := 0
+	for rng.Float64() > p && n < 50 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+package behavior
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/hci"
+	"repro/internal/trace"
+	"repro/internal/widget"
+)
+
+// SliderTrackPx is the rendered slider track width used by the
+// crossfiltering study's interface.
+const SliderTrackPx = 350
+
+// SliderSession is one user's crossfiltering session on one device.
+type SliderSession struct {
+	Device   device.Profile
+	Events   []trace.SliderEvent   // the query-triggering slider trace
+	Pointer  []trace.PointerSample // raw device samples (Figure 11)
+	Duration time.Duration
+	// Ranges holds the final [min,max] of each slider.
+	Ranges [][2]float64
+}
+
+// SimulateSliderUser runs one user adjusting range sliders through the
+// given device: a sequence of target acquisitions (move to a handle
+// position, then hold). On friction devices (mouse, touch) the handle
+// tracks the pointer only during the aimed movement; on the Leap Motion
+// there is no clutch, so jitter during the hold keeps generating slider
+// events — the paper's unintended-query effect.
+//
+// domains gives each slider's value domain; adjustments is the number of
+// handle movements across the session.
+func SimulateSliderUser(rng *rand.Rand, dev device.Profile, domains [][2]float64, adjustments int) *SliderSession {
+	sess := &SliderSession{Device: dev}
+	sliders := make([]*widget.Slider, len(domains))
+	for i, d := range domains {
+		sliders[i] = widget.NewSlider(i, d[0], d[1], SliderTrackPx)
+	}
+
+	now := time.Duration(0)
+	// Pointer starts at the left edge of the first track.
+	px, py := 0.0, 0.0
+	for a := 0; a < adjustments; a++ {
+		si := rng.Intn(len(sliders))
+		s := sliders[si]
+		handle := widget.Handle(rng.Intn(2))
+		targetPx := rng.Float64() * SliderTrackPx
+		// Slider rows are stacked 120px apart on screen.
+		targetY := float64(si) * 120
+
+		// Movement time follows Fitts' law for the device (§4.1.3's
+		// interaction-timing models), with a 14px slider handle as the
+		// target and ±25% individual variation.
+		dist := math.Hypot(targetPx-px, targetY-py)
+		fitts := fittsFor(dev)
+		move := time.Duration(float64(fitts.MovementTime(dist, 14)) * (0.75 + 0.5*rng.Float64()))
+		if move < 2*dev.SampleEvery {
+			move = 2 * dev.SampleEvery
+		}
+		dwell := time.Duration(800+rng.Intn(1700)) * time.Millisecond
+		if dev.RestNoise {
+			// Free-space gesture devices acquire targets slowly: holding a
+			// cursor steady without friction takes repeated correction, so
+			// the hold phase stretches (and, with RestNoise, keeps firing
+			// queries throughout — the paper's Figure 14 contrast).
+			dwell = time.Duration(float64(dwell) * 2.5)
+		}
+		samples := dev.Seek(rng, now, px, py, targetPx, targetY, move, dwell)
+		sess.Pointer = append(sess.Pointer, samples...)
+
+		// The drag window: friction devices release the handle when the
+		// aimed movement ends; the gesture device never releases.
+		dragEnd := now + move + 2*dev.SampleEvery
+		if dev.RestNoise {
+			dragEnd = now + move + dwell
+		}
+		for _, sample := range dev.MovedSamples(samples) {
+			if sample.At > dragEnd {
+				break
+			}
+			if ev, changed := s.Drag(sample.At, handle, sample.X); changed {
+				sess.Events = append(sess.Events, ev)
+			}
+		}
+		px, py = targetPx, targetY
+		now += move + dwell
+		// Travel to the next control without touching anything.
+		now += time.Duration(300+rng.Intn(500)) * time.Millisecond
+	}
+	sess.Duration = now
+	sess.Ranges = make([][2]float64, len(sliders))
+	for i, s := range sliders {
+		mn, mx := s.Range()
+		sess.Ranges[i] = [2]float64{mn, mx}
+	}
+	return sess
+}
+
+// fittsFor maps a device profile to its Fitts'-law coefficients.
+func fittsFor(dev device.Profile) hci.FittsParams {
+	switch {
+	case dev.RestNoise:
+		return hci.FittsGesture
+	case dev.Name == "touch":
+		return hci.FittsTouch
+	default:
+		return hci.FittsMouse
+	}
+}

@@ -1,0 +1,241 @@
+package crossfilter
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/storage"
+)
+
+func roadCF(t *testing.T, n int) *Crossfilter {
+	t.Helper()
+	roads := dataset.Roads(1, n)
+	cf, err := New(roads, []string{"x", "y", "z"}, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cf
+}
+
+func TestNewErrors(t *testing.T) {
+	roads := dataset.Roads(1, 100)
+	if _, err := New(roads, nil, 20); err == nil {
+		t.Error("no dimensions accepted")
+	}
+	if _, err := New(roads, []string{"missing"}, 20); err == nil {
+		t.Error("missing column accepted")
+	}
+	movie := dataset.Movies(1, 10)
+	if _, err := New(movie, []string{"title"}, 20); err == nil {
+		t.Error("string column accepted")
+	}
+	many := make([]string, 33)
+	for i := range many {
+		many[i] = "x"
+	}
+	if _, err := New(roads, many, 20); err == nil {
+		t.Error(">32 dimensions accepted")
+	}
+}
+
+func TestUnfilteredHistogramsSumToN(t *testing.T) {
+	cf := roadCF(t, 5000)
+	if cf.Total() != 5000 {
+		t.Errorf("Total = %d", cf.Total())
+	}
+	for d := 0; d < cf.NumDims(); d++ {
+		var sum int64
+		for _, c := range cf.Histogram(d) {
+			sum += c
+		}
+		if sum != 5000 {
+			t.Errorf("dim %d histogram sums to %d", d, sum)
+		}
+	}
+}
+
+func TestFilterCoordination(t *testing.T) {
+	cf := roadCF(t, 5000)
+	x := cf.Dim(0)
+	mid := (x.Lo + x.Hi) / 2
+	cf.SetFilter(0, x.Lo, mid)
+
+	// Dimension 0's own histogram ignores its own filter.
+	var sum0 int64
+	for _, c := range cf.Histogram(0) {
+		sum0 += c
+	}
+	if sum0 != 5000 {
+		t.Errorf("dim 0 histogram affected by own filter: sum %d", sum0)
+	}
+	// Other dimensions' histograms now reflect the x filter.
+	var sum1 int64
+	for _, c := range cf.Histogram(1) {
+		sum1 += c
+	}
+	if sum1 >= 5000 || sum1 != cf.Total() {
+		t.Errorf("dim 1 sum %d, total %d", sum1, cf.Total())
+	}
+}
+
+func TestClearFilterRestores(t *testing.T) {
+	cf := roadCF(t, 3000)
+	before := cf.Histograms()
+	x := cf.Dim(0)
+	cf.SetFilter(0, x.Lo, (x.Lo+x.Hi)/3)
+	cf.SetFilter(1, cf.Dim(1).Lo, cf.Dim(1).Hi-0.1)
+	cf.ClearFilter(0)
+	cf.ClearFilter(1)
+	after := cf.Histograms()
+	if cf.Total() != 3000 {
+		t.Errorf("Total after clear = %d", cf.Total())
+	}
+	for d := range before {
+		for b := range before[d] {
+			if before[d][b] != after[d][b] {
+				t.Fatalf("dim %d bin %d: %d → %d after clear", d, b, before[d][b], after[d][b])
+			}
+		}
+	}
+	if cf.Dim(0).Filtered() {
+		t.Error("dim 0 still marked filtered")
+	}
+}
+
+// TestIncrementalMatchesRecompute drives random filter sequences and checks
+// the incremental state against a full rebuild — the core invariant.
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	cf := roadCF(t, 4000)
+	rng := rand.New(rand.NewSource(9))
+	for step := 0; step < 60; step++ {
+		d := rng.Intn(cf.NumDims())
+		dim := cf.Dim(d)
+		if rng.Intn(5) == 0 {
+			cf.ClearFilter(d)
+		} else {
+			span := dim.Hi - dim.Lo
+			lo := dim.Lo + rng.Float64()*span
+			hi := lo + rng.Float64()*(dim.Hi-lo)
+			cf.SetFilter(d, lo, hi)
+		}
+		gotTotal := cf.Total()
+		got := cf.Histograms()
+		cf.RecomputeAll()
+		if cf.Total() != gotTotal {
+			t.Fatalf("step %d: incremental total %d, recompute %d", step, gotTotal, cf.Total())
+		}
+		want := cf.Histograms()
+		for dd := range want {
+			for b := range want[dd] {
+				if got[dd][b] != want[dd][b] {
+					t.Fatalf("step %d dim %d bin %d: incremental %d, recompute %d",
+						step, dd, b, got[dd][b], want[dd][b])
+				}
+			}
+		}
+	}
+}
+
+func TestFilterSemantics(t *testing.T) {
+	// Hand-built table with known values.
+	tbl := storage.NewTable("t", storage.Schema{
+		{Name: "a", Type: storage.Float64},
+		{Name: "b", Type: storage.Float64},
+	})
+	// a: 0..9, b: 9..0
+	for i := 0; i < 10; i++ {
+		tbl.MustAppendRow(storage.NewFloat(float64(i)), storage.NewFloat(float64(9-i)))
+	}
+	cf, err := New(tbl, []string{"a", "b"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filter a to [0,4] → 5 records pass.
+	cf.SetFilter(0, 0, 4)
+	if cf.Total() != 5 {
+		t.Errorf("Total = %d, want 5", cf.Total())
+	}
+	// b histogram sees only those 5 records: b values 9,8,7,6,5.
+	hb := cf.Histogram(1)
+	var sum int64
+	for bin, c := range hb {
+		sum += c
+		if c > 0 && bin < 5 {
+			t.Errorf("b bin %d populated, want only bins 5..9", bin)
+		}
+	}
+	if sum != 5 {
+		t.Errorf("b histogram sum = %d", sum)
+	}
+	// Filter b too: [5,6] → records with b in {5,6} and a in [0,4]: a=3(b=6), a=4(b=5).
+	cf.SetFilter(1, 5, 6)
+	if cf.Total() != 2 {
+		t.Errorf("Total = %d, want 2", cf.Total())
+	}
+	// a's histogram ignores a's filter but respects b's: b in [5,6] → a in {3,4}.
+	ha := cf.Histogram(0)
+	for bin, c := range ha {
+		switch bin {
+		case 3, 4:
+			if c != 1 {
+				t.Errorf("a bin %d = %d, want 1", bin, c)
+			}
+		default:
+			if c != 0 {
+				t.Errorf("a bin %d = %d, want 0", bin, c)
+			}
+		}
+	}
+}
+
+func TestBinOfClamping(t *testing.T) {
+	d := &Dimension{Lo: 0, Hi: 10, Bins: 20}
+	if d.BinOf(-5) != 0 {
+		t.Error("below-domain value not clamped to 0")
+	}
+	if d.BinOf(10) != 19 {
+		t.Error("domain max not clamped to last bin")
+	}
+	if d.BinOf(100) != 19 {
+		t.Error("above-domain value not clamped")
+	}
+	degenerate := &Dimension{Lo: 5, Hi: 5, Bins: 20}
+	if degenerate.BinOf(5) != 0 {
+		t.Error("degenerate domain not handled")
+	}
+}
+
+func TestDimIndex(t *testing.T) {
+	cf := roadCF(t, 100)
+	if cf.DimIndex("y") != 1 {
+		t.Errorf("DimIndex(y) = %d", cf.DimIndex("y"))
+	}
+	if cf.DimIndex("nope") != -1 {
+		t.Error("DimIndex(nope) != -1")
+	}
+	if cf.NumRecords() != 100 {
+		t.Errorf("NumRecords = %d", cf.NumRecords())
+	}
+}
+
+func TestRepeatedIdenticalFilterIsStable(t *testing.T) {
+	cf := roadCF(t, 2000)
+	x := cf.Dim(0)
+	lo, hi := x.Lo+0.5, x.Hi-0.5
+	cf.SetFilter(0, lo, hi)
+	t1 := cf.Total()
+	h1 := cf.Histogram(1)
+	for i := 0; i < 5; i++ {
+		cf.SetFilter(0, lo, hi)
+	}
+	if cf.Total() != t1 {
+		t.Errorf("total drifted under repeated identical filters")
+	}
+	h2 := cf.Histogram(1)
+	for b := range h1 {
+		if h1[b] != h2[b] {
+			t.Fatalf("histogram drifted at bin %d", b)
+		}
+	}
+}

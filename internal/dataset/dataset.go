@@ -1,0 +1,237 @@
+// Package dataset generates the synthetic datasets standing in for the
+// paper's proprietary or external data sources:
+//
+//   - Movies: an IMDB-like table of top-rated movies (paper: top 4,000
+//     IMDB tuples with 6 attributes) used by the inertial-scrolling case
+//     study, plus the split movie/rating pair used by its streaming-join
+//     query Q2.
+//   - Roads: a 3D road network (paper: UCI dataset, 434,874 tuples with
+//     longitude, latitude, altitude) used by the crossfiltering case study.
+//     Generated as a spatially correlated random walk so histograms are
+//     realistically non-uniform.
+//   - Listings: an Airbnb-like accommodation table used by the
+//     composite-interface case study (location, price, room type, guests).
+//
+// All generators are deterministic under their seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/storage"
+)
+
+// MovieCount matches the paper's inertial-scrolling corpus size.
+const MovieCount = 4000
+
+// RoadCount matches the UCI 3D road-network cardinality the paper uses.
+const RoadCount = 434874
+
+// DefaultListingCount sizes the synthetic accommodation table.
+const DefaultListingCount = 20000
+
+var (
+	genres     = []string{"Drama", "Comedy", "Action", "Thriller", "Sci-Fi", "Romance", "Horror", "Documentary", "Animation", "Crime"}
+	firstNames = []string{"Ava", "Liam", "Noah", "Emma", "Mia", "Ethan", "Sofia", "Lucas", "Iris", "Hugo", "Nora", "Felix", "Clara", "Oscar", "Ruth", "Jonas"}
+	lastNames  = []string{"Kim", "Garcia", "Okafor", "Novak", "Rossi", "Tanaka", "Muller", "Silva", "Haddad", "Larsen", "Petrov", "Dubois", "Mori", "Iyer", "Weber", "Costa"}
+	nouns      = []string{"Shadow", "River", "Empire", "Garden", "Signal", "Harbor", "Winter", "Echo", "Meridian", "Lantern", "Orchard", "Static", "Velvet", "Quarry", "Summit", "Cipher"}
+	adjectives = []string{"Silent", "Broken", "Golden", "Distant", "Hidden", "Burning", "Final", "Electric", "Paper", "Hollow", "Crimson", "Restless", "Quiet", "Savage", "Pale", "Iron"}
+	roomTypes  = []string{"Entire home/apt", "Private room", "Shared room", "Hotel room"}
+)
+
+// Movies generates n movie tuples with the six attributes the case study
+// scrolls through: poster, title, year, director, genre, plot, rating.
+// Ratings descend with rank (it is a "top rated" list) with noise, so the
+// table arrives pre-sorted the way the study presented it.
+func Movies(seed int64, n int) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := storage.NewTable("imdb", storage.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "poster", Type: storage.String},
+		{Name: "title", Type: storage.String},
+		{Name: "year", Type: storage.Int64},
+		{Name: "director", Type: storage.String},
+		{Name: "genre", Type: storage.String},
+		{Name: "plot", Type: storage.String},
+		{Name: "rating", Type: storage.Float64},
+	})
+	for i := 0; i < n; i++ {
+		title := fmt.Sprintf("%s %s", pick(rng, adjectives), pick(rng, nouns))
+		if rng.Intn(4) == 0 {
+			title = "The " + title
+		}
+		director := pick(rng, firstNames) + " " + pick(rng, lastNames)
+		genre := pick(rng, genres)
+		year := 1950 + rng.Intn(70)
+		// Top-rated list: rating decays from ~9.3 to ~7.0 with rank.
+		rating := 9.3 - 2.3*float64(i)/float64(n) + rng.NormFloat64()*0.05
+		rating = math.Round(rating*10) / 10
+		plot := fmt.Sprintf("A %s tale of %s and %s in %d.",
+			pick(rng, adjectives), pick(rng, nouns), pick(rng, nouns), year)
+		t.MustAppendRow(
+			storage.NewInt(int64(i)),
+			storage.NewString(fmt.Sprintf("poster_%04d.jpg", i)),
+			storage.NewString(title),
+			storage.NewInt(int64(year)),
+			storage.NewString(director),
+			storage.NewString(genre),
+			storage.NewString(plot),
+			storage.NewFloat(rating),
+		)
+	}
+	return t
+}
+
+// MovieRatingSplit splits a movie table into the two tables joined by the
+// scrolling case study's streaming-join query Q2: imdbrating(id, rating)
+// and movie(id, poster, title, year, director, genre, plot).
+func MovieRatingSplit(movies *storage.Table) (ratings, details *storage.Table) {
+	ratings = storage.NewTable("imdbrating", storage.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "rating", Type: storage.Float64},
+	})
+	details = storage.NewTable("movie", storage.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "poster", Type: storage.String},
+		{Name: "title", Type: storage.String},
+		{Name: "year", Type: storage.Int64},
+		{Name: "director", Type: storage.String},
+		{Name: "genre", Type: storage.String},
+		{Name: "plot", Type: storage.String},
+	})
+	for i := 0; i < movies.NumRows(); i++ {
+		row := movies.Row(i)
+		ratings.MustAppendRow(row[0], row[7])
+		details.MustAppendRow(row[0], row[1], row[2], row[3], row[4], row[5], row[6])
+	}
+	return ratings, details
+}
+
+// Roads generates an n-tuple 3D road network: dataroad(x, y, z) holding
+// longitude, latitude, and altitude. The paper's dataset covers Jutland,
+// Denmark (lon ≈ 8.15–11.26, lat ≈ 56.58–57.77, alt ≈ −8.6–137.4); the
+// generator walks road segments inside the same bounding box so that the
+// crossfilter histograms and query predicates match the case study's.
+func Roads(seed int64, n int) *storage.Table {
+	const (
+		lonLo, lonHi = 8.146, 11.2616367163
+		latLo, latHi = 56.582, 57.774
+		altLo, altHi = -8.608, 137.361
+	)
+	rng := rand.New(rand.NewSource(seed))
+	t := storage.NewTable("dataroad", storage.Schema{
+		{Name: "x", Type: storage.Float64}, // longitude
+		{Name: "y", Type: storage.Float64}, // latitude
+		{Name: "z", Type: storage.Float64}, // altitude
+	})
+	// Roads come in segments: pick a town center, walk along it. Towns are
+	// themselves clustered, producing the multiscale non-uniformity real
+	// road networks have.
+	centers := make([][3]float64, 40)
+	for i := range centers {
+		centers[i] = [3]float64{
+			lonLo + rng.Float64()*(lonHi-lonLo),
+			latLo + rng.Float64()*(latHi-latLo),
+			altLo + math.Pow(rng.Float64(), 2)*(altHi-altLo), // altitude skews low
+		}
+	}
+	emitted := 0
+	for emitted < n {
+		c := centers[rng.Intn(len(centers))]
+		segLen := 20 + rng.Intn(400)
+		if emitted+segLen > n {
+			segLen = n - emitted
+		}
+		x := c[0] + rng.NormFloat64()*0.15
+		y := c[1] + rng.NormFloat64()*0.08
+		z := c[2] + rng.NormFloat64()*5
+		heading := rng.Float64() * 2 * math.Pi
+		for j := 0; j < segLen; j++ {
+			heading += rng.NormFloat64() * 0.2
+			x += math.Cos(heading) * 0.0004
+			y += math.Sin(heading) * 0.0002
+			z += rng.NormFloat64() * 0.4
+			t.MustAppendRow(
+				storage.NewFloat(clamp(x, lonLo, lonHi)),
+				storage.NewFloat(clamp(y, latLo, latHi)),
+				storage.NewFloat(clamp(z, altLo, altHi)),
+			)
+		}
+		emitted += segLen
+	}
+	return t
+}
+
+// RoadBounds returns the bounding box the road generator uses, needed by
+// callers constructing range predicates over the full domain.
+func RoadBounds() (lonLo, lonHi, latLo, latHi, altLo, altHi float64) {
+	return 8.146, 11.2616367163, 56.582, 57.774, -8.608, 137.361
+}
+
+// Listings generates an Airbnb-like table: listings(id, lat, lng, price,
+// room_type, guests, rating, reviews). Locations cluster around a handful
+// of city centers inside a continental-US-like box; price is log-normal.
+func Listings(seed int64, n int) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := storage.NewTable("listings", storage.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "lat", Type: storage.Float64},
+		{Name: "lng", Type: storage.Float64},
+		{Name: "price", Type: storage.Float64},
+		{Name: "room_type", Type: storage.String},
+		{Name: "guests", Type: storage.Int64},
+		{Name: "rating", Type: storage.Float64},
+		{Name: "reviews", Type: storage.Int64},
+	})
+	type city struct{ lat, lng, weight float64 }
+	cities := []city{
+		{40.71, -74.00, 0.22}, {34.05, -118.24, 0.18}, {41.88, -87.63, 0.12},
+		{29.76, -95.37, 0.09}, {33.45, -112.07, 0.07}, {47.61, -122.33, 0.08},
+		{25.76, -80.19, 0.10}, {39.74, -104.99, 0.06}, {36.16, -86.78, 0.08},
+	}
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		var c city
+		for _, cand := range cities {
+			if r < cand.weight {
+				c = cand
+				break
+			}
+			r -= cand.weight
+		}
+		if c.lat == 0 {
+			c = cities[len(cities)-1]
+		}
+		lat := c.lat + rng.NormFloat64()*0.35
+		lng := c.lng + rng.NormFloat64()*0.45
+		price := math.Exp(4.2 + rng.NormFloat64()*0.6) // median ≈ $67
+		guests := 1 + rng.Intn(8)
+		rating := clamp(4.7+rng.NormFloat64()*0.4, 1, 5)
+		reviews := int64(math.Floor(math.Exp(rng.Float64() * 6)))
+		t.MustAppendRow(
+			storage.NewInt(int64(i)),
+			storage.NewFloat(lat),
+			storage.NewFloat(lng),
+			storage.NewFloat(math.Round(price)),
+			storage.NewString(pick(rng, roomTypes)),
+			storage.NewInt(int64(guests)),
+			storage.NewFloat(math.Round(rating*10)/10),
+			storage.NewInt(reviews),
+		)
+	}
+	return t
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,165 @@
+// Package device models input devices — mouse, touch screen, trackpad, and
+// the Leap Motion gesture sensor — as samplers with a sensing rate and a
+// positional noise process.
+//
+// The paper's observations this package reproduces (Sections 2.1, 2.3 and
+// Figure 11):
+//
+//   - Each device senses at its own rate, which bounds the query issuing
+//     frequency of a continuous-manipulation interface.
+//   - Mouse and touch benefit from friction and physical contact, so their
+//     traces are smooth; the Leap Motion has neither, so its traces jitter
+//     and drift, producing unintended repeated queries.
+//   - Leap Motion emits a sample stream continuously while a hand is
+//     present (no "at rest" state), whereas mouse and touch emit only while
+//     moving.
+package device
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Profile describes a device's sensing behavior.
+type Profile struct {
+	Name string
+	// SampleEvery is the sensing interval (inverse sensing rate).
+	SampleEvery time.Duration
+	// Jitter is the standard deviation of per-sample positional noise, in
+	// the device's units (pixels for mouse/touch, millimeters for gesture).
+	Jitter float64
+	// Tremor is low-frequency hand oscillation amplitude, only meaningful
+	// for free-space gesture devices.
+	Tremor float64
+	// RestNoise reports whether the device keeps producing distinct
+	// samples while the user intends to hold still (no friction).
+	RestNoise bool
+	// MoveThreshold is the minimum positional change that registers as
+	// movement (and hence triggers a widget event).
+	MoveThreshold float64
+}
+
+// Built-in device profiles. Sensing rates follow the paper's discussion
+// (§3.1.2): classic touch panels at 60 Hz, mice at 125 Hz, Leap Motion
+// near 50 Hz.
+var (
+	Mouse = Profile{
+		Name:          "mouse",
+		SampleEvery:   8 * time.Millisecond,
+		Jitter:        0.2,
+		MoveThreshold: 1.5,
+	}
+	Touch = Profile{
+		Name:          "touch",
+		SampleEvery:   16 * time.Millisecond,
+		Jitter:        0.4,
+		MoveThreshold: 2,
+	}
+	Trackpad = Profile{
+		Name:          "trackpad",
+		SampleEvery:   16 * time.Millisecond,
+		Jitter:        0.3,
+		MoveThreshold: 1.5,
+	}
+	LeapMotion = Profile{
+		Name:          "leapmotion",
+		SampleEvery:   20 * time.Millisecond,
+		Jitter:        4.5,
+		Tremor:        12,
+		RestNoise:     true,
+		MoveThreshold: 0.5,
+	}
+)
+
+// Profiles returns the built-in profiles in presentation order.
+func Profiles() []Profile { return []Profile{Mouse, Touch, LeapMotion} }
+
+// ByName returns the named built-in profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range []Profile{Mouse, Touch, Trackpad, LeapMotion} {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Seek simulates the user moving the pointer from (x0,y0) to (x1,y1) over
+// the given movement time, then dwelling for dwell. Samples are emitted at
+// the device's sensing rate starting at start.
+//
+// The intended path follows a minimum-jerk velocity profile (the standard
+// model of aimed human movement); the device overlays its noise. For
+// devices with RestNoise the dwell phase keeps producing moving samples —
+// the Figure 11 effect.
+func (p Profile) Seek(rng *rand.Rand, start time.Duration, x0, y0, x1, y1 float64, move, dwell time.Duration) []trace.PointerSample {
+	if move <= 0 {
+		move = p.SampleEvery
+	}
+	var out []trace.PointerSample
+	tremorPhase := rng.Float64() * 2 * math.Pi
+	total := move + dwell
+	for t := time.Duration(0); t <= total; t += p.SampleEvery {
+		var ix, iy float64
+		if t < move {
+			// Minimum-jerk position fraction: 10τ³ − 15τ⁴ + 6τ⁵.
+			tau := float64(t) / float64(move)
+			f := 10*math.Pow(tau, 3) - 15*math.Pow(tau, 4) + 6*math.Pow(tau, 5)
+			ix = x0 + (x1-x0)*f
+			iy = y0 + (y1-y0)*f
+		} else {
+			ix, iy = x1, y1
+		}
+		nx := ix + rng.NormFloat64()*p.Jitter
+		ny := iy + rng.NormFloat64()*p.Jitter
+		if p.Tremor > 0 {
+			// ~4 Hz physiological tremor, visible only without friction.
+			phase := tremorPhase + 2*math.Pi*4*t.Seconds()
+			nx += p.Tremor * math.Sin(phase)
+			ny += p.Tremor * math.Cos(phase*0.7)
+		}
+		out = append(out, trace.PointerSample{At: start + t, X: nx, Y: ny})
+	}
+	return out
+}
+
+// MovedSamples filters a sample stream down to the samples a widget would
+// treat as movement events: those whose distance from the previously
+// accepted sample exceeds the device's MoveThreshold. For RestNoise
+// devices, jitter keeps the stream flowing even during dwell — the paper's
+// unintended-query effect.
+func (p Profile) MovedSamples(samples []trace.PointerSample) []trace.PointerSample {
+	var out []trace.PointerSample
+	for i, s := range samples {
+		if i == 0 {
+			out = append(out, s)
+			continue
+		}
+		last := out[len(out)-1]
+		dx, dy := s.X-last.X, s.Y-last.Y
+		if math.Hypot(dx, dy) >= p.MoveThreshold {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PathJitter quantifies the roughness of a pointer trace as the mean
+// absolute second difference of position — near zero for smooth aimed
+// movement, large for a jittery device. Used to verify the Figure 11
+// contrast.
+func PathJitter(samples []trace.PointerSample) float64 {
+	if len(samples) < 3 {
+		return 0
+	}
+	var sum float64
+	for i := 2; i < len(samples); i++ {
+		ax := samples[i].X - 2*samples[i-1].X + samples[i-2].X
+		ay := samples[i].Y - 2*samples[i-1].Y + samples[i-2].Y
+		sum += math.Hypot(ax, ay)
+	}
+	return sum / float64(len(samples)-2)
+}

@@ -1,0 +1,126 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mouse", "touch", "trackpad", "leapmotion"} {
+		p, ok := ByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ByName(%q) = %+v, %v", name, p, ok)
+		}
+	}
+	if _, ok := ByName("kinect"); ok {
+		t.Error("unknown device resolved")
+	}
+	if len(Profiles()) != 3 {
+		t.Errorf("Profiles() = %d entries", len(Profiles()))
+	}
+}
+
+func TestSeekSamplingRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Mouse.Seek(rng, 0, 0, 0, 100, 0, 400*time.Millisecond, 100*time.Millisecond)
+	if len(s) == 0 {
+		t.Fatal("no samples")
+	}
+	// Samples every 8ms over 500ms → 63 samples (0..500 inclusive).
+	want := int(500/8) + 1
+	if len(s) != want {
+		t.Errorf("samples = %d, want %d", len(s), want)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].At-s[i-1].At != Mouse.SampleEvery {
+			t.Fatal("irregular sampling")
+		}
+	}
+	// Start and end near the intended endpoints.
+	if s[0].X < -3 || s[0].X > 3 {
+		t.Errorf("start X = %v", s[0].X)
+	}
+	last := s[len(s)-1]
+	if last.X < 95 || last.X > 105 {
+		t.Errorf("end X = %v", last.X)
+	}
+}
+
+func TestSeekStartOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Touch.Seek(rng, time.Second, 0, 0, 10, 10, 100*time.Millisecond, 0)
+	if s[0].At != time.Second {
+		t.Errorf("first sample at %v", s[0].At)
+	}
+}
+
+// TestLeapJitterExceedsMouseAndTouch verifies the Figure 11 contrast.
+func TestLeapJitterExceedsMouseAndTouch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	move, dwell := time.Second, time.Second
+	jit := map[string]float64{}
+	for _, p := range Profiles() {
+		s := p.Seek(rng, 0, 0, 100, 300, 100, move, dwell)
+		jit[p.Name] = PathJitter(s)
+	}
+	if jit["leapmotion"] < 5*jit["mouse"] {
+		t.Errorf("leap jitter %v not ≫ mouse %v", jit["leapmotion"], jit["mouse"])
+	}
+	if jit["leapmotion"] < 3*jit["touch"] {
+		t.Errorf("leap jitter %v not ≫ touch %v", jit["leapmotion"], jit["touch"])
+	}
+}
+
+// TestRestNoiseEvents verifies that during dwell the Leap Motion keeps
+// triggering movement events while mouse and touch go quiet — the paper's
+// unintended-query effect (§2.3).
+func TestRestNoiseEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dwell := 2 * time.Second
+	counts := map[string]int{}
+	for _, p := range Profiles() {
+		samples := p.Seek(rng, 0, 0, 0, 200, 0, 300*time.Millisecond, dwell)
+		moved := p.MovedSamples(samples)
+		// Count events in the dwell window.
+		n := 0
+		for _, m := range moved {
+			if m.At > 400*time.Millisecond {
+				n++
+			}
+		}
+		counts[p.Name] = n
+	}
+	if counts["leapmotion"] < 20 {
+		t.Errorf("leap dwell events = %d, want many", counts["leapmotion"])
+	}
+	if counts["mouse"] > counts["leapmotion"]/4 {
+		t.Errorf("mouse dwell events = %d vs leap %d", counts["mouse"], counts["leapmotion"])
+	}
+}
+
+func TestMovedSamplesThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := Mouse.Seek(rng, 0, 0, 0, 1000, 0, time.Second, 0)
+	moved := Mouse.MovedSamples(samples)
+	if len(moved) == 0 || len(moved) > len(samples) {
+		t.Fatalf("moved = %d of %d", len(moved), len(samples))
+	}
+	// Every retained pair is at least MoveThreshold apart.
+	for i := 1; i < len(moved); i++ {
+		dx := moved[i].X - moved[i-1].X
+		dy := moved[i].Y - moved[i-1].Y
+		if dx*dx+dy*dy < Mouse.MoveThreshold*Mouse.MoveThreshold {
+			t.Fatal("retained sample below threshold")
+		}
+	}
+}
+
+func TestPathJitterDegenerate(t *testing.T) {
+	if PathJitter(nil) != 0 {
+		t.Error("PathJitter(nil) != 0")
+	}
+	rng := rand.New(rand.NewSource(6))
+	s := Mouse.Seek(rng, 0, 0, 0, 1, 1, 10*time.Millisecond, 0)
+	_ = PathJitter(s[:2]) // must not panic
+}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sql"
+)
+
+func clusterStmt() *sql.SelectStmt {
+	return sql.MustParse(`SELECT ROUND((y - 56.582) / 0.0596), COUNT(*) FROM dataroad
+		WHERE x >= 8.146 AND x <= 11.2616367163
+		GROUP BY ROUND((y - 56.582) / 0.0596)
+		ORDER BY ROUND((y - 56.582) / 0.0596)`)
+}
+
+func TestPartitionedMatchesSingleNode(t *testing.T) {
+	roads := dataset.Roads(1, 40000)
+	single := New(ProfileMemory)
+	single.Register(roads)
+	want, err := single.Execute(clusterStmt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHist, _ := want.Histogram()
+
+	for _, n := range []int{1, 3, 8} {
+		cluster, err := NewPartitioned(ProfileMemory, n, roads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cluster.Nodes() != n {
+			t.Fatalf("Nodes = %d", cluster.Nodes())
+		}
+		got, err := cluster.Execute(clusterStmt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotHist, ok := got.Histogram()
+		if !ok {
+			t.Fatal("merged result not a histogram")
+		}
+		if len(gotHist) != len(wantHist) {
+			t.Fatalf("n=%d: %d bins vs %d", n, len(gotHist), len(wantHist))
+		}
+		for b, c := range wantHist {
+			if gotHist[b] != c {
+				t.Errorf("n=%d bin %d: %d vs %d", n, b, gotHist[b], c)
+			}
+		}
+	}
+}
+
+func TestPartitionedScaleoutShape(t *testing.T) {
+	// Big enough that one node thrashes the disk pool.
+	roads := dataset.Roads(1, 200000)
+	costs := map[int]time.Duration{}
+	for _, n := range []int{1, 4, 8, 32} {
+		cluster, err := NewPartitioned(ProfileDisk, n, roads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cluster.Execute(clusterStmt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[n] = res.Stats.ModelCost
+	}
+	if !(costs[4] < costs[1] && costs[8] < costs[4]) {
+		t.Errorf("latency not decreasing: %v", costs)
+	}
+	early := float64(costs[1]) / float64(costs[8])
+	late := float64(costs[8]) / float64(costs[32])
+	if late >= early {
+		t.Errorf("no diminishing returns: 1→8 %.1fx, 8→32 %.1fx", early, late)
+	}
+}
+
+func TestPartitionedRejectsNonDistributable(t *testing.T) {
+	roads := dataset.Roads(1, 1000)
+	cluster, err := NewPartitioned(ProfileMemory, 2, roads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Execute(sql.MustParse("SELECT x, y, z FROM dataroad LIMIT 5")); err == nil {
+		t.Error("non-histogram result merged")
+	}
+	if _, err := NewPartitioned(ProfileMemory, 0, roads); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestReplicaSetThroughput(t *testing.T) {
+	roads := dataset.Roads(1, 60000)
+	stmt := clusterStmt()
+	batch := make([]*sql.SelectStmt, 32)
+	for i := range batch {
+		batch[i] = stmt
+	}
+	spans := map[int]time.Duration{}
+	for _, n := range []int{1, 4} {
+		rs, err := NewReplicaSet(ProfileMemory, n, roads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Nodes() != n {
+			t.Fatalf("Nodes = %d", rs.Nodes())
+		}
+		span, err := rs.RunBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans[n] = span
+	}
+	if spans[4] >= spans[1] {
+		t.Errorf("4 replicas (%v) not faster than 1 (%v)", spans[4], spans[1])
+	}
+	speedup := float64(spans[1]) / float64(spans[4])
+	if speedup < 2 || speedup > 4.5 {
+		t.Errorf("speedup %.1fx, want roughly linear up to 4", speedup)
+	}
+	if _, err := NewReplicaSet(ProfileMemory, 0, roads); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}
+
+func TestReplicaSetDispatchBound(t *testing.T) {
+	roads := dataset.Roads(1, 5000)
+	stmt := clusterStmt()
+	batch := make([]*sql.SelectStmt, 64)
+	for i := range batch {
+		batch[i] = stmt
+	}
+	rs, err := NewReplicaSet(ProfileMemory, 64, roads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, err := rs.RunBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 64 replicas the serial dispatcher dominates: makespan is at
+	// least batch × Dispatch.
+	if span < 64*rs.Dispatch {
+		t.Errorf("makespan %v below dispatch floor %v", span, 64*rs.Dispatch)
+	}
+}

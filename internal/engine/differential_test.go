@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/storage"
+)
+
+// TestDifferentialRandomQueries generates random conjunctive range queries
+// with projection, ordering, and limits over the movie table, and checks
+// the engine's answer against a brute-force evaluation written directly
+// over the columns.
+func TestDifferentialRandomQueries(t *testing.T) {
+	movies := dataset.Movies(3, 600)
+	e := memEngine(movies)
+	rng := rand.New(rand.NewSource(21))
+
+	years := movies.Column("year")
+	ratings := movies.Column("rating")
+
+	for trial := 0; trial < 60; trial++ {
+		yLo := 1950 + rng.Intn(60)
+		yHi := yLo + rng.Intn(25)
+		rLo := 6.5 + rng.Float64()*2
+		desc := rng.Intn(2) == 0
+		limit := 1 + rng.Intn(40)
+
+		dir := "ASC"
+		if desc {
+			dir = "DESC"
+		}
+		q := fmt.Sprintf(
+			"SELECT id, rating FROM imdb WHERE year >= %d AND year <= %d AND rating >= %g ORDER BY rating %s, id LIMIT %d",
+			yLo, yHi, rLo, dir, limit)
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v (query %s)", trial, err, q)
+		}
+
+		// Brute force.
+		type row struct {
+			id     int64
+			rating float64
+		}
+		var want []row
+		for i := 0; i < movies.NumRows(); i++ {
+			y := years.Ints[i]
+			r := ratings.Floats[i]
+			if y >= int64(yLo) && y <= int64(yHi) && r >= rLo {
+				want = append(want, row{int64(i), r})
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].rating != want[b].rating {
+				if desc {
+					return want[a].rating > want[b].rating
+				}
+				return want[a].rating < want[b].rating
+			}
+			return want[a].id < want[b].id
+		})
+		if len(want) > limit {
+			want = want[:limit]
+		}
+
+		if len(res.Rows) != len(want) {
+			t.Fatalf("trial %d: %d rows, brute force %d (query %s)", trial, len(res.Rows), len(want), q)
+		}
+		for i, w := range want {
+			if res.Rows[i][0].I != w.id || res.Rows[i][1].F != w.rating {
+				t.Fatalf("trial %d row %d: got (%v,%v), want (%d,%g)",
+					trial, i, res.Rows[i][0], res.Rows[i][1], w.id, w.rating)
+			}
+		}
+	}
+}
+
+// TestDifferentialGroupBy cross-checks random GROUP BY aggregations.
+func TestDifferentialGroupBy(t *testing.T) {
+	movies := dataset.Movies(5, 400)
+	e := memEngine(movies)
+	rng := rand.New(rand.NewSource(8))
+
+	genres := movies.Column("genre")
+	ratings := movies.Column("rating")
+	years := movies.Column("year")
+
+	for trial := 0; trial < 20; trial++ {
+		yLo := 1950 + rng.Intn(50)
+		q := fmt.Sprintf(
+			"SELECT genre, COUNT(*), AVG(rating), MAX(rating) FROM imdb WHERE year >= %d GROUP BY genre ORDER BY genre", yLo)
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type agg struct {
+			n    int64
+			sum  float64
+			maxR float64
+		}
+		want := map[string]*agg{}
+		for i := 0; i < movies.NumRows(); i++ {
+			if years.Ints[i] < int64(yLo) {
+				continue
+			}
+			g := genres.Strings[i]
+			a := want[g]
+			if a == nil {
+				a = &agg{maxR: -1}
+				want[g] = a
+			}
+			a.n++
+			a.sum += ratings.Floats[i]
+			if ratings.Floats[i] > a.maxR {
+				a.maxR = ratings.Floats[i]
+			}
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(res.Rows), len(want))
+		}
+		for _, r := range res.Rows {
+			g := r[0].S
+			a := want[g]
+			if a == nil {
+				t.Fatalf("unexpected group %q", g)
+			}
+			if r[1].I != a.n {
+				t.Errorf("group %q count %d, want %d", g, r[1].I, a.n)
+			}
+			if avg := a.sum / float64(a.n); abs(r[2].F-avg) > 1e-9 {
+				t.Errorf("group %q avg %v, want %v", g, r[2].F, avg)
+			}
+			if r[3].F != a.maxR {
+				t.Errorf("group %q max %v, want %v", g, r[3].F, a.maxR)
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestEngineEdgeCases covers the odd corners of the executor.
+func TestEngineEdgeCases(t *testing.T) {
+	e := memEngine(smallTable())
+
+	// LIMIT 0 returns nothing.
+	res, err := e.Query("SELECT id FROM t LIMIT 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(res.Rows))
+	}
+
+	// ORDER BY multiple keys with mixed directions.
+	res, err = e.Query("SELECT id FROM t ORDER BY s DESC, id ASC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 9 {
+		t.Errorf("mixed order top = %v", res.Rows[0][0])
+	}
+
+	// GROUP BY a string column with zero matching rows.
+	res, err = e.Query("SELECT s, COUNT(*) FROM t WHERE v > 1e9 GROUP BY s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("grouped empty input produced %d rows", len(res.Rows))
+	}
+
+	// Expression error inside ORDER BY surfaces.
+	if _, err := e.Query("SELECT id FROM t ORDER BY nope"); err == nil {
+		t.Error("bad ORDER BY column accepted")
+	}
+	// Expression error inside GROUP BY surfaces.
+	if _, err := e.Query("SELECT COUNT(*) FROM t GROUP BY nope"); err == nil {
+		t.Error("bad GROUP BY column accepted")
+	}
+	// Aggregate inside WHERE is rejected.
+	if _, err := e.Query("SELECT id FROM t WHERE COUNT(*) > 1"); err == nil {
+		t.Error("aggregate in WHERE accepted")
+	}
+
+	// Division by zero yields +Inf, not a crash.
+	res, err = e.Query("SELECT 1 / 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isInf(res.Rows[0][0].F) {
+		t.Errorf("1/0 = %v", res.Rows[0][0])
+	}
+
+	// Arithmetic on aggregates.
+	res, err = e.Query("SELECT COUNT(*) * 2 + 1 FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].F != 21 {
+		t.Errorf("COUNT(*)*2+1 = %v", res.Rows[0][0])
+	}
+}
+
+func isInf(f float64) bool { return f > 1e308 }
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	tbl := storage.NewTable("g", storage.Schema{
+		{Name: "a", Type: storage.String},
+		{Name: "b", Type: storage.Int64},
+	})
+	for _, r := range []struct {
+		a string
+		b int64
+	}{{"x", 1}, {"x", 1}, {"x", 2}, {"y", 1}} {
+		tbl.MustAppendRow(storage.NewString(r.a), storage.NewInt(r.b))
+	}
+	e := memEngine(tbl)
+	res, err := e.Query("SELECT a, b, COUNT(*) FROM g GROUP BY a, b ORDER BY a, b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(res.Rows))
+	}
+	if res.Rows[0][2].I != 2 || res.Rows[1][2].I != 1 || res.Rows[2][2].I != 1 {
+		t.Errorf("counts = %v", res.Rows)
+	}
+}
+
+// TestGroupKeyNoCollision guards the composite-key encoding: groups
+// ("ab","c") and ("a","bc") must not merge.
+func TestGroupKeyNoCollision(t *testing.T) {
+	tbl := storage.NewTable("g", storage.Schema{
+		{Name: "a", Type: storage.String},
+		{Name: "b", Type: storage.String},
+	})
+	tbl.MustAppendRow(storage.NewString("ab"), storage.NewString("c"))
+	tbl.MustAppendRow(storage.NewString("a"), storage.NewString("bc"))
+	e := memEngine(tbl)
+	res, err := e.Query("SELECT a, b, COUNT(*) FROM g GROUP BY a, b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("ambiguous keys merged: %d groups", len(res.Rows))
+	}
+}

@@ -1,0 +1,597 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+func memEngine(tables ...*storage.Table) *Engine {
+	e := New(ProfileMemory)
+	for _, t := range tables {
+		e.Register(t)
+	}
+	return e
+}
+
+func smallTable() *storage.Table {
+	t := storage.NewTable("t", storage.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "v", Type: storage.Float64},
+		{Name: "s", Type: storage.String},
+	})
+	for i := 0; i < 10; i++ {
+		t.MustAppendRow(storage.NewInt(int64(i)), storage.NewFloat(float64(i)*1.5), storage.NewString(string(rune('a'+i))))
+	}
+	return t
+}
+
+func TestSelectAll(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 || len(res.Columns) != 3 {
+		t.Fatalf("got %d rows × %d cols", len(res.Rows), len(res.Columns))
+	}
+	if res.Columns[0] != "id" || res.Columns[2] != "s" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestWhereFilter(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT id FROM t WHERE v >= 3 AND v <= 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v = 1.5*id; v in [3,9] → id in {2..6}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	if res.Rows[0][0].I != 2 || res.Rows[4][0].I != 6 {
+		t.Errorf("ids = %v..%v", res.Rows[0][0], res.Rows[4][0])
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT id FROM t LIMIT 3 OFFSET 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][0].I != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Pushdown must not scan the whole table.
+	if res.Stats.TuplesScanned != 3 {
+		t.Errorf("TuplesScanned = %d, want 3", res.Stats.TuplesScanned)
+	}
+	// Offset past the end.
+	res, err = e.Query("SELECT id FROM t LIMIT 5 OFFSET 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("offset past end returned %d rows", len(res.Rows))
+	}
+}
+
+func TestEarlyStopWithFilter(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT id FROM t WHERE v >= 0 LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Stats.TuplesScanned >= 10 {
+		t.Errorf("early stop did not engage: scanned %d", res.Stats.TuplesScanned)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT id FROM t ORDER BY v DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 9 || res.Rows[1][0].I != 8 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT v * 2 AS dv FROM t ORDER BY dv DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].F; got != 27 {
+		t.Errorf("top dv = %v, want 27", got)
+	}
+	if res.Columns[0] != "dv" {
+		t.Errorf("column name = %q", res.Columns[0])
+	}
+}
+
+func TestConcatProjection(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT s || '(' || id || ')' FROM t LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].S; got != "a(0)" {
+		t.Errorf("concat = %q, want a(0)", got)
+	}
+}
+
+func TestAggregatesGlobal(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].I != 10 {
+		t.Errorf("COUNT = %v", row[0])
+	}
+	if math.Abs(row[1].F-67.5) > 1e-9 {
+		t.Errorf("SUM = %v, want 67.5", row[1].F)
+	}
+	if math.Abs(row[2].F-6.75) > 1e-9 {
+		t.Errorf("AVG = %v", row[2].F)
+	}
+	if row[3].F != 0 || row[4].F != 13.5 {
+		t.Errorf("MIN/MAX = %v/%v", row[3], row[4])
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT COUNT(*) FROM t WHERE v > 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 0 {
+		t.Errorf("COUNT over empty = %v", res.Rows)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	tbl := storage.NewTable("g", storage.Schema{
+		{Name: "k", Type: storage.String},
+		{Name: "v", Type: storage.Int64},
+	})
+	data := map[string][]int64{"a": {1, 2, 3}, "b": {10}, "c": {4, 4}}
+	for k, vs := range data {
+		for _, v := range vs {
+			tbl.MustAppendRow(storage.NewString(k), storage.NewInt(v))
+		}
+	}
+	e := memEngine(tbl)
+	res, err := e.Query("SELECT k, COUNT(*), SUM(v) FROM g GROUP BY k ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].S != "a" || res.Rows[0][1].I != 3 || res.Rows[0][2].F != 6 {
+		t.Errorf("group a = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].S != "b" || res.Rows[1][1].I != 1 || res.Rows[1][2].F != 10 {
+		t.Errorf("group b = %v", res.Rows[1])
+	}
+}
+
+func TestOrderByAggregate(t *testing.T) {
+	tbl := storage.NewTable("g", storage.Schema{
+		{Name: "k", Type: storage.String},
+	})
+	for i, k := range []string{"a", "b", "b", "c", "c", "c"} {
+		_ = i
+		tbl.MustAppendRow(storage.NewString(k))
+	}
+	e := memEngine(tbl)
+	res, err := e.Query("SELECT k FROM g GROUP BY k ORDER BY COUNT(*) DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].S != "c" || res.Rows[2][0].S != "a" {
+		t.Errorf("order by count = %v", res.Rows)
+	}
+}
+
+// TestPaperQ1EndToEnd runs the scrolling case study's Q1 against the movie
+// dataset.
+func TestPaperQ1EndToEnd(t *testing.T) {
+	movies := dataset.Movies(1, 500)
+	e := memEngine(movies)
+	res, err := e.Query(`SELECT poster, title || '(' || year || ')',
+		director, genre, plot, rating FROM imdb LIMIT 100 OFFSET 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 100 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	got := res.Rows[0][1].S
+	wantTitle := movies.Column("title").Strings[100]
+	if len(got) <= len(wantTitle) || got[:len(wantTitle)] != wantTitle {
+		t.Errorf("concat title = %q, want prefix %q", got, wantTitle)
+	}
+}
+
+// TestPaperQ2Join runs the streaming-join form and checks it matches Q1's
+// scan of the unsplit table.
+func TestPaperQ2Join(t *testing.T) {
+	movies := dataset.Movies(1, 300)
+	ratings, details := dataset.MovieRatingSplit(movies)
+	e := memEngine(ratings, details)
+	res, err := e.Query(`SELECT poster, title || '(' || year || ')',
+		director, genre, plot, rating
+		FROM (
+		  (SELECT id, rating FROM imdbrating LIMIT 50 OFFSET 100) tmp
+		  INNER JOIN movie ON tmp.id = movie.id
+		)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 50 {
+		t.Fatalf("rows = %d, want 50", len(res.Rows))
+	}
+	// Row 0 should correspond to movie id 100.
+	if got, want := res.Rows[0][0].S, movies.Column("poster").Strings[100]; got != want {
+		t.Errorf("poster = %q, want %q", got, want)
+	}
+	if got, want := res.Rows[0][5].F, movies.Column("rating").Floats[100]; got != want {
+		t.Errorf("rating = %v, want %v", got, want)
+	}
+}
+
+// TestPaperCrossfilterQuery runs the histogram query on road data and
+// cross-checks the fast path against the generic path.
+func TestPaperCrossfilterQuery(t *testing.T) {
+	roads := dataset.Roads(1, 20000)
+	e := memEngine(roads)
+	q := `SELECT ROUND((y - 56.582) / ((57.774 - 56.582) / 20)), COUNT(*)
+		FROM dataroad
+		WHERE x >= 8.146 AND x <= 11.2616367163
+		  AND y >= 56.582 AND y <= 57.774
+		  AND z >= -8.608 AND z <= 137.361
+		GROUP BY ROUND((y - 56.582) / ((57.774 - 56.582) / 20))
+		ORDER BY ROUND((y - 56.582) / ((57.774 - 56.582) / 20))`
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.UsedFastPath {
+		t.Error("crossfilter query missed the fast path")
+	}
+	total := int64(0)
+	for _, row := range res.Rows {
+		total += row[1].I
+	}
+	if total != int64(roads.NumRows()) {
+		t.Errorf("histogram total %d != %d rows", total, roads.NumRows())
+	}
+	// Bins must be sorted and within [0,20].
+	prev := math.Inf(-1)
+	for _, row := range res.Rows {
+		b := row[0].F
+		if b < prev {
+			t.Fatal("bins not sorted")
+		}
+		prev = b
+		if b < 0 || b > 20 {
+			t.Errorf("bin %v out of range", b)
+		}
+	}
+
+	// Generic path must agree: defeat the fast path with a harmless DESC=false
+	// ORDER BY mismatch by ordering on COUNT(*) then bin.
+	hist1, _ := res.Histogram()
+	genericQ := `SELECT ROUND((y - 56.582) / ((57.774 - 56.582) / 20)) AS bin, COUNT(*) AS c
+		FROM dataroad
+		WHERE x >= 8.146 AND x <= 11.2616367163
+		GROUP BY ROUND((y - 56.582) / ((57.774 - 56.582) / 20))
+		ORDER BY ROUND((y - 56.582) / ((57.774 - 56.582) / 20)), COUNT(*)`
+	res2, err := e.Query(genericQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.UsedFastPath {
+		t.Fatal("generic variant unexpectedly used fast path")
+	}
+	hist2, _ := res2.Histogram()
+	if len(hist1) != len(hist2) {
+		t.Fatalf("paths disagree on bin count: %d vs %d", len(hist1), len(hist2))
+	}
+	for b, c := range hist1 {
+		if hist2[b] != c {
+			t.Errorf("bin %d: fast=%d generic=%d", b, c, hist2[b])
+		}
+	}
+}
+
+// TestFastPathMatchesGenericRandomized is a differential property test.
+func TestFastPathMatchesGenericRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	roads := dataset.Roads(2, 5000)
+	e := memEngine(roads)
+	for trial := 0; trial < 20; trial++ {
+		xlo := 8.146 + rng.Float64()*2
+		xhi := xlo + rng.Float64()*2
+		fastQ := sql.MustParse(`SELECT ROUND((y - 56.582) / 0.0596), COUNT(*)
+			FROM dataroad WHERE x >= ` + fmtF(xlo) + ` AND x <= ` + fmtF(xhi) + `
+			GROUP BY ROUND((y - 56.582) / 0.0596)`)
+		res, err := e.Execute(fastQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.UsedFastPath {
+			t.Fatal("fast path not used")
+		}
+		// Brute force.
+		want := map[int]int64{}
+		xs := roads.Column("x").Floats
+		ys := roads.Column("y").Floats
+		for i := range xs {
+			if xs[i] >= xlo && xs[i] <= xhi {
+				want[int(math.Round((ys[i]-56.582)/0.0596))]++
+			}
+		}
+		got, _ := res.Histogram()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: bin count %d vs %d", trial, len(got), len(want))
+		}
+		for b, c := range want {
+			if got[b] != c {
+				t.Fatalf("trial %d: bin %d fast=%d brute=%d", trial, b, got[b], c)
+			}
+		}
+	}
+}
+
+func fmtF(f float64) string {
+	return sql.NumberLit{Value: f}.String()
+}
+
+func TestCostModelDiskVsMemory(t *testing.T) {
+	roads := dataset.Roads(1, 100000)
+	q := `SELECT ROUND((y - 56.582) / 0.0596), COUNT(*) FROM dataroad
+		WHERE x >= 8.146 AND x <= 11.2616367163
+		GROUP BY ROUND((y - 56.582) / 0.0596)`
+
+	mem := memEngine(roads)
+	mres, err := mem.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Stats.PageMisses != 0 {
+		t.Errorf("memory profile had %d page misses", mres.Stats.PageMisses)
+	}
+
+	disk := New(ProfileDisk)
+	disk.Register(roads)
+	dres, err := disk.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Stats.PageMisses == 0 {
+		t.Error("disk profile had no page misses on cold pool")
+	}
+	if dres.Stats.ModelCost <= mres.Stats.ModelCost {
+		t.Errorf("disk cost %v not above memory cost %v", dres.Stats.ModelCost, mres.Stats.ModelCost)
+	}
+	// Second run: table (1563 pages) fits in the 2048-page pool, so a
+	// repeat scan hits.
+	dres2, err := disk.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres2.Stats.PageHits == 0 {
+		t.Error("warm disk scan had no page hits")
+	}
+	if dres2.Stats.ModelCost >= dres.Stats.ModelCost {
+		t.Errorf("warm cost %v not below cold cost %v", dres2.Stats.ModelCost, dres.Stats.ModelCost)
+	}
+}
+
+// TestDiskThrashing: a table larger than the pool must miss on every page
+// even when rescanned (sequential flooding under LRU).
+func TestDiskThrashing(t *testing.T) {
+	roads := dataset.Roads(1, 200000) // 3125 pages > 2048-page pool
+	disk := New(ProfileDisk)
+	disk.Register(roads)
+	q := `SELECT ROUND((y - 56.582) / 0.0596), COUNT(*) FROM dataroad GROUP BY ROUND((y - 56.582) / 0.0596)`
+	if _, err := disk.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := disk.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PageHits != 0 {
+		t.Errorf("rescan of oversized table had %d hits; LRU should thrash", res.Stats.PageHits)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	e := memEngine(smallTable())
+	bad := []string{
+		"SELECT * FROM missing",
+		"SELECT nocol FROM t",
+		"SELECT x.id FROM t",
+		"SELECT SUM(*) FROM t",
+		"SELECT t.id FROM t INNER JOIN t u ON t.id > u.id", // no equality
+		"not sql at all",
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("Query(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	e := memEngine(smallTable())
+	if _, err := e.Query("SELECT id FROM t INNER JOIN t u ON t.id = u.id"); err == nil {
+		t.Error("ambiguous unqualified id accepted")
+	}
+	res, err := e.Query("SELECT t.id FROM t INNER JOIN t u ON t.id = u.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("self-join rows = %d", len(res.Rows))
+	}
+}
+
+func TestJoinResidualCondition(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT t.id FROM t INNER JOIN t u ON t.id = u.id AND u.v > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v = 1.5*id > 5 → id >= 4 → 6 rows
+	if len(res.Rows) != 6 {
+		t.Errorf("residual join rows = %d, want 6", len(res.Rows))
+	}
+}
+
+func TestBetweenAndLike(t *testing.T) {
+	e := memEngine(smallTable())
+	res, err := e.Query("SELECT id FROM t WHERE id BETWEEN 2 AND 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("BETWEEN rows = %d", len(res.Rows))
+	}
+	res, err = e.Query("SELECT s FROM t WHERE s LIKE '_'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("LIKE '_' rows = %d", len(res.Rows))
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	e := memEngine()
+	res, err := e.Query("SELECT 1 + 2, 'x' || 'y'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].F != 3 || res.Rows[0][1].S != "xy" {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestServerQueueCascade(t *testing.T) {
+	// 200k rows = 3,125 pages > the 2,048-page pool, so every scan thrashes
+	// and execution stays far above the 20 ms issue interval.
+	roads := dataset.Roads(1, 200000)
+	e := New(ProfileDisk)
+	e.Register(roads)
+	srv := &Server{Engine: e, Network: time.Millisecond}
+	stmt := sql.MustParse(`SELECT ROUND((y - 56.582) / 0.0596), COUNT(*) FROM dataroad GROUP BY ROUND((y - 56.582) / 0.0596)`)
+
+	// Issue 5 queries 20ms apart; execution takes far longer than 20ms on
+	// the disk profile, so waits must cascade (Figure 2).
+	var recs []Record
+	for i := 0; i < 5; i++ {
+		rec, err := srv.Submit(time.Duration(i)*20*time.Millisecond, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if recs[0].Queue != 0 {
+		t.Errorf("first query queued %v", recs[0].Queue)
+	}
+	for i := 1; i < 5; i++ {
+		if recs[i].Queue <= recs[i-1].Queue {
+			t.Errorf("queue wait did not cascade: %v then %v", recs[i-1].Queue, recs[i].Queue)
+		}
+		if recs[i].Latency() <= recs[i-1].Latency() {
+			t.Errorf("latency did not cascade")
+		}
+	}
+	// Latency includes both network legs.
+	if recs[0].Latency() != recs[0].Exec+2*time.Millisecond {
+		t.Errorf("latency %v != exec %v + 2ms", recs[0].Latency(), recs[0].Exec)
+	}
+}
+
+func TestServerRejectsTimeTravel(t *testing.T) {
+	e := memEngine(smallTable())
+	srv := &Server{Engine: e}
+	stmt := sql.MustParse("SELECT id FROM t")
+	if _, err := srv.Submit(time.Second, stmt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(time.Millisecond, stmt); err == nil {
+		t.Error("out-of-order issue accepted")
+	}
+}
+
+func TestServerReset(t *testing.T) {
+	e := memEngine(smallTable())
+	srv := &Server{Engine: e, Network: time.Millisecond}
+	stmt := sql.MustParse("SELECT id FROM t")
+	if _, err := srv.Submit(time.Second, stmt); err != nil {
+		t.Fatal(err)
+	}
+	srv.Reset()
+	if srv.BusyUntil() != 0 || srv.Submitted() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if _, err := srv.Submit(0, stmt); err != nil {
+		t.Errorf("submit at 0 after reset: %v", err)
+	}
+}
+
+func TestResultHistogram(t *testing.T) {
+	r := &Result{Columns: []string{"bin", "count"}, Rows: [][]storage.Value{
+		{storage.NewFloat(2), storage.NewInt(7)},
+		{storage.NewFloat(3), storage.NewInt(9)},
+	}}
+	h, ok := r.Histogram()
+	if !ok || h[2] != 7 || h[3] != 9 {
+		t.Errorf("Histogram = %v, %v", h, ok)
+	}
+	bad := &Result{Columns: []string{"a"}}
+	if _, ok := bad.Histogram(); ok {
+		t.Error("1-column result produced histogram")
+	}
+}
+
+func TestRecordBreakdown(t *testing.T) {
+	e := memEngine(smallTable())
+	srv := &Server{Engine: e, Network: 3 * time.Millisecond}
+	rec, err := srv.Submit(0, sql.MustParse("SELECT id FROM t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rec.Breakdown(16 * time.Millisecond)
+	if b.Network != 6*time.Millisecond {
+		t.Errorf("Network = %v, want both legs (6ms)", b.Network)
+	}
+	if b.Execution != rec.Exec || b.Scheduling != rec.Queue {
+		t.Error("breakdown components mismatch record")
+	}
+	// Total equals perceived latency plus rendering.
+	if b.Total() != rec.Latency()+16*time.Millisecond {
+		t.Errorf("Total %v != latency %v + render", b.Total(), rec.Latency())
+	}
+}

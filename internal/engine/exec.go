@@ -1,0 +1,473 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// runGeneric executes the row-at-a-time path: filter, aggregate or project,
+// sort, limit.
+func (e *Engine) runGeneric(stmt *sql.SelectStmt, rel *relation, stats *ExecStats) (*Result, error) {
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, item := range stmt.Items {
+		if containsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+
+	rows, windowed, err := e.filterRows(stmt, rel, hasAgg, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	if hasAgg {
+		return e.runAggregate(stmt, rel, rows, stats)
+	}
+	return e.runProjection(stmt, rel, rows, windowed)
+}
+
+// filterRows applies the WHERE clause and returns the surviving rows,
+// charging scan costs. When the statement allows it (no grouping, no
+// ordering), the scan terminates early once LIMIT+OFFSET rows matched.
+// windowed reports that LIMIT and OFFSET were fully applied during the
+// scan, so the projection stage must not apply them again.
+func (e *Engine) filterRows(stmt *sql.SelectStmt, rel *relation, hasAgg bool, stats *ExecStats) (rows [][]storage.Value, windowed bool, err error) {
+	var filter evalFunc
+	if stmt.Where != nil {
+		f, err := compileExpr(stmt.Where, rel.bindings)
+		if err != nil {
+			return nil, false, err
+		}
+		filter = f
+	}
+
+	canStopEarly := !hasAgg && len(stmt.OrderBy) == 0 && stmt.Limit >= 0
+	need := -1
+	if canStopEarly {
+		need = int(stmt.Limit)
+		if stmt.Offset > 0 {
+			need += int(stmt.Offset)
+		}
+	}
+
+	n := rel.numRows()
+	// Pure offset/limit pushdown on a base table with no predicate: seek
+	// straight to the window.
+	if filter == nil && canStopEarly && rel.table != nil {
+		lo := 0
+		if stmt.Offset > 0 {
+			lo = int(stmt.Offset)
+		}
+		hi := lo + int(stmt.Limit)
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		e.chargePages(rel.table, lo, hi, stats)
+		stats.TuplesScanned += hi - lo
+		out := make([][]storage.Value, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, rel.row(i))
+		}
+		return out, true, nil
+	}
+
+	var out [][]storage.Value
+	scanned := 0
+	for i := 0; i < n; i++ {
+		scanned++
+		row := rel.row(i)
+		if filter != nil && !truthy(filter(row)) {
+			continue
+		}
+		out = append(out, row)
+		if need >= 0 && len(out) >= need {
+			break
+		}
+	}
+	stats.TuplesScanned += scanned
+	if rel.table != nil {
+		e.chargePages(rel.table, 0, scanned, stats)
+	}
+	return out, false, nil
+}
+
+// runProjection handles the non-aggregated tail: ORDER BY over input rows,
+// LIMIT/OFFSET (unless the scan already applied them), projection.
+func (e *Engine) runProjection(stmt *sql.SelectStmt, rel *relation, rows [][]storage.Value, windowed bool) (*Result, error) {
+	items, err := expandStar(stmt.Items, rel.bindings)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]evalFunc, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			f, err := compileOrderExpr(o.Expr, rel.bindings, items)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = f
+		}
+		sortRows(rows, keys, stmt.OrderBy)
+	}
+
+	if !windowed {
+		rows = applyLimit(rows, stmt.Limit, stmt.Offset)
+	}
+
+	fns := make([]evalFunc, len(items))
+	names := make([]string, len(items))
+	for i, item := range items {
+		f, err := compileExpr(item.Expr, rel.bindings)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+		names[i] = itemName(item)
+	}
+	out := make([][]storage.Value, len(rows))
+	for r, row := range rows {
+		vals := make([]storage.Value, len(fns))
+		for i, f := range fns {
+			vals[i] = f(row)
+		}
+		out[r] = vals
+	}
+	return &Result{Columns: names, Rows: out}, nil
+}
+
+// compileOrderExpr compiles an ORDER BY key against the input bindings,
+// falling back to a select-item alias when the name is not an input column.
+func compileOrderExpr(expr sql.Expr, bindings []binding, items []sql.SelectItem) (evalFunc, error) {
+	f, err := compileExpr(expr, bindings)
+	if err == nil {
+		return f, nil
+	}
+	if ref, ok := expr.(sql.ColumnRef); ok && ref.Table == "" {
+		for _, item := range items {
+			if item.Alias == ref.Name {
+				return compileExpr(item.Expr, bindings)
+			}
+		}
+	}
+	return nil, err
+}
+
+// aggSpec is one distinct aggregate call appearing in the statement.
+type aggSpec struct {
+	name string // COUNT, SUM, AVG, MIN, MAX
+	arg  evalFunc
+	star bool
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count int64
+	sum   float64
+	min   storage.Value
+	max   storage.Value
+	seen  bool
+}
+
+func (s *aggState) add(spec *aggSpec, row []storage.Value) {
+	s.count++
+	if spec.star {
+		return
+	}
+	v := spec.arg(row)
+	s.sum += v.AsFloat()
+	if !s.seen {
+		s.min, s.max, s.seen = v, v, true
+		return
+	}
+	if v.Compare(s.min) < 0 {
+		s.min = v
+	}
+	if v.Compare(s.max) > 0 {
+		s.max = v
+	}
+}
+
+func (s *aggState) result(spec *aggSpec) storage.Value {
+	switch spec.name {
+	case "COUNT":
+		return storage.NewInt(s.count)
+	case "SUM":
+		return storage.NewFloat(s.sum)
+	case "AVG":
+		if s.count == 0 {
+			return storage.NewFloat(math.NaN())
+		}
+		return storage.NewFloat(s.sum / float64(s.count))
+	case "MIN":
+		if !s.seen {
+			return storage.NewFloat(math.NaN())
+		}
+		return s.min
+	case "MAX":
+		if !s.seen {
+			return storage.NewFloat(math.NaN())
+		}
+		return s.max
+	default:
+		return storage.NewFloat(math.NaN())
+	}
+}
+
+// runAggregate groups the filtered rows, computes aggregates, then sorts,
+// limits, and projects the groups.
+//
+// Projection and ORDER BY expressions are rewritten so that each aggregate
+// call becomes a reference to a pseudo-column appended to the group's
+// representative row; everything then reuses the scalar compiler.
+func (e *Engine) runAggregate(stmt *sql.SelectStmt, rel *relation, rows [][]storage.Value, stats *ExecStats) (*Result, error) {
+	// Collect distinct aggregate calls from projections and ORDER BY.
+	specIndex := map[string]int{}
+	var specs []*aggSpec
+	collect := func(expr sql.Expr) error {
+		var walkErr error
+		sql.Walk(expr, func(n sql.Expr) {
+			f, ok := n.(sql.FuncCall)
+			if !ok || !isAggregate(f.Name) || walkErr != nil {
+				return
+			}
+			key := f.String()
+			if _, dup := specIndex[key]; dup {
+				return
+			}
+			spec := &aggSpec{name: f.Name}
+			if len(f.Args) != 1 {
+				walkErr = fmt.Errorf("engine: %s takes exactly one argument", f.Name)
+				return
+			}
+			if _, star := f.Args[0].(sql.Star); star {
+				if f.Name != "COUNT" {
+					walkErr = fmt.Errorf("engine: only COUNT accepts *")
+					return
+				}
+				spec.star = true
+			} else {
+				argFn, err := compileExpr(f.Args[0], rel.bindings)
+				if err != nil {
+					walkErr = err
+					return
+				}
+				spec.arg = argFn
+			}
+			specIndex[key] = len(specs)
+			specs = append(specs, spec)
+		})
+		return walkErr
+	}
+	for _, item := range stmt.Items {
+		if err := collect(item.Expr); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		if err := collect(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Group keys.
+	groupFns := make([]evalFunc, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		f, err := compileExpr(g, rel.bindings)
+		if err != nil {
+			return nil, err
+		}
+		groupFns[i] = f
+	}
+
+	type group struct {
+		rep    []storage.Value
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range rows {
+		keyVals := make([]storage.Value, len(groupFns))
+		for i, f := range groupFns {
+			keyVals[i] = f(row)
+		}
+		k := encodeRowKey(keyVals)
+		g := groups[k]
+		if g == nil {
+			g = &group{rep: row, states: make([]aggState, len(specs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, spec := range specs {
+			g.states[i].add(spec, row)
+		}
+	}
+	// Global aggregation over an empty input still yields one group.
+	if len(groupFns) == 0 && len(order) == 0 {
+		empty := make([]storage.Value, len(rel.bindings))
+		for i, b := range rel.bindings {
+			empty[i] = storage.Value{Type: b.typ}
+		}
+		groups[""] = &group{rep: empty, states: make([]aggState, len(specs))}
+		order = append(order, "")
+	}
+
+	// Extended bindings: input columns plus one pseudo-column per aggregate.
+	extBindings := append([]binding{}, rel.bindings...)
+	for i := range specs {
+		extBindings = append(extBindings, binding{qualifier: "#agg", name: strconv.Itoa(i), typ: storage.Float64})
+	}
+	extRows := make([][]storage.Value, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		ext := append(append([]storage.Value{}, g.rep...), make([]storage.Value, len(specs))...)
+		for i, spec := range specs {
+			ext[len(g.rep)+i] = g.states[i].result(spec)
+		}
+		extRows = append(extRows, ext)
+	}
+
+	rewrite := func(expr sql.Expr) sql.Expr { return rewriteAggregates(expr, specIndex) }
+
+	items, err := expandStar(stmt.Items, rel.bindings)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]evalFunc, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			f, err := compileExpr(rewrite(o.Expr), extBindings)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = f
+		}
+		sortRows(extRows, keys, stmt.OrderBy)
+	}
+
+	extRows = applyLimit(extRows, stmt.Limit, stmt.Offset)
+
+	fns := make([]evalFunc, len(items))
+	names := make([]string, len(items))
+	for i, item := range items {
+		f, err := compileExpr(rewrite(item.Expr), extBindings)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+		names[i] = itemName(item)
+	}
+	out := make([][]storage.Value, len(extRows))
+	for r, ext := range extRows {
+		vals := make([]storage.Value, len(fns))
+		for i, f := range fns {
+			vals[i] = f(ext)
+		}
+		out[r] = vals
+	}
+	return &Result{Columns: names, Rows: out}, nil
+}
+
+// rewriteAggregates replaces aggregate calls with references to the #agg
+// pseudo-columns.
+func rewriteAggregates(e sql.Expr, specIndex map[string]int) sql.Expr {
+	switch v := e.(type) {
+	case sql.FuncCall:
+		if isAggregate(v.Name) {
+			if idx, ok := specIndex[v.String()]; ok {
+				return sql.ColumnRef{Table: "#agg", Name: strconv.Itoa(idx)}
+			}
+			return v
+		}
+		args := make([]sql.Expr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = rewriteAggregates(a, specIndex)
+		}
+		return sql.FuncCall{Name: v.Name, Args: args}
+	case sql.BinaryExpr:
+		return sql.BinaryExpr{
+			Op:    v.Op,
+			Left:  rewriteAggregates(v.Left, specIndex),
+			Right: rewriteAggregates(v.Right, specIndex),
+		}
+	case sql.UnaryExpr:
+		return sql.UnaryExpr{Op: v.Op, Expr: rewriteAggregates(v.Expr, specIndex)}
+	case sql.BetweenExpr:
+		return sql.BetweenExpr{
+			Expr: rewriteAggregates(v.Expr, specIndex),
+			Lo:   rewriteAggregates(v.Lo, specIndex),
+			Hi:   rewriteAggregates(v.Hi, specIndex),
+		}
+	default:
+		return e
+	}
+}
+
+// expandStar replaces a bare * projection with one item per input column.
+func expandStar(items []sql.SelectItem, bindings []binding) ([]sql.SelectItem, error) {
+	var out []sql.SelectItem
+	for _, item := range items {
+		if _, ok := item.Expr.(sql.Star); ok {
+			for _, b := range bindings {
+				if b.qualifier == "#agg" {
+					continue
+				}
+				out = append(out, sql.SelectItem{Expr: sql.ColumnRef{Table: b.qualifier, Name: b.name}, Alias: b.name})
+			}
+			continue
+		}
+		out = append(out, item)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("engine: projection expanded to zero columns")
+	}
+	return out, nil
+}
+
+func itemName(item sql.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if ref, ok := item.Expr.(sql.ColumnRef); ok {
+		return ref.Name
+	}
+	return item.Expr.String()
+}
+
+func sortRows(rows [][]storage.Value, keys []evalFunc, order []sql.OrderItem) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, key := range keys {
+			c := key(rows[a]).Compare(key(rows[b]))
+			if c == 0 {
+				continue
+			}
+			if order[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func applyLimit(rows [][]storage.Value, limit, offset int64) [][]storage.Value {
+	if offset > 0 {
+		if offset >= int64(len(rows)) {
+			return nil
+		}
+		rows = rows[offset:]
+	}
+	if limit >= 0 && limit < int64(len(rows)) {
+		rows = rows[:limit]
+	}
+	return rows
+}

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// evalFunc evaluates a compiled expression against one materialized row.
+type evalFunc func(row []storage.Value) storage.Value
+
+// compileExpr resolves column references against the bindings and returns a
+// closure evaluating the expression. Aggregate calls are rejected here; the
+// aggregation operator compiles them separately.
+func compileExpr(e sql.Expr, bindings []binding) (evalFunc, error) {
+	switch v := e.(type) {
+	case sql.ColumnRef:
+		idx, err := resolveColumn(v, bindings)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []storage.Value) storage.Value { return row[idx] }, nil
+	case sql.NumberLit:
+		val := storage.NewFloat(v.Value)
+		if v.IsInt {
+			val = storage.NewInt(v.Int)
+		}
+		return func([]storage.Value) storage.Value { return val }, nil
+	case sql.StringLit:
+		val := storage.NewString(v.Value)
+		return func([]storage.Value) storage.Value { return val }, nil
+	case sql.UnaryExpr:
+		inner, err := compileExpr(v.Expr, bindings)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case "-":
+			return func(row []storage.Value) storage.Value {
+				x := inner(row)
+				if x.Type == storage.Int64 {
+					return storage.NewInt(-x.I)
+				}
+				return storage.NewFloat(-x.AsFloat())
+			}, nil
+		case "NOT":
+			return func(row []storage.Value) storage.Value {
+				return boolValue(!truthy(inner(row)))
+			}, nil
+		default:
+			return nil, fmt.Errorf("engine: unknown unary operator %q", v.Op)
+		}
+	case sql.BinaryExpr:
+		return compileBinary(v, bindings)
+	case sql.BetweenExpr:
+		x, err := compileExpr(v.Expr, bindings)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileExpr(v.Lo, bindings)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileExpr(v.Hi, bindings)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []storage.Value) storage.Value {
+			val := x(row)
+			return boolValue(val.Compare(lo(row)) >= 0 && val.Compare(hi(row)) <= 0)
+		}, nil
+	case sql.FuncCall:
+		if isAggregate(v.Name) {
+			return nil, fmt.Errorf("engine: aggregate %s not allowed here", v.Name)
+		}
+		switch v.Name {
+		case "ROUND":
+			if len(v.Args) < 1 || len(v.Args) > 2 {
+				return nil, fmt.Errorf("engine: ROUND takes 1 or 2 arguments")
+			}
+			arg, err := compileExpr(v.Args[0], bindings)
+			if err != nil {
+				return nil, err
+			}
+			if len(v.Args) == 1 {
+				return func(row []storage.Value) storage.Value {
+					return storage.NewFloat(math.Round(arg(row).AsFloat()))
+				}, nil
+			}
+			digits, err := compileExpr(v.Args[1], bindings)
+			if err != nil {
+				return nil, err
+			}
+			return func(row []storage.Value) storage.Value {
+				scale := math.Pow(10, digits(row).AsFloat())
+				return storage.NewFloat(math.Round(arg(row).AsFloat()*scale) / scale)
+			}, nil
+		default:
+			return nil, fmt.Errorf("engine: unknown function %s", v.Name)
+		}
+	case sql.Star:
+		return nil, fmt.Errorf("engine: * is only valid as a projection or COUNT argument")
+	default:
+		return nil, fmt.Errorf("engine: unsupported expression %T", e)
+	}
+}
+
+func compileBinary(v sql.BinaryExpr, bindings []binding) (evalFunc, error) {
+	left, err := compileExpr(v.Left, bindings)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compileExpr(v.Right, bindings)
+	if err != nil {
+		return nil, err
+	}
+	switch v.Op {
+	case "AND":
+		return func(row []storage.Value) storage.Value {
+			return boolValue(truthy(left(row)) && truthy(right(row)))
+		}, nil
+	case "OR":
+		return func(row []storage.Value) storage.Value {
+			return boolValue(truthy(left(row)) || truthy(right(row)))
+		}, nil
+	case "+", "-", "*", "/", "%":
+		op := v.Op
+		return func(row []storage.Value) storage.Value {
+			a, b := left(row).AsFloat(), right(row).AsFloat()
+			var r float64
+			switch op {
+			case "+":
+				r = a + b
+			case "-":
+				r = a - b
+			case "*":
+				r = a * b
+			case "/":
+				r = a / b
+			case "%":
+				r = math.Mod(a, b)
+			}
+			return storage.NewFloat(r)
+		}, nil
+	case "||":
+		return func(row []storage.Value) storage.Value {
+			return storage.NewString(left(row).String() + right(row).String())
+		}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		op := v.Op
+		return func(row []storage.Value) storage.Value {
+			c := left(row).Compare(right(row))
+			var ok bool
+			switch op {
+			case "=":
+				ok = c == 0
+			case "<>":
+				ok = c != 0
+			case "<":
+				ok = c < 0
+			case "<=":
+				ok = c <= 0
+			case ">":
+				ok = c > 0
+			case ">=":
+				ok = c >= 0
+			}
+			return boolValue(ok)
+		}, nil
+	case "LIKE":
+		return func(row []storage.Value) storage.Value {
+			return boolValue(likeMatch(left(row).String(), right(row).String()))
+		}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown operator %q", v.Op)
+	}
+}
+
+// resolveColumn finds the binding index of a column reference. Unqualified
+// names must be unambiguous.
+func resolveColumn(ref sql.ColumnRef, bindings []binding) (int, error) {
+	found := -1
+	for i, b := range bindings {
+		if b.name != ref.Name {
+			continue
+		}
+		if ref.Table != "" && b.qualifier != ref.Table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("engine: ambiguous column %q", ref)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("engine: unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// truthy interprets a value as a boolean: nonzero numbers and nonempty
+// strings are true.
+func truthy(v storage.Value) bool {
+	switch v.Type {
+	case storage.Int64:
+		return v.I != 0
+	case storage.Float64:
+		return v.F != 0
+	default:
+		return v.S != ""
+	}
+}
+
+func boolValue(b bool) storage.Value {
+	if b {
+		return storage.NewInt(1)
+	}
+	return storage.NewInt(0)
+}
+
+// encodeValue produces a hash/equality key for group-by and join keys.
+// Integers and integral floats encode identically so that cross-type
+// equality matches Compare semantics.
+func encodeValue(v storage.Value) string {
+	switch v.Type {
+	case storage.Int64:
+		return "i" + strconv.FormatInt(v.I, 10)
+	case storage.Float64:
+		if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) {
+			return "i" + strconv.FormatInt(int64(v.F), 10)
+		}
+		return "f" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return "s" + v.S
+	}
+}
+
+func encodeRowKey(vals []storage.Value) string {
+	if len(vals) == 1 {
+		return encodeValue(vals[0])
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		s := encodeValue(v)
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
+	}
+	return sb.String()
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char).
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func isAggregate(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// containsAggregate reports whether the expression tree contains an
+// aggregate call.
+func containsAggregate(e sql.Expr) bool {
+	found := false
+	sql.Walk(e, func(n sql.Expr) {
+		if f, ok := n.(sql.FuncCall); ok && isAggregate(f.Name) {
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sql"
+)
+
+// Server models the client→backend path on the virtual clock: network
+// transfer each way, a single-worker FIFO execution queue (the source of
+// the cascading delays of the paper's Figure 2), and the engine's cost
+// model for execution time.
+//
+// Queries must be submitted in nondecreasing issue-time order, which the
+// trace replayers guarantee.
+type Server struct {
+	Engine *Engine
+	// Network is the one-way network latency charged on both the request
+	// and the response.
+	Network time.Duration
+
+	busyUntil time.Duration
+	lastIssue time.Duration
+	submitted int
+}
+
+// Record is the completion record of one query on the virtual timeline.
+type Record struct {
+	Seq     int           // submission sequence number
+	Issue   time.Duration // client issue time
+	Start   time.Duration // execution start (after network + queue)
+	Finish  time.Duration // client receives the result
+	Queue   time.Duration // scheduling wait: Start − (Issue + network)
+	Exec    time.Duration // model execution cost
+	Network time.Duration // total network time (both legs)
+	Result  *Result
+}
+
+// Latency is the user-perceived latency: Finish − Issue.
+func (r Record) Latency() time.Duration { return r.Finish - r.Issue }
+
+// Breakdown decomposes the record into the latency components of §3.1.1.
+// Rendering happens client-side after Finish and is supplied by the caller
+// (widget frame time); post-aggregation is folded into execution by this
+// engine's cost model.
+func (r Record) Breakdown(rendering time.Duration) metrics.Breakdown {
+	return metrics.Breakdown{
+		Network:    r.Network,
+		Scheduling: r.Queue,
+		Execution:  r.Exec,
+		Rendering:  rendering,
+	}
+}
+
+// Submit executes a query issued at the given virtual time and returns its
+// completion record. Submissions must be in nondecreasing issue order.
+func (s *Server) Submit(issue time.Duration, stmt *sql.SelectStmt) (Record, error) {
+	if issue < s.lastIssue {
+		return Record{}, fmt.Errorf("engine: query issued at %v after one at %v", issue, s.lastIssue)
+	}
+	s.lastIssue = issue
+
+	res, err := s.Engine.Execute(stmt)
+	if err != nil {
+		return Record{}, err
+	}
+
+	arrive := issue + s.Network
+	start := arrive
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	exec := res.Stats.ModelCost
+	finish := start + exec + s.Network
+	s.busyUntil = start + exec
+
+	rec := Record{
+		Seq:     s.submitted,
+		Issue:   issue,
+		Start:   start,
+		Finish:  finish,
+		Queue:   start - arrive,
+		Exec:    exec,
+		Network: 2 * s.Network,
+		Result:  res,
+	}
+	s.submitted++
+	return rec, nil
+}
+
+// SubmitGroup executes a group of queries issued simultaneously (the
+// coordinated-view case: one slider movement updates every other
+// histogram). Queries within a group run on parallel connections — the
+// paper forks one process per query — so the group's execution time is the
+// maximum of its members' costs; groups still serialize behind each other.
+// It returns one record per statement, all sharing the group's timing.
+func (s *Server) SubmitGroup(issue time.Duration, stmts []*sql.SelectStmt) ([]Record, error) {
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	if issue < s.lastIssue {
+		return nil, fmt.Errorf("engine: query issued at %v after one at %v", issue, s.lastIssue)
+	}
+	s.lastIssue = issue
+
+	results := make([]*Result, len(stmts))
+	var maxCost time.Duration
+	for i, stmt := range stmts {
+		res, err := s.Engine.Execute(stmt)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+		if res.Stats.ModelCost > maxCost {
+			maxCost = res.Stats.ModelCost
+		}
+	}
+
+	arrive := issue + s.Network
+	start := arrive
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	finish := start + maxCost + s.Network
+	s.busyUntil = start + maxCost
+
+	recs := make([]Record, len(stmts))
+	for i, res := range results {
+		recs[i] = Record{
+			Seq:     s.submitted,
+			Issue:   issue,
+			Start:   start,
+			Finish:  finish,
+			Queue:   start - arrive,
+			Exec:    maxCost,
+			Network: 2 * s.Network,
+			Result:  res,
+		}
+		s.submitted++
+	}
+	return recs, nil
+}
+
+// BusyUntil reports the virtual time at which the worker frees up; a query
+// issued before this will queue.
+func (s *Server) BusyUntil() time.Duration { return s.busyUntil }
+
+// Submitted reports how many queries the server has executed.
+func (s *Server) Submitted() int { return s.submitted }
+
+// Reset clears the queue state (not the engine's buffer pool; call
+// Engine.Pool().Reset() separately when a cold cache is required).
+func (s *Server) Reset() {
+	s.busyUntil = 0
+	s.lastIssue = 0
+	s.submitted = 0
+}

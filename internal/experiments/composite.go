@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/behavior"
+	"repro/internal/metrics"
+	"repro/internal/widget"
+)
+
+// Case study 3: composite interfaces (paper Section 8).
+
+func init() {
+	register(Experiment{ID: "tab9", Title: "Percentage of queries per interface widget", Run: runTab9})
+	register(Experiment{ID: "fig18", Title: "Zoom levels over time", Run: runFig18})
+	register(Experiment{ID: "tab10", Title: "Drag ranges of the bound center per zoom (and Fig 19)", Run: runTab10})
+	register(Experiment{ID: "fig20", Title: "CDF of number of filter conditions", Run: runFig20})
+	register(Experiment{ID: "fig21", Title: "CDFs of request and exploration time", Run: runFig21})
+}
+
+func runTab9(cfg Config, ctx *Context) (*Report, error) {
+	r := &Report{ID: "tab9", Title: "Queries per interface widget"}
+	counts := map[widget.Kind]int{}
+	total := 0
+	for _, s := range ctx.Sessions() {
+		for _, q := range s.Queries[1:] { // skip the initial page load
+			counts[q.Widget]++
+			total++
+		}
+	}
+	frac := func(k widget.Kind) float64 { return float64(counts[k]) / float64(total) }
+	mapF := frac(widget.KindMap)
+	fsF := frac(widget.KindSlider) + frac(widget.KindCheckbox)
+	btnF := frac(widget.KindButton)
+	txtF := frac(widget.KindTextBox)
+	r.Printf("%-18s %8s %8s", "interface", "ours", "paper")
+	r.Printf("%-18s %7.1f%% %8s", "map", mapF*100, "62.8%")
+	r.Printf("%-18s %7.1f%% %8s", "slider, checkbox", fsF*100, "29.9%")
+	r.Printf("%-18s %7.1f%% %8s", "button", btnF*100, "3.6%")
+	r.Printf("%-18s %7.1f%% %8s", "text box", txtF*100, "3.6%")
+	r.Check("map dominates", mapF > 0.5 && mapF > fsF, "map %.1f%% vs sliders/checkboxes %.1f%%", mapF*100, fsF*100)
+	r.Check("shares near paper", math.Abs(mapF-0.628) < 0.08 && math.Abs(fsF-0.299) < 0.08,
+		"map Δ%.3f, slider+checkbox Δ%.3f", mapF-0.628, fsF-0.299)
+	return r, nil
+}
+
+func runFig18(cfg Config, ctx *Context) (*Report, error) {
+	r := &Report{ID: "fig18", Title: "Zoom levels over time"}
+	inBand, total := 0, 0
+	maxWander := 0
+	zoomHist := map[int]int{}
+	for _, s := range ctx.Sessions() {
+		start := s.Queries[0].Zoom
+		lo, hi := start, start
+		for _, q := range s.Queries {
+			total++
+			zoomHist[q.Zoom]++
+			if q.Zoom >= 11 && q.Zoom <= 14 {
+				inBand++
+			}
+			if q.Zoom < lo {
+				lo = q.Zoom
+			}
+			if q.Zoom > hi {
+				hi = q.Zoom
+			}
+		}
+		if w := hi - start; w > maxWander {
+			maxWander = w
+		}
+		if w := start - lo; w > maxWander {
+			maxWander = w
+		}
+		r.Printf("user %2d: start z%d, visited z%d–z%d", s.User, start, lo, hi)
+	}
+	var zooms []int
+	for z := range zoomHist {
+		zooms = append(zooms, z)
+	}
+	sort.Ints(zooms)
+	maxN := 0
+	for _, z := range zooms {
+		if zoomHist[z] > maxN {
+			maxN = zoomHist[z]
+		}
+	}
+	for _, z := range zooms {
+		r.Printf("  z%-3d %6d %s", z, zoomHist[z], bar(zoomHist[z], maxN, 40))
+	}
+	bandFrac := float64(inBand) / float64(total)
+	r.Check("zoom concentrates in 11–14", bandFrac > 0.6, "%.0f%% of queries in band", bandFrac*100)
+	r.Check("users wander ≤3 levels from start", maxWander <= 3, "max wander %d", maxWander)
+	return r, nil
+}
+
+func runTab10(cfg Config, ctx *Context) (*Report, error) {
+	r := &Report{ID: "tab10", Title: "Ranges for center of bounds per zoom"}
+	latExt := map[int][]float64{}
+	lngExt := map[int][]float64{}
+	for _, s := range ctx.Sessions() {
+		for i := 1; i < len(s.Queries); i++ {
+			q, prev := s.Queries[i], s.Queries[i-1]
+			if q.Action != behavior.ActDrag || q.Zoom != prev.Zoom {
+				continue
+			}
+			latExt[q.Zoom] = append(latExt[q.Zoom], q.BoundCenterLat-prev.BoundCenterLat)
+			lngExt[q.Zoom] = append(lngExt[q.Zoom], q.BoundCenterLng-prev.BoundCenterLng)
+		}
+	}
+	// Paper Table 10 rows.
+	paper := map[int][4]float64{
+		11: {-0.10, 0.07, -0.2, 0.2},
+		12: {-0.15, 0.07, -0.2, 0.2},
+		13: {-0.05, 0.03, -0.08, 0.05},
+		14: {-0.015, 0.013, -0.02, 0.02},
+	}
+	spanLng := map[int]float64{}
+	r.Printf("%-5s %-22s %-22s %s", "zoom", "latitude", "longitude", "paper longitude")
+	for _, z := range []int{11, 12, 13, 14} {
+		if len(lngExt[z]) == 0 {
+			continue
+		}
+		las := metrics.Summarize(latExt[z])
+		lns := metrics.Summarize(lngExt[z])
+		spanLng[z] = lns.Max - lns.Min
+		p := paper[z]
+		r.Printf("%-5d %-22s %-22s [%g, %g]", z, fmtRange(las.Min, las.Max), fmtRange(lns.Min, lns.Max), p[2], p[3])
+	}
+	// Shape: extents shrink monotonically with zoom, roughly halving.
+	shrinking := true
+	for z := 11; z < 14; z++ {
+		a, okA := spanLng[z]
+		b, okB := spanLng[z+1]
+		if okA && okB && a <= b {
+			shrinking = false
+		}
+	}
+	r.Check("drag extents shrink with zoom", shrinking, "lng spans %v", spanLng)
+	if s11, ok := spanLng[11]; ok {
+		r.Check("zoom-11 longitude span near paper's ±0.2", s11 > 0.1 && s11 < 1.2, "span %.3f (paper 0.4)", s11)
+	}
+	return r, nil
+}
+
+func runFig20(cfg Config, ctx *Context) (*Report, error) {
+	r := &Report{ID: "fig20", Title: "CDF of filter conditions"}
+	var counts []float64
+	for _, s := range ctx.Sessions() {
+		for _, q := range s.Queries {
+			counts = append(counts, float64(q.FilterCount))
+		}
+	}
+	cdf := metrics.NewCDF(counts)
+	for _, k := range []float64{0, 2, 4, 6, 8, 10} {
+		r.Printf("P(filters ≤ %2.0f) = %.2f", k, cdf.At(k))
+	}
+	at4 := cdf.At(4)
+	r.Check("most queries carry ≤4 filters, some carry more", at4 > 0.55 && at4 <= 0.99 && cdf.Quantile(1) > 4,
+		"P(≤4) = %.2f (paper 0.7), max %d filters", at4, int(cdf.Quantile(1)))
+	return r, nil
+}
+
+func runFig21(cfg Config, ctx *Context) (*Report, error) {
+	r := &Report{ID: "fig21", Title: "CDFs of request and exploration time"}
+	var req, exp []float64
+	for _, s := range ctx.Sessions() {
+		for _, q := range s.Queries {
+			req = append(req, q.RequestTime.Seconds())
+			exp = append(exp, q.ExploreTime.Seconds())
+		}
+	}
+	reqCDF, expCDF := metrics.NewCDF(req), metrics.NewCDF(exp)
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		r.Printf("P(request ≤ %4.1fs) = %.2f    P(explore ≤ %4.1fs) = %.2f", x, reqCDF.At(x), x, expCDF.At(x))
+	}
+	mReq := metrics.Summarize(req).Mean
+	mExp := metrics.Summarize(exp).Mean
+	prefetchable := mExp / mReq
+	r.Printf("mean request %.2fs (paper ≈1.1s), mean exploration %.1fs (paper ≈18.3s)", mReq, mExp)
+	r.Printf("≈%.0f adjacent queries can be prefetched during exploration (paper ≈18)", prefetchable)
+	r.Check("80% of requests complete within ~1s", reqCDF.At(1) > 0.6, "P(req ≤ 1s) = %.2f", reqCDF.At(1))
+	r.Check("80% of exploration exceeds 1s", 1-expCDF.At(1) > 0.75, "P(exp > 1s) = %.2f", 1-expCDF.At(1))
+	r.Check("≈18 queries prefetchable", prefetchable > 8 && prefetchable < 40, "%.1f", prefetchable)
+	return r, nil
+}

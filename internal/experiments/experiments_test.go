@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig7", "fig8", "fig9", "tab7", "fig10", "tab8",
+		"fig11", "fig13", "fig14", "fig15", "fig3",
+		"tab9", "fig18", "tab10", "fig20", "fig21",
+		"tab1_2", "tab3", "fig4_5", "tab4",
+		"ext_progressive", "ext_scaleout", "ext_throughput", "ext_reuse", "ext_infoloss",
+		"fig2", "tab5_6",
+	}
+	got := map[string]bool{}
+	for _, id := range IDs() {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want))
+	}
+	if _, ok := ByID("fig13"); !ok {
+		t.Error("ByID(fig13) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+// TestRunAllQuick runs the entire evaluation at Quick scale and requires
+// every shape check to pass — the end-to-end reproduction test.
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	reports, err := RunAll(Quick(), &buf)
+	if err != nil {
+		t.Fatalf("RunAll: %v\n%s", err, buf.String())
+	}
+	if len(reports) != len(Registry) {
+		t.Fatalf("got %d reports for %d experiments", len(reports), len(Registry))
+	}
+	for _, rep := range reports {
+		if len(rep.Lines) == 0 {
+			t.Errorf("%s: empty report", rep.ID)
+		}
+		for _, c := range rep.Checks {
+			if !c.Pass {
+				t.Errorf("%s: check %q failed: %s", rep.ID, c.Name, c.Detail)
+			}
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"== fig13", "PASS", "median"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestSampleTable(t *testing.T) {
+	ctx := NewContext(Quick())
+	roads := ctx.Roads()
+	s := SampleTable(roads, 500)
+	if s.NumRows() > 500 || s.NumRows() < 400 {
+		t.Errorf("sample rows = %d", s.NumRows())
+	}
+	if len(s.Schema) != len(roads.Schema) {
+		t.Error("sample schema mismatch")
+	}
+	// Oversized request returns everything.
+	small := SampleTable(s, 10_000_000)
+	if small.NumRows() != s.NumRows() {
+		t.Error("oversized sample wrong")
+	}
+}
+
+func TestContextCaching(t *testing.T) {
+	ctx := NewContext(Quick())
+	if ctx.Movies() != ctx.Movies() {
+		t.Error("movies not cached")
+	}
+	if ctx.Roads() != ctx.Roads() {
+		t.Error("roads not cached")
+	}
+	a := ctx.ScrollTraces()
+	b := ctx.ScrollTraces()
+	if &a[0] != &b[0] {
+		t.Error("scroll traces not cached")
+	}
+	if len(ctx.SliderSessions("mouse")) != Quick().Users {
+		t.Error("slider session count wrong")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "t"}
+	r.Printf("line %d", 1)
+	r.Check("ok", true, "detail")
+	r.Check("bad", false, "detail2")
+	if r.Passed() {
+		t.Error("Passed with failing check")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "line 1", "[PASS] ok", "[FAIL] bad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}

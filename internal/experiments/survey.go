@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/taxonomy"
+)
+
+// Survey artifacts: the metric taxonomy (Figure 1, Tables 1–3), the
+// study-design advisors (Figures 4–5), and the bias catalog (Table 4).
+
+func init() {
+	register(Experiment{ID: "tab1_2", Title: "Metric usage across surveyed systems (Tables 1–2)", Run: runTab12})
+	register(Experiment{ID: "tab3", Title: "Metric selection guidelines (Table 3 / Figure 1)", Run: runTab3})
+	register(Experiment{ID: "fig4_5", Title: "Study-design advisors (Figures 4–5)", Run: runFig45})
+	register(Experiment{ID: "tab4", Title: "Cognitive bias catalog (Table 4)", Run: runTab4})
+}
+
+func runTab12(cfg Config, ctx *Context) (*Report, error) {
+	r := &Report{ID: "tab1_2", Title: "Metric usage across surveyed systems"}
+	counts := taxonomy.MetricCounts()
+	type kv struct {
+		name string
+		n    int
+	}
+	var rows []kv
+	for name, n := range counts {
+		rows = append(rows, kv{name, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].name < rows[j].name
+	})
+	r.Printf("surveyed systems: %d (Table 1: %d, Table 2: %d)",
+		len(taxonomy.AllUsage()), len(taxonomy.UsageEarly), len(taxonomy.UsageRecent))
+	for _, row := range rows {
+		r.Printf("  %-26s %3d systems %s", row.name, row.n, bar(row.n, rows[0].n, 30))
+	}
+	accLat := taxonomy.CoOccurrence(taxonomy.Accuracy, taxonomy.Latency)
+	r.Printf("accuracy & latency co-occur in %d of %d accuracy evaluations", accLat, counts[taxonomy.Accuracy])
+	r.Check("user feedback is the most reported metric",
+		rows[0].name == taxonomy.UserFeedback, "top metric %s (%d)", rows[0].name, rows[0].n)
+	r.Check("accuracy strongly co-occurs with latency (the paper's takeaway)",
+		accLat*2 >= counts[taxonomy.Accuracy], "%d/%d", accLat, counts[taxonomy.Accuracy])
+	return r, nil
+}
+
+func runTab3(cfg Config, ctx *Context) (*Report, error) {
+	r := &Report{ID: "tab3", Title: "Metric selection guidelines"}
+	for _, m := range taxonomy.Metrics {
+		marker := " "
+		if m.Novel {
+			marker = "*"
+		}
+		r.Printf("%s %-26s [%s] — %s", marker, m.Name, m.Category, m.WhenToUse)
+	}
+	r.Printf("(* = metric introduced by the paper)")
+
+	// Exercise the advisor on the paper's own crossfilter case study.
+	recs := taxonomy.RecommendMetrics(taxonomy.SystemProfile{
+		LargeData:           true,
+		HighFrameRateDevice: true,
+		ConsecutiveQueries:  true,
+		SpeculativePrefetch: false,
+		Audience:            taxonomy.AudienceNovice,
+	})
+	got := map[string]bool{}
+	for _, rec := range recs {
+		got[rec.Metric.Name] = true
+	}
+	r.Printf("advisor on the crossfiltering case study recommends %d metrics", len(recs))
+	r.Check("advisor recommends the paper's novel metrics for the crossfilter study",
+		got[taxonomy.LCVMetric] && got[taxonomy.QIFMetric],
+		"LCV %v, QIF %v", got[taxonomy.LCVMetric], got[taxonomy.QIFMetric])
+	r.Check("advisor always spans human and system factors",
+		got[taxonomy.UserFeedback] && got[taxonomy.Latency], "")
+	return r, nil
+}
+
+func runFig45(cfg Config, ctx *Context) (*Report, error) {
+	r := &Report{ID: "fig4_5", Title: "Study-design advisors"}
+	// The paper's three case studies as advisor inputs.
+	scroll := taxonomy.StudyQuestion{DeviceDependent: true}
+	crossQ := taxonomy.StudyQuestion{DeviceDependent: true, ComparisonAgainstControl: true}
+	composite := taxonomy.StudyQuestion{}
+	prefetchSim := taxonomy.StudyQuestion{InteractionsDefinitive: true, NavigationEnumerable: true}
+
+	r.Printf("scrolling study     → %s / %s", taxonomy.AdviseSetting(scroll), taxonomy.AdviseSubjects(scroll))
+	r.Printf("crossfilter study   → %s / %s", taxonomy.AdviseSetting(crossQ), taxonomy.AdviseSubjects(crossQ))
+	r.Printf("composite study     → %s / %s", taxonomy.AdviseSetting(composite), taxonomy.AdviseSubjects(composite))
+	r.Printf("prefetch evaluation → %s", taxonomy.AdviseSubjects(prefetchSim))
+
+	r.Check("device-dependent studies go in-person",
+		taxonomy.AdviseSetting(scroll) == taxonomy.InPerson, "")
+	r.Check("unconstrained studies go remote for ecological validity",
+		taxonomy.AdviseSetting(composite) == taxonomy.Remote, "")
+	r.Check("definitive+enumerable interactions simulate",
+		taxonomy.AdviseSubjects(prefetchSim) == taxonomy.Simulation, "")
+	return r, nil
+}
+
+func runTab4(cfg Config, ctx *Context) (*Report, error) {
+	r := &Report{ID: "tab4", Title: "Cognitive biases during user studies"}
+	for _, b := range taxonomy.Biases {
+		r.Printf("%-12s %-26s → %s", b.Source, b.Name, b.Mitigation)
+	}
+	part := len(taxonomy.BiasesBySource(taxonomy.ParticipantBias))
+	exp := len(taxonomy.BiasesBySource(taxonomy.ExperimenterBias))
+	r.Check("catalog matches Table 4", part == 4 && exp == 3, "participant %d, experimenter %d", part, exp)
+	return r, nil
+}

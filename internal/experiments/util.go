@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/device"
+)
+
+// newRNG derives a deterministic per-stream RNG from the run seed.
+func newRNG(seed, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + stream))
+}
+
+// deviceProfile resolves a device name, panicking on unknown names (the
+// registry only passes the built-ins).
+func deviceProfile(name string) device.Profile {
+	p, ok := device.ByName(name)
+	if !ok {
+		panic("experiments: unknown device " + name)
+	}
+	return p
+}

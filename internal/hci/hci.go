@@ -1,0 +1,134 @@
+// Package hci implements the interaction-timing models the paper's
+// simulation methodology relies on (§4.1.3): "The time for each interaction
+// can then be estimated via various HCI models such as Fitts', GOMS and
+// ACT-R." Behavior simulators use these to put realistic durations on
+// aimed movements and composite operations instead of arbitrary constants.
+package hci
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// FittsParams are the regression coefficients of Fitts' law,
+// MT = A + B·log2(D/W + 1) (the Shannon formulation). Coefficients vary by
+// device; the presets follow published pointing studies (mouse ≈ the
+// original desktop regressions, touch per FFitts-style studies, gesture
+// devices markedly slower).
+type FittsParams struct {
+	A time.Duration // intercept: reaction + start/stop cost
+	B time.Duration // slope per bit of index of difficulty
+}
+
+// Device presets for Fitts' law.
+var (
+	FittsMouse   = FittsParams{A: 100 * time.Millisecond, B: 120 * time.Millisecond}
+	FittsTouch   = FittsParams{A: 80 * time.Millisecond, B: 150 * time.Millisecond}
+	FittsGesture = FittsParams{A: 200 * time.Millisecond, B: 300 * time.Millisecond}
+)
+
+// ID returns Fitts' index of difficulty in bits for a movement of distance
+// d to a target of width w (same units). Degenerate targets (w <= 0) and
+// non-positive distances clamp to zero bits.
+func ID(d, w float64) float64 {
+	if w <= 0 || d <= 0 {
+		return 0
+	}
+	return math.Log2(d/w + 1)
+}
+
+// MovementTime predicts the aimed-movement time for distance d to a target
+// of width w.
+func (p FittsParams) MovementTime(d, w float64) time.Duration {
+	return p.A + time.Duration(float64(p.B)*ID(d, w))
+}
+
+// KLMOperator is one keystroke-level-model operator.
+type KLMOperator int
+
+// The classic KLM operators (Card, Moran & Newell).
+const (
+	K KLMOperator = iota // keystroke or button press
+	P                    // point with a pointing device
+	H                    // home hands between devices
+	M                    // mental preparation
+	D                    // drawing (per segment; approximation)
+	R                    // system response (supplied by the caller)
+)
+
+// String names the operator.
+func (o KLMOperator) String() string {
+	switch o {
+	case K:
+		return "K"
+	case P:
+		return "P"
+	case H:
+		return "H"
+	case M:
+		return "M"
+	case D:
+		return "D"
+	case R:
+		return "R"
+	default:
+		return fmt.Sprintf("KLMOperator(%d)", int(o))
+	}
+}
+
+// KLMTimes holds per-operator durations. Zero-value fields fall back to the
+// standard estimates via DefaultKLM.
+type KLMTimes struct {
+	K, P, H, M, D time.Duration
+}
+
+// DefaultKLM returns the canonical operator times: K=280ms (average typist),
+// P=1.1s, H=400ms, M=1.35s, D=900ms per segment.
+func DefaultKLM() KLMTimes {
+	return KLMTimes{
+		K: 280 * time.Millisecond,
+		P: 1100 * time.Millisecond,
+		H: 400 * time.Millisecond,
+		M: 1350 * time.Millisecond,
+		D: 900 * time.Millisecond,
+	}
+}
+
+// Estimate sums a KLM operator sequence; R operators take their durations
+// from responses, consumed in order. Missing response durations count as
+// zero (an instantaneous system).
+func (t KLMTimes) Estimate(ops []KLMOperator, responses ...time.Duration) time.Duration {
+	var total time.Duration
+	ri := 0
+	for _, op := range ops {
+		switch op {
+		case K:
+			total += t.K
+		case P:
+			total += t.P
+		case H:
+			total += t.H
+		case M:
+			total += t.M
+		case D:
+			total += t.D
+		case R:
+			if ri < len(responses) {
+				total += responses[ri]
+				ri++
+			}
+		}
+	}
+	return total
+}
+
+// TypeText estimates typing a string as one M plus one K per rune — the
+// standard KLM encoding of a text-box query.
+func (t KLMTimes) TypeText(s string) time.Duration {
+	ops := []KLMOperator{M}
+	for range s {
+		ops = append(ops, K)
+	}
+	return t.Estimate(ops)
+}

@@ -1,0 +1,80 @@
+package hci
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIDBits(t *testing.T) {
+	if got := ID(0, 10); got != 0 {
+		t.Errorf("ID(0,·) = %v", got)
+	}
+	if got := ID(10, 0); got != 0 {
+		t.Errorf("ID(·,0) = %v", got)
+	}
+	if got := ID(10, 10); got != 1 { // log2(2)
+		t.Errorf("ID(10,10) = %v, want 1", got)
+	}
+	if got := ID(70, 10); got != 3 { // log2(8)
+		t.Errorf("ID(70,10) = %v, want 3", got)
+	}
+}
+
+func TestMovementTimeMonotone(t *testing.T) {
+	short := FittsMouse.MovementTime(50, 20)
+	long := FittsMouse.MovementTime(800, 20)
+	narrow := FittsMouse.MovementTime(800, 4)
+	if !(short < long && long < narrow) {
+		t.Errorf("movement times not monotone: %v, %v, %v", short, long, narrow)
+	}
+	// Intercept-only at zero distance.
+	if got := FittsMouse.MovementTime(0, 20); got != FittsMouse.A {
+		t.Errorf("zero-distance MT = %v, want intercept %v", got, FittsMouse.A)
+	}
+}
+
+func TestDeviceOrdering(t *testing.T) {
+	// For the same task, gesture devices are slowest.
+	d, w := 300.0, 15.0
+	mouse := FittsMouse.MovementTime(d, w)
+	gesture := FittsGesture.MovementTime(d, w)
+	if gesture <= mouse {
+		t.Errorf("gesture %v not slower than mouse %v", gesture, mouse)
+	}
+}
+
+func TestKLMEstimate(t *testing.T) {
+	klm := DefaultKLM()
+	// Point and click: M + P + K.
+	got := klm.Estimate([]KLMOperator{M, P, K})
+	want := klm.M + klm.P + klm.K
+	if got != want {
+		t.Errorf("M+P+K = %v, want %v", got, want)
+	}
+	// System response consumed in order; missing responses are zero.
+	got = klm.Estimate([]KLMOperator{K, R, R}, 2*time.Second)
+	if got != klm.K+2*time.Second {
+		t.Errorf("with responses = %v", got)
+	}
+	if klm.Estimate(nil) != 0 {
+		t.Error("empty sequence nonzero")
+	}
+	// All operators have names.
+	for _, op := range []KLMOperator{K, P, H, M, D, R} {
+		if op.String() == "" {
+			t.Error("unnamed operator")
+		}
+	}
+}
+
+func TestTypeText(t *testing.T) {
+	klm := DefaultKLM()
+	got := klm.TypeText("abc")
+	want := klm.M + 3*klm.K
+	if got != want {
+		t.Errorf("TypeText(abc) = %v, want %v", got, want)
+	}
+	if klm.TypeText("") != klm.M {
+		t.Error("empty text should still cost the mental operator")
+	}
+}

@@ -1,0 +1,81 @@
+package opt
+
+import "container/list"
+
+// Cache is a fixed-capacity key cache with pluggable admission/eviction,
+// used for query results and map tiles. Get reports a hit and updates
+// recency (policy permitting); Put inserts.
+type Cache interface {
+	Name() string
+	Get(key string) bool
+	Put(key string)
+	Len() int
+	Stats() (hits, misses int64)
+}
+
+// HitRate returns hits/(hits+misses) for a cache, 0 before any access.
+func HitRate(c Cache) float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// listCache implements LRU and FIFO over a linked list.
+type listCache struct {
+	name     string
+	capacity int
+	lru      bool
+	ll       *list.List
+	index    map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+// NewLRU creates a least-recently-used cache.
+func NewLRU(capacity int) Cache {
+	return &listCache{name: "lru", capacity: capacity, lru: true, ll: list.New(), index: map[string]*list.Element{}}
+}
+
+// NewFIFO creates a first-in-first-out cache.
+func NewFIFO(capacity int) Cache {
+	return &listCache{name: "fifo", capacity: capacity, ll: list.New(), index: map[string]*list.Element{}}
+}
+
+func (c *listCache) Name() string { return c.name }
+
+func (c *listCache) Len() int { return c.ll.Len() }
+
+func (c *listCache) Stats() (int64, int64) { return c.hits, c.misses }
+
+func (c *listCache) Get(key string) bool {
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	if c.lru {
+		c.ll.MoveToFront(el)
+	}
+	return true
+}
+
+func (c *listCache) Put(key string) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		if c.lru {
+			c.ll.MoveToFront(el)
+		}
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(string))
+	}
+	c.index[key] = c.ll.PushFront(key)
+}

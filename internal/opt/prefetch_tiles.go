@@ -1,0 +1,322 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/widget"
+)
+
+// TileStep is one map query in a navigation trace: the viewport's visible
+// tiles and how the viewport moved since the previous step.
+type TileStep struct {
+	Tiles  []widget.Tile
+	Zoom   int
+	DTileX int // viewport movement in tile units since the previous step
+	DTileY int
+	DZoom  int
+}
+
+// StepsFromTiles derives TileSteps (with movement deltas) from a sequence
+// of visible-tile sets.
+func StepsFromTiles(tileSets [][]widget.Tile) []TileStep {
+	steps := make([]TileStep, len(tileSets))
+	for i, tiles := range tileSets {
+		steps[i] = TileStep{Tiles: tiles}
+		if len(tiles) > 0 {
+			steps[i].Zoom = tiles[0].Z
+		}
+		if i == 0 {
+			continue
+		}
+		prev := steps[i-1]
+		steps[i].DZoom = steps[i].Zoom - prev.Zoom
+		if steps[i].DZoom == 0 && len(prev.Tiles) > 0 && len(tiles) > 0 {
+			cx0, cy0 := tileCentroid(prev.Tiles)
+			cx1, cy1 := tileCentroid(tiles)
+			steps[i].DTileX = cx1 - cx0
+			steps[i].DTileY = cy1 - cy0
+		}
+	}
+	return steps
+}
+
+func tileCentroid(tiles []widget.Tile) (int, int) {
+	var sx, sy int
+	for _, t := range tiles {
+		sx += t.X
+		sy += t.Y
+	}
+	return sx / len(tiles), sy / len(tiles)
+}
+
+// TilePrefetcher predicts the tiles the user will need next, given the
+// navigation history so far (history[len-1] is the current step).
+type TilePrefetcher interface {
+	Name() string
+	Predict(history []TileStep, budget int) []widget.Tile
+}
+
+// NoPrefetch predicts nothing — the purely eviction-based baseline.
+type NoPrefetch struct{}
+
+// Name returns "none".
+func (NoPrefetch) Name() string { return "none" }
+
+// Predict returns no tiles.
+func (NoPrefetch) Predict([]TileStep, int) []widget.Tile { return nil }
+
+// NeighborPrefetch predicts the ring of tiles surrounding the current
+// viewport plus the child tiles one zoom deeper under its center — the
+// content-agnostic heuristic (cf. Scout's baselines).
+type NeighborPrefetch struct{}
+
+// Name returns "neighbor".
+func (NeighborPrefetch) Name() string { return "neighbor" }
+
+// Predict returns boundary neighbors and center children, budget-limited.
+func (NeighborPrefetch) Predict(history []TileStep, budget int) []widget.Tile {
+	if len(history) == 0 {
+		return nil
+	}
+	cur := history[len(history)-1]
+	have := tileSet(cur.Tiles)
+	var out []widget.Tile
+	// Ring around the viewport.
+	for _, t := range cur.Tiles {
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			n := widget.Tile{Z: t.Z, X: t.X + d[0], Y: t.Y + d[1]}
+			if !have[n] && n.X >= 0 && n.Y >= 0 {
+				have[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	// Children of the central tiles (anticipating a zoom-in).
+	if len(cur.Tiles) > 0 {
+		cx, cy := tileCentroid(cur.Tiles)
+		for dx := 0; dx <= 1; dx++ {
+			for dy := 0; dy <= 1; dy++ {
+				out = append(out, widget.Tile{Z: cur.Zoom + 1, X: 2*cx + dx, Y: 2*cy + dy})
+			}
+		}
+	}
+	return capTiles(out, budget)
+}
+
+// MomentumPrefetch is the retrospective strategy (RAP-style): it averages
+// the user's recent viewport movement and prefetches the viewport shifted
+// one and two steps further along that trajectory.
+type MomentumPrefetch struct {
+	// Window is how many past steps inform the momentum estimate.
+	Window int
+}
+
+// Name returns "momentum".
+func (MomentumPrefetch) Name() string { return "momentum" }
+
+// Predict shifts the current viewport along the recent movement vector.
+func (m MomentumPrefetch) Predict(history []TileStep, budget int) []widget.Tile {
+	if len(history) == 0 {
+		return nil
+	}
+	w := m.Window
+	if w <= 0 {
+		w = 3
+	}
+	cur := history[len(history)-1]
+	// Average recent same-zoom movement.
+	var dx, dy, n int
+	for i := len(history) - 1; i >= 0 && i > len(history)-1-w; i-- {
+		if history[i].DZoom != 0 {
+			break
+		}
+		dx += history[i].DTileX
+		dy += history[i].DTileY
+		n++
+	}
+	if n == 0 || (dx == 0 && dy == 0) {
+		return NeighborPrefetch{}.Predict(history, budget)
+	}
+	dx = roundDiv(dx, n)
+	dy = roundDiv(dy, n)
+	have := tileSet(cur.Tiles)
+	var out []widget.Tile
+	for step := 1; step <= 2; step++ {
+		for _, t := range cur.Tiles {
+			p := widget.Tile{Z: t.Z, X: t.X + dx*step, Y: t.Y + dy*step}
+			if !have[p] && p.X >= 0 && p.Y >= 0 {
+				have[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return capTiles(out, budget)
+}
+
+// MarkovPrefetch learns a first-order model over navigation moves
+// (quantized Δzoom and movement direction) from the history so far and
+// prefetches the viewport transformed by the most probable next moves —
+// the Markov-chain family of prefetchers the paper cites.
+type MarkovPrefetch struct{}
+
+// Name returns "markov".
+func (MarkovPrefetch) Name() string { return "markov" }
+
+type move struct {
+	dz, sx, sy int
+}
+
+// Predict tallies observed moves following states like the current one and
+// applies the most likely moves to the current viewport.
+func (MarkovPrefetch) Predict(history []TileStep, budget int) []widget.Tile {
+	if len(history) < 2 {
+		return NeighborPrefetch{}.Predict(history, budget)
+	}
+	// First-order chain: condition on the previous move.
+	counts := map[move]map[move]int{}
+	var prev *move
+	for i := 1; i < len(history); i++ {
+		m := quantize(history[i])
+		if prev != nil {
+			if counts[*prev] == nil {
+				counts[*prev] = map[move]int{}
+			}
+			counts[*prev][m]++
+		}
+		p := m
+		prev = &p
+	}
+	cur := history[len(history)-1]
+	state := quantize(cur)
+	next := counts[state]
+	if len(next) == 0 {
+		return MomentumPrefetch{}.Predict(history, budget)
+	}
+	type scored struct {
+		m move
+		n int
+	}
+	var cands []scored
+	for m, n := range next {
+		cands = append(cands, scored{m, n})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].m != cands[j].m && lessMove(cands[i].m, cands[j].m)
+	})
+	have := tileSet(cur.Tiles)
+	var out []widget.Tile
+	for _, c := range cands {
+		if len(c.m.apply(cur, have)) == 0 {
+			continue
+		}
+		out = append(out, c.m.apply(cur, have)...)
+		if len(out) >= budget {
+			break
+		}
+	}
+	return capTiles(out, budget)
+}
+
+func lessMove(a, b move) bool {
+	if a.dz != b.dz {
+		return a.dz < b.dz
+	}
+	if a.sx != b.sx {
+		return a.sx < b.sx
+	}
+	return a.sy < b.sy
+}
+
+// apply transforms the current viewport by the move, returning unseen
+// tiles.
+func (m move) apply(cur TileStep, have map[widget.Tile]bool) []widget.Tile {
+	var out []widget.Tile
+	switch {
+	case m.dz > 0:
+		cx, cy := tileCentroid(cur.Tiles)
+		for dx := 0; dx <= 1; dx++ {
+			for dy := 0; dy <= 1; dy++ {
+				out = append(out, widget.Tile{Z: cur.Zoom + 1, X: 2*cx + dx, Y: 2*cy + dy})
+			}
+		}
+	case m.dz < 0:
+		cx, cy := tileCentroid(cur.Tiles)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				t := widget.Tile{Z: cur.Zoom - 1, X: cx/2 + dx, Y: cy/2 + dy}
+				if t.X >= 0 && t.Y >= 0 {
+					out = append(out, t)
+				}
+			}
+		}
+	default:
+		for _, t := range cur.Tiles {
+			p := widget.Tile{Z: t.Z, X: t.X + m.sx, Y: t.Y + m.sy}
+			if !have[p] && p.X >= 0 && p.Y >= 0 {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func quantize(s TileStep) move {
+	return move{dz: sign(s.DZoom), sx: sign(s.DTileX), sy: sign(s.DTileY)}
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func roundDiv(a, n int) int {
+	if n == 0 {
+		return 0
+	}
+	if a >= 0 {
+		return (a + n/2) / n
+	}
+	return -((-a + n/2) / n)
+}
+
+func tileSet(tiles []widget.Tile) map[widget.Tile]bool {
+	m := make(map[widget.Tile]bool, len(tiles))
+	for _, t := range tiles {
+		m[t] = true
+	}
+	return m
+}
+
+func capTiles(tiles []widget.Tile, budget int) []widget.Tile {
+	if budget > 0 && len(tiles) > budget {
+		return tiles[:budget]
+	}
+	return tiles
+}
+
+// EvaluateTilePolicy replays a navigation trace against a tile cache with a
+// prefetcher and returns the cache hit rate over visible tiles — the §3.1.1
+// cache-hit-rate metric, and the vehicle for the paper's claim that
+// eviction-only policies lose to predictive prefetching.
+func EvaluateTilePolicy(steps []TileStep, cache Cache, pf TilePrefetcher, budget int) float64 {
+	for i, step := range steps {
+		for _, t := range step.Tiles {
+			if !cache.Get(t.String()) {
+				cache.Put(t.String()) // fetched on demand
+			}
+		}
+		for _, t := range pf.Predict(steps[:i+1], budget) {
+			cache.Put(t.String())
+		}
+	}
+	return HitRate(cache)
+}

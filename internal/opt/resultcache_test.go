@@ -1,0 +1,134 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func TestSessionCacheKeyQuantization(t *testing.T) {
+	dims := roadDims
+	sc := NewSessionCache(100, 0)
+	base := QueryEvent{
+		Moved:  0,
+		Ranges: [][2]float64{{8.146, 10}, {56.582, 57.774}, {-8.608, 137.361}},
+	}
+	// A sub-quantum wiggle maps to the same key.
+	wiggle := base
+	wiggle.Ranges = append([][2]float64{}, base.Ranges...)
+	wiggle.Ranges[0] = [2]float64{8.146, 10.001}
+	if sc.Key(base, dims) != sc.Key(wiggle, dims) {
+		t.Error("sub-quantum change produced a new key")
+	}
+	// A real move maps to a different key.
+	moved := base
+	moved.Ranges = append([][2]float64{}, base.Ranges...)
+	moved.Ranges[0] = [2]float64{8.146, 10.5}
+	if sc.Key(base, dims) == sc.Key(moved, dims) {
+		t.Error("distinct ranges share a key")
+	}
+	// Different moved dimension → different key.
+	other := base
+	other.Moved = 1
+	if sc.Key(base, dims) == sc.Key(other, dims) {
+		t.Error("different moved dim shares a key")
+	}
+}
+
+func TestSessionCacheCapacity(t *testing.T) {
+	sc := NewSessionCache(10, 2)
+	sc.store("a", nil)
+	sc.store("b", nil)
+	sc.store("c", nil) // evicts a
+	if _, ok := sc.lookup("a"); ok {
+		t.Error("capacity not enforced")
+	}
+	if _, ok := sc.lookup("c"); !ok {
+		t.Error("newest entry evicted")
+	}
+	// Re-storing an existing key must not duplicate the order entry.
+	sc.store("c", nil)
+	sc.store("d", nil)
+	if _, ok := sc.lookup("c"); !ok {
+		t.Error("re-stored key evicted prematurely")
+	}
+	hits, misses := sc.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+func TestReplayWithReuseLeapBeatsRaw(t *testing.T) {
+	roads := dataset.Roads(1, 150000)
+	rng := rand.New(rand.NewSource(5))
+	domains := [][2]float64{}
+	for _, d := range roadDims {
+		domains = append(domains, [2]float64{d.Lo, d.Hi})
+	}
+	sess := behavior.SimulateSliderUser(rng, device.LeapMotion, domains, 5)
+	events, err := BuildCrossfilterWorkload(sess.Events, "dataroad", roadDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSrv := func() *engine.Server {
+		e := engine.New(engine.ProfileDisk)
+		e.Register(roads)
+		return &engine.Server{Engine: e, Network: time.Millisecond}
+	}
+	raw, err := ReplayRaw(mkSrv(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSessionCache(0, 0)
+	reused, err := ReplayWithReuse(mkSrv(), events, roadDims, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused.Executed != len(events) {
+		t.Errorf("reuse executed %d of %d (every event must get a result)", reused.Executed, len(events))
+	}
+	if cache.HitRate() < 0.2 {
+		t.Errorf("hit rate %.2f; leap jitter should revisit quantized states", cache.HitRate())
+	}
+	rawMean := metrics.Summarize(metrics.Durations(raw.Latency)).Mean
+	reuseMean := metrics.Summarize(metrics.Durations(reused.Latency)).Mean
+	if reuseMean >= rawMean {
+		t.Errorf("reuse mean %.1fms not below raw %.1fms", reuseMean, rawMean)
+	}
+}
+
+func TestReuseHitRateZeroOnDistinctQueries(t *testing.T) {
+	// Monotone slider sweep: every quantized state is new.
+	var events []QueryEvent
+	var evs []trace.SliderEvent
+	for i := 0; i < 50; i++ {
+		evs = append(evs, trace.SliderEvent{
+			At:        time.Duration(i) * 20 * time.Millisecond,
+			SliderIdx: 0,
+			MinVal:    8.146,
+			MaxVal:    8.2 + float64(i)*0.05,
+		})
+	}
+	events, err := BuildCrossfilterWorkload(evs, "dataroad", roadDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roads := dataset.Roads(1, 5000)
+	e := engine.New(engine.ProfileMemory)
+	e.Register(roads)
+	srv := &engine.Server{Engine: e}
+	cache := NewSessionCache(0, 0)
+	if _, err := ReplayWithReuse(srv, events, roadDims, cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.HitRate() > 0.05 {
+		t.Errorf("hit rate %.2f on a monotone sweep, want ~0", cache.HitRate())
+	}
+}

@@ -1,0 +1,42 @@
+package opt
+
+import "time"
+
+// Throttle enforces a minimum gap between forwarded events, matching the
+// frontend's query issuing frequency to the backend's capacity (the
+// "overwhelmed backend — need to throttle QIF" quadrant of Figure 3). It
+// returns the indices of the events that pass.
+func Throttle(times []time.Duration, minGap time.Duration) []int {
+	if minGap <= 0 {
+		out := make([]int, len(times))
+		for i := range times {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+	var last time.Duration
+	first := true
+	for i, t := range times {
+		if first || t-last >= minGap {
+			out = append(out, i)
+			last = t
+			first = false
+		}
+	}
+	return out
+}
+
+// Debounce forwards an event only when it is followed by at least quiet
+// time of silence (the final event always passes): the classic way to
+// suppress a continuous gesture's intermediate states. It returns passing
+// indices.
+func Debounce(times []time.Duration, quiet time.Duration) []int {
+	var out []int
+	for i := range times {
+		if i == len(times)-1 || times[i+1]-times[i] >= quiet {
+			out = append(out, i)
+		}
+	}
+	return out
+}

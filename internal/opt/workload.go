@@ -1,0 +1,105 @@
+// Package opt implements the behavior-driven optimizations the paper
+// proposes and evaluates:
+//
+//   - Skip (case study 2, Algorithm 1): once a new query is issued, queued
+//     predecessors are abandoned — a latest-only queue in front of the
+//     backend.
+//   - KL filtering (case study 2, Algorithm 2): approximate each query's
+//     histogram client-side on a sample and only forward queries whose
+//     Kullback–Leibler divergence from the last forwarded result exceeds a
+//     threshold (KL>0 and KL>0.2 in the paper).
+//   - Event fetch and timer fetch (case study 1): the two prefetching
+//     strategies compared against lazy loading for inertial scrolling.
+//   - Tile prefetchers and cache policies (Sections 3.1.1 and 8): LRU and
+//     FIFO eviction versus prediction-driven prefetch for map tiles.
+//   - Throttling and debouncing (Section 3.1.2): matching the frontend's
+//     query issuing frequency to backend capacity.
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/crossfilter"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// QueryEvent is one interaction instant and the backend queries it
+// triggers. In an n-dimensional coordinated view each slider movement
+// issues n−1 histogram queries concurrently.
+type QueryEvent struct {
+	At     time.Duration
+	Stmts  []*sql.SelectStmt
+	Ranges [][2]float64 // full filter state (per dimension) at this event
+	Moved  int          // index of the dimension that moved
+}
+
+// CrossfilterDim names one filterable column and its domain for workload
+// construction.
+type CrossfilterDim struct {
+	Column string
+	Lo, Hi float64
+}
+
+// BuildCrossfilterWorkload turns a slider-event trace into the SQL workload
+// the paper replays: for each slider event, one 20-bin histogram query per
+// *other* dimension, with the WHERE clause carrying every dimension's
+// current range.
+func BuildCrossfilterWorkload(events []trace.SliderEvent, table string, dims []CrossfilterDim) ([]QueryEvent, error) {
+	ranges := make([][2]float64, len(dims))
+	for i, d := range dims {
+		ranges[i] = [2]float64{d.Lo, d.Hi}
+	}
+	var out []QueryEvent
+	for _, ev := range events {
+		if ev.SliderIdx < 0 || ev.SliderIdx >= len(dims) {
+			return nil, fmt.Errorf("opt: slider index %d out of range", ev.SliderIdx)
+		}
+		ranges[ev.SliderIdx] = [2]float64{ev.MinVal, ev.MaxVal}
+		qe := QueryEvent{At: ev.At, Moved: ev.SliderIdx}
+		qe.Ranges = append([][2]float64{}, ranges...)
+		for target := range dims {
+			if target == ev.SliderIdx {
+				continue
+			}
+			stmt, err := HistogramQuery(table, dims, ranges, target, crossfilter.DefaultBins)
+			if err != nil {
+				return nil, err
+			}
+			qe.Stmts = append(qe.Stmts, stmt)
+		}
+		out = append(out, qe)
+	}
+	return out, nil
+}
+
+// HistogramQuery builds the paper's histogram query for one target
+// dimension under the current ranges:
+//
+//	SELECT ROUND((col - lo) / ((hi - lo) / bins)), COUNT(*)
+//	FROM table WHERE <all ranges> GROUP BY ... ORDER BY ...
+func HistogramQuery(table string, dims []CrossfilterDim, ranges [][2]float64, target, bins int) (*sql.SelectStmt, error) {
+	if len(dims) != len(ranges) {
+		return nil, fmt.Errorf("opt: %d dims but %d ranges", len(dims), len(ranges))
+	}
+	d := dims[target]
+	step := (d.Hi - d.Lo) / float64(bins)
+	binExpr := fmt.Sprintf("ROUND((%s - %s) / %s)", d.Column, num(d.Lo), num(step))
+	q := fmt.Sprintf("SELECT %s, COUNT(*) FROM %s WHERE ", binExpr, table)
+	for i, dim := range dims {
+		if i > 0 {
+			q += " AND "
+		}
+		q += fmt.Sprintf("%s >= %s AND %s <= %s", dim.Column, num(ranges[i][0]), dim.Column, num(ranges[i][1]))
+	}
+	q += fmt.Sprintf(" GROUP BY %s ORDER BY %s", binExpr, binExpr)
+	return sql.Parse(q)
+}
+
+// num renders a float as a SQL literal (negative values parenthesize
+// naturally through the unary-minus grammar).
+func num(f float64) string {
+	return storage.NewFloat(f).String()
+}

@@ -1,0 +1,143 @@
+package progressive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func roadQuery() Query {
+	lonLo, lonHi, latLo, latHi, _, _ := dataset.RoadBounds()
+	return Query{
+		Column: "y", Lo: latLo, Hi: latHi, Bins: 20,
+		Filters: map[string][2]float64{"x": {lonLo, lonHi}},
+	}
+}
+
+func TestProgressiveConverges(t *testing.T) {
+	roads := dataset.Roads(1, 40000)
+	ex := NewExecutor(roads, 7)
+	snaps, err := ex.Run(roadQuery(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 5 {
+		t.Fatalf("only %d snapshots", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.SampleRows != roads.NumRows() || last.Fraction != 1 {
+		t.Errorf("final snapshot incomplete: %d rows, fraction %v", last.SampleRows, last.Fraction)
+	}
+	if last.MSE != 0 {
+		t.Errorf("final MSE = %v, want exact 0", last.MSE)
+	}
+	// Cost grows monotonically; MSE trends to zero.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Cost <= snaps[i-1].Cost {
+			t.Fatal("cost not increasing")
+		}
+		if snaps[i].SampleRows <= snaps[i-1].SampleRows {
+			t.Fatal("samples not increasing")
+		}
+	}
+	if snaps[0].MSE <= last.MSE {
+		t.Error("first snapshot not worse than final")
+	}
+	// Early estimates are unbiased: total estimated mass ≈ filtered rows.
+	var estTotal, exactTotal float64
+	for b := range last.Estimate {
+		estTotal += snaps[2].Estimate[b]
+		exactTotal += last.Estimate[b]
+	}
+	if exactTotal == 0 {
+		t.Fatal("no rows pass the filter")
+	}
+	if r := estTotal / exactTotal; r < 0.8 || r > 1.25 {
+		t.Errorf("snapshot total off by %vx", r)
+	}
+}
+
+func TestProgressiveErrors(t *testing.T) {
+	roads := dataset.Roads(1, 1000)
+	ex := NewExecutor(roads, 1)
+	q := roadQuery()
+	if _, err := ex.Run(q, 0); err == nil {
+		t.Error("zero start accepted")
+	}
+	bad := q
+	bad.Column = "missing"
+	if _, err := ex.Run(bad, 10); err == nil {
+		t.Error("missing column accepted")
+	}
+	bad = q
+	bad.Bins = 0
+	if _, err := ex.Run(bad, 10); err == nil {
+		t.Error("zero bins accepted")
+	}
+	bad = q
+	bad.Lo, bad.Hi = 5, 5
+	if _, err := ex.Run(bad, 10); err == nil {
+		t.Error("empty domain accepted")
+	}
+	bad = q
+	bad.Filters = map[string][2]float64{"nope": {0, 1}}
+	if _, err := ex.Run(bad, 10); err == nil {
+		t.Error("missing filter column accepted")
+	}
+}
+
+func TestFirstWithin(t *testing.T) {
+	roads := dataset.Roads(2, 30000)
+	ex := NewExecutor(roads, 3)
+	q := roadQuery()
+	q.Filters = nil
+	snaps, err := ex.Run(q, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := FirstWithin(snaps, 1e-5)
+	if !ok && s.MSE > 1e-5 {
+		t.Errorf("never reached tolerance; final MSE %v", s.MSE)
+	}
+	if ok && s.SampleRows == roads.NumRows() && snaps[0].MSE <= 1e-5 {
+		t.Error("tolerance met only at full scan despite early accuracy")
+	}
+	// The early-stop snapshot costs less than the full scan.
+	full := snaps[len(snaps)-1]
+	if ok && s.Cost >= full.Cost {
+		t.Errorf("early stop cost %v not below full %v", s.Cost, full.Cost)
+	}
+	if _, ok := FirstWithin(nil, 1); ok {
+		t.Error("FirstWithin(nil) ok")
+	}
+}
+
+// TestAccuracyImprovesGeometrically: MSE at 4x the sample should be
+// meaningfully below MSE at x (law of large numbers, ~1/n decay).
+func TestAccuracyImprovesGeometrically(t *testing.T) {
+	roads := dataset.Roads(5, 60000)
+	ex := NewExecutor(roads, 11)
+	q := roadQuery()
+	snaps, err := ex.Run(q, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	comparisons := 0
+	for i := 0; i+2 < len(snaps)-1; i++ {
+		comparisons++
+		if snaps[i+2].MSE < snaps[i].MSE {
+			improved++
+		}
+	}
+	if comparisons == 0 {
+		t.Skip("trace too short")
+	}
+	if float64(improved)/float64(comparisons) < 0.7 {
+		t.Errorf("MSE improved in only %d/%d 4x steps", improved, comparisons)
+	}
+	if math.IsInf(snaps[0].MSE, 0) {
+		t.Error("initial MSE infinite")
+	}
+}

@@ -1,0 +1,240 @@
+// Package session models the composite-interface case study: the
+// exploration process of Figure 17 (request T0 → render T1 → explore T2,
+// repeated per tab-URL update), the HTTP-request-shaped trace records the
+// study's browser extension collected, and a session runner that drives a
+// behavior.Explorer through a map view and filter widgets against a
+// simulated accommodation-search backend.
+package session
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/widget"
+)
+
+// ResourceType classifies one logged HTTP request, following the paper's
+// collection (data, image, and map requests; GET only).
+type ResourceType string
+
+// Logged resource types.
+const (
+	ResourceData  ResourceType = "xmlhttprequest"
+	ResourceImage ResourceType = "image"
+	ResourceMap   ResourceType = "map"
+)
+
+// RequestRecord is one logged HTTP request, the paper's composite-interface
+// trace schema: {timestamp, tabURL, requestId, resourceType, type, status}.
+type RequestRecord struct {
+	RequestID    int
+	TabURL       string
+	ResourceType ResourceType
+	Start        time.Duration // timestamp before the request is made
+	End          time.Duration // timestamp after the response is collected
+}
+
+// Duration returns the request's wall time.
+func (r RequestRecord) Duration() time.Duration { return r.End - r.Start }
+
+// QueryRecord is one tab-URL update: the unit of analysis for Table 9 and
+// Figures 18–21.
+type QueryRecord struct {
+	Seq    int
+	At     time.Duration // URL update time
+	Action behavior.ActionKind
+	Widget widget.Kind
+	URL    string
+
+	Zoom            int
+	BoundCenterLat  float64
+	BoundCenterLng  float64
+	FilterCount     int
+	RequestTime     time.Duration // T0
+	RenderTime      time.Duration // T1
+	ExploreTime     time.Duration // T2: dwell before the next query
+	VisibleTileKeys []string
+}
+
+// Session is one user's full composite-interface trace.
+type Session struct {
+	User     int
+	Queries  []QueryRecord
+	Requests []RequestRecord
+	Duration time.Duration
+}
+
+// Backend models the remote service's response-time distribution, fitted to
+// Figure 21: ~80% of requests complete within 1 s, mean ≈ 1.1 s, with a
+// long tail capped at 8 s.
+type Backend struct {
+	// Mu and Sigma are the log-normal parameters of the data-request time
+	// in seconds.
+	Mu, Sigma float64
+	// Cap bounds the tail.
+	Cap time.Duration
+}
+
+// DefaultBackend returns the Figure 21 calibration.
+func DefaultBackend() Backend {
+	return Backend{Mu: math.Log(0.45), Sigma: 1.15, Cap: 8 * time.Second}
+}
+
+// RequestTime samples one data-request duration.
+func (b Backend) RequestTime(rng *rand.Rand) time.Duration {
+	secs := math.Exp(b.Mu + rng.NormFloat64()*b.Sigma)
+	d := time.Duration(secs * float64(time.Second))
+	if d > b.Cap {
+		d = b.Cap
+	}
+	if d < 30*time.Millisecond {
+		d = 30 * time.Millisecond
+	}
+	return d
+}
+
+// ExploreTime samples the user's post-render dwell (T2): log-normal with
+// mean ≈ 18.3 s, ≥1 s for ~95% of queries, capped at 3 minutes.
+func ExploreTime(rng *rand.Rand) time.Duration {
+	secs := math.Exp(math.Log(8) + rng.NormFloat64()*1.29)
+	d := time.Duration(secs * float64(time.Second))
+	if d > 3*time.Minute {
+		d = 3 * time.Minute
+	}
+	if d < 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	return d
+}
+
+// RenderTime samples the browser render phase (T1).
+func RenderTime(rng *rand.Rand) time.Duration {
+	return time.Duration(80+rng.Intn(320)) * time.Millisecond
+}
+
+// usCities are plausible session starting points.
+var usCities = [][2]float64{
+	{40.71, -74.00}, {34.05, -118.24}, {41.88, -87.63}, {29.76, -95.37},
+	{47.61, -122.33}, {25.76, -80.19}, {39.74, -104.99}, {32.38, -86.30},
+}
+
+// Run simulates one user's session of at least minDuration (the study asked
+// for ≥20 minutes), returning the full trace.
+func Run(rng *rand.Rand, user int, minDuration time.Duration) *Session {
+	params := behavior.NewExplorerParams(rng)
+	explorer := behavior.NewExplorer(rng, params)
+	city := usCities[rng.Intn(len(usCities))]
+	mv := widget.NewMapView(params.StartZoom, city[0], city[1])
+	filters := widget.NewFilterSet()
+	filters.Set("guests", "2")
+	backend := DefaultBackend()
+
+	s := &Session{User: user}
+	now := time.Duration(0)
+	reqID := 0
+	place := "unitedstates"
+
+	record := func(action behavior.Action) {
+		url := mv.QueryURL(place, filters.Map())
+		t0 := backend.RequestTime(rng)
+		t1 := RenderTime(rng)
+		t2 := ExploreTime(rng)
+
+		q := QueryRecord{
+			Seq:         len(s.Queries),
+			At:          now,
+			Action:      action.Kind,
+			Widget:      action.Kind.Widget(),
+			URL:         url,
+			Zoom:        mv.Zoom,
+			FilterCount: filters.Len(),
+			RequestTime: t0,
+			RenderTime:  t1,
+			ExploreTime: t2,
+		}
+		q.BoundCenterLat, q.BoundCenterLng = mv.BoundCenter()
+		tiles := mv.VisibleTiles()
+		for _, t := range tiles {
+			q.VisibleTileKeys = append(q.VisibleTileKeys, t.String())
+		}
+
+		// Log the data request plus parallel image/tile fetches inside it.
+		s.Requests = append(s.Requests, RequestRecord{
+			RequestID: reqID, TabURL: url, ResourceType: ResourceData,
+			Start: now, End: now + t0,
+		})
+		reqID++
+		images := 8 + rng.Intn(14)
+		for i := 0; i < images; i++ {
+			d := time.Duration(float64(t0) * (0.2 + 0.75*rng.Float64()))
+			s.Requests = append(s.Requests, RequestRecord{
+				RequestID: reqID, TabURL: url, ResourceType: ResourceImage,
+				Start: now, End: now + d,
+			})
+			reqID++
+		}
+		if action.Kind.Widget() == widget.KindMap {
+			for range tiles {
+				d := time.Duration(float64(t0) * (0.1 + 0.4*rng.Float64()))
+				s.Requests = append(s.Requests, RequestRecord{
+					RequestID: reqID, TabURL: url, ResourceType: ResourceMap,
+					Start: now, End: now + d,
+				})
+				reqID++
+			}
+		}
+
+		s.Queries = append(s.Queries, q)
+		now += t0 + t1 + t2
+	}
+
+	// Initial page load counts as the first (text box) query.
+	record(behavior.Action{Kind: behavior.ActTextBox, FilterKey: "place", FilterValue: place})
+
+	for now < minDuration {
+		a := explorer.Next()
+		switch a.Kind {
+		case behavior.ActZoomIn:
+			mv.ZoomIn()
+		case behavior.ActZoomOut:
+			mv.ZoomOut()
+		case behavior.ActDrag:
+			mv.Pan(a.DX, a.DY)
+		case behavior.ActTextBox:
+			// New place search: jump the map to a fresh city.
+			place = a.FilterValue
+			city := usCities[rng.Intn(len(usCities))]
+			mv.CenterLat, mv.CenterLng = city[0], city[1]
+		case behavior.ActSlider, behavior.ActCheckbox:
+			if a.Remove {
+				filters.Remove(a.FilterKey)
+			} else {
+				filters.Set(a.FilterKey, a.FilterValue)
+			}
+		case behavior.ActButton:
+			// Pagination: URL changes, no widget state change.
+		}
+		record(a)
+	}
+	s.Duration = now
+	return s
+}
+
+// RunStudy simulates the paper's 15-user study.
+func RunStudy(seed int64, users int, minDuration time.Duration) []*Session {
+	out := make([]*Session, users)
+	for u := 0; u < users; u++ {
+		rng := rand.New(rand.NewSource(seed + int64(u)*1009))
+		out[u] = Run(rng, u, minDuration)
+	}
+	return out
+}
+
+// String renders a request record in the paper's log style.
+func (r RequestRecord) String() string {
+	return fmt.Sprintf("req=%d type=%s start=%v end=%v url=%s",
+		r.RequestID, r.ResourceType, r.Start, r.End, r.TabURL)
+}

@@ -1,0 +1,202 @@
+package session
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/metrics"
+	"repro/internal/widget"
+)
+
+func TestBackendRequestTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := DefaultBackend()
+	var secs []float64
+	for i := 0; i < 5000; i++ {
+		d := b.RequestTime(rng)
+		if d < 30*time.Millisecond || d > b.Cap {
+			t.Fatalf("request time %v out of bounds", d)
+		}
+		secs = append(secs, d.Seconds())
+	}
+	cdf := metrics.NewCDF(secs)
+	// Figure 21: ~80% of requests complete within 1s; mean ≈ 1.1s.
+	if p := cdf.At(1.0); p < 0.65 || p > 0.9 {
+		t.Errorf("P(request ≤ 1s) = %v, paper ≈0.8", p)
+	}
+	mean := metrics.Summarize(secs).Mean
+	if mean < 0.6 || mean > 1.8 {
+		t.Errorf("mean request time %vs, paper ≈1.1s", mean)
+	}
+}
+
+func TestExploreTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var secs []float64
+	for i := 0; i < 5000; i++ {
+		secs = append(secs, ExploreTime(rng).Seconds())
+	}
+	cdf := metrics.NewCDF(secs)
+	// Figure 21: ~80% of exploration times exceed 1s; mean ≈ 18.3s.
+	if p := 1 - cdf.At(1.0); p < 0.8 {
+		t.Errorf("P(explore > 1s) = %v, paper ≈0.8", p)
+	}
+	mean := metrics.Summarize(secs).Mean
+	if mean < 10 || mean > 30 {
+		t.Errorf("mean explore %vs, paper ≈18.3s", mean)
+	}
+}
+
+func TestRunSessionShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Run(rng, 0, 5*time.Minute)
+	if s.Duration < 5*time.Minute {
+		t.Errorf("session too short: %v", s.Duration)
+	}
+	if len(s.Queries) < 5 {
+		t.Fatalf("only %d queries", len(s.Queries))
+	}
+	if len(s.Requests) < len(s.Queries) {
+		t.Error("fewer requests than queries")
+	}
+	// Query times nondecreasing, URLs well-formed, filter counts sane.
+	for i, q := range s.Queries {
+		if i > 0 && q.At < s.Queries[i-1].At {
+			t.Fatal("queries out of order")
+		}
+		if !strings.HasPrefix(q.URL, "https://") || !strings.Contains(q.URL, "zoom=") {
+			t.Fatalf("malformed URL %q", q.URL)
+		}
+		if q.FilterCount < 1 {
+			t.Errorf("query %d has %d filters, want ≥1 (guests)", i, q.FilterCount)
+		}
+		if q.RequestTime <= 0 || q.ExploreTime <= 0 {
+			t.Error("missing T0/T2")
+		}
+	}
+	// Request IDs unique and increasing.
+	seen := map[int]bool{}
+	for _, r := range s.Requests {
+		if seen[r.RequestID] {
+			t.Fatalf("duplicate request id %d", r.RequestID)
+		}
+		seen[r.RequestID] = true
+		if r.End < r.Start {
+			t.Fatal("request ends before it starts")
+		}
+	}
+	// Map queries carry tiles and map resource requests exist.
+	mapTiles, mapReqs := 0, 0
+	for _, q := range s.Queries {
+		if q.Widget == widget.KindMap {
+			mapTiles += len(q.VisibleTileKeys)
+		}
+	}
+	for _, r := range s.Requests {
+		if r.ResourceType == ResourceMap {
+			mapReqs++
+		}
+	}
+	if mapTiles == 0 || mapReqs == 0 {
+		t.Error("no map tiles or tile requests in session")
+	}
+	if s.Requests[0].String() == "" {
+		t.Error("empty request string")
+	}
+}
+
+func TestRunStudyWidgetShares(t *testing.T) {
+	sessions := RunStudy(7, 6, 12*time.Minute)
+	counts := map[widget.Kind]int{}
+	total := 0
+	for _, s := range sessions {
+		for _, q := range s.Queries[1:] { // skip the initial page load
+			counts[q.Widget]++
+			total++
+		}
+	}
+	if total < 100 {
+		t.Fatalf("only %d queries across study", total)
+	}
+	mapFrac := float64(counts[widget.KindMap]) / float64(total)
+	if math.Abs(mapFrac-0.628) > 0.08 {
+		t.Errorf("map fraction %v, paper 0.628", mapFrac)
+	}
+	fsFrac := float64(counts[widget.KindSlider]+counts[widget.KindCheckbox]) / float64(total)
+	if math.Abs(fsFrac-0.299) > 0.08 {
+		t.Errorf("slider+checkbox fraction %v, paper 0.299", fsFrac)
+	}
+}
+
+func TestZoomRecordsWithinBand(t *testing.T) {
+	sessions := RunStudy(11, 4, 8*time.Minute)
+	for _, s := range sessions {
+		start := s.Queries[0].Zoom
+		for _, q := range s.Queries {
+			if q.Zoom < start-3 || q.Zoom > start+3 {
+				t.Fatalf("user %d zoom %d wanders past start %d ±3", s.User, q.Zoom, start)
+			}
+		}
+	}
+}
+
+// TestDragExtentsShrinkWithZoom reproduces Table 10's structure: bound-
+// center movement per drag shrinks as zoom deepens.
+func TestDragExtentsShrinkWithZoom(t *testing.T) {
+	sessions := RunStudy(13, 10, 15*time.Minute)
+	extent := map[int][]float64{} // zoom → |Δlng| samples
+	for _, s := range sessions {
+		for i := 1; i < len(s.Queries); i++ {
+			q := s.Queries[i]
+			if q.Action != behavior.ActDrag || q.Zoom != s.Queries[i-1].Zoom {
+				continue
+			}
+			d := math.Abs(q.BoundCenterLng - s.Queries[i-1].BoundCenterLng)
+			extent[q.Zoom] = append(extent[q.Zoom], d)
+		}
+	}
+	means := map[int]float64{}
+	for z, xs := range extent {
+		if len(xs) >= 5 {
+			means[z] = metrics.Summarize(xs).Mean
+		}
+	}
+	if len(means) < 3 {
+		t.Skipf("not enough zoom levels with drags: %v", means)
+	}
+	// Each level deeper should at least halve the mean extent (exactly 2x
+	// in expectation since drags are pixel-scale).
+	for z := 11; z <= 13; z++ {
+		a, okA := means[z]
+		b, okB := means[z+1]
+		if !okA || !okB {
+			continue
+		}
+		ratio := a / b
+		if ratio < 1.4 || ratio > 2.9 {
+			t.Errorf("extent ratio z%d/z%d = %v, want ≈2", z, z+1, ratio)
+		}
+	}
+}
+
+func TestRequestVsExploreCDF(t *testing.T) {
+	sessions := RunStudy(17, 5, 10*time.Minute)
+	var req, exp []float64
+	for _, s := range sessions {
+		for _, q := range s.Queries {
+			req = append(req, q.RequestTime.Seconds())
+			exp = append(exp, q.ExploreTime.Seconds())
+		}
+	}
+	mReq := metrics.Summarize(req).Mean
+	mExp := metrics.Summarize(exp).Mean
+	// The paper's conclusion: ~18 adjacent queries can be prefetched while
+	// the user explores (18.3s explore vs 1.1s fetch).
+	if mExp/mReq < 8 {
+		t.Errorf("explore/request ratio %v, paper ≈16", mExp/mReq)
+	}
+}

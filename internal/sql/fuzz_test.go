@@ -1,0 +1,40 @@
+package sql
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// round-trips through String() to an equivalent statement.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT poster, title || '(' || year || ')' FROM imdb LIMIT 100 OFFSET 100",
+		"SELECT ROUND((y - 56.582) / 0.0596), COUNT(*) FROM dataroad WHERE x >= 8.1 GROUP BY ROUND((y - 56.582) / 0.0596)",
+		"SELECT m.a FROM m INNER JOIN n ON m.id = n.id AND n.v > 3",
+		"SELECT * FROM t WHERE a BETWEEN 1 AND 2 OR NOT b = 'x''y'",
+		"SELECT -1.5e-3 + 2 * (3 - 4) FROM t ORDER BY a DESC, b LIMIT 0 OFFSET 0",
+		"SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM t GROUP BY k",
+		"select a from t where s like '%x_'",
+		"SELECT",
+		"((((",
+		"'unterminated",
+		"SELECT a FROM (SELECT b FROM c) d",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must round-trip stably.
+		printed := stmt.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", input, printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("unstable rendering: %q → %q", printed, again.String())
+		}
+	})
+}

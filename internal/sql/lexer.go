@@ -1,0 +1,161 @@
+// Package sql implements the SQL subset the paper's workloads use: SELECT
+// with expression projections (arithmetic, string concatenation, ROUND,
+// COUNT), FROM over base tables, aliased subqueries and INNER JOINs, WHERE
+// conjunctions and disjunctions of comparisons, GROUP BY, ORDER BY, and
+// LIMIT/OFFSET.
+//
+// The package provides the lexer, AST, and recursive-descent parser; query
+// planning and execution live in internal/engine.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // ( ) , . and operators
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "OFFSET": true, "AND": true, "OR": true,
+	"NOT": true, "AS": true, "INNER": true, "JOIN": true, "ON": true,
+	"ASC": true, "DESC": true, "BETWEEN": true, "IN": true, "COUNT": true,
+	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "ROUND": true,
+	"DISTINCT": true, "LIKE": true,
+}
+
+// Lex tokenizes the input. It returns an error for unterminated strings or
+// bytes that cannot begin a token.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{TokKeyword, upper, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if d == '.' {
+					if seenDot {
+						break
+					}
+					seenDot = true
+					i++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				i++
+			}
+			// Exponent part (1e5, 2.5E-3).
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && input[j] >= '0' && input[j] <= '9' {
+					i = j
+					for i < n && input[i] >= '0' && input[i] <= '9' {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		case c == '|':
+			if i+1 < n && input[i+1] == '|' {
+				toks = append(toks, Token{TokSymbol, "||", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '|' at offset %d", i)
+			}
+		case c == '<' || c == '>' || c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokSymbol, input[i : i+2], i})
+				i += 2
+			} else if c == '<' && i+1 < n && input[i+1] == '>' {
+				toks = append(toks, Token{TokSymbol, "<>", i})
+				i += 2
+			} else if c == '!' {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+			} else {
+				toks = append(toks, Token{TokSymbol, string(c), i})
+				i++
+			}
+		case strings.ContainsRune("(),.*+-/=%", rune(c)):
+			toks = append(toks, Token{TokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

@@ -1,0 +1,490 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+// MustParse parses a statement and panics on error. Intended for workload
+// templates that are known-valid at construction time.
+func MustParse(input string) *SelectStmt {
+	stmt, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return stmt
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text when given).
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return Token{}, p.errorf("expected %q, found %q", text, p.peek().Text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1, Offset: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "FROM") {
+		from, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = from
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		where, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = where
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		n, err := p.parseIntLit("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = n
+	}
+	if p.accept(TokKeyword, "OFFSET") {
+		n, err := p.parseIntLit("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Offset = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseIntLit(clause string) (int64, error) {
+	t := p.peek()
+	if t.Kind != TokNumber {
+		return 0, p.errorf("%s expects an integer, found %q", clause, t.Text)
+	}
+	p.next()
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, p.errorf("%s expects an integer, found %q", clause, t.Text)
+	}
+	if n < 0 {
+		return 0, p.errorf("%s must be non-negative", clause)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Expr: Star{}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return SelectItem{}, p.errorf("expected alias after AS")
+		}
+		item.Alias = t.Text
+	} else if p.at(TokIdent, "") {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// parseTableExpr parses a FROM source with left-associative INNER JOINs.
+// Parenthesized table expressions and derived tables are both handled.
+func (p *parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept(TokKeyword, "INNER") {
+			if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(TokKeyword, "JOIN") {
+			break
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = JoinExpr{Left: left, Right: right, On: on}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTablePrimary() (TableExpr, error) {
+	if p.accept(TokSymbol, "(") {
+		if p.at(TokKeyword, "SELECT") {
+			// Derived table.
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			alias := ""
+			p.accept(TokKeyword, "AS")
+			if p.at(TokIdent, "") {
+				alias = p.next().Text
+			}
+			if alias == "" {
+				return nil, p.errorf("derived table requires an alias")
+			}
+			return SubqueryRef{Query: sub, Alias: alias}, nil
+		}
+		// Parenthesized join tree.
+		inner, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, p.errorf("expected table name")
+	}
+	ref := TableRef{Name: t.Text}
+	p.accept(TokKeyword, "AS")
+	if p.at(TokIdent, "") {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr    := and (OR and)*
+//	and     := not (AND not)*
+//	not     := NOT not | cmp
+//	cmp     := add ((=|<>|<|<=|>|>=|LIKE) add | BETWEEN add AND add)?
+//	add     := mul ((+|-|'||') mul)*
+//	mul     := unary ((*|/|%) unary)*
+//	unary   := - unary | primary
+//	primary := number | string | func | column | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "NOT", Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+		if p.accept(TokSymbol, op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	if p.accept(TokKeyword, "LIKE") {
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return BinaryExpr{Op: "LIKE", Left: left, Right: right}, nil
+	}
+	if p.accept(TokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenExpr{Expr: left, Lo: lo, Hi: hi}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = "+"
+		case p.accept(TokSymbol, "-"):
+			op = "-"
+		case p.accept(TokSymbol, "||"):
+			op = "||"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = "*"
+		case p.accept(TokSymbol, "/"):
+			op = "/"
+		case p.accept(TokSymbol, "%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "-", Expr: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+var funcKeywords = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true, "ROUND": true,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if !strings.ContainsAny(t.Text, ".eE") {
+			n, err := strconv.ParseInt(t.Text, 10, 64)
+			if err == nil {
+				return NumberLit{Value: float64(n), IsInt: true, Int: n}, nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return NumberLit{Value: f}, nil
+	case t.Kind == TokString:
+		p.next()
+		return StringLit{Value: t.Text}, nil
+	case t.Kind == TokKeyword && funcKeywords[t.Text]:
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		call := FuncCall{Name: t.Text}
+		if p.accept(TokSymbol, "*") {
+			call.Args = append(call.Args, Star{})
+		} else if !p.at(TokSymbol, ")") {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(TokSymbol, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.accept(TokSymbol, ".") {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, p.errorf("expected column after %q.", t.Text)
+			}
+			return ColumnRef{Table: t.Text, Name: col.Text}, nil
+		}
+		return ColumnRef{Name: t.Text}, nil
+	case p.accept(TokSymbol, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("unexpected token %q", t.Text)
+	}
+}

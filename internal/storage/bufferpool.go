@@ -1,0 +1,89 @@
+package storage
+
+import "container/list"
+
+// BufferPool models a fixed-capacity page cache with LRU eviction. The disk
+// engine profile routes every page touch through a pool; misses are charged
+// simulated I/O time by the engine's cost model. The memory profile uses no
+// pool (every page is resident).
+//
+// Pages are identified by (table, page) pairs so one pool can back several
+// tables, as a real buffer manager would.
+type BufferPool struct {
+	capacity int
+	lru      *list.List               // front = most recent
+	pages    map[PageID]*list.Element // element value is PageID
+
+	hits   int64
+	misses int64
+}
+
+// PageID names one page of one table.
+type PageID struct {
+	Table string
+	Page  int
+}
+
+// NewBufferPool creates a pool holding at most capacity pages. A capacity
+// of 0 or less means every access misses (a cold, zero-size cache).
+func NewBufferPool(capacity int) *BufferPool {
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[PageID]*list.Element),
+	}
+}
+
+// Capacity returns the configured page capacity.
+func (p *BufferPool) Capacity() int { return p.capacity }
+
+// Len returns the number of resident pages.
+func (p *BufferPool) Len() int { return p.lru.Len() }
+
+// Touch records an access to the page and reports whether it was resident
+// (hit). On a miss the page is faulted in, evicting the least recently used
+// page if the pool is full.
+func (p *BufferPool) Touch(id PageID) bool {
+	if el, ok := p.pages[id]; ok {
+		p.lru.MoveToFront(el)
+		p.hits++
+		return true
+	}
+	p.misses++
+	if p.capacity <= 0 {
+		return false
+	}
+	if p.lru.Len() >= p.capacity {
+		oldest := p.lru.Back()
+		p.lru.Remove(oldest)
+		delete(p.pages, oldest.Value.(PageID))
+	}
+	p.pages[id] = p.lru.PushFront(id)
+	return false
+}
+
+// Contains reports whether the page is resident without affecting recency
+// or counters.
+func (p *BufferPool) Contains(id PageID) bool {
+	_, ok := p.pages[id]
+	return ok
+}
+
+// Stats returns cumulative hit and miss counts.
+func (p *BufferPool) Stats() (hits, misses int64) { return p.hits, p.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (p *BufferPool) HitRate() float64 {
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}
+
+// Reset empties the pool and zeroes the counters.
+func (p *BufferPool) Reset() {
+	p.lru.Init()
+	p.pages = make(map[PageID]*list.Element)
+	p.hits, p.misses = 0, 0
+}

@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColumnDef describes one column of a schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of column definitions.
+type Schema []ColumnDef
+
+// ColumnIndex returns the position of the named column, or -1 if absent.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column is one typed column of values stored contiguously. Only the slice
+// matching Type is populated.
+type Column struct {
+	Type    Type
+	Ints    []int64
+	Floats  []float64
+	Strings []string
+}
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case Int64:
+		return len(c.Ints)
+	case Float64:
+		return len(c.Floats)
+	default:
+		return len(c.Strings)
+	}
+}
+
+// Value returns the value at row i.
+func (c *Column) Value(i int) Value {
+	switch c.Type {
+	case Int64:
+		return NewInt(c.Ints[i])
+	case Float64:
+		return NewFloat(c.Floats[i])
+	default:
+		return NewString(c.Strings[i])
+	}
+}
+
+// Float returns the value at row i as a float64 (0 for strings).
+func (c *Column) Float(i int) float64 {
+	switch c.Type {
+	case Int64:
+		return float64(c.Ints[i])
+	case Float64:
+		return c.Floats[i]
+	default:
+		return 0
+	}
+}
+
+// append adds a value, which must match the column type.
+func (c *Column) append(v Value) error {
+	if v.Type != c.Type {
+		// Permit int → float widening so generators can be sloppy about
+		// literal types.
+		if c.Type == Float64 && v.Type == Int64 {
+			c.Floats = append(c.Floats, float64(v.I))
+			return nil
+		}
+		return fmt.Errorf("storage: appending %v value to %v column", v.Type, c.Type)
+	}
+	switch c.Type {
+	case Int64:
+		c.Ints = append(c.Ints, v.I)
+	case Float64:
+		c.Floats = append(c.Floats, v.F)
+	default:
+		c.Strings = append(c.Strings, v.S)
+	}
+	return nil
+}
+
+// Table is an append-only columnar table. Rows are addressed by dense row
+// IDs in [0, NumRows).
+type Table struct {
+	Name    string
+	Schema  Schema
+	Columns []*Column
+
+	// PageRows is the number of rows per storage page, used by the disk
+	// profile for I/O accounting. Defaults to DefaultPageRows.
+	PageRows int
+
+	indexes map[string][]int32 // column name → row ids sorted by value
+}
+
+// DefaultPageRows is the default page granularity: with ~100-byte tuples
+// this approximates an 8 KiB heap page.
+const DefaultPageRows = 64
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	t := &Table{Name: name, Schema: schema, PageRows: DefaultPageRows}
+	t.Columns = make([]*Column, len(schema))
+	for i, def := range schema {
+		t.Columns[i] = &Column{Type: def.Type}
+	}
+	return t
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return t.Columns[0].Len()
+}
+
+// NumPages returns the number of storage pages the table occupies.
+func (t *Table) NumPages() int {
+	if t.PageRows <= 0 {
+		t.PageRows = DefaultPageRows
+	}
+	return (t.NumRows() + t.PageRows - 1) / t.PageRows
+}
+
+// PageOf returns the page ID holding the given row.
+func (t *Table) PageOf(row int) int {
+	if t.PageRows <= 0 {
+		t.PageRows = DefaultPageRows
+	}
+	return row / t.PageRows
+}
+
+// AppendRow appends one row. The number and types of values must match the
+// schema.
+func (t *Table) AppendRow(values ...Value) error {
+	if len(values) != len(t.Schema) {
+		return fmt.Errorf("storage: AppendRow got %d values for %d columns", len(values), len(t.Schema))
+	}
+	for i, v := range values {
+		if err := t.Columns[i].append(v); err != nil {
+			return fmt.Errorf("column %q: %w", t.Schema[i].Name, err)
+		}
+	}
+	t.indexes = nil // appended data invalidates indexes
+	return nil
+}
+
+// MustAppendRow appends one row and panics on schema mismatch; generators
+// with static schemas use it to keep construction terse.
+func (t *Table) MustAppendRow(values ...Value) {
+	if err := t.AppendRow(values...); err != nil {
+		panic(err)
+	}
+}
+
+// Column returns the named column, or nil if absent.
+func (t *Table) Column(name string) *Column {
+	i := t.Schema.ColumnIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return t.Columns[i]
+}
+
+// Row materializes row i as a value slice.
+func (t *Table) Row(i int) []Value {
+	out := make([]Value, len(t.Columns))
+	for c, col := range t.Columns {
+		out[c] = col.Value(i)
+	}
+	return out
+}
+
+// BuildIndex builds (or rebuilds) a sorted index on the named column and
+// returns it: row IDs ordered by ascending column value. Index lookups back
+// range scans and the planner's selectivity estimates.
+func (t *Table) BuildIndex(column string) ([]int32, error) {
+	col := t.Column(column)
+	if col == nil {
+		return nil, fmt.Errorf("storage: no column %q in table %q", column, t.Name)
+	}
+	ids := make([]int32, t.NumRows())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		return col.Value(int(ids[a])).Compare(col.Value(int(ids[b]))) < 0
+	})
+	if t.indexes == nil {
+		t.indexes = make(map[string][]int32)
+	}
+	t.indexes[column] = ids
+	return ids, nil
+}
+
+// Index returns a previously built index for the column, or nil.
+func (t *Table) Index(column string) []int32 {
+	return t.indexes[column]
+}
+
+// RangeRows returns the row IDs whose value in the indexed column lies in
+// [lo, hi]. The column must have been indexed with BuildIndex. The returned
+// slice aliases the index; callers must not modify it.
+func (t *Table) RangeRows(column string, lo, hi Value) ([]int32, error) {
+	idx := t.indexes[column]
+	if idx == nil {
+		return nil, fmt.Errorf("storage: column %q of table %q is not indexed", column, t.Name)
+	}
+	col := t.Column(column)
+	start := sort.Search(len(idx), func(i int) bool {
+		return col.Value(int(idx[i])).Compare(lo) >= 0
+	})
+	end := sort.Search(len(idx), func(i int) bool {
+		return col.Value(int(idx[i])).Compare(hi) > 0
+	})
+	if start > end {
+		start = end
+	}
+	return idx[start:end], nil
+}
+
+// MinMax returns the minimum and maximum values of a numeric column as
+// floats. It returns ok=false for an empty table or string column.
+func (t *Table) MinMax(column string) (lo, hi float64, ok bool) {
+	col := t.Column(column)
+	if col == nil || col.Type == String || col.Len() == 0 {
+		return 0, 0, false
+	}
+	lo, hi = col.Float(0), col.Float(0)
+	for i := 1; i < col.Len(); i++ {
+		v := col.Float(i)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, true
+}

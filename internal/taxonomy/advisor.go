@@ -1,0 +1,230 @@
+package taxonomy
+
+// Audience describes a system's target users.
+type Audience int
+
+// Audiences.
+const (
+	AudienceMixed Audience = iota
+	AudienceNovice
+	AudienceExpert
+)
+
+// SystemProfile describes an interactive data system for metric selection.
+type SystemProfile struct {
+	Exploratory         bool // guides users to insights
+	TaskBased           bool // built around specific tasks
+	Approximate         bool // returns approximate answers
+	SpeculativePrefetch bool // prefetches or caches speculatively
+	Distributed         bool
+	LargeData           bool
+	HighFrameRateDevice bool // touch/gesture device with high sensing rate
+	ConsecutiveQueries  bool // continuous interaction issues query bursts
+	ReducesUserEffort   bool // claims effort reduction vs a baseline
+	DomainSpecific      bool
+	Audience            Audience
+}
+
+// Recommendation pairs a metric with the rule that selected it.
+type Recommendation struct {
+	Metric Metric
+	Reason string
+}
+
+// RecommendMetrics applies the Table 3 guidelines (plus the §3.3 best
+// practices) to a system profile. Latency and user feedback are always
+// recommended; the rest follow from the profile.
+func RecommendMetrics(p SystemProfile) []Recommendation {
+	var recs []Recommendation
+	add := func(name, reason string) {
+		m, ok := MetricByName(name)
+		if !ok {
+			return
+		}
+		recs = append(recs, Recommendation{Metric: m, Reason: reason})
+	}
+
+	add(UserFeedback, "always collect qualitative feedback")
+	add(Latency, "latency is directly perceived by the user; always measure it")
+
+	if p.DomainSpecific {
+		add(DesignStudy, "domain-specific tasks need practitioner interviews to formalize requirements")
+		add(FocusGroup, "collective expert feedback validates features for a specific domain")
+	}
+	if p.Exploratory {
+		add(NumInsights, "exploratory guidance is measured by insights found")
+		add(UniquenessOfInsight, "unique discoveries are the value of exploration")
+	}
+	if p.TaskBased {
+		add(TaskCompletionTime, "task-based systems measure completion time")
+	}
+	if p.Approximate || p.SpeculativePrefetch {
+		add(Accuracy, "approximate/speculative answers must be scored against the truth")
+	}
+	if p.SpeculativePrefetch {
+		add(CacheHitRate, "prefetching is judged by how often it hits")
+	}
+	if p.ReducesUserEffort {
+		add(NumInteractions, "effort reduction is counted in interactions against a baseline")
+	}
+	switch p.Audience {
+	case AudienceNovice:
+		add(Discoverability, "novice users must find actions without instruction")
+	case AudienceExpert:
+		add(Learnability, "frequent expert use justifies a learning curve, which must be measured")
+	}
+	if p.ConsecutiveQueries {
+		add(LCVMetric, "consecutive queries in a short time frame make perceived violations the binding constraint")
+	}
+	if p.HighFrameRateDevice {
+		add(QIFMetric, "high-frame-rate devices can outpace the backend; measure issuing frequency")
+		if !p.ConsecutiveQueries {
+			add(LCVMetric, "high-frame-rate interaction issues queries back-to-back")
+		}
+	}
+	if p.LargeData {
+		add(Scalability, "large data requires measuring performance as data grows")
+	}
+	if p.Distributed {
+		add(Throughput, "distributed backends are compared by throughput")
+	}
+	return recs
+}
+
+// --- Study-design advisors (Figures 4 and 5) -------------------------------
+
+// StudyQuestion describes the experiment a user study must support.
+type StudyQuestion struct {
+	ComparisonAgainstControl bool // comparing against a baseline condition
+	DeviceDependent          bool // results depend on the physical device
+	ThinkAloud               bool // protocol requires think-aloud
+	DependsOnInherentAbility bool // e.g. insight finding is user-dependent
+	InteractionsDefinitive   bool // interactions don't require user cognition
+	NavigationEnumerable     bool // all plausible navigation patterns can be enumerated
+}
+
+// StudySetting is the Figure 4 recommendation.
+type StudySetting int
+
+// Study settings.
+const (
+	InPerson StudySetting = iota
+	Remote
+)
+
+// String names the setting.
+func (s StudySetting) String() string {
+	if s == InPerson {
+		return "in-person (low ecological validity, high control)"
+	}
+	return "remote (high ecological validity, low control)"
+}
+
+// AdviseSetting implements Figure 4: control comparisons, device-dependent
+// results, or think-aloud protocols require an in-person study; otherwise
+// remote studies buy ecological validity and population diversity.
+func AdviseSetting(q StudyQuestion) StudySetting {
+	if q.ComparisonAgainstControl || q.DeviceDependent || q.ThinkAloud {
+		return InPerson
+	}
+	return Remote
+}
+
+// SubjectDesign is the Figure 5 recommendation.
+type SubjectDesign int
+
+// Subject designs.
+const (
+	BetweenSubject SubjectDesign = iota
+	WithinSubject
+	Simulation
+)
+
+// String names the design.
+func (d SubjectDesign) String() string {
+	switch d {
+	case BetweenSubject:
+		return "between-subject (high external validity)"
+	case WithinSubject:
+		return "within-subject (low external validity; randomize/counterbalance order)"
+	default:
+		return "simulation (no users needed; validate assumptions)"
+	}
+}
+
+// AdviseSubjects implements Figure 5: simulate when interactions are
+// definitive and navigation patterns enumerable; go within-subject when the
+// task depends on the user's inherent ability; otherwise prefer
+// between-subject to avoid carry-over effects.
+func AdviseSubjects(q StudyQuestion) SubjectDesign {
+	if q.InteractionsDefinitive && q.NavigationEnumerable {
+		return Simulation
+	}
+	if q.DependsOnInherentAbility {
+		return WithinSubject
+	}
+	return BetweenSubject
+}
+
+// --- Cognitive-bias catalog (Table 4) ---------------------------------------
+
+// BiasSource attributes a bias to the participant or the experimenter.
+type BiasSource int
+
+// Bias sources.
+const (
+	ParticipantBias BiasSource = iota
+	ExperimenterBias
+)
+
+// String names the source.
+func (s BiasSource) String() string {
+	if s == ParticipantBias {
+		return "participant"
+	}
+	return "experimenter"
+}
+
+// Bias is one Table 4 row.
+type Bias struct {
+	Name       string
+	Source     BiasSource
+	Definition string
+	Mitigation string
+}
+
+// Biases is the Table 4 catalog.
+var Biases = []Bias{
+	{"social desirability bias", ParticipantBias,
+		"Participants act to please the researcher, e.g. supporting the hypothesis.",
+		"Follow externally approved scripts; never disclose the tested hypothesis."},
+	{"anchoring effect", ParticipantBias,
+		"Fixating on initial information, e.g. preferring the first system seen.",
+		"Randomize and counterbalance condition order."},
+	{"halo effect", ParticipantBias,
+		"One positive trait (nice looks, one good feature) inflates all ratings.",
+		"Granularize tasks; have each participant evaluate a single feature."},
+	{"attraction effect", ParticipantBias,
+		"Clustering of points distorts choices between Pareto-front items in scatter plots.",
+		"Modify the study procedure (see Dimara et al. for scatterplots)."},
+	{"framing effect", ExperimenterBias,
+		"Question wording steers the participant toward the tested system.",
+		"Have all study verbiage externally reviewed."},
+	{"selection bias", ExperimenterBias,
+		"Recruiting participants likely to favor the tested condition.",
+		"Assign participants randomly before collecting background information."},
+	{"confirmation bias", ExperimenterBias,
+		"The researcher sees what confirms the hypothesis.",
+		"Practice high transparency: publish study materials and all user comments."},
+}
+
+// BiasesBySource filters the catalog.
+func BiasesBySource(s BiasSource) []Bias {
+	var out []Bias
+	for _, b := range Biases {
+		if b.Source == s {
+			out = append(out, b)
+		}
+	}
+	return out
+}

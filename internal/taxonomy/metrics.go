@@ -1,0 +1,191 @@
+// Package taxonomy encodes the survey half of the paper as queryable data:
+// the metric taxonomy of Figure 1, the per-system metric usage of Tables 1
+// and 2, the metric-selection guidelines of Table 3 and Section 3.3, the
+// study-design decision trees of Figures 4 and 5, the cognitive-bias
+// catalog of Table 4, and the evaluation principles of Section 5.
+//
+// Encoding the survey makes it executable: the advisor functions answer
+// "which metrics should my system measure?" and "how should I design the
+// user study?" from a structured description of the system, which is the
+// use the paper intends for these tables.
+package taxonomy
+
+// Category places a metric in the Figure 1 taxonomy.
+type Category int
+
+// Figure 1 categories.
+const (
+	HumanQualitative Category = iota
+	HumanQuantitative
+	SystemFrontend
+	SystemBackend
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case HumanQualitative:
+		return "human/qualitative"
+	case HumanQuantitative:
+		return "human/quantitative"
+	case SystemFrontend:
+		return "system/frontend"
+	case SystemBackend:
+		return "system/backend"
+	default:
+		return "unknown"
+	}
+}
+
+// Metric is one node of the Figure 1 taxonomy with its Table 3 guidance.
+type Metric struct {
+	Name        string
+	Category    Category
+	Description string
+	WhenToUse   string // Table 3's "when to use" column
+	// Novel marks the two metrics the paper introduces.
+	Novel bool
+	// Components lists sub-metrics (latency's five components).
+	Components []string
+}
+
+// Canonical metric names (keys into Metrics).
+const (
+	DesignStudy         = "design study"
+	FocusGroup          = "focus group"
+	UserFeedback        = "user feedback"
+	NumInsights         = "no. of insights"
+	UniquenessOfInsight = "uniqueness of insights"
+	TaskCompletionTime  = "task completion time"
+	Accuracy            = "accuracy"
+	NumInteractions     = "number of interactions"
+	Learnability        = "learnability"
+	Discoverability     = "discoverability"
+	Usability           = "usability"
+	LCVMetric           = "latency constraint violation"
+	QIFMetric           = "query issuing frequency"
+	Latency             = "latency"
+	Scalability         = "scalability"
+	Throughput          = "throughput"
+	CacheHitRate        = "cache hit rate"
+)
+
+// Metrics is the Figure 1 taxonomy with Table 3 guidance.
+var Metrics = []Metric{
+	{Name: DesignStudy, Category: HumanQualitative,
+		Description: "Extended interviews with practitioners for task definition and requirements gathering.",
+		WhenToUse:   "For formulating system specifications and evaluation tasks."},
+	{Name: FocusGroup, Category: HumanQualitative,
+		Description: "Small expert groups reaching consensus feedback on features or designs.",
+		WhenToUse:   "To get consensus feedback from a group."},
+	{Name: UserFeedback, Category: HumanQualitative,
+		Description: "Open-ended comments, questionnaires, Likert-scale surveys (e.g. SUS, ICE-T).",
+		WhenToUse:   "Always."},
+	{Name: NumInsights, Category: HumanQuantitative,
+		Description: "Insights found during exploratory analysis; subjective — use with caution.",
+		WhenToUse:   "Exploratory systems that provide user guidance."},
+	{Name: UniquenessOfInsight, Category: HumanQuantitative,
+		Description: "How many of the insights found are unique across users.",
+		WhenToUse:   "Exploratory systems that provide user guidance."},
+	{Name: TaskCompletionTime, Category: HumanQuantitative,
+		Description: "Time for the user to complete a system-specific task (a usability flavor).",
+		WhenToUse:   "Task-based systems."},
+	{Name: Accuracy, Category: HumanQuantitative,
+		Description: "Deviation of approximate results from the truth: precision/recall, MSE.",
+		WhenToUse:   "Approximate and speculative systems."},
+	{Name: NumInteractions, Category: HumanQuantitative,
+		Description: "Iterations or operator applications needed to complete a task (a usability flavor).",
+		WhenToUse:   "Systems that aim to reduce user effort for a specific task; usually in comparison to a baseline."},
+	{Name: Usability, Category: HumanQuantitative,
+		Description: "Catch-all ease-of-use measure; measured through its flavors: task completion time, accuracy, number of interactions, insight counts.",
+		WhenToUse:   "Always relevant; pick the flavor matching the system's claim.",
+		Components:  []string{TaskCompletionTime, Accuracy, NumInteractions, NumInsights, UniquenessOfInsight}},
+	{Name: Learnability, Category: HumanQuantitative,
+		Description: "How quickly users master functionality after training; training must be equalized.",
+		WhenToUse:   "Complex systems that will be used frequently by experts."},
+	{Name: Discoverability, Category: HumanQuantitative,
+		Description: "How quickly users find actions without instruction; affordances help.",
+		WhenToUse:   "Systems designed for everyday use by naive/untrained users."},
+	{Name: LCVMetric, Category: SystemFrontend, Novel: true,
+		Description: "Count of queries whose results had not returned when the user acted again — perceived delays, stricter than mean/max latency.",
+		WhenToUse:   "Systems where multiple queries are issued consecutively in a short time frame."},
+	{Name: QIFMetric, Category: SystemFrontend, Novel: true,
+		Description: "Queries issued per second by the frontend; a function of device sensing rate, to be matched against backend capacity.",
+		WhenToUse:   "Devices with high frame rate."},
+	{Name: Latency, Category: SystemBackend,
+		Description: "Submit-to-result time as perceived by the user, decomposable into five components.",
+		WhenToUse:   "Always.",
+		Components: []string{
+			"network latency", "query scheduling latency", "query execution latency",
+			"post-aggregation latency", "rendering latency",
+		}},
+	{Name: Scalability, Category: SystemBackend,
+		Description: "Performance change with data growth (scale-up and scale-out both saturate).",
+		WhenToUse:   "Systems that deal with large amounts of data."},
+	{Name: Throughput, Category: SystemBackend,
+		Description: "Transactions, requests, or tasks per second (TPC-style).",
+		WhenToUse:   "Distributed systems."},
+	{Name: CacheHitRate, Category: SystemBackend,
+		Description: "Fraction of queries answered from cache; predictive policies beat plain eviction.",
+		WhenToUse:   "Systems that perform prefetching."},
+}
+
+// MetricByName looks up a metric.
+func MetricByName(name string) (Metric, bool) {
+	for _, m := range Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// PerceptualThreshold is one published latency-perception result (§3.1.1),
+// usable for setting latency budgets.
+type PerceptualThreshold struct {
+	Context   string
+	Threshold string
+	Finding   string
+	Source    string
+}
+
+// PerceptualThresholds lists the perception studies the paper catalogs.
+var PerceptualThresholds = []PerceptualThreshold{
+	{Context: "visual analysis systems", Threshold: "500 ms",
+		Finding: "An added 500 ms delay is noticeable and depresses analysis; early exposure has lasting effects.",
+		Source:  "Liu & Heer 2014"},
+	{Context: "head-mounted devices", Threshold: "50 ms",
+		Finding: "base+50 ms had the lowest sickness score; total time, not delay, dominates experience.",
+		Source:  "Nelson et al. 2000"},
+	{Context: "target acquisition (mouse)", Threshold: "50 ms / 110 ms",
+		Finding: "Acquisition accuracy drops above 50 ms latency; tracking accuracy above 110 ms.",
+		Source:  "Pavlovych & Gutwin 2012"},
+	{Context: "direct touch pointing", Threshold: "20 ms",
+		Finding: "Users can distinguish a 20 ms latency difference but nothing below it.",
+		Source:  "Jota et al. 2013"},
+}
+
+// MetricBestPractices are the Section 3.3 selection practices.
+var MetricBestPractices = []string{
+	"Cover at least one metric from system factors and one from human factors.",
+	"Domain-specific systems should run design studies and focus groups with end users to formalize requirements.",
+	"End users should be able to give qualitative open-ended feedback at every development stage.",
+	"Approximate systems should evaluate accuracy against user effort and/or latency; speculative prefetchers should also report accuracy or cache hit rate.",
+	"Measure discoverability for novice-facing systems and learnability for expert-facing ones.",
+	"Task-oriented systems should measure user effort: task completion time, number of interactions, or insight quality.",
+	"Distributed large-data systems should measure throughput and scalability, plus summarization latency and cognitive load.",
+	"High-frame-rate gesture/touch devices issuing consecutive queries should measure query issuing frequency and latency constraint violations.",
+}
+
+// EvaluationPrinciples are the Section 5 guidelines demonstrated by the
+// case studies.
+var EvaluationPrinciples = []string{
+	"Take behavior-driven optimizations into account: leverage session characteristics in design and evaluation.",
+	"Maximize coverage of query types and interaction techniques; each generates a unique workload.",
+	"Evaluate from a human as well as a system perspective.",
+	"Use real-world tasks on real datasets for ecological validity.",
+	"Randomize participant order between tasks to limit learning and interference.",
+	"Granularize tasks and have their language externally reviewed to limit biases.",
+	"Use at least ~10 users when studying behavior, more if task variability is high.",
+	"Cover a variety of workloads: scenarios, data distributions, and data sizes.",
+}

@@ -1,0 +1,85 @@
+package taxonomy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Questionnaire scoring for the qualitative instruments the survey names
+// (§3.2.1): the System Usability Scale and generic Likert batteries.
+
+// SUSItems is the number of items on the System Usability Scale.
+const SUSItems = 10
+
+// SUSScore computes the standard SUS score from ten responses on a 1–5
+// scale. Odd items (1st, 3rd, …) contribute response−1; even items
+// contribute 5−response; the sum is scaled by 2.5 onto 0–100.
+func SUSScore(responses []int) (float64, error) {
+	if len(responses) != SUSItems {
+		return 0, fmt.Errorf("taxonomy: SUS needs %d responses, got %d", SUSItems, len(responses))
+	}
+	sum := 0
+	for i, r := range responses {
+		if r < 1 || r > 5 {
+			return 0, fmt.Errorf("taxonomy: SUS response %d out of 1–5: %d", i+1, r)
+		}
+		if i%2 == 0 { // items 1,3,5,7,9
+			sum += r - 1
+		} else { // items 2,4,6,8,10
+			sum += 5 - r
+		}
+	}
+	return float64(sum) * 2.5, nil
+}
+
+// SUSGrade maps a SUS score onto the common adjective scale (Bangor et
+// al.): ≥85 excellent, ≥72 good, ≥52 OK, below that poor.
+func SUSGrade(score float64) string {
+	switch {
+	case score >= 85:
+		return "excellent"
+	case score >= 72:
+		return "good"
+	case score >= 52:
+		return "ok"
+	default:
+		return "poor"
+	}
+}
+
+// LikertSummary reports the mean and standard deviation of a Likert-scale
+// battery, the form Scented Widgets' custom survey reported.
+type LikertSummary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+}
+
+// SummarizeLikert computes a Likert summary for responses on a 1..levels
+// scale.
+func SummarizeLikert(responses []int, levels int) (LikertSummary, error) {
+	if levels < 2 {
+		return LikertSummary{}, fmt.Errorf("taxonomy: Likert needs at least 2 levels")
+	}
+	if len(responses) == 0 {
+		return LikertSummary{}, fmt.Errorf("taxonomy: no responses")
+	}
+	var sum float64
+	for i, r := range responses {
+		if r < 1 || r > levels {
+			return LikertSummary{}, fmt.Errorf("taxonomy: response %d out of 1–%d: %d", i+1, levels, r)
+		}
+		sum += float64(r)
+	}
+	mean := sum / float64(len(responses))
+	var ss float64
+	for _, r := range responses {
+		d := float64(r) - mean
+		ss += d * d
+	}
+	return LikertSummary{
+		N:      len(responses),
+		Mean:   mean,
+		Stddev: math.Sqrt(ss / float64(len(responses))),
+	}, nil
+}

@@ -1,0 +1,262 @@
+package taxonomy
+
+import "testing"
+
+func TestTaxonomyStructure(t *testing.T) {
+	if len(Metrics) != 17 {
+		t.Errorf("taxonomy has %d metrics", len(Metrics))
+	}
+	// Exactly two novel metrics: LCV and QIF, both frontend.
+	novel := 0
+	for _, m := range Metrics {
+		if m.Novel {
+			novel++
+			if m.Category != SystemFrontend {
+				t.Errorf("novel metric %q not frontend", m.Name)
+			}
+		}
+		if m.Name == "" || m.Description == "" || m.WhenToUse == "" {
+			t.Errorf("metric %+v incomplete", m)
+		}
+	}
+	if novel != 2 {
+		t.Errorf("%d novel metrics, want 2 (LCV, QIF)", novel)
+	}
+	lat, ok := MetricByName(Latency)
+	if !ok || len(lat.Components) != 5 {
+		t.Errorf("latency components = %v", lat.Components)
+	}
+	if _, ok := MetricByName("made up"); ok {
+		t.Error("unknown metric resolved")
+	}
+	for _, c := range []Category{HumanQualitative, HumanQuantitative, SystemFrontend, SystemBackend} {
+		if c.String() == "unknown" {
+			t.Error("category string missing")
+		}
+	}
+}
+
+func TestUsageTables(t *testing.T) {
+	if len(UsageEarly) != 31 {
+		t.Errorf("Table 1 rows = %d, want 31", len(UsageEarly))
+	}
+	if len(UsageRecent) != 34 {
+		t.Errorf("Table 2 rows = %d, want 34", len(UsageRecent))
+	}
+	// Every referenced metric must exist in the taxonomy.
+	for _, u := range AllUsage() {
+		if len(u.Metrics) == 0 {
+			t.Errorf("%s has no metrics", u.System)
+		}
+		for _, m := range u.Metrics {
+			if _, ok := MetricByName(m); !ok {
+				t.Errorf("%s references unknown metric %q", u.System, m)
+			}
+		}
+	}
+	counts := MetricCounts()
+	if counts[UserFeedback] < 20 {
+		t.Errorf("user feedback count = %d; it is the most common metric", counts[UserFeedback])
+	}
+	if counts[Latency] < 10 {
+		t.Errorf("latency count = %d", counts[Latency])
+	}
+}
+
+// TestAccuracyAlwaysWithLatency verifies the takeaway the paper draws from
+// its tables: systems that report accuracy (approximation) essentially
+// always report latency too — the accuracy/latency trade-off.
+func TestAccuracyAlwaysWithLatency(t *testing.T) {
+	both := CoOccurrence(Accuracy, Latency)
+	accOnly := MetricCounts()[Accuracy]
+	if both*2 < accOnly {
+		t.Errorf("accuracy∧latency = %d of %d accuracy systems; paper observes strong co-occurrence", both, accOnly)
+	}
+}
+
+func TestRecommendMetricsTable3(t *testing.T) {
+	// A crossfilter-style system: gesture device, continuous queries,
+	// large data, prefetching.
+	p := SystemProfile{
+		SpeculativePrefetch: true,
+		LargeData:           true,
+		HighFrameRateDevice: true,
+		ConsecutiveQueries:  true,
+		Audience:            AudienceNovice,
+	}
+	recs := RecommendMetrics(p)
+	want := map[string]bool{
+		UserFeedback: true, Latency: true, Accuracy: true, CacheHitRate: true,
+		Discoverability: true, LCVMetric: true, QIFMetric: true, Scalability: true,
+	}
+	got := map[string]bool{}
+	for _, r := range recs {
+		got[r.Metric.Name] = true
+		if r.Reason == "" {
+			t.Errorf("recommendation %q without reason", r.Metric.Name)
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("missing recommendation %q", name)
+		}
+	}
+	if got[Throughput] {
+		t.Error("throughput recommended for non-distributed system")
+	}
+	if got[Learnability] {
+		t.Error("learnability recommended for novice audience")
+	}
+}
+
+func TestRecommendMinimalProfile(t *testing.T) {
+	recs := RecommendMetrics(SystemProfile{})
+	if len(recs) != 2 {
+		t.Errorf("minimal profile got %d recs, want 2 (feedback, latency)", len(recs))
+	}
+	// Both factor families covered, per best practice #1.
+	cats := map[Category]bool{}
+	for _, r := range recs {
+		cats[r.Metric.Category] = true
+	}
+	if !cats[HumanQualitative] || !cats[SystemBackend] {
+		t.Error("minimal recommendations do not span human and system factors")
+	}
+}
+
+func TestRecommendExpertDistributed(t *testing.T) {
+	recs := RecommendMetrics(SystemProfile{
+		Distributed: true, TaskBased: true, Exploratory: true,
+		DomainSpecific: true, ReducesUserEffort: true, Audience: AudienceExpert,
+	})
+	got := map[string]bool{}
+	for _, r := range recs {
+		got[r.Metric.Name] = true
+	}
+	for _, name := range []string{Throughput, TaskCompletionTime, NumInsights, UniquenessOfInsight, DesignStudy, FocusGroup, NumInteractions, Learnability} {
+		if !got[name] {
+			t.Errorf("missing %q", name)
+		}
+	}
+}
+
+func TestAdviseSettingFigure4(t *testing.T) {
+	cases := []struct {
+		q    StudyQuestion
+		want StudySetting
+	}{
+		{StudyQuestion{ComparisonAgainstControl: true}, InPerson},
+		{StudyQuestion{DeviceDependent: true}, InPerson},
+		{StudyQuestion{ThinkAloud: true}, InPerson},
+		{StudyQuestion{}, Remote},
+	}
+	for i, c := range cases {
+		if got := AdviseSetting(c.q); got != c.want {
+			t.Errorf("case %d: AdviseSetting = %v, want %v", i, got, c.want)
+		}
+	}
+	if InPerson.String() == Remote.String() {
+		t.Error("setting strings collide")
+	}
+}
+
+func TestAdviseSubjectsFigure5(t *testing.T) {
+	cases := []struct {
+		q    StudyQuestion
+		want SubjectDesign
+	}{
+		{StudyQuestion{InteractionsDefinitive: true, NavigationEnumerable: true}, Simulation},
+		{StudyQuestion{InteractionsDefinitive: true}, BetweenSubject},
+		{StudyQuestion{DependsOnInherentAbility: true}, WithinSubject},
+		{StudyQuestion{}, BetweenSubject},
+		// Simulation wins even for ability-dependent tasks when valid.
+		{StudyQuestion{DependsOnInherentAbility: true, InteractionsDefinitive: true, NavigationEnumerable: true}, Simulation},
+	}
+	for i, c := range cases {
+		if got := AdviseSubjects(c.q); got != c.want {
+			t.Errorf("case %d: AdviseSubjects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBiasCatalog(t *testing.T) {
+	if len(Biases) != 7 {
+		t.Errorf("bias catalog has %d rows, want 7 (Table 4)", len(Biases))
+	}
+	for _, b := range Biases {
+		if b.Name == "" || b.Definition == "" || b.Mitigation == "" {
+			t.Errorf("bias %+v incomplete", b)
+		}
+	}
+	part := BiasesBySource(ParticipantBias)
+	exp := BiasesBySource(ExperimenterBias)
+	if len(part) != 4 || len(exp) != 3 {
+		t.Errorf("participant/experimenter split = %d/%d, want 4/3", len(part), len(exp))
+	}
+	if ParticipantBias.String() == ExperimenterBias.String() {
+		t.Error("bias source strings collide")
+	}
+}
+
+func TestGuidelinesLists(t *testing.T) {
+	if len(MetricBestPractices) != 8 {
+		t.Errorf("best practices = %d, want 8 (§3.3)", len(MetricBestPractices))
+	}
+	if len(EvaluationPrinciples) != 8 {
+		t.Errorf("principles = %d, want 8 (§5)", len(EvaluationPrinciples))
+	}
+	if len(PerceptualThresholds) != 4 {
+		t.Errorf("perceptual thresholds = %d, want 4", len(PerceptualThresholds))
+	}
+}
+
+func TestSUSScore(t *testing.T) {
+	// All best answers (odd 5, even 1) → 100.
+	best := []int{5, 1, 5, 1, 5, 1, 5, 1, 5, 1}
+	if s, err := SUSScore(best); err != nil || s != 100 {
+		t.Errorf("best SUS = %v, %v", s, err)
+	}
+	// All worst answers → 0.
+	worst := []int{1, 5, 1, 5, 1, 5, 1, 5, 1, 5}
+	if s, err := SUSScore(worst); err != nil || s != 0 {
+		t.Errorf("worst SUS = %v, %v", s, err)
+	}
+	// Neutral 3s → 50.
+	neutral := []int{3, 3, 3, 3, 3, 3, 3, 3, 3, 3}
+	if s, _ := SUSScore(neutral); s != 50 {
+		t.Errorf("neutral SUS = %v, want 50", s)
+	}
+	if _, err := SUSScore([]int{1, 2, 3}); err == nil {
+		t.Error("short response set accepted")
+	}
+	if _, err := SUSScore([]int{5, 1, 5, 1, 5, 1, 5, 1, 5, 9}); err == nil {
+		t.Error("out-of-range response accepted")
+	}
+	for score, want := range map[float64]string{90: "excellent", 75: "good", 60: "ok", 30: "poor"} {
+		if got := SUSGrade(score); got != want {
+			t.Errorf("SUSGrade(%v) = %q, want %q", score, got, want)
+		}
+	}
+}
+
+func TestSummarizeLikert(t *testing.T) {
+	s, err := SummarizeLikert([]int{4, 4, 5, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Mean != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Stddev <= 0.5 || s.Stddev >= 1 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	if _, err := SummarizeLikert(nil, 5); err == nil {
+		t.Error("empty responses accepted")
+	}
+	if _, err := SummarizeLikert([]int{6}, 5); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if _, err := SummarizeLikert([]int{1}, 1); err == nil {
+		t.Error("degenerate scale accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package taxonomy
+
+// SystemUsage is one row of the paper's Tables 1–2: which metrics a
+// published system's evaluation reported.
+type SystemUsage struct {
+	System  string
+	Year    int
+	Metrics []string
+}
+
+// UsageEarly is Table 1: metrics for data interaction, 1997–2012.
+var UsageEarly = []SystemUsage{
+	{"Online Aggregation", 1997, []string{Latency}},
+	{"Igarashi et al.", 2000, []string{UserFeedback, NumInteractions}},
+	{"Fekete and Plaisant", 2002, []string{Latency}},
+	{"Yang et al.", 2003, []string{TaskCompletionTime}},
+	{"Plaisant", 2004, []string{NumInsights}},
+	{"Yang et al.", 2004, []string{UserFeedback}},
+	{"Seo and Schneiderman", 2005, []string{NumInsights}},
+	{"Kosara et al.", 2006, []string{Latency}},
+	{"Mackinlay et al.", 2007, []string{UserFeedback}},
+	{"Scented Widgets", 2007, []string{UserFeedback, NumInsights}},
+	{"Faith", 2007, []string{Scalability}},
+	{"Jagadish et al.", 2007, []string{TaskCompletionTime}},
+	{"Yang et al.", 2007, []string{NumInsights}},
+	{"Nalix", 2007, []string{UserFeedback}},
+	{"Heer et al.", 2008, []string{UserFeedback}},
+	{"LiveRac", 2008, []string{UserFeedback}},
+	{"Basu et al.", 2008, []string{NumInteractions}},
+	{"Atlas", 2008, []string{Latency, Throughput}},
+	{"Liu and Jagadish", 2009, []string{TaskCompletionTime}},
+	{"Woodring and Shen", 2009, []string{Latency, Scalability}},
+	{"Facetor", 2010, []string{UserFeedback, TaskCompletionTime, NumInteractions}},
+	{"Wrangler", 2011, []string{UserFeedback, TaskCompletionTime}},
+	{"Dicon", 2011, []string{UserFeedback, NumInsights}},
+	{"Yang et al.", 2011, []string{Latency}},
+	{"Kashyap et al.", 2011, []string{NumInteractions}},
+	{"Fisher et al.", 2012, []string{UserFeedback}},
+	{"GravNav", 2012, []string{UserFeedback, TaskCompletionTime}},
+	{"Wei et al.", 2012, []string{NumInsights}},
+	{"Dataplay", 2012, []string{UserFeedback, TaskCompletionTime}},
+	{"Zhang et al.", 2012, []string{Latency}},
+	{"VizDeck", 2012, []string{NumInteractions}},
+}
+
+// UsageRecent is Table 2: metrics for data interaction, 2012–present.
+var UsageRecent = []SystemUsage{
+	{"Skimmer", 2012, []string{TaskCompletionTime, Latency}},
+	{"Scout", 2012, []string{CacheHitRate}},
+	{"Martin and Ward", 1995, []string{UserFeedback}},
+	{"Bakke et al.", 2011, []string{UserFeedback, TaskCompletionTime}},
+	{"GestureDB", 2013, []string{UserFeedback, TaskCompletionTime, Learnability, Discoverability}},
+	{"Basole et al.", 2013, []string{UserFeedback, NumInsights, TaskCompletionTime}},
+	{"Biswas et al.", 2013, []string{Accuracy, Scalability}},
+	{"MotionExplorer", 2013, []string{UserFeedback}},
+	{"Yuan et al.", 2013, []string{UserFeedback}},
+	{"Ferreira et al.", 2013, []string{NumInsights}},
+	{"Cooper et al.", 2010, []string{Throughput}},
+	{"Immens", 2013, []string{Latency, Scalability}},
+	{"Nanocubes", 2013, []string{Latency}},
+	{"Kinetica", 2014, []string{UserFeedback, TaskCompletionTime, Learnability}},
+	{"DICE", 2014, []string{Accuracy, Latency, Scalability, CacheHitRate}},
+	{"Lyra", 2014, []string{UserFeedback, NumInsights}},
+	{"Dimitriadou et al.", 2014, []string{Accuracy, NumInteractions, Latency}},
+	{"SeeDB", 2014, []string{UserFeedback, TaskCompletionTime, Latency}},
+	{"SnapToQuery", 2015, []string{UserFeedback, Accuracy, Latency}},
+	{"Kim et al.", 2015, []string{Latency}},
+	{"ForeCache", 2015, []string{CacheHitRate}},
+	{"Zenvisage", 2016, []string{UserFeedback, TaskCompletionTime, Accuracy}},
+	{"FluxQuery", 2016, []string{Latency}},
+	{"Voyager", 2016, []string{UserFeedback}},
+	{"Moritz et al.", 2017, []string{Accuracy}},
+	{"Incvisage", 2017, []string{UserFeedback, TaskCompletionTime, Accuracy, Latency}},
+	{"Data Tweening", 2017, []string{UserFeedback, TaskCompletionTime}},
+	{"Icarus", 2018, []string{UserFeedback, TaskCompletionTime, Accuracy, NumInteractions}},
+	{"Datamaran", 2018, []string{Accuracy}},
+	{"Tensorboard", 2018, []string{UserFeedback, NumInsights}},
+	{"DataSpread", 2018, []string{Latency}},
+	{"Sesame", 2018, []string{Latency, CacheHitRate}},
+	{"Transformer", 2019, []string{UserFeedback, TaskCompletionTime, NumInteractions}},
+	{"ARQuery", 2019, []string{TaskCompletionTime, Accuracy, Latency}},
+}
+
+// AllUsage concatenates Tables 1 and 2.
+func AllUsage() []SystemUsage {
+	out := make([]SystemUsage, 0, len(UsageEarly)+len(UsageRecent))
+	out = append(out, UsageEarly...)
+	out = append(out, UsageRecent...)
+	return out
+}
+
+// MetricCounts tallies how many surveyed systems used each metric — the
+// co-occurrence overview the paper draws from Tables 1 and 2.
+func MetricCounts() map[string]int {
+	counts := map[string]int{}
+	for _, u := range AllUsage() {
+		for _, m := range u.Metrics {
+			counts[m]++
+		}
+	}
+	return counts
+}
+
+// CoOccurrence counts how often two metrics appear in the same system's
+// evaluation (order-insensitive).
+func CoOccurrence(a, b string) int {
+	n := 0
+	for _, u := range AllUsage() {
+		hasA, hasB := false, false
+		for _, m := range u.Metrics {
+			if m == a {
+				hasA = true
+			}
+			if m == b {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,73 @@
+// Package trace defines the interaction-trace record types the case
+// studies collect and analyze, mirroring the paper's Table 5:
+//
+//   - inertial scrolling: {timestamp, scrollTop, scrollNum, delta}
+//   - crossfiltering:     {timestamp, minVal, maxVal, sliderIdx}
+//   - pointer devices:    {timestamp, x, y} samples (Figure 11)
+//
+// The composite-interface case study's HTTP-request-shaped records live in
+// internal/session, next to the exploration-process model that produces
+// them.
+package trace
+
+import "time"
+
+// ScrollEvent is one scroll/wheel event from the inertial-scrolling study.
+type ScrollEvent struct {
+	At        time.Duration
+	ScrollTop float64 // pixels scrolled from the top
+	ScrollNum int     // number of tuples scrolled past so far
+	Delta     float64 // accelerated scroll amount of this event (wheel delta)
+}
+
+// SelectEvent records the user selecting a tuple while scrolling.
+type SelectEvent struct {
+	At         time.Duration
+	TupleIndex int
+	// Backscrolled reports that the user overshot the tuple and had to
+	// scroll back up to select it.
+	Backscrolled bool
+}
+
+// SliderEvent is one slider manipulation from the crossfiltering study: the
+// filtered range of one slider at one instant.
+type SliderEvent struct {
+	At        time.Duration
+	SliderIdx int
+	MinVal    float64
+	MaxVal    float64
+}
+
+// PointerSample is one raw device sample (Figure 11's traces).
+type PointerSample struct {
+	At time.Duration
+	X  float64
+	Y  float64
+}
+
+// ScrollTimes extracts issue timestamps from scroll events.
+func ScrollTimes(evs []ScrollEvent) []time.Duration {
+	out := make([]time.Duration, len(evs))
+	for i, e := range evs {
+		out[i] = e.At
+	}
+	return out
+}
+
+// SliderTimes extracts issue timestamps from slider events.
+func SliderTimes(evs []SliderEvent) []time.Duration {
+	out := make([]time.Duration, len(evs))
+	for i, e := range evs {
+		out[i] = e.At
+	}
+	return out
+}
+
+// Span returns last−first of a nondecreasing timestamp sequence, 0 for
+// fewer than two events.
+func Span(times []time.Duration) time.Duration {
+	if len(times) < 2 {
+		return 0
+	}
+	return times[len(times)-1] - times[0]
+}

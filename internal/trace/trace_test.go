@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScrollTimes(t *testing.T) {
+	evs := []ScrollEvent{
+		{At: 10 * time.Millisecond},
+		{At: 30 * time.Millisecond},
+	}
+	got := ScrollTimes(evs)
+	if len(got) != 2 || got[0] != 10*time.Millisecond || got[1] != 30*time.Millisecond {
+		t.Errorf("ScrollTimes = %v", got)
+	}
+	if len(ScrollTimes(nil)) != 0 {
+		t.Error("ScrollTimes(nil) nonempty")
+	}
+}
+
+func TestSliderTimes(t *testing.T) {
+	evs := []SliderEvent{
+		{At: time.Second, SliderIdx: 1, MinVal: 0, MaxVal: 5},
+		{At: 2 * time.Second},
+	}
+	got := SliderTimes(evs)
+	if len(got) != 2 || got[0] != time.Second {
+		t.Errorf("SliderTimes = %v", got)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	if Span(nil) != 0 {
+		t.Error("Span(nil) != 0")
+	}
+	if Span([]time.Duration{time.Second}) != 0 {
+		t.Error("Span(single) != 0")
+	}
+	ts := []time.Duration{time.Second, 3 * time.Second, 9 * time.Second}
+	if Span(ts) != 8*time.Second {
+		t.Errorf("Span = %v", Span(ts))
+	}
+}

@@ -1,0 +1,218 @@
+// Package tracefmt defines the on-disk interchange format for interaction
+// traces: JSON lines, one event per line, the schemas of the paper's
+// Table 5. cmd/tracegen writes it and cmd/replay consumes it, so recorded
+// workloads — synthetic or real — can be replayed against any backend and
+// policy. The composite case study explicitly proposes its traces "serve
+// as a public benchmark"; this package is that interface.
+package tracefmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// SliderRecord is one crossfiltering event on the wire.
+type SliderRecord struct {
+	User        int     `json:"user"`
+	Device      string  `json:"device,omitempty"`
+	TimestampMS int64   `json:"timestamp_ms"`
+	SliderIdx   int     `json:"sliderIdx"`
+	MinVal      float64 `json:"minVal"`
+	MaxVal      float64 `json:"maxVal"`
+}
+
+// ScrollRecord is one inertial-scrolling event on the wire. A record with
+// Select set is a selection event (the user picked a tuple) rather than a
+// scroll event.
+type ScrollRecord struct {
+	User        int     `json:"user"`
+	TimestampMS int64   `json:"timestamp_ms"`
+	ScrollTop   float64 `json:"scrollTop,omitempty"`
+	ScrollNum   int     `json:"scrollNum,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+
+	Select       *int `json:"select,omitempty"`
+	Backscrolled bool `json:"backscrolled,omitempty"`
+}
+
+// WriteSliderTrace emits one user's slider events as JSON lines.
+func WriteSliderTrace(w io.Writer, user int, device string, evs []trace.SliderEvent) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		rec := SliderRecord{
+			User:        user,
+			Device:      device,
+			TimestampMS: int64(ev.At / time.Millisecond),
+			SliderIdx:   ev.SliderIdx,
+			MinVal:      ev.MinVal,
+			MaxVal:      ev.MaxVal,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("tracefmt: %w", err)
+		}
+	}
+	return nil
+}
+
+// SliderTraces groups decoded slider events by user, with each user's
+// device name (last seen wins).
+type SliderTraces struct {
+	Users   []int // sorted
+	Events  map[int][]trace.SliderEvent
+	Devices map[int]string
+}
+
+// ReadSliderTraces decodes JSON-line slider records. Events must be
+// time-ordered within each user; out-of-order lines are an error, because
+// replay depends on issue order.
+func ReadSliderTraces(r io.Reader) (*SliderTraces, error) {
+	out := &SliderTraces{
+		Events:  map[int][]trace.SliderEvent{},
+		Devices: map[int]string{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec SliderRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("tracefmt: line %d: %w", line, err)
+		}
+		ev := trace.SliderEvent{
+			At:        time.Duration(rec.TimestampMS) * time.Millisecond,
+			SliderIdx: rec.SliderIdx,
+			MinVal:    rec.MinVal,
+			MaxVal:    rec.MaxVal,
+		}
+		evs := out.Events[rec.User]
+		if n := len(evs); n > 0 && ev.At < evs[n-1].At {
+			return nil, fmt.Errorf("tracefmt: line %d: user %d events out of order (%v after %v)",
+				line, rec.User, ev.At, evs[n-1].At)
+		}
+		out.Events[rec.User] = append(evs, ev)
+		if rec.Device != "" {
+			out.Devices[rec.User] = rec.Device
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracefmt: %w", err)
+	}
+	for u := range out.Events {
+		out.Users = append(out.Users, u)
+	}
+	sort.Ints(out.Users)
+	return out, nil
+}
+
+// WriteScrollTrace emits one user's scroll events as JSON lines.
+func WriteScrollTrace(w io.Writer, user int, evs []trace.ScrollEvent) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		rec := ScrollRecord{
+			User:        user,
+			TimestampMS: int64(ev.At / time.Millisecond),
+			ScrollTop:   ev.ScrollTop,
+			ScrollNum:   ev.ScrollNum,
+			Delta:       ev.Delta,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("tracefmt: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteScrollSelections emits one user's selection events as JSON lines.
+func WriteScrollSelections(w io.Writer, user int, sels []trace.SelectEvent) error {
+	enc := json.NewEncoder(w)
+	for _, s := range sels {
+		idx := s.TupleIndex
+		rec := ScrollRecord{
+			User:         user,
+			TimestampMS:  int64(s.At / time.Millisecond),
+			Select:       &idx,
+			Backscrolled: s.Backscrolled,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("tracefmt: %w", err)
+		}
+	}
+	return nil
+}
+
+// ScrollTraces groups decoded scroll events and selections by user.
+type ScrollTraces struct {
+	Users      []int
+	Events     map[int][]trace.ScrollEvent
+	Selections map[int][]trace.SelectEvent
+}
+
+// ReadScrollTraces decodes JSON-line scroll records. Scroll events must be
+// time-ordered within each user (selections are ordered independently,
+// since writers may append them after the event stream).
+func ReadScrollTraces(r io.Reader) (*ScrollTraces, error) {
+	out := &ScrollTraces{
+		Events:     map[int][]trace.ScrollEvent{},
+		Selections: map[int][]trace.SelectEvent{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec ScrollRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("tracefmt: line %d: %w", line, err)
+		}
+		at := time.Duration(rec.TimestampMS) * time.Millisecond
+		if rec.Select != nil {
+			sels := out.Selections[rec.User]
+			if n := len(sels); n > 0 && at < sels[n-1].At {
+				return nil, fmt.Errorf("tracefmt: line %d: user %d selections out of order", line, rec.User)
+			}
+			out.Selections[rec.User] = append(sels, trace.SelectEvent{
+				At: at, TupleIndex: *rec.Select, Backscrolled: rec.Backscrolled,
+			})
+			continue
+		}
+		ev := trace.ScrollEvent{
+			At:        at,
+			ScrollTop: rec.ScrollTop,
+			ScrollNum: rec.ScrollNum,
+			Delta:     rec.Delta,
+		}
+		evs := out.Events[rec.User]
+		if n := len(evs); n > 0 && ev.At < evs[n-1].At {
+			return nil, fmt.Errorf("tracefmt: line %d: user %d events out of order", line, rec.User)
+		}
+		out.Events[rec.User] = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracefmt: %w", err)
+	}
+	seen := map[int]bool{}
+	for u := range out.Events {
+		seen[u] = true
+	}
+	for u := range out.Selections {
+		seen[u] = true
+	}
+	for u := range seen {
+		out.Users = append(out.Users, u)
+	}
+	sort.Ints(out.Users)
+	return out, nil
+}

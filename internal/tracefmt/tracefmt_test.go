@@ -1,0 +1,144 @@
+package tracefmt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+func TestSliderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	domains := [][2]float64{{0, 100}, {-5, 5}}
+	var buf bytes.Buffer
+	want := map[int][]trace.SliderEvent{}
+	for u := 0; u < 3; u++ {
+		sess := behavior.SimulateSliderUser(rng, device.Mouse, domains, 4)
+		want[u] = sess.Events
+		if err := WriteSliderTrace(&buf, u, "mouse", sess.Events); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadSliderTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Users) != 3 {
+		t.Fatalf("users = %v", got.Users)
+	}
+	for u, evs := range want {
+		if len(got.Events[u]) != len(evs) {
+			t.Fatalf("user %d: %d events, want %d", u, len(got.Events[u]), len(evs))
+		}
+		for i, ev := range evs {
+			g := got.Events[u][i]
+			// Timestamps truncate to milliseconds on the wire.
+			if g.At != ev.At.Truncate(time.Millisecond) ||
+				g.SliderIdx != ev.SliderIdx || g.MinVal != ev.MinVal || g.MaxVal != ev.MaxVal {
+				t.Fatalf("user %d event %d: %+v vs %+v", u, i, g, ev)
+			}
+		}
+		if got.Devices[u] != "mouse" {
+			t.Errorf("user %d device %q", u, got.Devices[u])
+		}
+	}
+}
+
+func TestScrollRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := behavior.SimulateScroller(rng, behavior.NewScrollerParams(rng), 300)
+	var buf bytes.Buffer
+	if err := WriteScrollTrace(&buf, 7, tr.Events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScrollTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Users) != 1 || got.Users[0] != 7 {
+		t.Fatalf("users = %v", got.Users)
+	}
+	evs := got.Events[7]
+	if len(evs) != len(tr.Events) {
+		t.Fatalf("events = %d, want %d", len(evs), len(tr.Events))
+	}
+	if evs[10].ScrollNum != tr.Events[10].ScrollNum || evs[10].Delta != tr.Events[10].Delta {
+		t.Error("scroll payload mismatch")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Malformed JSON.
+	if _, err := ReadSliderTraces(strings.NewReader("{bad json\n")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Out-of-order events for one user.
+	ooo := `{"user":0,"timestamp_ms":100,"sliderIdx":0,"minVal":0,"maxVal":1}
+{"user":0,"timestamp_ms":50,"sliderIdx":0,"minVal":0,"maxVal":1}
+`
+	if _, err := ReadSliderTraces(strings.NewReader(ooo)); err == nil {
+		t.Error("out-of-order slider trace accepted")
+	}
+	if _, err := ReadScrollTraces(strings.NewReader(`{"user":0,"timestamp_ms":9}` + "\n" + `{"user":0,"timestamp_ms":3}` + "\n")); err == nil {
+		t.Error("out-of-order scroll trace accepted")
+	}
+	// Interleaved users stay independently ordered.
+	ok := `{"user":0,"timestamp_ms":100,"sliderIdx":0,"minVal":0,"maxVal":1}
+{"user":1,"timestamp_ms":10,"sliderIdx":0,"minVal":0,"maxVal":1}
+{"user":0,"timestamp_ms":200,"sliderIdx":1,"minVal":0,"maxVal":1}
+
+{"user":1,"timestamp_ms":20,"sliderIdx":1,"minVal":0,"maxVal":1}
+`
+	got, err := ReadSliderTraces(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("interleaved trace rejected: %v", err)
+	}
+	if len(got.Events[0]) != 2 || len(got.Events[1]) != 2 {
+		t.Errorf("grouping wrong: %v", got.Events)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	got, err := ReadSliderTraces(strings.NewReader(""))
+	if err != nil || len(got.Users) != 0 {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestScrollSelectionsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := behavior.NewScrollerParams(rng)
+	p.SelectRate = 0.5
+	tr := behavior.SimulateScroller(rng, p, 400)
+	if len(tr.Selections) == 0 {
+		t.Skip("no selections in this trace")
+	}
+	var buf bytes.Buffer
+	if err := WriteScrollTrace(&buf, 3, tr.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteScrollSelections(&buf, 3, tr.Selections); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScrollTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Selections[3]) != len(tr.Selections) {
+		t.Fatalf("selections = %d, want %d", len(got.Selections[3]), len(tr.Selections))
+	}
+	for i, s := range tr.Selections {
+		g := got.Selections[3][i]
+		if g.TupleIndex != s.TupleIndex || g.Backscrolled != s.Backscrolled {
+			t.Fatalf("selection %d: %+v vs %+v", i, g, s)
+		}
+	}
+	if len(got.Events[3]) != len(tr.Events) {
+		t.Error("events lost when mixed with selections")
+	}
+}

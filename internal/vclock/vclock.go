@@ -1,0 +1,170 @@
+// Package vclock provides a virtual clock and a discrete-event scheduler.
+//
+// All experiments in this repository run on simulated time so that latency
+// accounting (latency constraint violations, query issuing intervals,
+// prefetch deadlines) is exact, deterministic under a seed, and independent
+// of host machine speed. The clock measures time as time.Duration offsets
+// from a zero origin; there is no wall-clock anchoring.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value is a clock at time zero, ready to
+// use. Clock is not safe for concurrent use; simulations are single-threaded
+// by design so that event ordering is reproducible.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time as an offset from the simulation
+// origin.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. It panics if d is negative, since
+// virtual time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: Advance by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to t. Moving to the current time is a
+// no-op; moving backwards panics.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("vclock: AdvanceTo %v before current time %v", t, c.now))
+	}
+	c.now = t
+}
+
+// Event is a scheduled callback. Fn runs when the scheduler's clock reaches
+// At. Events at equal times run in scheduling order (FIFO), which keeps
+// traces reproducible.
+type Event struct {
+	At time.Duration
+	Fn func()
+
+	seq   uint64
+	index int
+}
+
+// Scheduler is a discrete-event simulator: a priority queue of events drained
+// in time order against a Clock. The zero value is ready to use.
+type Scheduler struct {
+	clock  Clock
+	queue  eventQueue
+	nextID uint64
+}
+
+// Now returns the scheduler's current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.clock.Now() }
+
+// Clock returns the scheduler's underlying clock.
+func (s *Scheduler) Clock() *Clock { return &s.clock }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: a discrete-event simulation must never rewind. It returns the
+// event, which may be passed to Cancel.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.clock.Now() {
+		panic(fmt.Sprintf("vclock: scheduling event at %v before current time %v", t, s.clock.Now()))
+	}
+	ev := &Event{At: t, Fn: fn, seq: s.nextID}
+	s.nextID++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	return s.At(s.clock.Now()+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already ran or was
+// already cancelled is a no-op and returns false.
+func (s *Scheduler) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(s.queue) || s.queue[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&s.queue, ev.index)
+	return true
+}
+
+// Pending reports the number of events waiting to run.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Step runs the single earliest pending event, advancing the clock to its
+// time. It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*Event)
+	s.clock.AdvanceTo(ev.At)
+	ev.Fn()
+	return true
+}
+
+// Run drains the event queue completely, including events scheduled by other
+// events as they run. It returns the number of events executed.
+func (s *Scheduler) Run() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with At <= deadline, advancing the clock to the
+// deadline afterwards. Events scheduled during the run are honored if they
+// fall within the deadline. It returns the number of events executed.
+func (s *Scheduler) RunUntil(deadline time.Duration) int {
+	n := 0
+	for len(s.queue) > 0 && s.queue[0].At <= deadline {
+		s.Step()
+		n++
+	}
+	if deadline > s.clock.Now() {
+		s.clock.AdvanceTo(deadline)
+	}
+	return n
+}
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,204 @@
+package vclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v, want 0", c.Now())
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(10 * time.Millisecond)
+	if got, want := c.Now(), 15*time.Millisecond; got != want {
+		t.Errorf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(time.Second)
+	if c.Now() != time.Second {
+		t.Errorf("Now = %v, want 1s", c.Now())
+	}
+	c.AdvanceTo(time.Second) // same time is fine
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockAdvanceToPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo past did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(time.Second)
+	c.AdvanceTo(time.Millisecond)
+}
+
+func TestSchedulerOrder(t *testing.T) {
+	var s Scheduler
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	n := s.Run()
+	if n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Errorf("event order %v, want [1 2 3]", got)
+			break
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("final time %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtEqualTimes(t *testing.T) {
+	var s Scheduler
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	var s Scheduler
+	var got []string
+	s.At(time.Millisecond, func() {
+		got = append(got, "a")
+		s.After(time.Millisecond, func() { got = append(got, "c") })
+	})
+	s.At(1500*time.Microsecond, func() { got = append(got, "b") })
+	s.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	var s Scheduler
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(time.Millisecond, func() {})
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	var s Scheduler
+	ran := false
+	ev := s.At(time.Millisecond, func() { ran = true })
+	if !s.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(ev) {
+		t.Error("second Cancel returned true")
+	}
+	s.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+}
+
+func TestSchedulerCancelMiddleOfQueue(t *testing.T) {
+	var s Scheduler
+	var got []int
+	s.At(1*time.Millisecond, func() { got = append(got, 1) })
+	ev := s.At(2*time.Millisecond, func() { got = append(got, 2) })
+	s.At(3*time.Millisecond, func() { got = append(got, 3) })
+	s.Cancel(ev)
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("got %v, want [1 3]", got)
+	}
+}
+
+func TestSchedulerCancelNil(t *testing.T) {
+	var s Scheduler
+	if s.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	n := s.RunUntil(5 * time.Millisecond)
+	if n != 5 || count != 5 {
+		t.Errorf("RunUntil ran %d events (count %d), want 5", n, count)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Errorf("Now = %v, want 5ms", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", s.Pending())
+	}
+	s.Run()
+	if count != 10 {
+		t.Errorf("after full Run count = %d, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var s Scheduler
+	s.RunUntil(7 * time.Second)
+	if s.Now() != 7*time.Second {
+		t.Errorf("Now = %v, want 7s", s.Now())
+	}
+}
+
+// TestSchedulerRandomized is a property test: random event times must always
+// execute in nondecreasing time order and all must execute.
+func TestSchedulerRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var s Scheduler
+		n := 1 + rng.Intn(200)
+		times := make([]time.Duration, n)
+		var fired []time.Duration
+		for i := range times {
+			times[i] = time.Duration(rng.Intn(10000)) * time.Microsecond
+			at := times[i]
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		if got := s.Run(); got != n {
+			t.Fatalf("trial %d: ran %d events, want %d", trial, got, n)
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			t.Fatalf("trial %d: events fired out of order", trial)
+		}
+	}
+}

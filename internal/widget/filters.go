@@ -1,0 +1,84 @@
+package widget
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies the query widgets of a composite interface, matching the
+// paper's Table 9 categories.
+type Kind int
+
+// Composite-interface widget kinds.
+const (
+	KindMap Kind = iota
+	KindSlider
+	KindCheckbox
+	KindButton
+	KindTextBox
+)
+
+// String names the widget kind.
+func (k Kind) String() string {
+	switch k {
+	case KindMap:
+		return "map"
+	case KindSlider:
+		return "slider"
+	case KindCheckbox:
+		return "checkbox"
+	case KindButton:
+		return "button"
+	case KindTextBox:
+		return "text box"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// FilterSet is the non-map filter state of a composite interface: the set
+// of URL filter conditions currently applied (price sliders, room-type
+// checkboxes, guest counts, free-text place). The paper's Figure 20 is the
+// CDF of its size across queries.
+type FilterSet struct {
+	conditions map[string]string
+}
+
+// NewFilterSet returns an empty filter set.
+func NewFilterSet() *FilterSet {
+	return &FilterSet{conditions: make(map[string]string)}
+}
+
+// Set adds or replaces a filter condition.
+func (f *FilterSet) Set(key, value string) { f.conditions[key] = value }
+
+// Remove deletes a filter condition; removing an absent key is a no-op.
+func (f *FilterSet) Remove(key string) { delete(f.conditions, key) }
+
+// Has reports whether the key is set.
+func (f *FilterSet) Has(key string) bool {
+	_, ok := f.conditions[key]
+	return ok
+}
+
+// Len returns the number of active filter conditions.
+func (f *FilterSet) Len() int { return len(f.conditions) }
+
+// Map returns a copy of the conditions for URL rendering.
+func (f *FilterSet) Map() map[string]string {
+	out := make(map[string]string, len(f.conditions))
+	for k, v := range f.conditions {
+		out[k] = v
+	}
+	return out
+}
+
+// Keys returns the sorted condition keys.
+func (f *FilterSet) Keys() []string {
+	keys := make([]string, 0, len(f.conditions))
+	for k := range f.conditions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,87 @@
+package widget
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Handle identifies which end of a range slider is being dragged.
+type Handle int
+
+// Range-slider handles.
+const (
+	HandleMin Handle = iota
+	HandleMax
+)
+
+// Slider is a two-handle range slider over a numeric domain, rendered on a
+// pixel track. It is the query widget of the crossfiltering case study:
+// every handle movement reshapes a WHERE-clause range and issues queries.
+type Slider struct {
+	Index   int     // slider position in the coordinated view
+	Lo, Hi  float64 // value domain
+	TrackPx float64 // track width in pixels
+
+	minVal, maxVal float64
+}
+
+// NewSlider creates a slider spanning [lo, hi] with both handles at the
+// extremes (no filtering).
+func NewSlider(index int, lo, hi, trackPx float64) *Slider {
+	return &Slider{Index: index, Lo: lo, Hi: hi, TrackPx: trackPx, minVal: lo, maxVal: hi}
+}
+
+// Range returns the current filtered range.
+func (s *Slider) Range() (minVal, maxVal float64) { return s.minVal, s.maxVal }
+
+// ValueAt converts a pixel position on the track to a domain value,
+// clamped.
+func (s *Slider) ValueAt(px float64) float64 {
+	if s.TrackPx <= 0 {
+		return s.Lo
+	}
+	f := px / s.TrackPx
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return s.Lo + f*(s.Hi-s.Lo)
+}
+
+// PixelOf converts a domain value to its pixel position on the track.
+func (s *Slider) PixelOf(v float64) float64 {
+	if s.Hi <= s.Lo {
+		return 0
+	}
+	return (v - s.Lo) / (s.Hi - s.Lo) * s.TrackPx
+}
+
+// Drag moves one handle to the given pixel position at time now. It
+// returns a slider event and true when the filtered range changed. Handles
+// cannot cross: dragging one into the other pins it there.
+func (s *Slider) Drag(now time.Duration, h Handle, px float64) (trace.SliderEvent, bool) {
+	v := s.ValueAt(px)
+	oldMin, oldMax := s.minVal, s.maxVal
+	switch h {
+	case HandleMin:
+		if v > s.maxVal {
+			v = s.maxVal
+		}
+		s.minVal = v
+	case HandleMax:
+		if v < s.minVal {
+			v = s.minVal
+		}
+		s.maxVal = v
+	}
+	if s.minVal == oldMin && s.maxVal == oldMax {
+		return trace.SliderEvent{}, false
+	}
+	return trace.SliderEvent{At: now, SliderIdx: s.Index, MinVal: s.minVal, MaxVal: s.maxVal}, true
+}
+
+// Reset returns both handles to the domain extremes.
+func (s *Slider) Reset() { s.minVal, s.maxVal = s.Lo, s.Hi }

@@ -1,0 +1,23 @@
+package widget
+
+import "testing"
+
+func TestParseTileRoundTrip(t *testing.T) {
+	for _, tile := range []Tile{{Z: 12, X: 1205, Y: 1539}, {Z: 1, X: 0, Y: 1}, {Z: 18, X: 262143, Y: 0}} {
+		got, err := ParseTile(tile.String())
+		if err != nil {
+			t.Fatalf("ParseTile(%q): %v", tile.String(), err)
+		}
+		if got != tile {
+			t.Errorf("round trip %v → %v", tile, got)
+		}
+	}
+}
+
+func TestParseTileErrors(t *testing.T) {
+	for _, s := range []string{"", "12", "a/b/c", "1/2"} {
+		if _, err := ParseTile(s); err == nil {
+			t.Errorf("ParseTile(%q) succeeded", s)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package widget
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestScrollViewInertialCoasting(t *testing.T) {
+	sv := NewScrollView(4000, 120, true)
+	sv.Flick(300) // px/frame
+	var events int
+	var total float64
+	now := time.Duration(0)
+	for sv.Coasting() {
+		now += sv.FrameEvery
+		ev, moved := sv.Step(now)
+		if !moved {
+			break
+		}
+		events++
+		total += ev.Delta
+		if ev.Delta < 0 {
+			t.Fatal("downward flick produced upward delta")
+		}
+	}
+	if events < 20 {
+		t.Errorf("coasted only %d frames; inertia too weak", events)
+	}
+	// Geometric series: 300/(1-0.94) = 5000px total ≈ 41 tuples.
+	if total < 3000 || total > 6000 {
+		t.Errorf("coast distance %v px, want ≈5000", total)
+	}
+	if sv.TupleAt(sv.Pos()) < 20 {
+		t.Errorf("ended at tuple %d", sv.TupleAt(sv.Pos()))
+	}
+}
+
+func TestScrollViewNonInertial(t *testing.T) {
+	sv := NewScrollView(4000, 120, false)
+	sv.Flick(300)
+	if sv.Coasting() {
+		t.Error("non-inertial view coasting")
+	}
+	if sv.Pos() != 300 {
+		t.Errorf("pos = %v, want 300 (immediate)", sv.Pos())
+	}
+	ev, moved := sv.Wheel(time.Second, 4)
+	if !moved || ev.Delta != 4 || ev.ScrollTop != 304 {
+		t.Errorf("wheel event = %+v, %v", ev, moved)
+	}
+}
+
+func TestScrollViewEdges(t *testing.T) {
+	sv := NewScrollView(10, 100, true)
+	// Scroll above the top.
+	if _, moved := sv.Wheel(0, -50); moved {
+		t.Error("scrolled above top")
+	}
+	// Massive flick pins at the bottom and momentum dies.
+	sv.Flick(1e9)
+	now := time.Duration(0)
+	for i := 0; i < 10 && sv.Coasting(); i++ {
+		now += sv.FrameEvery
+		sv.Step(now)
+	}
+	if sv.Pos() != 1000 {
+		t.Errorf("pos = %v, want pinned at 1000", sv.Pos())
+	}
+	if sv.Coasting() {
+		t.Error("momentum survived the edge")
+	}
+	if got := sv.TupleAt(5000); got != 9 {
+		t.Errorf("TupleAt clamps to %d, want 9", got)
+	}
+	if got := sv.TupleAt(-5); got != 0 {
+		t.Errorf("TupleAt(-5) = %d", got)
+	}
+}
+
+func TestScrollStop(t *testing.T) {
+	sv := NewScrollView(100, 100, true)
+	sv.Flick(200)
+	sv.Stop()
+	if sv.Coasting() {
+		t.Error("Stop did not kill velocity")
+	}
+}
+
+func TestSliderMapping(t *testing.T) {
+	s := NewSlider(0, 0, 100, 500)
+	if got := s.ValueAt(250); got != 50 {
+		t.Errorf("ValueAt(250) = %v", got)
+	}
+	if got := s.ValueAt(-10); got != 0 {
+		t.Errorf("ValueAt(-10) = %v", got)
+	}
+	if got := s.ValueAt(9999); got != 100 {
+		t.Errorf("ValueAt(9999) = %v", got)
+	}
+	if got := s.PixelOf(50); got != 250 {
+		t.Errorf("PixelOf(50) = %v", got)
+	}
+}
+
+func TestSliderDrag(t *testing.T) {
+	s := NewSlider(2, 0, 100, 500)
+	ev, changed := s.Drag(time.Second, HandleMax, 250)
+	if !changed || ev.SliderIdx != 2 || ev.MinVal != 0 || ev.MaxVal != 50 {
+		t.Errorf("event = %+v, changed %v", ev, changed)
+	}
+	// No-op drag to the same position.
+	if _, changed := s.Drag(2*time.Second, HandleMax, 250); changed {
+		t.Error("no-op drag reported change")
+	}
+	// Handles cannot cross.
+	ev, changed = s.Drag(3*time.Second, HandleMin, 400)
+	if !changed || ev.MinVal != 50 {
+		t.Errorf("crossing drag = %+v", ev)
+	}
+	mn, mx := s.Range()
+	if mn != 50 || mx != 50 {
+		t.Errorf("range = [%v, %v]", mn, mx)
+	}
+	s.Reset()
+	mn, mx = s.Range()
+	if mn != 0 || mx != 100 {
+		t.Errorf("after reset range = [%v, %v]", mn, mx)
+	}
+}
+
+func TestMapProjectionRoundTrip(t *testing.T) {
+	for _, z := range []int{3, 11, 14} {
+		for _, c := range [][2]float64{{40.71, -74.0}, {-33.86, 151.2}, {0, 0}} {
+			x, y := project(c[0], c[1], z)
+			lat, lng := unproject(x, y, z)
+			if math.Abs(lat-c[0]) > 1e-6 || math.Abs(lng-c[1]) > 1e-6 {
+				t.Errorf("z%d roundtrip (%v,%v) → (%v,%v)", z, c[0], c[1], lat, lng)
+			}
+		}
+	}
+}
+
+func TestMapBoundsContainCenter(t *testing.T) {
+	m := NewMapView(12, 40.71, -74.0)
+	swLat, swLng, neLat, neLng := m.Bounds()
+	if !(swLat < 40.71 && 40.71 < neLat && swLng < -74.0 && -74.0 < neLng) {
+		t.Errorf("bounds [%v,%v]–[%v,%v] exclude center", swLat, swLng, neLat, neLng)
+	}
+	clat, clng := m.BoundCenter()
+	if math.Abs(clat-40.71) > 0.01 || math.Abs(clng+74.0) > 0.01 {
+		t.Errorf("bound center (%v,%v)", clat, clng)
+	}
+}
+
+func TestMapZoomHalvesBounds(t *testing.T) {
+	m := NewMapView(10, 40.71, -74.0)
+	_, swLng1, _, neLng1 := m.Bounds()
+	if !m.ZoomIn() {
+		t.Fatal("ZoomIn failed")
+	}
+	_, swLng2, _, neLng2 := m.Bounds()
+	ratio := (neLng1 - swLng1) / (neLng2 - swLng2)
+	if math.Abs(ratio-2) > 0.01 {
+		t.Errorf("zoom-in bounds ratio %v, want 2", ratio)
+	}
+	m.Zoom = m.MaxZoom
+	if m.ZoomIn() {
+		t.Error("zoomed past MaxZoom")
+	}
+	m.Zoom = m.MinZoom
+	if m.ZoomOut() {
+		t.Error("zoomed below MinZoom")
+	}
+}
+
+func TestMapPan(t *testing.T) {
+	m := NewMapView(12, 40.71, -74.0)
+	lng0 := m.CenterLng
+	m.Pan(512, 0) // east by 2 tiles
+	if m.CenterLng <= lng0 {
+		t.Error("eastward pan decreased longitude")
+	}
+	lat0 := m.CenterLat
+	m.Pan(0, 512) // south
+	if m.CenterLat >= lat0 {
+		t.Error("southward pan increased latitude")
+	}
+	m.PanDegrees(100, 0)
+	if m.CenterLat > 85 {
+		t.Error("PanDegrees did not clamp latitude")
+	}
+}
+
+func TestVisibleTiles(t *testing.T) {
+	m := NewMapView(12, 40.71, -74.0)
+	tiles := m.VisibleTiles()
+	// 1024×768 viewport at 256px tiles covers 4–5 × 3–4 tiles.
+	if len(tiles) < 12 || len(tiles) > 30 {
+		t.Errorf("visible tiles = %d", len(tiles))
+	}
+	for _, tile := range tiles {
+		if tile.Z != 12 {
+			t.Errorf("tile zoom %d", tile.Z)
+		}
+		if tile.X < 0 || tile.Y < 0 {
+			t.Errorf("negative tile %v", tile)
+		}
+	}
+	if tiles[0].String() == "" {
+		t.Error("empty tile string")
+	}
+	// At zoom 1 the world is 2×2 tiles; viewport covers everything but
+	// must not emit out-of-range tiles.
+	m2 := NewMapView(1, 0, 0)
+	for _, tile := range m2.VisibleTiles() {
+		if tile.X < 0 || tile.X > 1 || tile.Y < 0 || tile.Y > 1 {
+			t.Errorf("tile out of world range: %v", tile)
+		}
+	}
+}
+
+func TestQueryURLDeterministic(t *testing.T) {
+	m := NewMapView(6, 32.3, -86.9)
+	f := map[string]string{"price_max": "56", "guests": "3", "price_min": "10"}
+	u1 := m.QueryURL("Alabama United-States", f)
+	u2 := m.QueryURL("Alabama United-States", f)
+	if u1 != u2 {
+		t.Error("QueryURL not deterministic")
+	}
+	for _, want := range []string{"sw_lat=", "zoom=6", "guests=3", "price_min=10", "search_by_map=true"} {
+		if !contains(u1, want) {
+			t.Errorf("URL missing %q: %s", want, u1)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestFilterSet(t *testing.T) {
+	f := NewFilterSet()
+	if f.Len() != 0 {
+		t.Error("new set not empty")
+	}
+	f.Set("price_min", "10")
+	f.Set("price_max", "56")
+	f.Set("price_min", "20") // replace
+	if f.Len() != 2 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	if !f.Has("price_min") || f.Has("guests") {
+		t.Error("Has wrong")
+	}
+	keys := f.Keys()
+	if len(keys) != 2 || keys[0] != "price_max" {
+		t.Errorf("Keys = %v", keys)
+	}
+	m := f.Map()
+	m["mutate"] = "x"
+	if f.Has("mutate") {
+		t.Error("Map not a copy")
+	}
+	f.Remove("price_min")
+	f.Remove("missing")
+	if f.Len() != 1 {
+		t.Errorf("after remove Len = %d", f.Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{KindMap: "map", KindSlider: "slider", KindCheckbox: "checkbox", KindButton: "button", KindTextBox: "text box"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind %d = %q", k, k.String())
+		}
+	}
+}

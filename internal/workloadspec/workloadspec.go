@@ -1,0 +1,196 @@
+// Package workloadspec implements declarative interaction workloads in the
+// style of IDEBench, which the paper discusses as the emerging benchmark
+// approach: workloads defined as predefined navigation patterns rather
+// than recorded from humans. A Spec is a JSON document naming crossfilter
+// dimensions and a deterministic script of interactions (brushes, resets,
+// pauses); compiling it yields the same slider-event traces the stochastic
+// user models produce, so specs plug into every replay policy and metric.
+package workloadspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/opt"
+	"repro/internal/trace"
+)
+
+// Spec is one declarative workload.
+type Spec struct {
+	Name         string        `json:"name"`
+	Table        string        `json:"table"`
+	Dims         []DimSpec     `json:"dims"`
+	Interactions []Interaction `json:"interactions"`
+}
+
+// DimSpec names one filterable column and its domain.
+type DimSpec struct {
+	Column string  `json:"column"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+}
+
+// Interaction is one scripted step.
+//
+// Types:
+//
+//	brush: drag one handle of one dimension linearly from From to To over
+//	       DurationMS, emitting an event every EventEveryMS (default 20).
+//	reset: return a dimension's handles to its domain extremes (one event).
+//	pause: advance time without events (think time).
+type Interaction struct {
+	Type         string  `json:"type"`
+	Dim          int     `json:"dim"`
+	Handle       string  `json:"handle,omitempty"` // "min" or "max" (brush)
+	From         float64 `json:"from,omitempty"`
+	To           float64 `json:"to,omitempty"`
+	DurationMS   int     `json:"duration_ms,omitempty"`
+	EventEveryMS int     `json:"event_every_ms,omitempty"`
+}
+
+// FromJSON decodes and validates a spec.
+func FromJSON(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workloadspec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks structural soundness.
+func (s *Spec) Validate() error {
+	if s.Table == "" {
+		return fmt.Errorf("workloadspec: missing table")
+	}
+	if len(s.Dims) == 0 {
+		return fmt.Errorf("workloadspec: no dimensions")
+	}
+	for i, d := range s.Dims {
+		if d.Column == "" {
+			return fmt.Errorf("workloadspec: dim %d has no column", i)
+		}
+		if d.Hi <= d.Lo {
+			return fmt.Errorf("workloadspec: dim %d (%s) has empty domain [%g, %g]", i, d.Column, d.Lo, d.Hi)
+		}
+	}
+	for i, in := range s.Interactions {
+		switch in.Type {
+		case "brush":
+			if in.Dim < 0 || in.Dim >= len(s.Dims) {
+				return fmt.Errorf("workloadspec: interaction %d brushes unknown dim %d", i, in.Dim)
+			}
+			if in.Handle != "min" && in.Handle != "max" {
+				return fmt.Errorf("workloadspec: interaction %d needs handle min or max, got %q", i, in.Handle)
+			}
+			if in.DurationMS <= 0 {
+				return fmt.Errorf("workloadspec: interaction %d needs positive duration_ms", i)
+			}
+			if in.EventEveryMS < 0 {
+				return fmt.Errorf("workloadspec: interaction %d has negative event_every_ms", i)
+			}
+		case "reset":
+			if in.Dim < 0 || in.Dim >= len(s.Dims) {
+				return fmt.Errorf("workloadspec: interaction %d resets unknown dim %d", i, in.Dim)
+			}
+		case "pause":
+			if in.DurationMS <= 0 {
+				return fmt.Errorf("workloadspec: interaction %d needs positive duration_ms", i)
+			}
+		default:
+			return fmt.Errorf("workloadspec: interaction %d has unknown type %q", i, in.Type)
+		}
+	}
+	return nil
+}
+
+// CrossfilterDims converts the spec's dimensions for workload building.
+func (s *Spec) CrossfilterDims() []opt.CrossfilterDim {
+	out := make([]opt.CrossfilterDim, len(s.Dims))
+	for i, d := range s.Dims {
+		out[i] = opt.CrossfilterDim{Column: d.Column, Lo: d.Lo, Hi: d.Hi}
+	}
+	return out
+}
+
+// Events compiles the script to a slider-event trace. Brush values clamp
+// to the dimension domain, and handles never cross (the widget's
+// semantics).
+func (s *Spec) Events() ([]trace.SliderEvent, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// Track current ranges per dim.
+	ranges := make([][2]float64, len(s.Dims))
+	for i, d := range s.Dims {
+		ranges[i] = [2]float64{d.Lo, d.Hi}
+	}
+	var out []trace.SliderEvent
+	now := time.Duration(0)
+	for _, in := range s.Interactions {
+		switch in.Type {
+		case "pause":
+			now += time.Duration(in.DurationMS) * time.Millisecond
+		case "reset":
+			d := s.Dims[in.Dim]
+			ranges[in.Dim] = [2]float64{d.Lo, d.Hi}
+			out = append(out, trace.SliderEvent{
+				At: now, SliderIdx: in.Dim, MinVal: d.Lo, MaxVal: d.Hi,
+			})
+			now += 20 * time.Millisecond
+		case "brush":
+			every := time.Duration(in.EventEveryMS) * time.Millisecond
+			if every == 0 {
+				every = 20 * time.Millisecond
+			}
+			dur := time.Duration(in.DurationMS) * time.Millisecond
+			steps := int(dur / every)
+			if steps < 1 {
+				steps = 1
+			}
+			d := s.Dims[in.Dim]
+			for k := 1; k <= steps; k++ {
+				v := in.From + (in.To-in.From)*float64(k)/float64(steps)
+				if v < d.Lo {
+					v = d.Lo
+				}
+				if v > d.Hi {
+					v = d.Hi
+				}
+				r := ranges[in.Dim]
+				if in.Handle == "min" {
+					if v > r[1] {
+						v = r[1]
+					}
+					r[0] = v
+				} else {
+					if v < r[0] {
+						v = r[0]
+					}
+					r[1] = v
+				}
+				ranges[in.Dim] = r
+				now += every
+				out = append(out, trace.SliderEvent{
+					At: now, SliderIdx: in.Dim, MinVal: r[0], MaxVal: r[1],
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Workload compiles the spec all the way to backend query events.
+func (s *Spec) Workload() ([]opt.QueryEvent, error) {
+	evs, err := s.Events()
+	if err != nil {
+		return nil, err
+	}
+	return opt.BuildCrossfilterWorkload(evs, s.Table, s.CrossfilterDims())
+}

@@ -1,0 +1,158 @@
+package workloadspec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validSpec() *Spec {
+	return &Spec{
+		Name:  "sweep",
+		Table: "dataroad",
+		Dims: []DimSpec{
+			{Column: "x", Lo: 0, Hi: 10},
+			{Column: "y", Lo: -1, Hi: 1},
+		},
+		Interactions: []Interaction{
+			{Type: "brush", Dim: 0, Handle: "max", From: 10, To: 5, DurationMS: 200, EventEveryMS: 20},
+			{Type: "pause", DurationMS: 1000},
+			{Type: "brush", Dim: 1, Handle: "min", From: -1, To: 0, DurationMS: 100},
+			{Type: "reset", Dim: 0},
+		},
+	}
+}
+
+func TestFromJSON(t *testing.T) {
+	src := `{
+	  "name": "zoom-in",
+	  "table": "dataroad",
+	  "dims": [{"column": "x", "lo": 0, "hi": 10}],
+	  "interactions": [
+	    {"type": "brush", "dim": 0, "handle": "max", "from": 10, "to": 2, "duration_ms": 100}
+	  ]
+	}`
+	s, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "zoom-in" || len(s.Dims) != 1 {
+		t.Errorf("spec = %+v", s)
+	}
+	// Unknown fields rejected.
+	if _, err := FromJSON(strings.NewReader(`{"table":"t","dims":[],"bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := FromJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Table = "" },
+		func(s *Spec) { s.Dims = nil },
+		func(s *Spec) { s.Dims[0].Column = "" },
+		func(s *Spec) { s.Dims[0].Hi = s.Dims[0].Lo },
+		func(s *Spec) { s.Interactions[0].Dim = 9 },
+		func(s *Spec) { s.Interactions[0].Handle = "middle" },
+		func(s *Spec) { s.Interactions[0].DurationMS = 0 },
+		func(s *Spec) { s.Interactions[0].EventEveryMS = -1 },
+		func(s *Spec) { s.Interactions[1].DurationMS = 0 },
+		func(s *Spec) { s.Interactions[3].Dim = -1 },
+		func(s *Spec) { s.Interactions[0].Type = "wiggle" },
+	}
+	for i, mutate := range mutations {
+		s := validSpec()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if err := validSpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestEventsCompilation(t *testing.T) {
+	s := validSpec()
+	evs, err := s.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200ms/20ms = 10 brush events + 100ms/20ms = 5 events + 1 reset.
+	if len(evs) != 16 {
+		t.Fatalf("events = %d, want 16", len(evs))
+	}
+	// Timestamps nondecreasing and pause respected.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+	// Event 10 (first after the pause) starts ≥ 1s after event 9.
+	if evs[10].At-evs[9].At < time.Second {
+		t.Errorf("pause not honored: gap %v", evs[10].At-evs[9].At)
+	}
+	// First brush drags x's max handle from 10 toward 5.
+	if evs[0].SliderIdx != 0 || evs[0].MaxVal >= 10 || evs[9].MaxVal != 5 {
+		t.Errorf("brush endpoints: first %+v last %+v", evs[0], evs[9])
+	}
+	// Reset restores the full domain.
+	last := evs[len(evs)-1]
+	if last.SliderIdx != 0 || last.MinVal != 0 || last.MaxVal != 10 {
+		t.Errorf("reset event = %+v", last)
+	}
+}
+
+func TestBrushClampingAndCrossing(t *testing.T) {
+	s := &Spec{
+		Table: "t",
+		Dims:  []DimSpec{{Column: "x", Lo: 0, Hi: 10}},
+		Interactions: []Interaction{
+			// Max handle dragged below the min handle's position after min
+			// was raised: handles must not cross.
+			{Type: "brush", Dim: 0, Handle: "min", From: 0, To: 6, DurationMS: 60},
+			{Type: "brush", Dim: 0, Handle: "max", From: 10, To: 2, DurationMS: 60},
+			// Out-of-domain target clamps.
+			{Type: "brush", Dim: 0, Handle: "max", From: 6, To: 99, DurationMS: 60},
+		},
+	}
+	evs, err := s.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if ev.MinVal > ev.MaxVal {
+			t.Fatalf("handles crossed: %+v", ev)
+		}
+		if ev.MinVal < 0 || ev.MaxVal > 10 {
+			t.Fatalf("event outside domain: %+v", ev)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.MaxVal != 10 {
+		t.Errorf("clamped brush ended at %v, want 10", last.MaxVal)
+	}
+}
+
+func TestWorkloadCompilation(t *testing.T) {
+	s := validSpec()
+	events, err := s.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no query events")
+	}
+	// n-1 = 1 query per event for 2 dims.
+	for _, ev := range events {
+		if len(ev.Stmts) != 1 {
+			t.Fatalf("event has %d stmts", len(ev.Stmts))
+		}
+	}
+	dims := s.CrossfilterDims()
+	if len(dims) != 2 || dims[0].Column != "x" {
+		t.Errorf("dims = %+v", dims)
+	}
+}
