@@ -662,6 +662,93 @@ func BenchmarkExtReuse(b *testing.B) {
 	b.ReportMetric(hitRate*100, "hit_%")
 }
 
+// --- Parallel execution ----------------------------------------------------------
+
+// fullRoads is the paper-scale 434,874-row road table, built once; the
+// parallel benchmarks use it so speedups are measured at the cardinality
+// the paper's crossfilter case study runs at.
+var (
+	fullRoadOnce sync.Once
+	fullRoads    *storage.Table
+)
+
+func fullRoadTable() *storage.Table {
+	fullRoadOnce.Do(func() { fullRoads = dataset.Roads(1, dataset.RoadCount) })
+	return fullRoads
+}
+
+// BenchmarkParallelHistogram is the parallel-vs-serial contrast on the
+// engine's filtered-histogram fast path: identical query, identical result
+// bytes, worker count swept over P ∈ {1, 2, 4, 8}. On a multi-core host
+// P≥4 should run the 434,874-row aggregate at least 2× faster than the
+// P=1 serial oracle; on a single-core host the sweep degenerates into a
+// measure of scheduling overhead.
+func BenchmarkParallelHistogram(b *testing.B) {
+	roads := fullRoadTable()
+	stmt := mustHistogram()
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run("p"+itoa(p), func(b *testing.B) {
+			eng := engine.New(engine.ProfileMemory)
+			eng.SetParallelism(p)
+			eng.Register(roads)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Execute(stmt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Stats.UsedFastPath {
+					b.Fatal("fast path missed")
+				}
+			}
+			b.SetBytes(int64(roads.NumRows() * 24))
+		})
+	}
+}
+
+// BenchmarkParallelCrossfilter sweeps worker counts over incremental brush
+// updates at paper scale.
+func BenchmarkParallelCrossfilter(b *testing.B) {
+	roads := fullRoadTable()
+	lonLo, lonHi, _, _, _, _ := dataset.RoadBounds()
+	mid := (lonLo + lonHi) / 2
+	for _, p := range []int{1, 4} {
+		b.Run("p"+itoa(p), func(b *testing.B) {
+			cf, err := crossfilter.New(roads, []string{"x", "y", "z"}, 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cf.SetParallelism(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := lonLo + float64(i%40)/40*(mid-lonLo)
+				cf.SetFilter(0, lo, mid)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCubeBuild sweeps worker counts over the one-time cube
+// build, the third filtered-histogram backend.
+func BenchmarkParallelCubeBuild(b *testing.B) {
+	roads := fullRoadTable()
+	lonLo, lonHi, latLo, latHi, altLo, altHi := dataset.RoadBounds()
+	dims := []datacube.Dim{
+		{Name: "x", Lo: lonLo, Hi: lonHi, Bins: 20},
+		{Name: "y", Lo: latLo, Hi: latHi, Bins: 20},
+		{Name: "z", Lo: altLo, Hi: altHi, Bins: 20},
+	}
+	for _, p := range []int{1, 4} {
+		b.Run("p"+itoa(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := datacube.BuildWith(roads, dims, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationBackends compares the three ways to answer a filtered
 // histogram: SQL engine scan (fast path), crossfilter incremental update,
 // and the precomputed data cube (imMens/Nanocubes-style). The cube's cost

@@ -13,7 +13,9 @@ package crossfilter
 import (
 	"fmt"
 	"math"
+	"runtime"
 
+	"repro/internal/morsel"
 	"repro/internal/storage"
 )
 
@@ -66,6 +68,36 @@ type Crossfilter struct {
 	masks []uint32  // bit d set ⇒ record fails dimension d's filter
 	hists [][]int64 // hists[d][bin]: records passing all filters except d's
 	total int64     // records passing all filters
+
+	// parallelism is the worker count for morsel-parallel filter updates
+	// and rebuilds; 1 pins the serial path. Updates are deterministic at
+	// every level: each record's mask is owned by exactly one worker, and
+	// the histogram/total deltas are int64 counts whose merge is exact in
+	// any order.
+	parallelism int
+}
+
+// SetParallelism sets the worker count for filter updates and rebuilds.
+// 1 selects the serial path (the differential-test oracle); values below 1
+// are clamped to runtime.GOMAXPROCS(0). Not safe to call concurrently with
+// SetFilter/ClearFilter.
+func (c *Crossfilter) SetParallelism(p int) {
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	c.parallelism = p
+}
+
+// Parallelism returns the configured worker count.
+func (c *Crossfilter) Parallelism() int { return c.parallelism }
+
+// workers returns the effective worker count for the record count, forcing
+// the serial path below two morsels.
+func (c *Crossfilter) workers() int {
+	if c.parallelism <= 1 || c.n < 2*morsel.Size {
+		return 1
+	}
+	return morsel.Workers(c.parallelism, c.n)
 }
 
 // New builds a crossfilter over the named numeric columns of the table,
@@ -81,7 +113,7 @@ func New(table *storage.Table, dimNames []string, bins int) (*Crossfilter, error
 		return nil, fmt.Errorf("crossfilter: at most 32 dimensions (got %d)", len(dimNames))
 	}
 	n := table.NumRows()
-	c := &Crossfilter{n: n, masks: make([]uint32, n)}
+	c := &Crossfilter{n: n, masks: make([]uint32, n), parallelism: runtime.GOMAXPROCS(0)}
 	for _, name := range dimNames {
 		col := table.Column(name)
 		if col == nil {
@@ -94,11 +126,15 @@ func New(table *storage.Table, dimNames []string, bins int) (*Crossfilter, error
 		d := &Dimension{Name: name, Lo: lo, Hi: hi, Bins: bins}
 		d.values = make([]float64, n)
 		d.bins = make([]int32, n)
-		for i := 0; i < n; i++ {
-			v := col.Float(i)
-			d.values[i] = v
-			d.bins[i] = int32(d.BinOf(v))
-		}
+		// Each slot is computed independently from the column, so workers
+		// writing disjoint ranges produce the exact serial result.
+		morsel.Run(n, c.workers(), func(_, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := col.Float(i)
+				d.values[i] = v
+				d.bins[i] = int32(d.BinOf(v))
+			}
+		})
 		c.dims = append(c.dims, d)
 	}
 	c.hists = make([][]int64, len(c.dims))
@@ -170,45 +206,90 @@ func (c *Crossfilter) ClearFilter(d int) {
 
 // applyFilter recomputes dimension d's fail bit for every record, applying
 // histogram deltas for records that changed.
+//
+// The scan is morsel-parallel: each worker owns disjoint records (masks
+// write in place) and accumulates its histogram and total changes into
+// private int64 delta buffers, merged exactly after the scan. Results are
+// identical to the serial path at every worker count.
 func (c *Crossfilter) applyFilter(d int, bit uint32, fails func(float64) bool) {
 	dim := c.dims[d]
-	for i := 0; i < c.n; i++ {
-		oldFail := c.masks[i]&bit != 0
-		newFail := fails(dim.values[i])
-		if oldFail == newFail {
-			continue
-		}
-		oldMask := c.masks[i]
-		var newMask uint32
-		if newFail {
-			newMask = oldMask | bit
-		} else {
-			newMask = oldMask &^ bit
-		}
-		c.masks[i] = newMask
+	workers := c.workers()
+	offs := c.histOffsets()
+	totals := make([]int64, workers)
+	deltas := make([][]int64, workers)
+	for w := range deltas {
+		deltas[w] = make([]int64, offs[len(c.dims)])
+	}
 
-		// Total: passes all filters.
-		if oldMask == 0 {
-			c.total--
-		}
-		if newMask == 0 {
-			c.total++
-		}
-		// Histograms: record contributes to hist[k] iff it passes all
-		// filters except k's. Flipping bit d changes contribution for every
-		// k whose remaining mask is affected.
-		for k, kd := range c.dims {
-			kbit := uint32(1) << uint(k)
-			oldIn := oldMask&^kbit == 0
-			newIn := newMask&^kbit == 0
-			if oldIn == newIn {
+	morsel.Run(c.n, workers, func(w, _, lo, hi int) {
+		delta := deltas[w]
+		for i := lo; i < hi; i++ {
+			oldFail := c.masks[i]&bit != 0
+			newFail := fails(dim.values[i])
+			if oldFail == newFail {
 				continue
 			}
-			b := kd.bins[i]
-			if newIn {
-				c.hists[k][b]++
+			oldMask := c.masks[i]
+			var newMask uint32
+			if newFail {
+				newMask = oldMask | bit
 			} else {
-				c.hists[k][b]--
+				newMask = oldMask &^ bit
+			}
+			c.masks[i] = newMask
+
+			// Total: passes all filters.
+			if oldMask == 0 {
+				totals[w]--
+			}
+			if newMask == 0 {
+				totals[w]++
+			}
+			// Histograms: record contributes to hist[k] iff it passes all
+			// filters except k's. Flipping bit d changes contribution for
+			// every k whose remaining mask is affected.
+			for k, kd := range c.dims {
+				kbit := uint32(1) << uint(k)
+				oldIn := oldMask&^kbit == 0
+				newIn := newMask&^kbit == 0
+				if oldIn == newIn {
+					continue
+				}
+				b := kd.bins[i]
+				if newIn {
+					delta[offs[k]+int(b)]++
+				} else {
+					delta[offs[k]+int(b)]--
+				}
+			}
+		}
+	})
+
+	c.mergeDeltas(offs, totals, deltas)
+}
+
+// histOffsets flattens the per-dimension histograms into one delta buffer
+// layout: dimension k's bins occupy [offs[k], offs[k+1]).
+func (c *Crossfilter) histOffsets() []int {
+	offs := make([]int, len(c.dims)+1)
+	for k := range c.dims {
+		offs[k+1] = offs[k] + len(c.hists[k])
+	}
+	return offs
+}
+
+// mergeDeltas folds per-worker totals and histogram deltas into the live
+// counters. Integer addition commutes, so the merge is exact regardless of
+// worker scheduling.
+func (c *Crossfilter) mergeDeltas(offs []int, totals []int64, deltas [][]int64) {
+	for _, t := range totals {
+		c.total += t
+	}
+	for _, delta := range deltas {
+		for k := range c.dims {
+			h := c.hists[k]
+			for b := range h {
+				h[b] += delta[offs[k]+b]
 			}
 		}
 	}
@@ -216,7 +297,9 @@ func (c *Crossfilter) applyFilter(d int, bit uint32, fails func(float64) bool) {
 
 // recomputeAll rebuilds every histogram and the total from scratch. Used at
 // construction and exposed (via RecomputeAll) as the non-incremental
-// baseline for the ablation benchmark.
+// baseline for the ablation benchmark. Morsel-parallel like applyFilter:
+// per-worker count deltas merge exactly, so the rebuild matches the serial
+// path at every worker count.
 func (c *Crossfilter) recomputeAll() {
 	c.total = 0
 	for d := range c.hists {
@@ -224,23 +307,37 @@ func (c *Crossfilter) recomputeAll() {
 			c.hists[d][b] = 0
 		}
 	}
-	for i := 0; i < c.n; i++ {
-		var mask uint32
-		for d, dim := range c.dims {
-			if dim.active && (dim.values[i] < dim.filterLo || dim.values[i] > dim.filterHi) {
-				mask |= 1 << uint(d)
-			}
-		}
-		c.masks[i] = mask
-		if mask == 0 {
-			c.total++
-		}
-		for d, dim := range c.dims {
-			if mask&^(1<<uint(d)) == 0 {
-				c.hists[d][dim.bins[i]]++
-			}
-		}
+
+	workers := c.workers()
+	offs := c.histOffsets()
+	totals := make([]int64, workers)
+	deltas := make([][]int64, workers)
+	for w := range deltas {
+		deltas[w] = make([]int64, offs[len(c.dims)])
 	}
+
+	morsel.Run(c.n, workers, func(w, _, lo, hi int) {
+		delta := deltas[w]
+		for i := lo; i < hi; i++ {
+			var mask uint32
+			for d, dim := range c.dims {
+				if dim.active && (dim.values[i] < dim.filterLo || dim.values[i] > dim.filterHi) {
+					mask |= 1 << uint(d)
+				}
+			}
+			c.masks[i] = mask
+			if mask == 0 {
+				totals[w]++
+			}
+			for d, dim := range c.dims {
+				if mask&^(1<<uint(d)) == 0 {
+					delta[offs[d]+int(dim.bins[i])]++
+				}
+			}
+		}
+	})
+
+	c.mergeDeltas(offs, totals, deltas)
 }
 
 // RecomputeAll performs a full non-incremental rebuild with the current

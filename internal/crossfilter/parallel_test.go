@@ -1,0 +1,87 @@
+package crossfilter
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/morsel"
+)
+
+// TestDifferentialParallelUpdates drives a serial-oracle crossfilter and a
+// parallel one through the same seeded sequence of brushes and clears, and
+// demands exactly equal totals and histograms after every step, for
+// P ∈ {2, 4, 8}.
+func TestDifferentialParallelUpdates(t *testing.T) {
+	roads := dataset.Roads(4, 5*morsel.Size)
+	dims := []string{"x", "y", "z"}
+	for _, p := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			serial, err := New(roads, dims, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial.SetParallelism(1)
+			parallel, err := New(roads, dims, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel.SetParallelism(p)
+
+			rng := rand.New(rand.NewSource(int64(300 + p)))
+			for step := 0; step < 40; step++ {
+				d := rng.Intn(len(dims))
+				if rng.Float64() < 0.2 {
+					serial.ClearFilter(d)
+					parallel.ClearFilter(d)
+				} else {
+					dim := serial.Dim(d)
+					span := dim.Hi - dim.Lo
+					lo := dim.Lo + rng.Float64()*span*0.9
+					hi := lo + rng.Float64()*(dim.Hi-lo)
+					serial.SetFilter(d, lo, hi)
+					parallel.SetFilter(d, lo, hi)
+				}
+				mustEqualState(t, step, serial, parallel)
+			}
+
+			// A full rebuild with the final filters must also agree.
+			serial.RecomputeAll()
+			parallel.RecomputeAll()
+			mustEqualState(t, -1, serial, parallel)
+		})
+	}
+}
+
+func mustEqualState(t *testing.T, step int, want, got *Crossfilter) {
+	t.Helper()
+	if want.Total() != got.Total() {
+		t.Fatalf("step %d: total %d vs %d", step, want.Total(), got.Total())
+	}
+	for d := 0; d < want.NumDims(); d++ {
+		wh, gh := want.Histogram(d), got.Histogram(d)
+		for b := range wh {
+			if wh[b] != gh[b] {
+				t.Fatalf("step %d: dim %d bin %d: %d vs %d", step, d, b, wh[b], gh[b])
+			}
+		}
+	}
+}
+
+// TestParallelConstructionMatchesSerial checks the parallel bin precompute
+// and initial rebuild in New against a fully serial construction.
+func TestParallelConstructionMatchesSerial(t *testing.T) {
+	roads := dataset.Roads(4, 3*morsel.Size)
+	a, err := New(roads, []string{"x", "y"}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(roads, []string{"x", "y"}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetParallelism(1)
+	b.RecomputeAll()
+	mustEqualState(t, 0, b, a)
+}

@@ -14,7 +14,9 @@ package datacube
 
 import (
 	"fmt"
+	"runtime"
 
+	"repro/internal/morsel"
 	"repro/internal/storage"
 )
 
@@ -64,8 +66,23 @@ type Cube struct {
 // maxCells bounds cube memory (8 bytes per cell).
 const maxCells = 1 << 26
 
-// Build constructs the cube from a table in one pass.
+// maxParallelCells caps per-worker scratch cubes during a parallel build;
+// above it (32 MB of partials per worker) the build falls back to the
+// serial loop rather than multiplying memory by the worker count.
+const maxParallelCells = 1 << 22
+
+// Build constructs the cube from a table in one pass, using up to
+// runtime.GOMAXPROCS(0) workers. Use BuildWith to pin the worker count
+// (1 is the serial oracle the differential tests compare against).
 func Build(t *storage.Table, dims []Dim) (*Cube, error) {
+	return BuildWith(t, dims, runtime.GOMAXPROCS(0))
+}
+
+// BuildWith constructs the cube with an explicit parallelism level. Workers
+// scan disjoint morsels of the table into private cell arrays that merge by
+// int64 addition, so the cube is identical to a serial build at every
+// worker count. Values below 1 mean runtime.GOMAXPROCS(0).
+func BuildWith(t *storage.Table, dims []Dim, parallelism int) (*Cube, error) {
 	if len(dims) == 0 {
 		return nil, fmt.Errorf("datacube: no dimensions")
 	}
@@ -94,14 +111,40 @@ func Build(t *storage.Table, dims []Dim) (*Cube, error) {
 		c.strides[i] = stride
 		stride *= dims[i].Bins
 	}
-	for row := 0; row < t.NumRows(); row++ {
-		idx := 0
-		for i, d := range dims {
-			idx += d.binOf(cols[i].Float(row)) * c.strides[i]
+
+	n := t.NumRows()
+	workers := 1
+	if parallelism != 1 && n >= 2*morsel.Size && total <= maxParallelCells {
+		workers = morsel.Workers(parallelism, n)
+	}
+	if workers <= 1 {
+		c.countRows(cols, c.cells, 0, n)
+		return c, nil
+	}
+	partials := make([][]int64, workers)
+	for w := range partials {
+		partials[w] = make([]int64, total)
+	}
+	morsel.Run(n, workers, func(w, _, lo, hi int) {
+		c.countRows(cols, partials[w], lo, hi)
+	})
+	for _, p := range partials {
+		for i, v := range p {
+			c.cells[i] += v
 		}
-		c.cells[idx]++
 	}
 	return c, nil
+}
+
+// countRows bins rows [lo, hi) into cells.
+func (c *Cube) countRows(cols []*storage.Column, cells []int64, lo, hi int) {
+	for row := lo; row < hi; row++ {
+		idx := 0
+		for i, d := range c.dims {
+			idx += d.binOf(cols[i].Float(row)) * c.strides[i]
+		}
+		cells[idx]++
+	}
 }
 
 // NumRecords returns the number of records aggregated into the cube.

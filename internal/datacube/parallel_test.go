@@ -1,0 +1,76 @@
+package datacube
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/morsel"
+)
+
+// TestDifferentialParallelBuild proves a parallel cube build is cell-for-
+// cell identical to the serial oracle at P ∈ {2, 4, 8}.
+func TestDifferentialParallelBuild(t *testing.T) {
+	roads := dataset.Roads(6, 5*morsel.Size)
+	lonLo, lonHi, latLo, latHi, altLo, altHi := dataset.RoadBounds()
+	dims := []Dim{
+		{Name: "x", Lo: lonLo, Hi: lonHi, Bins: 20},
+		{Name: "y", Lo: latLo, Hi: latHi, Bins: 20},
+		{Name: "z", Lo: altLo, Hi: altHi, Bins: 20},
+	}
+	serial, err := BuildWith(roads, dims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			parallel, err := BuildWith(roads, dims, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel.NumRecords() != serial.NumRecords() {
+				t.Fatalf("records %d vs %d", parallel.NumRecords(), serial.NumRecords())
+			}
+			if len(parallel.cells) != len(serial.cells) {
+				t.Fatalf("cells %d vs %d", len(parallel.cells), len(serial.cells))
+			}
+			for i, c := range serial.cells {
+				if parallel.cells[i] != c {
+					t.Fatalf("cell %d: %d vs %d", i, parallel.cells[i], c)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBuildFallsBackOnHugeCubes checks the per-worker memory guard:
+// cubes above maxParallelCells build serially but still correctly.
+func TestParallelBuildFallsBackOnHugeCubes(t *testing.T) {
+	roads := dataset.Roads(6, 2*morsel.Size)
+	lonLo, lonHi, latLo, latHi, altLo, altHi := dataset.RoadBounds()
+	// 170³ ≈ 4.9M cells — just past maxParallelCells, within maxCells.
+	big := []Dim{
+		{Name: "x", Lo: lonLo, Hi: lonHi, Bins: 170},
+		{Name: "y", Lo: latLo, Hi: latHi, Bins: 170},
+		{Name: "z", Lo: altLo, Hi: altHi, Bins: 170},
+	}
+	serial, err := BuildWith(roads, big, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := BuildWith(roads, big, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sn, pn int64
+	for i := range serial.cells {
+		sn += serial.cells[i]
+		pn += parallel.cells[i]
+		if serial.cells[i] != parallel.cells[i] {
+			t.Fatalf("cell %d: %d vs %d", i, parallel.cells[i], serial.cells[i])
+		}
+	}
+	if sn != int64(roads.NumRows()) || pn != sn {
+		t.Fatalf("cube mass %d/%d, want %d", sn, pn, roads.NumRows())
+	}
+}

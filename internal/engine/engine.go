@@ -13,6 +13,8 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sql"
@@ -97,24 +99,63 @@ func (r *Result) Histogram() (map[int]int64, bool) {
 	return h, true
 }
 
+// defaultParallelism is the process-wide default for new engines: 0 means
+// runtime.GOMAXPROCS(0). Atomic because tests flip it around concurrent
+// query runs.
+var defaultParallelism atomic.Int32
+
+// DefaultParallelism returns the default parallelism applied to new
+// engines; 0 means runtime.GOMAXPROCS(0).
+func DefaultParallelism() int { return int(defaultParallelism.Load()) }
+
+// SetDefaultParallelism changes the default parallelism for engines created
+// afterwards. 0 restores runtime.GOMAXPROCS(0); 1 forces the serial path.
+func SetDefaultParallelism(p int) { defaultParallelism.Store(int32(p)) }
+
 // Engine holds a catalog of tables and a cost profile.
 type Engine struct {
 	profile Profile
 	tables  map[string]*storage.Table
 	pool    *storage.BufferPool
+
+	// parallelism is the worker count for morsel-parallel operators;
+	// 1 pins the serial path (the oracle differential tests compare
+	// against). See parallel.go for the execution model.
+	parallelism int
 }
 
-// New creates an engine with the given profile.
+// New creates an engine with the given profile. Parallelism defaults to
+// DefaultParallelism (GOMAXPROCS unless overridden); use SetParallelism(1)
+// to pin the serial oracle path.
 func New(profile Profile) *Engine {
 	e := &Engine{
-		profile: profile,
-		tables:  make(map[string]*storage.Table),
+		profile:     profile,
+		tables:      make(map[string]*storage.Table),
+		parallelism: DefaultParallelism(),
+	}
+	if e.parallelism <= 0 {
+		e.parallelism = runtime.GOMAXPROCS(0)
 	}
 	if profile.PoolPages > 0 {
 		e.pool = storage.NewBufferPool(profile.PoolPages)
 	}
 	return e
 }
+
+// SetParallelism sets the engine's morsel-parallel worker count. 1 selects
+// the serial path; values above 1 enable parallel scans and aggregation
+// with results byte-identical to the serial path. Values below 1 are
+// clamped to runtime.GOMAXPROCS(0). Not safe to call concurrently with
+// Query/Execute.
+func (e *Engine) SetParallelism(p int) {
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	e.parallelism = p
+}
+
+// Parallelism returns the engine's worker count.
+func (e *Engine) Parallelism() int { return e.parallelism }
 
 // Profile returns the engine's cost profile.
 func (e *Engine) Profile() Profile { return e.profile }

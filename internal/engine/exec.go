@@ -79,6 +79,21 @@ func (e *Engine) filterRows(stmt *sql.SelectStmt, rel *relation, hasAgg bool, st
 		return out, true, nil
 	}
 
+	// Full scans (no early termination) run morsel-parallel: row order,
+	// tuple charges, and page charges are identical to the serial loop
+	// because every row is visited either way. Early-terminating scans
+	// stay serial — their charges depend on where the scan stops.
+	if need < 0 {
+		if workers := e.parallelWorkers(n); workers > 1 {
+			out := scanFilter(rel, filter, workers)
+			stats.TuplesScanned += n
+			if rel.table != nil {
+				e.chargePages(rel.table, 0, n, stats)
+			}
+			return out, false, nil
+		}
+	}
+
 	var out [][]storage.Value
 	scanned := 0
 	for i := 0; i < n; i++ {
@@ -288,35 +303,17 @@ func (e *Engine) runAggregate(stmt *sql.SelectStmt, rel *relation, rows [][]stor
 		groupFns[i] = f
 	}
 
-	type group struct {
-		rep    []storage.Value
-		states []aggState
-	}
-	groups := map[string]*group{}
-	var order []string
-	for _, row := range rows {
-		keyVals := make([]storage.Value, len(groupFns))
-		for i, f := range groupFns {
-			keyVals[i] = f(row)
-		}
-		k := encodeRowKey(keyVals)
-		g := groups[k]
-		if g == nil {
-			g = &group{rep: row, states: make([]aggState, len(specs))}
-			groups[k] = g
-			order = append(order, k)
-		}
-		for i, spec := range specs {
-			g.states[i].add(spec, row)
-		}
-	}
+	// Hash aggregation runs over morsel partials merged in morsel order
+	// (see groupAggregate in parallel.go); group order and every
+	// accumulated value are identical at any parallelism level.
+	groups, order := groupAggregate(rows, groupFns, specs, e.parallelWorkers(len(rows)))
 	// Global aggregation over an empty input still yields one group.
 	if len(groupFns) == 0 && len(order) == 0 {
 		empty := make([]storage.Value, len(rel.bindings))
 		for i, b := range rel.bindings {
 			empty[i] = storage.Value{Type: b.typ}
 		}
-		groups[""] = &group{rep: empty, states: make([]aggState, len(specs))}
+		groups[""] = &aggGroup{rep: empty, states: make([]aggState, len(specs))}
 		order = append(order, "")
 	}
 

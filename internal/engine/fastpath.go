@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"math"
 	"sort"
 
 	"repro/internal/sql"
@@ -267,80 +266,33 @@ func constValue(e sql.Expr) (float64, bool) {
 const fastBinOffset = 4096
 
 // runHistogram executes a matched histogram query as one pass over the
-// column slices.
+// column slices. The pass is morsel-parallel (see parallel.go): pages are
+// charged up front by the coordinator exactly as the serial path does, and
+// the int64 bin counts merge exactly, so results and cost accounting are
+// identical at every parallelism level.
 func (e *Engine) runHistogram(q *histQuery, stats *ExecStats) *Result {
 	n := q.table.NumRows()
 	stats.TuplesScanned += n
 	e.chargePages(q.table, 0, n, stats)
 
-	dense := make([]int64, 2*fastBinOffset)
-	var sparse map[int]int64
-
-	binFloats := q.bin.col.Floats
-	binInts := q.bin.col.Ints
-	a, b := q.bin.a, q.bin.b
-
-rows:
-	for i := 0; i < n; i++ {
-		for _, p := range q.preds {
-			var x float64
-			if p.col.Type == storage.Float64 {
-				x = p.col.Floats[i]
-			} else {
-				x = float64(p.col.Ints[i])
-			}
-			switch p.op {
-			case ">=":
-				if !(x >= p.val) {
-					continue rows
-				}
-			case "<=":
-				if !(x <= p.val) {
-					continue rows
-				}
-			case ">":
-				if !(x > p.val) {
-					continue rows
-				}
-			case "<":
-				if !(x < p.val) {
-					continue rows
-				}
-			}
-		}
-		var v float64
-		if binFloats != nil {
-			v = binFloats[i]
-		} else {
-			v = float64(binInts[i])
-		}
-		bin := int(math.Round(a*v + b))
-		if idx := bin + fastBinOffset; idx >= 0 && idx < len(dense) {
-			dense[idx]++
-		} else {
-			if sparse == nil {
-				sparse = make(map[int]int64)
-			}
-			sparse[bin]++
-		}
-	}
+	acc := countHistogram(q, n, e.parallelWorkers(n))
 
 	var bins []int
-	for idx, c := range dense {
+	for idx, c := range acc.dense {
 		if c > 0 {
 			bins = append(bins, idx-fastBinOffset)
 		}
 	}
-	for bin := range sparse {
+	for bin := range acc.sparse {
 		bins = append(bins, bin)
 	}
 	sort.Ints(bins)
 
 	rows := make([][]storage.Value, len(bins))
 	for i, bin := range bins {
-		c := sparse[bin]
-		if idx := bin + fastBinOffset; idx >= 0 && idx < len(dense) {
-			c = dense[idx]
+		c := acc.sparse[bin]
+		if idx := bin + fastBinOffset; idx >= 0 && idx < len(acc.dense) {
+			c = acc.dense[idx]
 		}
 		rows[i] = []storage.Value{storage.NewFloat(float64(bin)), storage.NewInt(c)}
 	}

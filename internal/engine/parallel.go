@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/morsel"
+	"repro/internal/storage"
+)
+
+// This file implements the engine's morsel-driven parallel operators: the
+// filtered scan feeding runGeneric, the hash aggregate, and the histogram
+// fast path. Parallel execution must be observationally identical to the
+// serial oracle (Parallelism = 1) — same rows, same bytes, same cost-model
+// charges — so each operator follows two rules:
+//
+//  1. Cost accounting (pages through the buffer pool, tuples scanned) is
+//     charged by the coordinating goroutine over the same ranges in the
+//     same order as the serial path. Workers never touch the pool.
+//  2. Partial results merge deterministically: integer counts merge
+//     per-worker (commutative), while order-sensitive state — output row
+//     order, first-seen group order, floating-point sums — merges in
+//     morsel-index order, whose boundaries depend only on the input size.
+//
+// Early-terminating scans (LIMIT without ORDER BY/GROUP BY) stay serial:
+// their tuple charges depend on where the scan stops, which a parallel
+// scan cannot reproduce without serializing anyway.
+
+// parallelWorkers returns the worker count for an n-row operator input: the
+// engine's parallelism capped by morsel count, forced serial below two
+// morsels where scheduling overhead cannot pay off.
+func (e *Engine) parallelWorkers(n int) int {
+	if e.parallelism <= 1 || n < 2*morsel.Size {
+		return 1
+	}
+	return morsel.Workers(e.parallelism, n)
+}
+
+// scanFilter applies filter over all rows of rel, preserving row order.
+// Workers filter disjoint morsels into per-morsel buffers that concatenate
+// in morsel order, so the output is byte-identical to a serial scan.
+func scanFilter(rel *relation, filter evalFunc, workers int) [][]storage.Value {
+	n := rel.numRows()
+	parts := make([][][]storage.Value, morsel.Count(n))
+	morsel.Run(n, workers, func(_, m, lo, hi int) {
+		var out [][]storage.Value
+		for i := lo; i < hi; i++ {
+			row := rel.row(i)
+			if filter != nil && !truthy(filter(row)) {
+				continue
+			}
+			out = append(out, row)
+		}
+		parts[m] = out
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([][]storage.Value, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// aggGroup accumulates all aggregate states of one group; rep is the
+// group's first input row, against which non-aggregate projections
+// evaluate.
+type aggGroup struct {
+	rep    []storage.Value
+	states []aggState
+}
+
+// aggPartial is one morsel's worth of hash aggregation.
+type aggPartial struct {
+	groups map[string]*aggGroup
+	order  []string // first-seen order within the morsel
+}
+
+// merge folds o into s. count/min/max merges are exact; sum addition is
+// floating point, which is why partials merge in morsel order: the fold
+// sequence depends only on morsel boundaries, never on the worker count.
+func (s *aggState) merge(o *aggState) {
+	s.count += o.count
+	s.sum += o.sum
+	if !o.seen {
+		return
+	}
+	if !s.seen {
+		s.min, s.max, s.seen = o.min, o.max, true
+		return
+	}
+	if o.min.Compare(s.min) < 0 {
+		s.min = o.min
+	}
+	if o.max.Compare(s.max) > 0 {
+		s.max = o.max
+	}
+}
+
+// groupAggregate hash-aggregates the filtered rows. Every parallelism level
+// — including the serial oracle — computes per-morsel partials and merges
+// them in morsel order, so group order (first occurrence in row order) and
+// every accumulated value are identical for any worker count. For inputs of
+// a single morsel this degenerates to exactly the pre-parallel serial loop.
+func groupAggregate(rows [][]storage.Value, groupFns []evalFunc, specs []*aggSpec, workers int) (map[string]*aggGroup, []string) {
+	n := len(rows)
+	partials := make([]aggPartial, morsel.Count(n))
+	morsel.Run(n, workers, func(_, m, lo, hi int) {
+		p := aggPartial{groups: map[string]*aggGroup{}}
+		keyVals := make([]storage.Value, len(groupFns))
+		for i := lo; i < hi; i++ {
+			row := rows[i]
+			for j, f := range groupFns {
+				keyVals[j] = f(row)
+			}
+			k := encodeRowKey(keyVals)
+			g := p.groups[k]
+			if g == nil {
+				g = &aggGroup{rep: row, states: make([]aggState, len(specs))}
+				p.groups[k] = g
+				p.order = append(p.order, k)
+			}
+			for j, spec := range specs {
+				g.states[j].add(spec, row)
+			}
+		}
+		partials[m] = p
+	})
+
+	groups := map[string]*aggGroup{}
+	var order []string
+	for _, p := range partials {
+		for _, k := range p.order {
+			pg := p.groups[k]
+			g := groups[k]
+			if g == nil {
+				groups[k] = pg
+				order = append(order, k)
+				continue
+			}
+			for j := range g.states {
+				g.states[j].merge(&pg.states[j])
+			}
+		}
+	}
+	return groups, order
+}
+
+// histAcc is one worker's histogram accumulator: a dense window around bin
+// zero plus a sparse spill map, mirroring the serial fast path's layout.
+type histAcc struct {
+	dense  []int64
+	sparse map[int]int64
+}
+
+// countHistogram runs the fast path's filter+bin counting loop over all
+// rows with the given worker count. Counts are int64, so per-worker
+// accumulators merge exactly regardless of order; the result is identical
+// at every parallelism level.
+func countHistogram(q *histQuery, n, workers int) histAcc {
+	accs := make([]histAcc, workers)
+	for w := range accs {
+		accs[w].dense = make([]int64, 2*fastBinOffset)
+	}
+	morsel.Run(n, workers, func(w, _, lo, hi int) {
+		countHistogramRange(q, &accs[w], lo, hi)
+	})
+	out := accs[0]
+	for _, acc := range accs[1:] {
+		for i, c := range acc.dense {
+			out.dense[i] += c
+		}
+		for bin, c := range acc.sparse {
+			if out.sparse == nil {
+				out.sparse = make(map[int]int64)
+			}
+			out.sparse[bin] += c
+		}
+	}
+	return out
+}
+
+// countHistogramRange applies the range predicates and bins rows [lo, hi)
+// into acc.
+func countHistogramRange(q *histQuery, acc *histAcc, lo, hi int) {
+	binFloats := q.bin.col.Floats
+	binInts := q.bin.col.Ints
+	a, b := q.bin.a, q.bin.b
+
+rows:
+	for i := lo; i < hi; i++ {
+		for _, p := range q.preds {
+			var x float64
+			if p.col.Type == storage.Float64 {
+				x = p.col.Floats[i]
+			} else {
+				x = float64(p.col.Ints[i])
+			}
+			switch p.op {
+			case ">=":
+				if !(x >= p.val) {
+					continue rows
+				}
+			case "<=":
+				if !(x <= p.val) {
+					continue rows
+				}
+			case ">":
+				if !(x > p.val) {
+					continue rows
+				}
+			case "<":
+				if !(x < p.val) {
+					continue rows
+				}
+			}
+		}
+		var v float64
+		if binFloats != nil {
+			v = binFloats[i]
+		} else {
+			v = float64(binInts[i])
+		}
+		bin := int(math.Round(a*v + b))
+		if idx := bin + fastBinOffset; idx >= 0 && idx < len(acc.dense) {
+			acc.dense[idx]++
+		} else {
+			if acc.sparse == nil {
+				acc.sparse = make(map[int]int64)
+			}
+			acc.sparse[bin]++
+		}
+	}
+}

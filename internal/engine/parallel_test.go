@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/morsel"
+)
+
+// parallelRoadRows is sized so parallel scans actually engage (several
+// morsels) while keeping test time modest.
+const parallelRoadRows = 5 * morsel.Size
+
+// diffEngines returns a serial-oracle engine and a parallel engine over the
+// same road table with the given profile.
+func diffEngines(prof Profile, p int) (serial, parallel *Engine) {
+	roads := dataset.Roads(2, parallelRoadRows)
+	serial = New(prof)
+	serial.SetParallelism(1)
+	serial.Register(roads)
+	parallel = New(prof)
+	parallel.SetParallelism(p)
+	parallel.Register(roads)
+	return serial, parallel
+}
+
+// mustEqualResults asserts two results are exactly equal: columns, every
+// value bit-for-bit, and the cost accounting the model latency derives
+// from. RealTime is the only field allowed to differ.
+func mustEqualResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if len(want.Columns) != len(got.Columns) {
+		t.Fatalf("%s: columns %v vs %v", label, want.Columns, got.Columns)
+	}
+	for i := range want.Columns {
+		if want.Columns[i] != got.Columns[i] {
+			t.Fatalf("%s: column %d %q vs %q", label, i, want.Columns[i], got.Columns[i])
+		}
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: %d rows vs %d rows", label, len(want.Rows), len(got.Rows))
+	}
+	for r := range want.Rows {
+		if len(want.Rows[r]) != len(got.Rows[r]) {
+			t.Fatalf("%s: row %d width %d vs %d", label, r, len(want.Rows[r]), len(got.Rows[r]))
+		}
+		for c := range want.Rows[r] {
+			if want.Rows[r][c] != got.Rows[r][c] {
+				t.Fatalf("%s: row %d col %d: %v vs %v", label, r, c, want.Rows[r][c], got.Rows[r][c])
+			}
+		}
+	}
+	ws, gs := want.Stats, got.Stats
+	if ws.TuplesScanned != gs.TuplesScanned || ws.PagesTouched != gs.PagesTouched ||
+		ws.PageHits != gs.PageHits || ws.PageMisses != gs.PageMisses ||
+		ws.TuplesOutput != gs.TuplesOutput || ws.UsedFastPath != gs.UsedFastPath ||
+		ws.ModelCost != gs.ModelCost {
+		t.Fatalf("%s: stats diverge: serial %+v vs parallel %+v", label, ws, gs)
+	}
+}
+
+// diffQueries generates the seeded random query mix covering the three
+// parallelized operators: the histogram fast path, the generic hash
+// aggregate (including order-sensitive SUM/AVG merges), and the parallel
+// filtered scan feeding ORDER BY projections.
+func diffQueries(rng *rand.Rand, trials int) []string {
+	lonLo, lonHi, latLo, latHi, altLo, altHi := dataset.RoadBounds()
+	var qs []string
+	for i := 0; i < trials; i++ {
+		xa := lonLo + rng.Float64()*(lonHi-lonLo)*0.8
+		xb := xa + rng.Float64()*(lonHi-xa)
+		ya := latLo + rng.Float64()*(latHi-latLo)*0.8
+		yb := ya + rng.Float64()*(latHi-ya)
+		za := altLo + rng.Float64()*(altHi-altLo)*0.5
+		step := (latHi - latLo) / float64(10+rng.Intn(40))
+
+		bin := fmt.Sprintf("ROUND((y - %g) / %g)", latLo, step)
+		qs = append(qs,
+			// Histogram fast path: vectorized filter + bin count.
+			fmt.Sprintf("SELECT %s, COUNT(*) FROM dataroad WHERE x >= %g AND x <= %g AND z >= %g GROUP BY %s ORDER BY %s",
+				bin, xa, xb, za, bin, bin),
+			// Generic hash aggregate with float SUM/AVG (two-argument
+			// ROUND defeats the fast path).
+			fmt.Sprintf("SELECT ROUND(y, 1), COUNT(*), SUM(x), AVG(z), MIN(x), MAX(z) FROM dataroad WHERE x >= %g GROUP BY ROUND(y, 1) ORDER BY ROUND(y, 1)",
+				xa),
+			// Parallel filtered scan into sort + projection.
+			fmt.Sprintf("SELECT x, y, z FROM dataroad WHERE y >= %g AND y <= %g ORDER BY x, y, z LIMIT 200",
+				ya, yb),
+			// Global aggregate, no grouping.
+			fmt.Sprintf("SELECT COUNT(*), SUM(z), MIN(y), MAX(x) FROM dataroad WHERE z >= %g", za),
+		)
+	}
+	return qs
+}
+
+// TestDifferentialParallelEngine proves parallel execution changes nothing
+// but wall-clock time: for seeded random queries, results and cost
+// accounting at P ∈ {2, 4, 8} match the serial oracle byte for byte, on
+// both cost profiles (the disk profile additionally exercises the shared
+// buffer pool's ordered charging).
+func TestDifferentialParallelEngine(t *testing.T) {
+	for _, prof := range []Profile{ProfileMemory, ProfileDisk} {
+		for _, p := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/p%d", prof.Name, p), func(t *testing.T) {
+				serial, parallel := diffEngines(prof, p)
+				rng := rand.New(rand.NewSource(int64(40 + p)))
+				for _, q := range diffQueries(rng, 4) {
+					want, err := serial.Query(q)
+					if err != nil {
+						t.Fatalf("serial: %v (query %s)", err, q)
+					}
+					got, err := parallel.Query(q)
+					if err != nil {
+						t.Fatalf("parallel: %v (query %s)", err, q)
+					}
+					mustEqualResults(t, q, want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRepeatDeterminism reruns the same queries at P=8 and demands
+// identical answers — catching map-iteration or merge-order
+// nondeterminism that a single serial-vs-parallel comparison could miss.
+func TestParallelRepeatDeterminism(t *testing.T) {
+	_, eng := diffEngines(ProfileMemory, 8)
+	rng := rand.New(rand.NewSource(99))
+	for _, q := range diffQueries(rng, 2) {
+		first, err := eng.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			again, err := eng.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, fmt.Sprintf("repeat %d of %s", rep, q), first, again)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/morsel"
+)
+
+// TestConcurrentQueriesSharedEngine hammers one shared engine — and with
+// the disk profile, one shared buffer pool — from many goroutines while the
+// engine's own morsel workers run underneath. It exists to fail under
+// `go test -race`: the buffer pool's LRU list and counters are the only
+// mutable state concurrent read-only queries share, and every touch must
+// serialize on the pool's mutex.
+//
+// Result correctness is checked against a precomputed serial answer for the
+// deterministic memory profile; for the disk profile only error-freedom and
+// row counts are asserted, since hit/miss splits legitimately depend on
+// interleaving.
+func TestConcurrentQueriesSharedEngine(t *testing.T) {
+	roads := dataset.Roads(2, 3*morsel.Size)
+
+	queries := []string{
+		"SELECT ROUND((y - 56) / 0.05), COUNT(*) FROM dataroad WHERE x >= 8.2 AND x <= 10.5 GROUP BY ROUND((y - 56) / 0.05) ORDER BY ROUND((y - 56) / 0.05)",
+		"SELECT ROUND(y, 1), COUNT(*), SUM(x), MAX(z) FROM dataroad WHERE z >= 0 GROUP BY ROUND(y, 1) ORDER BY ROUND(y, 1)",
+		"SELECT x, y FROM dataroad WHERE y >= 56.5 ORDER BY x, y LIMIT 100",
+		"SELECT COUNT(*) FROM dataroad WHERE x >= 9 AND z < 40",
+		"SELECT x, z FROM dataroad LIMIT 50 OFFSET 1000",
+	}
+
+	for _, prof := range []Profile{ProfileMemory, ProfileDisk} {
+		t.Run(prof.Name, func(t *testing.T) {
+			eng := New(prof)
+			eng.SetParallelism(4)
+			eng.Register(roads)
+
+			// Oracle row shapes from a serial engine (memory profile so
+			// the answers are interleaving-independent).
+			oracle := New(ProfileMemory)
+			oracle.SetParallelism(1)
+			oracle.Register(roads)
+			want := make([]*Result, len(queries))
+			for i, q := range queries {
+				res, err := oracle.Query(q)
+				if err != nil {
+					t.Fatalf("oracle: %v (query %s)", err, q)
+				}
+				want[i] = res
+			}
+
+			const goroutines = 8
+			const rounds = 6
+			errs := make(chan error, goroutines*rounds*len(queries))
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						qi := (g + r) % len(queries)
+						res, err := eng.Query(queries[qi])
+						if err != nil {
+							errs <- fmt.Errorf("goroutine %d: %w", g, err)
+							continue
+						}
+						if len(res.Rows) != len(want[qi].Rows) {
+							errs <- fmt.Errorf("goroutine %d query %d: %d rows, want %d",
+								g, qi, len(res.Rows), len(want[qi].Rows))
+							continue
+						}
+						for ri := range res.Rows {
+							for ci := range res.Rows[ri] {
+								if res.Rows[ri][ci] != want[qi].Rows[ri][ci] {
+									errs <- fmt.Errorf("goroutine %d query %d row %d col %d: %v vs %v",
+										g, qi, ri, ci, res.Rows[ri][ci], want[qi].Rows[ri][ci])
+								}
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			// The pool's counters must balance: every page touch is either
+			// a hit or a miss, under any interleaving.
+			if pool := eng.Pool(); pool != nil {
+				hits, misses := pool.Stats()
+				if hits+misses == 0 {
+					t.Error("disk pool saw no touches")
+				}
+				if pool.Len() > pool.Capacity() {
+					t.Errorf("pool over capacity: %d > %d", pool.Len(), pool.Capacity())
+				}
+			}
+		})
+	}
+}

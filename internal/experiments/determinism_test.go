@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestParallelDeterminismGolden runs the two crossfilter experiments whose
+// replays execute real engine queries — fig13 (latency per condition) and
+// fig15 (latency-constraint violations) — twice under the same seed with
+// engine parallelism forced on, and demands byte-identical rendered
+// reports. Any map-iteration or merge-order nondeterminism in the parallel
+// operators would show up as a diff in the formatted medians and
+// percentages.
+func TestParallelDeterminismGolden(t *testing.T) {
+	old := engine.DefaultParallelism()
+	engine.SetDefaultParallelism(4)
+	defer engine.SetDefaultParallelism(old)
+
+	// Small but still parallel: the road table must span several morsels
+	// so replayed histogram queries actually fan out. Shape checks may
+	// fail at this scale; the golden comparison only needs the rendering
+	// to be reproducible, and PASS/FAIL lines are part of the bytes.
+	cfg := Quick()
+	cfg.RoadTuples = 40000
+	cfg.Users = 2
+
+	render := func() []byte {
+		ctx := NewContext(cfg)
+		var buf bytes.Buffer
+		for _, id := range []string{"fig13", "fig15"} {
+			exp, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			rep, err := exp.Run(cfg, ctx)
+			if err != nil {
+				t.Fatalf("experiment %s: %v", id, err)
+			}
+			rep.Render(&buf)
+		}
+		return buf.Bytes()
+	}
+
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		a, b := first, second
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := i - 120
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("renderings diverge at byte %d:\nrun1: …%s\nrun2: …%s",
+					i, a[lo:min(i+120, len(a))], b[lo:min(i+120, len(b))])
+			}
+		}
+		t.Fatalf("renderings differ in length: %d vs %d bytes", len(a), len(b))
+	}
+}

@@ -41,6 +41,14 @@ func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep in -short mode")
 	}
+	if raceEnabled {
+		// The sweep is strictly sequential — nothing here exercises
+		// concurrency that TestParallelDeterminismGolden (which replays
+		// the engine-heavy fig13/fig15 with parallelism forced on) does
+		// not, and under the race detector the full 20-experiment run
+		// blows past the per-package test timeout.
+		t.Skip("full experiment sweep under -race; see TestParallelDeterminismGolden")
+	}
 	var buf bytes.Buffer
 	reports, err := RunAll(Quick(), &buf)
 	if err != nil {

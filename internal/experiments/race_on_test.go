@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets heavyweight end-to-end tests scale down when the race
+// detector multiplies their runtime past the per-package test timeout.
+const raceEnabled = true

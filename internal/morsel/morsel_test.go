@@ -1,0 +1,73 @@
+package morsel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBoundsCoverInputExactly(t *testing.T) {
+	for _, n := range []int{0, 1, Size - 1, Size, Size + 1, 3*Size + 17} {
+		next := 0
+		for m := 0; m < Count(n); m++ {
+			lo, hi := Bounds(m, n)
+			if lo != next {
+				t.Fatalf("n=%d morsel %d: lo=%d, want %d", n, m, lo, next)
+			}
+			if hi <= lo || hi > n {
+				t.Fatalf("n=%d morsel %d: bad range [%d,%d)", n, m, lo, hi)
+			}
+			if m < Count(n)-1 && hi-lo != Size {
+				t.Fatalf("n=%d morsel %d: interior morsel has %d rows, want %d", n, m, hi-lo, Size)
+			}
+			next = hi
+		}
+		if next != n {
+			t.Fatalf("n=%d: morsels cover [0,%d), want [0,%d)", n, next, n)
+		}
+	}
+}
+
+func TestWorkersClamps(t *testing.T) {
+	if got := Workers(8, Size); got != 1 {
+		t.Errorf("one morsel should get one worker, got %d", got)
+	}
+	if got := Workers(8, 3*Size); got != 3 {
+		t.Errorf("workers should cap at morsel count: got %d, want 3", got)
+	}
+	if got := Workers(2, 100*Size); got != 2 {
+		t.Errorf("workers should honor requested parallelism: got %d, want 2", got)
+	}
+	if got := Workers(0, 100*Size); got < 1 {
+		t.Errorf("parallelism 0 must default to at least one worker, got %d", got)
+	}
+}
+
+// TestRunVisitsEveryMorselOnce checks the work-stealing loop dispatches each
+// morsel to exactly one worker, at any worker count, and that workers≤1 runs
+// inline (worker id always 0).
+func TestRunVisitsEveryMorselOnce(t *testing.T) {
+	n := 7*Size + 123
+	for _, workers := range []int{1, 2, 4, 8} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		Run(n, workers, func(worker, m, lo, hi int) {
+			if wantLo, wantHi := Bounds(m, n); lo != wantLo || hi != wantHi {
+				t.Errorf("workers=%d morsel %d: got [%d,%d), want [%d,%d)", workers, m, lo, hi, wantLo, wantHi)
+			}
+			if workers <= 1 && worker != 0 {
+				t.Errorf("inline run reported worker %d", worker)
+			}
+			mu.Lock()
+			seen[m]++
+			mu.Unlock()
+		})
+		if len(seen) != Count(n) {
+			t.Fatalf("workers=%d: visited %d morsels, want %d", workers, len(seen), Count(n))
+		}
+		for m, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: morsel %d visited %d times", workers, m, c)
+			}
+		}
+	}
+}

@@ -18,6 +18,16 @@ func FuzzParse(f *testing.F) {
 		"((((",
 		"'unterminated",
 		"SELECT a FROM (SELECT b FROM c) d",
+		// The idequery REPL's documented examples and the experiment
+		// drivers' generated shapes (opt.HistogramQuery, the ablation and
+		// differential suites).
+		"SELECT title, rating FROM imdb WHERE rating >= 8.5 AND year > 1990",
+		"SELECT genre, COUNT(*), AVG(rating), MAX(rating) FROM imdb WHERE year >= 1980 GROUP BY genre ORDER BY genre",
+		"SELECT ROUND((x - 8.1451) / 0.0796), COUNT(*) FROM dataroad WHERE x >= 8.1451 AND x <= 9.7375 AND y >= 56.5824 AND y <= 57.7507 AND z >= -3.2 AND z <= 120.5 GROUP BY ROUND((x - 8.1451) / 0.0796) ORDER BY ROUND((x - 8.1451) / 0.0796)",
+		"SELECT title, rating FROM ((SELECT id, rating FROM imdbrating LIMIT 200 OFFSET 100) tmp INNER JOIN movie ON tmp.id = movie.id)",
+		"SELECT ROUND(y, 1), COUNT(*), SUM(x), AVG(z), MIN(x), MAX(z) FROM dataroad WHERE x >= 9 GROUP BY ROUND(y, 1) ORDER BY ROUND(y, 1)",
+		"SELECT x, y, z FROM dataroad WHERE y >= 56.6 AND y <= 57.1 ORDER BY x, y, z LIMIT 200",
+		"SELECT COUNT(*) * 2 + 1 FROM t",
 	}
 	for _, s := range seeds {
 		f.Add(s)

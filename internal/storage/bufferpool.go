@@ -1,6 +1,9 @@
 package storage
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // BufferPool models a fixed-capacity page cache with LRU eviction. The disk
 // engine profile routes every page touch through a pool; misses are charged
@@ -8,8 +11,13 @@ import "container/list"
 // pool (every page is resident).
 //
 // Pages are identified by (table, page) pairs so one pool can back several
-// tables, as a real buffer manager would.
+// tables, as a real buffer manager would. All methods are safe for
+// concurrent use: one engine serves concurrent Query calls against a single
+// shared pool, so every touch serializes on the pool's mutex exactly as
+// latched buffer managers do. Recency order under concurrent queries
+// depends on their interleaving — hit/miss totals stay exact.
 type BufferPool struct {
+	mu       sync.Mutex
 	capacity int
 	lru      *list.List               // front = most recent
 	pages    map[PageID]*list.Element // element value is PageID
@@ -38,12 +46,18 @@ func NewBufferPool(capacity int) *BufferPool {
 func (p *BufferPool) Capacity() int { return p.capacity }
 
 // Len returns the number of resident pages.
-func (p *BufferPool) Len() int { return p.lru.Len() }
+func (p *BufferPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
 
 // Touch records an access to the page and reports whether it was resident
 // (hit). On a miss the page is faulted in, evicting the least recently used
 // page if the pool is full.
 func (p *BufferPool) Touch(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if el, ok := p.pages[id]; ok {
 		p.lru.MoveToFront(el)
 		p.hits++
@@ -65,15 +79,23 @@ func (p *BufferPool) Touch(id PageID) bool {
 // Contains reports whether the page is resident without affecting recency
 // or counters.
 func (p *BufferPool) Contains(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	_, ok := p.pages[id]
 	return ok
 }
 
 // Stats returns cumulative hit and miss counts.
-func (p *BufferPool) Stats() (hits, misses int64) { return p.hits, p.misses }
+func (p *BufferPool) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
 
 // HitRate returns hits/(hits+misses), or 0 before any access.
 func (p *BufferPool) HitRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	total := p.hits + p.misses
 	if total == 0 {
 		return 0
@@ -83,6 +105,8 @@ func (p *BufferPool) HitRate() float64 {
 
 // Reset empties the pool and zeroes the counters.
 func (p *BufferPool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.lru.Init()
 	p.pages = make(map[PageID]*list.Element)
 	p.hits, p.misses = 0, 0

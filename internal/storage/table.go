@@ -127,20 +127,25 @@ func (t *Table) NumRows() int {
 	return t.Columns[0].Len()
 }
 
+// pageRows returns the effective page granularity without mutating the
+// table — NumPages/PageOf are called from concurrent queries, so defaulting
+// a zero PageRows in place would be a data race.
+func (t *Table) pageRows() int {
+	if t.PageRows <= 0 {
+		return DefaultPageRows
+	}
+	return t.PageRows
+}
+
 // NumPages returns the number of storage pages the table occupies.
 func (t *Table) NumPages() int {
-	if t.PageRows <= 0 {
-		t.PageRows = DefaultPageRows
-	}
-	return (t.NumRows() + t.PageRows - 1) / t.PageRows
+	pr := t.pageRows()
+	return (t.NumRows() + pr - 1) / pr
 }
 
 // PageOf returns the page ID holding the given row.
 func (t *Table) PageOf(row int) int {
-	if t.PageRows <= 0 {
-		t.PageRows = DefaultPageRows
-	}
-	return row / t.PageRows
+	return row / t.pageRows()
 }
 
 // AppendRow appends one row. The number and types of values must match the
