@@ -1,0 +1,120 @@
+// Command idevald serves a chosen dataset and engine profile over HTTP:
+// the repo's backends (SQL engine, datacube brushing, map tiles) behind
+// internal/serve's admission queue, worker pool, per-session coalescing,
+// and online LCV/QIF metrics.
+//
+// Usage:
+//
+//	idevald [-addr :8080] [-dataset road|listings] [-rows N]
+//	        [-profile memory|disk] [-workers N] [-queue N]
+//	        [-constraint 500ms] [-execdelay 0] [-log FILE] [-seed N]
+//
+// Endpoints: POST /v1/query {session,seq,sql}; POST /v1/brush
+// {session,seq,ranges,moved}; GET /v1/tiles?session=&z=&x=&y=;
+// GET /metrics; GET /healthz. SIGTERM/SIGINT drain gracefully: admission
+// stops (new requests get 503), in-flight and queued work completes, then
+// the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	ds := flag.String("dataset", "road", "road or listings")
+	rows := flag.Int("rows", 0, "dataset cardinality (0 = paper scale)")
+	profile := flag.String("profile", "memory", "engine cost profile: memory or disk")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth")
+	constraint := flag.Duration("constraint", metrics.DefaultConstraint, "latency constraint for LCV reporting")
+	execDelay := flag.Duration("execdelay", 0, "artificial per-execution delay (overload experiments)")
+	logPath := flag.String("log", "", "tracefmt request log file (JSON lines)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	flag.Parse()
+
+	if err := run(*addr, *ds, *rows, *profile, *workers, *queue, *constraint, *execDelay, *logPath, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "idevald:", err)
+		os.Exit(1)
+	}
+}
+
+// buildBackends constructs the served table, engine, cube, and tile
+// columns for a dataset name.
+func buildBackends(ds string, rows int, prof engine.Profile, seed int64) (serve.Backends, error) {
+	switch ds {
+	case "road":
+		return serve.RoadBackends(seed, rows, prof)
+	case "listings":
+		return serve.ListingsBackends(seed, rows, prof)
+	default:
+		return serve.Backends{}, fmt.Errorf("unknown dataset %q", ds)
+	}
+}
+
+func run(addr, ds string, rows int, profile string, workers, queue int, constraint, execDelay time.Duration, logPath string, seed int64) error {
+	prof := engine.ProfileMemory
+	if profile == "disk" {
+		prof = engine.ProfileDisk
+	}
+
+	fmt.Fprintf(os.Stderr, "idevald: building %s dataset...\n", ds)
+	backends, err := buildBackends(ds, rows, prof, seed)
+	if err != nil {
+		return err
+	}
+
+	cfg := serve.Config{Workers: workers, QueueDepth: queue, Constraint: constraint, ExecDelay: execDelay}
+	if logPath != "" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Log = f
+	}
+	srv, err := serve.New(backends, cfg)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "idevald: serving %s (%s profile) on %s\n", ds, prof.Name, addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "idevald: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		return err
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "idevald: drained. issued=%d executed=%d coalesced=%d shed=%d lcv=%d p95=%.1fms\n",
+		st.Issued, st.Executed, st.Coalesced, st.Shed, st.LCV, st.P95MS)
+	return nil
+}

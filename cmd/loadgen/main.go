@@ -1,0 +1,179 @@
+// Command loadgen drives N concurrent synthetic users from
+// internal/behavior over real HTTP against an idevald server (or an
+// in-process one), mapping virtual-clock think times to wall clock, and
+// prints a paper-style report: achieved QIF, LCV%, latency percentiles
+// versus offered load, plus the serving layer's executed/coalesced/shed
+// accounting.
+//
+// Usage:
+//
+//	loadgen [-addr http://host:port]        # drive a running idevald
+//	loadgen [-rows N] [-profile memory]     # or spin up an in-process server
+//	        [-users 32] [-adjust 4] [-events 40] [-timescale 0.05]
+//	        [-workers N] [-queue N] [-execdelay 2ms] [-sqlevery 0]
+//	        [-seed 1] [-json BENCH_serve.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running idevald (empty = in-process server)")
+	users := flag.Int("users", 32, "concurrent synthetic users")
+	adjust := flag.Int("adjust", 4, "slider adjustments per user session")
+	events := flag.Int("events", 40, "max brush events per user (0 = uncapped)")
+	timescale := flag.Float64("timescale", 0.05, "virtual think time → wall clock multiplier")
+	seed := flag.Int64("seed", 1, "behavior and dataset seed")
+	sqlEvery := flag.Int("sqlevery", 0, "issue a SQL histogram query with every Nth brush (0 = off)")
+	jsonOut := flag.String("json", "", "write the report as JSON to this file")
+
+	// In-process server knobs (ignored with -addr):
+	rows := flag.Int("rows", 120000, "road dataset cardinality for the in-process server")
+	profile := flag.String("profile", "memory", "engine cost profile: memory or disk")
+	workers := flag.Int("workers", 2, "in-process worker pool size")
+	queue := flag.Int("queue", 8, "in-process admission queue depth")
+	execDelay := flag.Duration("execdelay", 2*time.Millisecond, "in-process per-execution delay")
+	flag.Parse()
+
+	if err := run(*addr, *users, *adjust, *events, *timescale, *seed, *sqlEvery, *jsonOut,
+		*rows, *profile, *workers, *queue, *execDelay); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, users, adjust, events int, timescale float64, seed int64, sqlEvery int,
+	jsonOut string, rows int, profile string, workers, queue int, execDelay time.Duration) error {
+	baseURL := addr
+	if baseURL == "" {
+		prof := engine.ProfileMemory
+		if profile == "disk" {
+			prof = engine.ProfileDisk
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: building in-process road server (%d rows)...\n", rows)
+		backends, err := serve.RoadBackends(seed, rows, prof)
+		if err != nil {
+			return err
+		}
+		srv, err := serve.New(backends, serve.Config{
+			Workers: workers, QueueDepth: queue, Constraint: metrics.DefaultConstraint, ExecDelay: execDelay,
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer httpSrv.Close()
+		baseURL = "http://" + ln.Addr().String()
+	}
+
+	cfg := serve.LoadConfig{
+		BaseURL:     baseURL,
+		Users:       users,
+		Adjustments: adjust,
+		MaxEvents:   events,
+		Seed:        seed,
+		TimeScale:   timescale,
+		Dims:        serve.RoadLoadDims(),
+		SQLEvery:    sqlEvery,
+		Table:       "dataroad",
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: driving %d users against %s...\n", users, baseURL)
+	report, err := serve.RunLoad(cfg)
+	if err != nil {
+		return err
+	}
+	printReport(report)
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary(report)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", jsonOut)
+	}
+
+	latest := 0
+	for _, u := range report.Users {
+		if u.GotLatest {
+			latest++
+		}
+	}
+	if latest != len(report.Users) {
+		return fmt.Errorf("%d/%d sessions did not receive their latest result", len(report.Users)-latest, len(report.Users))
+	}
+	if report.Responded != report.Issued {
+		return fmt.Errorf("dropped responses: issued %d, responded %d", report.Issued, report.Responded)
+	}
+	return nil
+}
+
+// printReport renders the run the way the paper reports load experiments:
+// offered load, what the backend actually executed, and the user-facing
+// latency metrics.
+func printReport(r *serve.LoadReport) {
+	s := r.Server
+	fmt.Printf("offered load:   %d queries from %d users in %v (QIF %.1f/s)\n",
+		r.Issued, len(r.Users), r.Wall.Round(time.Millisecond), r.QIFPerSec)
+	fmt.Printf("server:         executed %d  coalesced %d  shed %d  errors %d\n",
+		s.Executed, s.Coalesced, s.Shed, s.Errors)
+	fmt.Printf("frontend:       LCV %d (%.1f%% of issued)  over-constraint(%.*fms) %d\n",
+		s.LCV, 100*s.LCVPercent, 0, s.ConstraintMS, s.OverConstraint)
+	fmt.Printf("latency:        p50 %.1fms  p95 %.1fms  p99 %.1fms (client-observed)\n",
+		r.P50MS, r.P95MS, r.P99MS)
+	fmt.Printf("responses:      %d/%d (ok %d, shed %d, errors %d)\n",
+		r.Responded, r.Issued, r.OK, r.Shed, r.Errors)
+}
+
+// benchSummary is the BENCH_serve.json schema: the serving perf trajectory
+// CI tracks across PRs.
+type benchSummary struct {
+	Users      int     `json:"users"`
+	Issued     int     `json:"issued"`
+	Executed   int64   `json:"executed"`
+	Coalesced  int64   `json:"coalesced"`
+	Shed       int64   `json:"shed"`
+	QIFPerSec  float64 `json:"qif_per_sec"`
+	LCVPercent float64 `json:"lcv_percent"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	WallMS     float64 `json:"wall_ms"`
+}
+
+func summary(r *serve.LoadReport) benchSummary {
+	return benchSummary{
+		Users:      len(r.Users),
+		Issued:     r.Issued,
+		Executed:   r.Server.Executed,
+		Coalesced:  r.Server.Coalesced,
+		Shed:       r.Server.Shed,
+		QIFPerSec:  r.QIFPerSec,
+		LCVPercent: r.Server.LCVPercent,
+		P50MS:      r.P50MS,
+		P95MS:      r.P95MS,
+		P99MS:      r.P99MS,
+		WallMS:     float64(r.Wall) / float64(time.Millisecond),
+	}
+}

@@ -153,6 +153,12 @@ func (c *Cube) NumRecords() int { return c.records }
 // NumCells returns the cube's cell count.
 func (c *Cube) NumCells() int { return len(c.cells) }
 
+// NumDims returns the cube's dimension count.
+func (c *Cube) NumDims() int { return len(c.dims) }
+
+// Dim returns dimension i's descriptor.
+func (c *Cube) Dim(i int) Dim { return c.dims[i] }
+
 // DimIndex finds a dimension by name, or -1.
 func (c *Cube) DimIndex(name string) int {
 	for i, d := range c.dims {

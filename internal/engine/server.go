@@ -13,8 +13,11 @@ import (
 // the cascading delays of the paper's Figure 2), and the engine's cost
 // model for execution time.
 //
-// Queries must be submitted in nondecreasing issue-time order, which the
-// trace replayers guarantee.
+// Queries must be submitted in nondecreasing issue-time order. A query
+// issued before the previous one is rejected with an error rather than
+// silently misordering the timeline; a rejected or failed submission leaves
+// the server's clock and queue state untouched, so the caller can correct
+// the stream and continue.
 type Server struct {
 	Engine *Engine
 	// Network is the one-way network latency charged on both the request
@@ -60,12 +63,12 @@ func (s *Server) Submit(issue time.Duration, stmt *sql.SelectStmt) (Record, erro
 	if issue < s.lastIssue {
 		return Record{}, fmt.Errorf("engine: query issued at %v after one at %v", issue, s.lastIssue)
 	}
-	s.lastIssue = issue
 
 	res, err := s.Engine.Execute(stmt)
 	if err != nil {
 		return Record{}, err
 	}
+	s.lastIssue = issue
 
 	arrive := issue + s.Network
 	start := arrive
@@ -103,7 +106,6 @@ func (s *Server) SubmitGroup(issue time.Duration, stmts []*sql.SelectStmt) ([]Re
 	if issue < s.lastIssue {
 		return nil, fmt.Errorf("engine: query issued at %v after one at %v", issue, s.lastIssue)
 	}
-	s.lastIssue = issue
 
 	results := make([]*Result, len(stmts))
 	var maxCost time.Duration
@@ -117,6 +119,7 @@ func (s *Server) SubmitGroup(issue time.Duration, stmts []*sql.SelectStmt) ([]Re
 			maxCost = res.Stats.ModelCost
 		}
 	}
+	s.lastIssue = issue
 
 	arrive := issue + s.Network
 	start := arrive

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sql"
+)
+
+// mustParse parses a statement or fails the test.
+func mustParse(t *testing.T, q string) *sql.SelectStmt {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return stmt
+}
+
+// TestServerRejectsDecreasingIssue pins the issue-order contract: a query
+// issued before the previous one is an error, not a silent misordering, and
+// the rejection leaves the server usable at the original clock.
+func TestServerRejectsDecreasingIssue(t *testing.T) {
+	eng := New(ProfileMemory)
+	eng.SetParallelism(1)
+	eng.Register(dataset.Movies(1, 200))
+	srv := &Server{Engine: eng, Network: time.Millisecond}
+
+	stmt := mustParse(t, "SELECT COUNT(*) FROM imdb")
+	if _, err := srv.Submit(100*time.Millisecond, stmt); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if _, err := srv.Submit(50*time.Millisecond, stmt); err == nil {
+		t.Fatal("decreasing issue time accepted by Submit")
+	}
+	if _, err := srv.SubmitGroup(50*time.Millisecond, []*sql.SelectStmt{stmt}); err == nil {
+		t.Fatal("decreasing issue time accepted by SubmitGroup")
+	}
+	// Equal issue times are nondecreasing and stay legal (coordinated
+	// events fire simultaneously).
+	if _, err := srv.Submit(100*time.Millisecond, stmt); err != nil {
+		t.Fatalf("equal issue time rejected: %v", err)
+	}
+	if srv.Submitted() != 2 {
+		t.Errorf("Submitted = %d, want 2 (rejections must not count)", srv.Submitted())
+	}
+}
+
+// TestServerFailedExecuteLeavesClock verifies that a submission whose query
+// fails does not advance the issue clock: the caller can retry a corrected
+// query at the same issue time.
+func TestServerFailedExecuteLeavesClock(t *testing.T) {
+	eng := New(ProfileMemory)
+	eng.SetParallelism(1)
+	eng.Register(dataset.Movies(1, 200))
+	srv := &Server{Engine: eng, Network: time.Millisecond}
+
+	good := mustParse(t, "SELECT COUNT(*) FROM imdb")
+	bad := mustParse(t, "SELECT COUNT(*) FROM nosuchtable")
+
+	if _, err := srv.Submit(10*time.Millisecond, good); err != nil {
+		t.Fatalf("good submit: %v", err)
+	}
+	if _, err := srv.Submit(20*time.Millisecond, bad); err == nil {
+		t.Fatal("query on missing table succeeded")
+	}
+	// The failed submission at 20ms must not have advanced lastIssue:
+	// a later query at 15ms (>=10ms, <20ms) is still in order.
+	if _, err := srv.Submit(15*time.Millisecond, good); err != nil {
+		t.Fatalf("clock advanced by failed submission: %v", err)
+	}
+	if _, err := srv.SubmitGroup(12*time.Millisecond, []*sql.SelectStmt{good}); err == nil {
+		t.Fatal("decreasing issue accepted after successful submits")
+	}
+	if _, err := srv.SubmitGroup(30*time.Millisecond, []*sql.SelectStmt{good, bad}); err == nil {
+		t.Fatal("group with failing member succeeded")
+	}
+	// Failed group must not advance the clock either.
+	if _, err := srv.Submit(25*time.Millisecond, good); err != nil {
+		t.Fatalf("clock advanced by failed group: %v", err)
+	}
+}

@@ -212,6 +212,31 @@ func (b Breakdown) String() string {
 
 // --- Latency Constraint Violation ----------------------------------------
 
+// DefaultConstraint is the repo-wide wall-clock latency constraint: the
+// 500 ms threshold §3.1.1 cites as the added delay that is noticeable and
+// depresses analysis behavior (Liu & Heer). The simulator's replay results
+// and the serving layer both evaluate against this single constant unless
+// the caller overrides it.
+const DefaultConstraint = 500 * time.Millisecond
+
+// OverConstraint counts latencies that exceed a fixed wall-clock
+// constraint; pass 0 to use DefaultConstraint. This is the server-side
+// companion to LCV: LCV asks "did the result arrive before the user's next
+// action", OverConstraint asks "did the result arrive inside the published
+// perceptual budget".
+func OverConstraint(latencies []time.Duration, constraint time.Duration) int {
+	if constraint <= 0 {
+		constraint = DefaultConstraint
+	}
+	n := 0
+	for _, l := range latencies {
+		if l > constraint {
+			n++
+		}
+	}
+	return n
+}
+
 // LCV counts latency constraint violations in a query sequence: query i
 // violates when its result arrives after query i+1 was issued (the user was
 // still waiting when they acted again — Figure 2). The final query violates

@@ -175,6 +175,24 @@ func TestIntervalHistogram(t *testing.T) {
 	}
 }
 
+func TestOverConstraint(t *testing.T) {
+	lats := []time.Duration{
+		10 * time.Millisecond,
+		DefaultConstraint, // at the boundary: not a violation
+		DefaultConstraint + time.Millisecond,
+		2 * time.Second,
+	}
+	if got := OverConstraint(lats, 0); got != 2 {
+		t.Errorf("OverConstraint(default) = %d, want 2", got)
+	}
+	if got := OverConstraint(lats, 5*time.Millisecond); got != 4 {
+		t.Errorf("OverConstraint(5ms) = %d, want 4", got)
+	}
+	if got := OverConstraint(nil, 0); got != 0 {
+		t.Errorf("OverConstraint(nil) = %d, want 0", got)
+	}
+}
+
 func TestThroughput(t *testing.T) {
 	if got := Throughput(100, 2*time.Second); got != 50 {
 		t.Errorf("Throughput = %v", got)

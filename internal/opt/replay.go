@@ -37,6 +37,13 @@ func (r *ReplayResult) LCVPercent() float64 {
 	return metrics.LCVPercent(r.Issues, r.Finishes, 0)
 }
 
+// OverConstraint counts executed queries whose user-perceived latency
+// exceeded metrics.DefaultConstraint — the same fixed wall-clock budget the
+// serving layer reports, so simulated and served runs are comparable.
+func (r *ReplayResult) OverConstraint() int {
+	return metrics.OverConstraint(r.Latency, metrics.DefaultConstraint)
+}
+
 // ReplayRaw submits every query event (the paper's "raw" condition).
 func ReplayRaw(srv *engine.Server, events []QueryEvent) (*ReplayResult, error) {
 	res := &ReplayResult{Policy: "raw", Offered: len(events)}

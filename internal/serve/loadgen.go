@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/opt"
+)
+
+// LoadConfig drives N concurrent synthetic users against a serving
+// endpoint over real HTTP. Each user is a behavior.SimulateSliderUser
+// brushing trace whose virtual-clock think times are mapped to wall clock
+// by TimeScale, reproducing the paper's workload-first discipline: the
+// offered load comes from interaction models, not an open-loop generator.
+type LoadConfig struct {
+	BaseURL string
+	Client  *http.Client
+
+	Users       int
+	Adjustments int // slider adjustments per user's session
+	MaxEvents   int // cap on brush events per user (0 = uncapped)
+	Seed        int64
+	TimeScale   float64 // virtual think time → wall clock multiplier (1 = real time)
+
+	// Dims are the brushable dimensions (the cube's, in order).
+	Dims []opt.CrossfilterDim
+	// SQLEvery issues a SQL histogram query alongside every Nth brush
+	// (0 = brush-only). Table names the SQL table.
+	SQLEvery int
+	Table    string
+}
+
+// UserResult is one synthetic user's outcome.
+type UserResult struct {
+	Session    string
+	Issued     int
+	Responded  int // every issued request got an HTTP response
+	OK         int
+	Shed       int
+	Errors     int
+	MaxSeq     int64
+	FinalSeq   int64 // highest applied_seq observed
+	GotLatest  bool  // the session's latest state was executed
+	Latencies  []time.Duration
+	IssueTimes []time.Duration // wall offsets, for client-side QIF
+}
+
+// LoadReport aggregates a run: client-side counts and percentiles plus the
+// server's own /metrics snapshot, which is where executed, coalesced,
+// shed, and LCV live.
+type LoadReport struct {
+	Users     []UserResult
+	Issued    int
+	Responded int
+	OK        int
+	Shed      int
+	Errors    int
+	QIFPerSec float64
+	P50MS     float64
+	P95MS     float64
+	P99MS     float64
+	Wall      time.Duration
+	Server    Stats
+}
+
+// RunLoad executes the configured load and gathers the report. Every
+// request receives exactly one response; shed (429) brushes carrying a
+// user's final state are retried with backoff so each session's latest
+// result is eventually served, the way a real frontend re-issues its
+// settle query.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Users <= 0 || cfg.BaseURL == "" || len(cfg.Dims) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs BaseURL, Users, Dims")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Adjustments <= 0 {
+		cfg.Adjustments = 4
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+
+	report := &LoadReport{Users: make([]UserResult, cfg.Users)}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			report.Users[u] = runUser(cfg, u, start)
+		}(u)
+	}
+	wg.Wait()
+	report.Wall = time.Since(start)
+
+	var lats []float64
+	var issues []time.Duration
+	for _, ur := range report.Users {
+		report.Issued += ur.Issued
+		report.Responded += ur.Responded
+		report.OK += ur.OK
+		report.Shed += ur.Shed
+		report.Errors += ur.Errors
+		lats = append(lats, metrics.Durations(ur.Latencies)...)
+		issues = append(issues, ur.IssueTimes...)
+	}
+	if len(lats) > 0 {
+		report.P50MS = metrics.Percentile(lats, 50)
+		report.P95MS = metrics.Percentile(lats, 95)
+		report.P99MS = metrics.Percentile(lats, 99)
+	}
+	sort.Slice(issues, func(i, j int) bool { return issues[i] < issues[j] })
+	report.QIFPerSec = metrics.MeasureQIF(issues).PerSecond
+
+	stats, err := FetchStats(cfg.Client, cfg.BaseURL)
+	if err != nil {
+		return report, fmt.Errorf("serve: loadgen: fetch /metrics: %w", err)
+	}
+	report.Server = *stats
+	return report, nil
+}
+
+// runUser replays one synthetic user's brushing trace over wall clock.
+// Requests are issued asynchronously — the slider keeps moving whether or
+// not the previous result arrived, which is exactly what makes server-side
+// coalescing matter.
+func runUser(cfg LoadConfig, u int, start time.Time) UserResult {
+	res := UserResult{Session: fmt.Sprintf("user-%d", u), FinalSeq: -1}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(u)*7919))
+
+	domains := make([][2]float64, len(cfg.Dims))
+	ranges := make([]*[2]float64, len(cfg.Dims))
+	for i, d := range cfg.Dims {
+		domains[i] = [2]float64{d.Lo, d.Hi}
+	}
+	sess := behavior.SimulateSliderUser(rng, device.Mouse, domains, cfg.Adjustments)
+	events := sess.Events
+	if cfg.MaxEvents > 0 && len(events) > cfg.MaxEvents {
+		events = events[:cfg.MaxEvents]
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	record := func(status int, appliedSeq int64, latency time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Responded++
+		switch {
+		case status == http.StatusOK:
+			res.OK++
+			res.Latencies = append(res.Latencies, latency)
+			if appliedSeq > res.FinalSeq {
+				res.FinalSeq = appliedSeq
+			}
+		case status == http.StatusTooManyRequests:
+			res.Shed++
+		default:
+			res.Errors++
+		}
+	}
+
+	var prev time.Duration
+	for i, ev := range events {
+		gap := time.Duration(float64(ev.At-prev) * cfg.TimeScale)
+		prev = ev.At
+		if gap > 0 {
+			time.Sleep(gap)
+		}
+		if ev.SliderIdx >= 0 && ev.SliderIdx < len(ranges) {
+			ranges[ev.SliderIdx] = &[2]float64{ev.MinVal, ev.MaxVal}
+		}
+		seq := int64(i)
+		req := BrushRequest{Session: res.Session, Seq: seq, Moved: ev.SliderIdx}
+		req.Ranges = snapshotRanges(ranges)
+		mu.Lock()
+		res.Issued++
+		res.MaxSeq = seq
+		res.IssueTimes = append(res.IssueTimes, time.Since(start))
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			status, appliedSeq := postBrush(cfg.Client, cfg.BaseURL, req)
+			record(status, appliedSeq, time.Since(t0))
+		}()
+
+		if cfg.SQLEvery > 0 && i%cfg.SQLEvery == 0 && cfg.Table != "" {
+			sqlSeq := seq
+			stmtRanges := make([][2]float64, len(cfg.Dims))
+			for d := range cfg.Dims {
+				stmtRanges[d] = domains[d]
+				if ranges[d] != nil {
+					stmtRanges[d] = *ranges[d]
+				}
+			}
+			mu.Lock()
+			res.Issued++
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				status := postSQL(cfg, res.Session, sqlSeq, stmtRanges)
+				record(status, -1, time.Since(t0))
+			}()
+		}
+	}
+	wg.Wait()
+
+	// Settle: if the user's final state was shed at admission, re-issue it
+	// until served — the frontend's "last brush wins" retry.
+	for attempt := 0; res.FinalSeq < res.MaxSeq && attempt < 50; attempt++ {
+		time.Sleep(5 * time.Millisecond)
+		seq := res.MaxSeq + 1 + int64(attempt)
+		req := BrushRequest{Session: res.Session, Seq: seq, Moved: 0, Ranges: snapshotRanges(ranges)}
+		mu.Lock()
+		res.Issued++
+		res.MaxSeq = seq
+		mu.Unlock()
+		t0 := time.Now()
+		status, appliedSeq := postBrush(cfg.Client, cfg.BaseURL, req)
+		record(status, appliedSeq, time.Since(t0))
+	}
+	res.GotLatest = res.FinalSeq >= res.MaxSeq
+	return res
+}
+
+func snapshotRanges(ranges []*[2]float64) []*[2]float64 {
+	out := make([]*[2]float64, len(ranges))
+	for i, r := range ranges {
+		if r != nil {
+			c := *r
+			out[i] = &c
+		}
+	}
+	return out
+}
+
+// postBrush issues one brush and returns the HTTP status and applied
+// sequence (-1 when unavailable). Transport errors read as status 0.
+func postBrush(client *http.Client, baseURL string, req BrushRequest) (int, int64) {
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(baseURL+"/v1/brush", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, -1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, -1
+	}
+	var br BrushResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return 0, -1
+	}
+	return resp.StatusCode, br.AppliedSeq
+}
+
+// postSQL issues the paper's filtered-histogram SQL query for the first
+// dimension under the current ranges.
+func postSQL(cfg LoadConfig, session string, seq int64, ranges [][2]float64) int {
+	stmt, err := opt.HistogramQuery(cfg.Table, cfg.Dims, ranges, 0, 20)
+	if err != nil {
+		return 0
+	}
+	body, _ := json.Marshal(QueryRequest{Session: session, Seq: seq, SQL: stmt.String()})
+	resp, err := cfg.Client.Post(cfg.BaseURL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// FetchStats pulls the server's /metrics snapshot.
+func FetchStats(client *http.Client, baseURL string) (*Stats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// maxLatencySamples bounds the registry's latency reservoir. A long-running
+// server keeps the most recent window rather than growing without bound;
+// percentile reports then describe recent behavior, which is what an
+// operator watching /metrics wants.
+const maxLatencySamples = 1 << 18
+
+// Registry is the serving layer's online metrics: the paper's frontend
+// metrics (LCV against the next-action definition, QIF) plus the classical
+// backend ones (latency percentiles, shed and error counts, queue depth),
+// all computed incrementally as requests flow.
+type Registry struct {
+	constraint time.Duration
+
+	mu             sync.Mutex
+	issued         int64
+	executed       int64
+	coalesced      int64
+	shed           int64
+	errors         int64
+	lcv            int64
+	overConstraint int64
+	regressions    int64
+
+	firstIssue time.Time
+	lastIssue  time.Time
+	latencies  []float64 // milliseconds, most recent maxLatencySamples
+	dropped    int64     // latency samples rotated out of the reservoir
+}
+
+// NewRegistry builds a registry evaluating against the given wall-clock
+// latency constraint; 0 means metrics.DefaultConstraint.
+func NewRegistry(constraint time.Duration) *Registry {
+	if constraint <= 0 {
+		constraint = metrics.DefaultConstraint
+	}
+	return &Registry{constraint: constraint}
+}
+
+// Constraint returns the wall-clock latency constraint in force.
+func (r *Registry) Constraint() time.Duration { return r.constraint }
+
+// recordIssue counts one offered request and feeds the QIF clock.
+func (r *Registry) recordIssue(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.issued == 0 {
+		r.firstIssue = now
+	}
+	r.issued++
+	r.lastIssue = now
+}
+
+// recordExec counts one backend execution. Under coalescing this runs once
+// per execution, not once per request, which is what makes executed <
+// issued the signature of the optimization working.
+func (r *Registry) recordExec() {
+	r.mu.Lock()
+	r.executed++
+	r.mu.Unlock()
+}
+
+// recordLatency records one responded request's user-perceived latency.
+func (r *Registry) recordLatency(latency time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if latency > r.constraint {
+		r.overConstraint++
+	}
+	if len(r.latencies) >= maxLatencySamples {
+		// Drop the oldest half in one move so appends stay amortized O(1).
+		half := len(r.latencies) / 2
+		r.dropped += int64(half)
+		r.latencies = append(r.latencies[:0], r.latencies[half:]...)
+	}
+	r.latencies = append(r.latencies, float64(latency)/float64(time.Millisecond))
+}
+
+// recordCoalesced counts one request superseded by a newer one.
+func (r *Registry) recordCoalesced() {
+	r.mu.Lock()
+	r.coalesced++
+	r.mu.Unlock()
+}
+
+// recordShed counts one request rejected at admission (HTTP 429).
+func (r *Registry) recordShed() {
+	r.mu.Lock()
+	r.shed++
+	r.mu.Unlock()
+}
+
+// recordError counts one request that failed during execution.
+func (r *Registry) recordError() {
+	r.mu.Lock()
+	r.errors++
+	r.mu.Unlock()
+}
+
+// recordLCV adds n latency-constraint violations: requests still in flight
+// when their session issued its next request (Figure 2's definition,
+// evaluated online).
+func (r *Registry) recordLCV(n int) {
+	if n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.lcv += int64(n)
+	r.mu.Unlock()
+}
+
+// recordRegression counts a per-session sequence regression: an executed
+// state older than one already applied. It must stay zero; the race
+// integration test asserts on it.
+func (r *Registry) recordRegression() {
+	r.mu.Lock()
+	r.regressions++
+	r.mu.Unlock()
+}
+
+// Stats is one /metrics snapshot.
+type Stats struct {
+	Issued         int64   `json:"issued"`
+	Executed       int64   `json:"executed"`
+	Coalesced      int64   `json:"coalesced"`
+	Shed           int64   `json:"shed"`
+	Errors         int64   `json:"errors"`
+	LCV            int64   `json:"lcv"`
+	LCVPercent     float64 `json:"lcv_percent"`
+	OverConstraint int64   `json:"over_constraint"`
+	ConstraintMS   float64 `json:"constraint_ms"`
+	Regressions    int64   `json:"seq_regressions"`
+	QIFPerSec      float64 `json:"qif_per_sec"`
+	P50MS          float64 `json:"p50_ms"`
+	P95MS          float64 `json:"p95_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	MaxMS          float64 `json:"max_ms"`
+	QueueDepth     int     `json:"queue_depth"`
+	Inflight       int     `json:"inflight"`
+}
+
+// snapshot computes the current stats; queue depth and inflight come from
+// the server, which owns those gauges.
+func (r *Registry) snapshot(queueDepth, inflight int) Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Issued:         r.issued,
+		Executed:       r.executed,
+		Coalesced:      r.coalesced,
+		Shed:           r.shed,
+		Errors:         r.errors,
+		LCV:            r.lcv,
+		OverConstraint: r.overConstraint,
+		ConstraintMS:   float64(r.constraint) / float64(time.Millisecond),
+		Regressions:    r.regressions,
+		QueueDepth:     queueDepth,
+		Inflight:       inflight,
+	}
+	if r.issued > 0 {
+		s.LCVPercent = float64(r.lcv) / float64(r.issued)
+	}
+	if r.issued > 1 {
+		if span := r.lastIssue.Sub(r.firstIssue); span > 0 {
+			s.QIFPerSec = float64(r.issued-1) / span.Seconds()
+		}
+	}
+	if len(r.latencies) > 0 {
+		s.P50MS = metrics.Percentile(r.latencies, 50)
+		s.P95MS = metrics.Percentile(r.latencies, 95)
+		s.P99MS = metrics.Percentile(r.latencies, 99)
+		s.MaxMS = metrics.Percentile(r.latencies, 100)
+	}
+	return s
+}

@@ -1,0 +1,698 @@
+// Package serve is the real network serving layer over the repo's
+// backends: HTTP/JSON handlers for SQL queries (internal/engine),
+// crossfilter brush updates (internal/datacube), and map-tile fetches,
+// with per-session state keyed by a session token.
+//
+// The server reproduces the paper's §3.1.1 latency components as
+// production plumbing rather than a virtual-clock model:
+//
+//   - network: real sockets — the handler's transport;
+//   - query scheduling: a bounded worker pool behind an admission queue.
+//     When the queue is full the request is shed with a fast 429 instead
+//     of joining the Figure 2 cascade;
+//   - query execution: the engine or cube itself;
+//   - per-session single-flight coalescing: a newer brush supersedes a
+//     queued stale one, the serving-side analog of opt.ReplaySkip
+//     (Algorithm 1) — every session still receives its latest result.
+//
+// Online metrics (LCV against a configurable latency constraint, QIF,
+// queue depth, latency percentiles, shed count) are exposed at /metrics;
+// /healthz reports liveness; request completions are logged in tracefmt
+// schema; Drain stops admission and waits for in-flight work on SIGTERM.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datacube"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/tracefmt"
+	"repro/internal/widget"
+)
+
+// Config tunes the serving layer's admission and scheduling plumbing.
+type Config struct {
+	// Workers is the execution pool size; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the admission queue; a request arriving with the
+	// queue full is shed with HTTP 429. 0 means 64.
+	QueueDepth int
+	// Constraint is the wall-clock latency constraint the registry
+	// evaluates; 0 means metrics.DefaultConstraint.
+	Constraint time.Duration
+	// ExecDelay adds fixed wall time to every execution, standing in for a
+	// slower backend in overload experiments and tests. 0 disables it.
+	ExecDelay time.Duration
+	// Log, when non-nil, receives one tracefmt.ServeRecord JSON line per
+	// completed request.
+	Log io.Writer
+}
+
+// Backends are the data systems the server fronts. Engine serves /v1/query,
+// Cube serves /v1/brush, and Tiles (a table with latitude/longitude
+// columns named TileLat/TileLng) serves /v1/tiles. Nil backends make the
+// corresponding endpoint respond 501.
+type Backends struct {
+	Engine  *engine.Engine
+	Cube    *datacube.Cube
+	Tiles   *storage.Table
+	TileLat string
+	TileLng string
+}
+
+// Server is the HTTP serving layer. Create with New, expose with Handler,
+// and stop with Drain.
+type Server struct {
+	cfg Config
+	reg *Registry
+
+	eng     *engine.Engine
+	cube    *datacube.Cube
+	tiles   *storage.Table
+	tileLat *storage.Column
+	tileLng *storage.Column
+
+	mux      *http.ServeMux
+	queue    chan func()
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+	nextID   atomic.Int64
+	start    time.Time
+
+	drainMu  sync.RWMutex
+	draining bool
+
+	sessMu   sync.Mutex
+	sessions map[string]*sessionState
+
+	logMu sync.Mutex
+}
+
+// sessionState is the per-session serving state: the coalescing slot, the
+// latest filter snapshot, the applied high-water mark, and the in-flight
+// requests not yet counted as LCV violations.
+type sessionState struct {
+	mu sync.Mutex
+
+	// Brush coalescing: slot holds the waiters of the next execution;
+	// running marks an execution (or run-to-idle loop) in progress. latest
+	// is the highest-seq brush snapshot seen — executions always apply it,
+	// so applied sequence numbers are monotonic per session.
+	slot    *brushTask
+	running bool
+	latest  BrushRequest
+	lastSeq int64
+	applied int64
+
+	// uncounted holds request ids in flight that have not yet been counted
+	// as latency-constraint violations; they are counted (and cleared) the
+	// moment the session issues its next request — Figure 2's definition,
+	// evaluated online.
+	uncounted map[int64]struct{}
+}
+
+type brushTask struct {
+	waiters []*brushWaiter
+}
+
+type brushWaiter struct {
+	id    int64
+	seq   int64
+	start time.Time
+	ch    chan brushOutcome
+}
+
+type brushOutcome struct {
+	resp *BrushResponse
+	err  error
+}
+
+// New builds the server and starts its worker pool.
+func New(b Backends, cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.Constraint),
+		eng:      b.Engine,
+		cube:     b.Cube,
+		tiles:    b.Tiles,
+		queue:    make(chan func(), cfg.QueueDepth),
+		sessions: make(map[string]*sessionState),
+		start:    time.Now(),
+	}
+	if b.Tiles != nil {
+		s.tileLat = b.Tiles.Column(b.TileLat)
+		s.tileLng = b.Tiles.Column(b.TileLng)
+		if s.tileLat == nil || s.tileLng == nil {
+			return nil, fmt.Errorf("serve: tile table %q lacks columns %q/%q", b.Tiles.Name, b.TileLat, b.TileLng)
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/brush", s.handleBrush)
+	s.mux.HandleFunc("/v1/tiles", s.handleTiles)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for task := range s.queue {
+				s.inflight.Add(1)
+				task()
+				s.inflight.Add(-1)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the online metrics registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Stats snapshots the online metrics.
+func (s *Server) Stats() Stats {
+	return s.reg.snapshot(len(s.queue), int(s.inflight.Load()))
+}
+
+// Drain stops admission (new requests get 503), lets queued and in-flight
+// work finish, and waits for the worker pool to exit or ctx to expire.
+// It is the SIGTERM path of cmd/idevald and is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+	} else {
+		s.draining = true
+		close(s.queue)
+		s.drainMu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// isDraining reports whether admission has stopped.
+func (s *Server) isDraining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// admit tries to enqueue a task, holding the drain lock so the queue
+// cannot close mid-send. The error is ErrDraining or ErrQueueFull.
+var (
+	errDraining  = fmt.Errorf("serve: draining")
+	errQueueFull = fmt.Errorf("serve: queue full")
+)
+
+func (s *Server) admit(task func()) error {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.queue <- task:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// session returns the named session's state, creating it on first use.
+func (s *Server) session(name string) *sessionState {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	sess := s.sessions[name]
+	if sess == nil {
+		sess = &sessionState{lastSeq: -1, applied: -1, uncounted: make(map[int64]struct{})}
+		s.sessions[name] = sess
+	}
+	return sess
+}
+
+// issueLocked performs the per-issue bookkeeping under sess.mu: every
+// still-unfinished request of this session becomes an LCV violation (its
+// result had not arrived when the user acted again), and this request
+// joins the in-flight set.
+func (s *Server) issueLocked(sess *sessionState, id int64) {
+	s.reg.recordLCV(len(sess.uncounted))
+	for k := range sess.uncounted {
+		delete(sess.uncounted, k)
+	}
+	sess.uncounted[id] = struct{}{}
+}
+
+// finish removes a completed request from the session's in-flight set and
+// records its user-perceived latency.
+func (s *Server) finish(sess *sessionState, id int64, start time.Time) {
+	sess.mu.Lock()
+	delete(sess.uncounted, id)
+	sess.mu.Unlock()
+	s.reg.recordLatency(time.Since(start))
+}
+
+// --- request log ------------------------------------------------------------
+
+func (s *Server) logRequest(session string, seq int64, kind string, status int, start time.Time, appliedSeq int64, coalesced bool) {
+	if s.cfg.Log == nil {
+		return
+	}
+	rec := tracefmt.ServeRecord{
+		TimestampMS: time.Since(s.start).Milliseconds(),
+		Session:     session,
+		Seq:         seq,
+		Kind:        kind,
+		Status:      status,
+		LatencyMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		AppliedSeq:  appliedSeq,
+		Coalesced:   coalesced,
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	_ = tracefmt.WriteServeTrace(s.cfg.Log, []tracefmt.ServeRecord{rec})
+}
+
+// --- /v1/query --------------------------------------------------------------
+
+// QueryRequest is a SQL query against the engine backend.
+type QueryRequest struct {
+	Session string `json:"session"`
+	Seq     int64  `json:"seq"`
+	SQL     string `json:"sql"`
+}
+
+// QueryResponse carries the materialized result.
+type QueryResponse struct {
+	Seq     int64    `json:"seq"`
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	ModelMS float64  `json:"model_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.eng == nil {
+		httpError(w, http.StatusNotImplemented, "no engine backend")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Session == "" || req.SQL == "" {
+		httpError(w, http.StatusBadRequest, "want JSON {session, seq, sql}")
+		return
+	}
+	start := time.Now()
+	id := s.nextID.Add(1)
+	sess := s.session(req.Session)
+
+	sess.mu.Lock()
+	s.issueLocked(sess, id)
+	sess.mu.Unlock()
+	s.reg.recordIssue(start)
+
+	type outcome struct {
+		res *engine.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	err := s.admit(func() {
+		res, err := s.eng.Query(req.SQL)
+		if s.cfg.ExecDelay > 0 {
+			time.Sleep(s.cfg.ExecDelay)
+		}
+		s.reg.recordExec()
+		ch <- outcome{res, err}
+	})
+	if err != nil {
+		status := http.StatusTooManyRequests
+		if err == errDraining {
+			status = http.StatusServiceUnavailable
+		} else {
+			s.reg.recordShed()
+		}
+		sess.mu.Lock()
+		delete(sess.uncounted, id)
+		sess.mu.Unlock()
+		httpError(w, status, err.Error())
+		s.logRequest(req.Session, req.Seq, "query", status, start, 0, false)
+		return
+	}
+	out := <-ch
+	s.finish(sess, id, start)
+	if out.err != nil {
+		s.reg.recordError()
+		httpError(w, http.StatusBadRequest, out.err.Error())
+		s.logRequest(req.Session, req.Seq, "query", http.StatusBadRequest, start, 0, false)
+		return
+	}
+	resp := QueryResponse{
+		Seq:     req.Seq,
+		Columns: out.res.Columns,
+		ModelMS: float64(out.res.Stats.ModelCost) / float64(time.Millisecond),
+	}
+	resp.Rows = make([][]any, len(out.res.Rows))
+	for i, row := range out.res.Rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = valueJSON(v)
+		}
+		resp.Rows[i] = vals
+	}
+	writeJSON(w, http.StatusOK, resp)
+	s.logRequest(req.Session, req.Seq, "query", http.StatusOK, start, req.Seq, false)
+}
+
+func valueJSON(v storage.Value) any {
+	switch v.Type {
+	case storage.String:
+		return v.S
+	case storage.Int64:
+		return v.I
+	default:
+		return v.F
+	}
+}
+
+// --- /v1/brush --------------------------------------------------------------
+
+// BrushRequest is one crossfilter brush update: the full filter state
+// snapshot at issue time (nil entries mean unfiltered), and the index of
+// the dimension that moved. Carrying the whole state is what makes
+// coalescing safe: the latest snapshot subsumes every superseded one.
+type BrushRequest struct {
+	Session string        `json:"session"`
+	Seq     int64         `json:"seq"`
+	Ranges  []*[2]float64 `json:"ranges"`
+	Moved   int           `json:"moved"`
+}
+
+// BrushResponse is the coordinated-view result: every dimension's
+// histogram under the applied filter state, and the passing-record total.
+// AppliedSeq is the sequence number of the snapshot that executed; it is
+// at least the request's own Seq, and strictly greater when the request
+// was coalesced into a newer one.
+type BrushResponse struct {
+	AppliedSeq int64     `json:"applied_seq"`
+	Coalesced  bool      `json:"coalesced"`
+	Total      int64     `json:"total"`
+	Histograms [][]int64 `json:"histograms"`
+}
+
+func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.cube == nil {
+		httpError(w, http.StatusNotImplemented, "no cube backend")
+		return
+	}
+	var req BrushRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Session == "" {
+		httpError(w, http.StatusBadRequest, "want JSON {session, seq, ranges, moved}")
+		return
+	}
+	if len(req.Ranges) != s.cube.NumDims() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("want %d ranges, got %d", s.cube.NumDims(), len(req.Ranges)))
+		return
+	}
+	if s.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, errDraining.Error())
+		return
+	}
+	start := time.Now()
+	id := s.nextID.Add(1)
+	sess := s.session(req.Session)
+	waiter := &brushWaiter{id: id, seq: req.Seq, start: start, ch: make(chan brushOutcome, 1)}
+	s.reg.recordIssue(start)
+
+	sess.mu.Lock()
+	s.issueLocked(sess, id)
+	if req.Seq > sess.lastSeq {
+		sess.lastSeq = req.Seq
+		sess.latest = req
+	}
+	var admitErr error
+	switch {
+	case sess.slot != nil:
+		// A pending execution exists: this request rides along with it and
+		// one backend execution is saved.
+		sess.slot.waiters = append(sess.slot.waiters, waiter)
+		s.reg.recordCoalesced()
+	case sess.running:
+		// An execution is in progress; park in a fresh slot that the
+		// run-to-idle loop will pick up without re-entering admission.
+		sess.slot = &brushTask{waiters: []*brushWaiter{waiter}}
+	default:
+		sess.slot = &brushTask{waiters: []*brushWaiter{waiter}}
+		admitErr = s.admit(func() { s.runBrushes(sess) })
+		if admitErr != nil {
+			sess.slot = nil
+		}
+	}
+	if admitErr != nil {
+		delete(sess.uncounted, id)
+		sess.mu.Unlock()
+		status := http.StatusTooManyRequests
+		if admitErr == errDraining {
+			status = http.StatusServiceUnavailable
+		} else {
+			s.reg.recordShed()
+		}
+		httpError(w, status, admitErr.Error())
+		s.logRequest(req.Session, req.Seq, "brush", status, start, 0, false)
+		return
+	}
+	sess.mu.Unlock()
+
+	out := <-waiter.ch
+	s.finish(sess, id, start)
+	if out.err != nil {
+		s.reg.recordError()
+		httpError(w, http.StatusInternalServerError, out.err.Error())
+		s.logRequest(req.Session, req.Seq, "brush", http.StatusInternalServerError, start, 0, false)
+		return
+	}
+	resp := *out.resp
+	resp.Coalesced = resp.AppliedSeq > req.Seq
+	writeJSON(w, http.StatusOK, resp)
+	s.logRequest(req.Session, req.Seq, "brush", http.StatusOK, start, resp.AppliedSeq, resp.Coalesced)
+}
+
+// runBrushes executes the session's pending brushes to idle: each pass
+// snapshots the latest filter state and answers every waiter that
+// accumulated since the previous pass with that one result. Per-session
+// execution is serialized here, which is what makes applied sequence
+// numbers monotonic.
+func (s *Server) runBrushes(sess *sessionState) {
+	for {
+		sess.mu.Lock()
+		bt := sess.slot
+		if bt == nil {
+			sess.running = false
+			sess.mu.Unlock()
+			return
+		}
+		sess.slot = nil
+		sess.running = true
+		payload := sess.latest
+		sess.mu.Unlock()
+
+		resp, err := s.execBrush(payload)
+		if s.cfg.ExecDelay > 0 {
+			time.Sleep(s.cfg.ExecDelay)
+		}
+		s.reg.recordExec()
+
+		sess.mu.Lock()
+		if payload.Seq < sess.applied {
+			s.reg.recordRegression()
+		} else {
+			sess.applied = payload.Seq
+		}
+		sess.mu.Unlock()
+
+		for _, wt := range bt.waiters {
+			wt.ch <- brushOutcome{resp: resp, err: err}
+		}
+	}
+}
+
+// execBrush answers the coordinated-view query on the cube: all
+// histograms plus the total under the snapshot's filters.
+func (s *Server) execBrush(req BrushRequest) (*BrushResponse, error) {
+	filters := make([]*datacube.Range, s.cube.NumDims())
+	for i, rg := range req.Ranges {
+		if rg != nil {
+			filters[i] = &datacube.Range{Lo: rg[0], Hi: rg[1]}
+		}
+	}
+	resp := &BrushResponse{AppliedSeq: req.Seq}
+	resp.Histograms = make([][]int64, s.cube.NumDims())
+	for d := 0; d < s.cube.NumDims(); d++ {
+		h, err := s.cube.Histogram(d, filters)
+		if err != nil {
+			return nil, err
+		}
+		resp.Histograms[d] = h
+	}
+	total, err := s.cube.Count(filters)
+	if err != nil {
+		return nil, err
+	}
+	resp.Total = total
+	return resp, nil
+}
+
+// --- /v1/tiles --------------------------------------------------------------
+
+// TileResponse is one map-tile fetch: the record count inside the tile's
+// geographic bounds — the aggregate a tile renderer needs.
+type TileResponse struct {
+	Seq   int64  `json:"seq"`
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+}
+
+// tileBounds returns the web-mercator lat/lng bounds of tile z/x/y.
+func tileBounds(t widget.Tile) (latLo, latHi, lngLo, lngHi float64) {
+	n := math.Exp2(float64(t.Z))
+	lngLo = float64(t.X)/n*360 - 180
+	lngHi = float64(t.X+1)/n*360 - 180
+	latHi = 180 / math.Pi * math.Atan(math.Sinh(math.Pi*(1-2*float64(t.Y)/n)))
+	latLo = 180 / math.Pi * math.Atan(math.Sinh(math.Pi*(1-2*float64(t.Y+1)/n)))
+	return latLo, latHi, lngLo, lngHi
+}
+
+func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
+	if s.tiles == nil {
+		httpError(w, http.StatusNotImplemented, "no tile backend")
+		return
+	}
+	q := r.URL.Query()
+	session := q.Get("session")
+	if session == "" {
+		httpError(w, http.StatusBadRequest, "session required")
+		return
+	}
+	seq, _ := strconv.ParseInt(q.Get("seq"), 10, 64)
+	var tile widget.Tile
+	var err error
+	if key := q.Get("key"); key != "" {
+		tile, err = widget.ParseTile(key)
+	} else {
+		tile.Z, err = strconv.Atoi(q.Get("z"))
+		if err == nil {
+			tile.X, err = strconv.Atoi(q.Get("x"))
+		}
+		if err == nil {
+			tile.Y, err = strconv.Atoi(q.Get("y"))
+		}
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "want key=z/x/y or z=&x=&y=")
+		return
+	}
+	start := time.Now()
+	id := s.nextID.Add(1)
+	sess := s.session(session)
+	sess.mu.Lock()
+	s.issueLocked(sess, id)
+	sess.mu.Unlock()
+	s.reg.recordIssue(start)
+
+	ch := make(chan int64, 1)
+	admitErr := s.admit(func() {
+		latLo, latHi, lngLo, lngHi := tileBounds(tile)
+		var count int64
+		for i := 0; i < s.tiles.NumRows(); i++ {
+			lat, lng := s.tileLat.Float(i), s.tileLng.Float(i)
+			if lat >= latLo && lat < latHi && lng >= lngLo && lng < lngHi {
+				count++
+			}
+		}
+		if s.cfg.ExecDelay > 0 {
+			time.Sleep(s.cfg.ExecDelay)
+		}
+		s.reg.recordExec()
+		ch <- count
+	})
+	if admitErr != nil {
+		status := http.StatusTooManyRequests
+		if admitErr == errDraining {
+			status = http.StatusServiceUnavailable
+		} else {
+			s.reg.recordShed()
+		}
+		sess.mu.Lock()
+		delete(sess.uncounted, id)
+		sess.mu.Unlock()
+		httpError(w, status, admitErr.Error())
+		s.logRequest(session, seq, "tile", status, start, 0, false)
+		return
+	}
+	count := <-ch
+	s.finish(sess, id, start)
+	writeJSON(w, http.StatusOK, TileResponse{Seq: seq, Key: tile.String(), Count: count})
+	s.logRequest(session, seq, "tile", http.StatusOK, start, seq, false)
+}
+
+// --- /metrics and /healthz --------------------------------------------------
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.isDraining() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]string{"status": state})
+}
+
+// --- helpers ----------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,384 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datacube"
+	"repro/internal/engine"
+	"repro/internal/tracefmt"
+)
+
+// testRows keeps unit-test datasets small and fast.
+const testRows = 20000
+
+// newTestServer builds a road-backed server plus an httptest frontend.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	backends, err := RoadBackends(1, testRows, engine.ProfileMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(backends, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestQueryHandler(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, body := postJSON(t, ts.URL+"/v1/query", QueryRequest{
+		Session: "s1", Seq: 0, SQL: "SELECT COUNT(*) FROM dataroad",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 || len(qr.Rows[0]) != 1 {
+		t.Fatalf("rows = %v", qr.Rows)
+	}
+	if got := qr.Rows[0][0].(float64); got != testRows {
+		t.Errorf("COUNT(*) = %v, want %d", got, testRows)
+	}
+
+	// Bad SQL is a 400, not a 500 or a hang.
+	resp, _ = postJSON(t, ts.URL+"/v1/query", QueryRequest{Session: "s1", Seq: 1, SQL: "SELECT FROM"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad SQL status = %d", resp.StatusCode)
+	}
+
+	st := srv.Stats()
+	if st.Issued != 2 || st.Executed != 2 {
+		t.Errorf("issued %d executed %d, want 2/2", st.Issued, st.Executed)
+	}
+	if st.Errors != 1 {
+		t.Errorf("errors = %d, want 1", st.Errors)
+	}
+}
+
+func TestBrushHandlerMatchesCube(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+
+	lo, hi := 9.0, 10.5
+	ranges := []*[2]float64{{lo, hi}, nil, nil}
+	resp, body := postJSON(t, ts.URL+"/v1/brush", BrushRequest{
+		Session: "s1", Seq: 0, Ranges: ranges, Moved: 0,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var br BrushResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.AppliedSeq != 0 || br.Coalesced {
+		t.Errorf("applied %d coalesced %v", br.AppliedSeq, br.Coalesced)
+	}
+
+	filters := []*datacube.Range{{Lo: lo, Hi: hi}, nil, nil}
+	for d := 0; d < srv.cube.NumDims(); d++ {
+		want, err := srv.cube.Histogram(d, filters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(br.Histograms[d]) != fmt.Sprint(want) {
+			t.Errorf("dim %d histogram mismatch", d)
+		}
+	}
+	wantTotal, _ := srv.cube.Count(filters)
+	if br.Total != wantTotal {
+		t.Errorf("total = %d, want %d", br.Total, wantTotal)
+	}
+
+	// Wrong arity is rejected up front.
+	resp, _ = postJSON(t, ts.URL+"/v1/brush", BrushRequest{Session: "s1", Seq: 1, Ranges: ranges[:1]})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad arity status = %d", resp.StatusCode)
+	}
+}
+
+func TestTilesHandler(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// Zoom-0 tile 0/0/0 covers the whole mercator world: every road point.
+	resp, err := http.Get(ts.URL + "/v1/tiles?session=s1&seq=3&z=0&x=0&y=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var tr TileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count != testRows {
+		t.Errorf("world tile count = %d, want %d", tr.Count, testRows)
+	}
+	if tr.Key != "0/0/0" || tr.Seq != 3 {
+		t.Errorf("key %q seq %d", tr.Key, tr.Seq)
+	}
+
+	// A tile on the far side of the planet holds nothing.
+	resp2, err := http.Get(ts.URL + "/v1/tiles?session=s1&key=4/1/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var tr2 TileResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&tr2); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Count != 0 {
+		t.Errorf("antipodal tile count = %d, want 0", tr2.Count)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	st, err := FetchStats(nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConstraintMS != 500 {
+		t.Errorf("default constraint = %vms, want 500", st.ConstraintMS)
+	}
+}
+
+// TestShedUnderOverload drives more concurrent queries than worker pool +
+// queue can hold: the surplus must shed fast with 429 and count in the
+// registry, and every accepted query must still complete.
+func TestShedUnderOverload(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, ExecDelay: 30 * time.Millisecond})
+
+	const n = 24
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct sessions: no coalescing, pure admission pressure.
+			resp, _ := postJSON(t, ts.URL+"/v1/query", QueryRequest{
+				Session: fmt.Sprintf("s%d", i), Seq: 0, SQL: "SELECT COUNT(*) FROM dataroad",
+			})
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for _, s := range statuses {
+		switch s {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", s)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no requests shed under overload")
+	}
+	if ok == 0 {
+		t.Fatal("no requests served under overload")
+	}
+	st := srv.Stats()
+	if st.Shed != int64(shed) {
+		t.Errorf("registry shed = %d, want %d", st.Shed, shed)
+	}
+	if st.Issued != n {
+		t.Errorf("issued = %d, want %d", st.Issued, n)
+	}
+	if st.Executed != int64(ok) {
+		t.Errorf("executed = %d, want %d", st.Executed, ok)
+	}
+}
+
+// TestBrushCoalescing issues a burst of brushes on one session against a
+// slow single worker: the stale ones must be superseded (executed count
+// well below issued), every caller must get a response, and every response
+// must carry the state of a snapshot at least as new as its own.
+func TestBrushCoalescing(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, ExecDelay: 40 * time.Millisecond, Log: &logBuf})
+
+	const n = 10
+	type out struct {
+		status  int
+		applied int64
+	}
+	outs := make([]out, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo := 8.2 + 0.1*float64(i)
+			resp, body := postJSON(t, ts.URL+"/v1/brush", BrushRequest{
+				Session: "brusher", Seq: int64(i),
+				Ranges: []*[2]float64{{lo, lo + 1}, nil, nil}, Moved: 0,
+			})
+			var br BrushResponse
+			_ = json.Unmarshal(body, &br)
+			outs[i] = out{resp.StatusCode, br.AppliedSeq}
+		}(i)
+		time.Sleep(5 * time.Millisecond) // stagger issues inside one execution window
+	}
+	wg.Wait()
+
+	var maxApplied int64 = -1
+	for i, o := range outs {
+		if o.status != http.StatusOK {
+			t.Fatalf("brush %d status = %d", i, o.status)
+		}
+		if o.applied < int64(i) {
+			t.Errorf("brush %d applied stale seq %d", i, o.applied)
+		}
+		if o.applied > maxApplied {
+			maxApplied = o.applied
+		}
+	}
+	if maxApplied != n-1 {
+		t.Errorf("latest applied = %d, want %d (session must receive its latest result)", maxApplied, n-1)
+	}
+
+	st := srv.Stats()
+	if st.Executed >= int64(n) {
+		t.Errorf("executed %d of %d issued: nothing coalesced", st.Executed, n)
+	}
+	if st.Coalesced == 0 {
+		t.Error("coalesced counter is zero")
+	}
+	if st.Regressions != 0 {
+		t.Errorf("sequence regressions = %d", st.Regressions)
+	}
+
+	// The tracefmt request log must parse and agree with the counters.
+	recs, err := tracefmt.ReadServeTrace(strings.NewReader(logBuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Errorf("log records = %d, want %d", len(recs), n)
+	}
+	coalescedLogged := 0
+	for _, r := range recs {
+		if r.Kind != "brush" || r.Status != http.StatusOK {
+			t.Errorf("log record %+v", r)
+		}
+		if r.Coalesced {
+			coalescedLogged++
+		}
+	}
+	if coalescedLogged == 0 {
+		t.Error("no coalesced requests in the log")
+	}
+}
+
+// TestGracefulDrain verifies the SIGTERM path: in-flight work completes
+// with 200, new work is refused with 503, and Drain returns once the pool
+// is idle.
+func TestGracefulDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, ExecDelay: 80 * time.Millisecond})
+
+	started := make(chan struct{})
+	var inflightStatus int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		resp, _ := postJSON(t, ts.URL+"/v1/brush", BrushRequest{
+			Session: "drainer", Seq: 0, Ranges: []*[2]float64{nil, nil, nil},
+		})
+		inflightStatus = resp.StatusCode
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the brush reach the worker
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The in-flight brush must have been answered, not dropped.
+	wg.Wait()
+	if inflightStatus != http.StatusOK {
+		t.Errorf("in-flight brush status = %d, want 200", inflightStatus)
+	}
+
+	// New work is refused politely.
+	resp, _ := postJSON(t, ts.URL+"/v1/brush", BrushRequest{
+		Session: "late", Seq: 0, Ranges: []*[2]float64{nil, nil, nil},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain brush = %d, want 503", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/query", QueryRequest{Session: "late", Seq: 0, SQL: "SELECT COUNT(*) FROM dataroad"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain query = %d, want 503", resp.StatusCode)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain healthz = %d, want 503", hz.StatusCode)
+	}
+
+	// Drain is idempotent.
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}

@@ -41,6 +41,59 @@ type ScrollRecord struct {
 	Backscrolled bool `json:"backscrolled,omitempty"`
 }
 
+// ServeRecord is one served request on the wire: the serving layer's
+// structured request log, in the same JSON-lines discipline as the
+// interaction traces so a served run can be replayed or analyzed with the
+// same tooling. AppliedSeq is the sequence number of the request whose
+// state actually executed — under coalescing it can exceed Seq, meaning
+// this request's stale state was superseded by a newer one.
+type ServeRecord struct {
+	TimestampMS int64   `json:"timestamp_ms"`
+	Session     string  `json:"session"`
+	Seq         int64   `json:"seq"`
+	Kind        string  `json:"kind"` // "query", "brush", or "tile"
+	Status      int     `json:"status"`
+	LatencyMS   float64 `json:"latency_ms"`
+	AppliedSeq  int64   `json:"applied_seq,omitempty"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
+}
+
+// WriteServeTrace emits serve records as JSON lines.
+func WriteServeTrace(w io.Writer, recs []ServeRecord) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("tracefmt: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadServeTrace decodes JSON-line serve records. Unlike the interaction
+// traces, records are not required to be time-ordered: the server logs at
+// completion, and concurrent requests complete out of issue order.
+func ReadServeTrace(r io.Reader) ([]ServeRecord, error) {
+	var out []ServeRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec ServeRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("tracefmt: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracefmt: %w", err)
+	}
+	return out, nil
+}
+
 // WriteSliderTrace emits one user's slider events as JSON lines.
 func WriteSliderTrace(w io.Writer, user int, device string, evs []trace.SliderEvent) error {
 	enc := json.NewEncoder(w)

@@ -142,3 +142,40 @@ func TestScrollSelectionsRoundTrip(t *testing.T) {
 		t.Error("events lost when mixed with selections")
 	}
 }
+
+func TestServeTraceRoundTrip(t *testing.T) {
+	recs := []ServeRecord{
+		{TimestampMS: 12, Session: "user-0", Seq: 0, Kind: "brush", Status: 200, LatencyMS: 41.5, AppliedSeq: 3, Coalesced: true},
+		{TimestampMS: 9, Session: "user-1", Seq: 5, Kind: "query", Status: 400, LatencyMS: 0.8},
+		{TimestampMS: 30, Session: "user-0", Seq: 1, Kind: "tile", Status: 429, LatencyMS: 0.1},
+	}
+	var buf bytes.Buffer
+	if err := WriteServeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	// Completion-ordered logs are legal out of timestamp order; the reader
+	// must not reject them.
+	got, err := ReadServeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestServeTraceSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"timestamp_ms":1,"session":"s","seq":0,"kind":"brush","status":200,"latency_ms":2}` + "\n\n"
+	got, err := ReadServeTrace(strings.NewReader(in))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if got[0].Session != "s" || got[0].Status != 200 {
+		t.Errorf("record = %+v", got[0])
+	}
+}
