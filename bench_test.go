@@ -810,3 +810,108 @@ func BenchmarkAblationBackends(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAblationBrush is the incremental-brush ablation: one drag step
+// (a small filter-edge move plus the full execBrush read — every histogram
+// and the filtered total) through each structure that can answer it. The
+// rebuild and full-scan variants cost O(n·d) and O(n); the sorted-index
+// delta scan touches only the records between the old and new edges; the
+// cubes answer from precomputed counts independent of n.
+func BenchmarkAblationBrush(b *testing.B) {
+	fixtures()
+	lonLo, lonHi, latLo, latHi, altLo, altHi := dataset.RoadBounds()
+	span := lonHi - lonLo
+	// Drag workload: the brush's low edge oscillates in 0.5%-of-domain
+	// steps, the profile of per-frame slider callbacks.
+	dragLo := func(i int) float64 { return lonLo + 0.30*span + float64(i%40)*0.005*span }
+	dragHi := lonLo + 0.65*span
+
+	readAll := func(cf *crossfilter.Crossfilter) {
+		for d := 0; d < cf.NumDims(); d++ {
+			cf.Histogram(d)
+		}
+		cf.Total()
+	}
+	newCF := func(b *testing.B) *crossfilter.Crossfilter {
+		cf, err := crossfilter.New(fixRoads, []string{"x", "y", "z"}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cf
+	}
+	cubeDims := []datacube.Dim{
+		{Name: "x", Lo: lonLo, Hi: lonHi, Bins: 20},
+		{Name: "y", Lo: latLo, Hi: latHi, Bins: 20},
+		{Name: "z", Lo: altLo, Hi: altHi, Bins: 20},
+	}
+
+	b.Run("crossfilter-rebuild", func(b *testing.B) {
+		cf := newCF(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cf.SetFilter(0, dragLo(i), dragHi)
+			cf.RecomputeAll()
+			readAll(cf)
+		}
+	})
+	b.Run("crossfilter-fullscan", func(b *testing.B) {
+		cf := newCF(b)
+		cf.SetIncremental(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cf.SetFilter(0, dragLo(i), dragHi)
+			readAll(cf)
+		}
+	})
+	b.Run("crossfilter-delta", func(b *testing.B) {
+		cf := newCF(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cf.SetFilter(0, dragLo(i), dragHi)
+			readAll(cf)
+		}
+		b.StopTimer()
+		if delta, _ := cf.ScanStats(); b.N > 2 && delta == 0 {
+			b.Fatal("delta path never taken")
+		}
+	})
+	b.Run("datacube", func(b *testing.B) {
+		cube, err := datacube.Build(fixRoads, cubeDims)
+		if err != nil {
+			b.Fatal(err)
+		}
+		filters := make([]*datacube.Range, 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			filters[0] = &datacube.Range{Lo: dragLo(i), Hi: dragHi}
+			for d := range cubeDims {
+				if _, err := cube.Histogram(d, filters); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := cube.Count(filters); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prefix-cube", func(b *testing.B) {
+		prefix, err := datacube.BuildPrefix(fixRoads, cubeDims, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		filters := make([]*datacube.Range, 3)
+		out := make([]int64, 20)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			filters[0] = &datacube.Range{Lo: dragLo(i), Hi: dragHi}
+			for d := range cubeDims {
+				if err := prefix.HistogramInto(d, filters, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := prefix.Count(filters); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,225 @@
+// Command brushbench measures one drag step — a small brush-edge move plus
+// the full execBrush read (every dimension's histogram and the filtered
+// total) — through each structure that can answer it, across dataset sizes,
+// and emits the ns/op matrix as BENCH_brush.json.
+//
+// Structures: crossfilter full rebuild, crossfilter full scan (incremental
+// index disabled), crossfilter sorted-index delta scan, dense data cube,
+// and the prefix-sum (summed-area) cube.
+//
+// Usage:
+//
+//	brushbench [-sizes 50000,150000,434874] [-steps 200] [-warm 20]
+//	           [-json BENCH_brush.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/crossfilter"
+	"repro/internal/datacube"
+	"repro/internal/dataset"
+	"repro/internal/storage"
+)
+
+func main() {
+	sizesFlag := flag.String("sizes", "50000,150000,434874", "comma-separated road dataset cardinalities")
+	steps := flag.Int("steps", 200, "measured drag steps per structure")
+	warm := flag.Int("warm", 20, "unmeasured warmup steps per structure")
+	jsonOut := flag.String("json", "", "write the ns/op matrix as JSON to this file")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brushbench:", err)
+		os.Exit(1)
+	}
+	report, err := run(sizes, *steps, *warm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brushbench:", err)
+		os.Exit(1)
+	}
+	printTable(report)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brushbench:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "brushbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "brushbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "brushbench: wrote %s\n", *jsonOut)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+// report is the BENCH_brush.json schema: the ns/op matrix plus the headline
+// ratio the incremental index exists for.
+type report struct {
+	Steps   int          `json:"steps"`
+	Results []sizeResult `json:"results"`
+}
+
+type sizeResult struct {
+	Rows       int              `json:"rows"`
+	NsPerOp    map[string]int64 `json:"ns_per_op"`
+	DeltaSpeed float64          `json:"delta_speedup_vs_fullscan"`
+}
+
+// structures names the five variants in presentation order.
+var structures = []string{
+	"crossfilter-rebuild",
+	"crossfilter-fullscan",
+	"crossfilter-delta",
+	"datacube",
+	"prefix-cube",
+}
+
+func run(sizes []int, steps, warm int) (*report, error) {
+	rep := &report{Steps: steps}
+	for _, rows := range sizes {
+		roads := dataset.Roads(1, rows)
+		res := sizeResult{Rows: rows, NsPerOp: map[string]int64{}}
+		for _, name := range structures {
+			ns, err := measure(name, roads, steps, warm)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d rows: %w", name, rows, err)
+			}
+			res.NsPerOp[name] = ns
+		}
+		if d := res.NsPerOp["crossfilter-delta"]; d > 0 {
+			res.DeltaSpeed = float64(res.NsPerOp["crossfilter-fullscan"]) / float64(d)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// measure runs warm+steps drag steps through one structure and returns the
+// measured-phase ns/op. Each step moves the brush's low edge by 0.5% of the
+// dimension's domain, then performs the execBrush read: every dimension's
+// histogram plus the filtered total.
+func measure(name string, roads *storage.Table, steps, warm int) (int64, error) {
+	lonLo, lonHi, latLo, latHi, altLo, altHi := dataset.RoadBounds()
+	span := lonHi - lonLo
+	dragLo := func(i int) float64 { return lonLo + 0.30*span + float64(i%40)*0.005*span }
+	dragHi := lonLo + 0.65*span
+	cubeDims := []datacube.Dim{
+		{Name: "x", Lo: lonLo, Hi: lonHi, Bins: 20},
+		{Name: "y", Lo: latLo, Hi: latHi, Bins: 20},
+		{Name: "z", Lo: altLo, Hi: altHi, Bins: 20},
+	}
+
+	var step func(i int) error
+	switch name {
+	case "crossfilter-rebuild", "crossfilter-fullscan", "crossfilter-delta":
+		cf, err := crossfilter.New(roads, []string{"x", "y", "z"}, 20)
+		if err != nil {
+			return 0, err
+		}
+		if name == "crossfilter-fullscan" {
+			cf.SetIncremental(false)
+		}
+		rebuild := name == "crossfilter-rebuild"
+		step = func(i int) error {
+			cf.SetFilter(0, dragLo(i), dragHi)
+			if rebuild {
+				cf.RecomputeAll()
+			}
+			for d := 0; d < cf.NumDims(); d++ {
+				cf.Histogram(d)
+			}
+			cf.Total()
+			return nil
+		}
+	case "datacube":
+		cube, err := datacube.Build(roads, cubeDims)
+		if err != nil {
+			return 0, err
+		}
+		filters := make([]*datacube.Range, len(cubeDims))
+		step = func(i int) error {
+			filters[0] = &datacube.Range{Lo: dragLo(i), Hi: dragHi}
+			for d := range cubeDims {
+				if _, err := cube.Histogram(d, filters); err != nil {
+					return err
+				}
+			}
+			_, err := cube.Count(filters)
+			return err
+		}
+	case "prefix-cube":
+		prefix, err := datacube.BuildPrefix(roads, cubeDims, 0)
+		if err != nil {
+			return 0, err
+		}
+		filters := make([]*datacube.Range, len(cubeDims))
+		out := make([]int64, 20)
+		step = func(i int) error {
+			filters[0] = &datacube.Range{Lo: dragLo(i), Hi: dragHi}
+			for d := range cubeDims {
+				if err := prefix.HistogramInto(d, filters, out); err != nil {
+					return err
+				}
+			}
+			_, err := prefix.Count(filters)
+			return err
+		}
+	default:
+		return 0, fmt.Errorf("unknown structure %q", name)
+	}
+
+	for i := 0; i < warm; i++ {
+		if err := step(i); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		if err := step(warm + i); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(steps), nil
+}
+
+func printTable(rep *report) {
+	fmt.Printf("%-10s", "rows")
+	for _, s := range structures {
+		fmt.Printf(" %22s", s)
+	}
+	fmt.Printf(" %10s\n", "delta-×")
+	for _, r := range rep.Results {
+		fmt.Printf("%-10d", r.Rows)
+		for _, s := range structures {
+			fmt.Printf(" %19d ns", r.NsPerOp[s])
+		}
+		fmt.Printf(" %9.1f×\n", r.DeltaSpeed)
+	}
+}

@@ -34,6 +34,18 @@ type Dimension struct {
 	filterLo float64
 	filterHi float64
 	active   bool
+	empty    bool // filter normalized to match-nothing (NaN or inverted bounds)
+
+	// Sorted-index delta state (delta.go): order is the permutation of
+	// record indexes sorted by value, sorted holds the values in that order
+	// (for cache-friendly binary search), and [winLo, winHi) is the sorted
+	// position range currently passing this dimension's filter. hasNaN
+	// disables the delta path — NaN has no position in a sorted order.
+	order  []int32
+	sorted []float64
+	winLo  int
+	winHi  int
+	hasNaN bool
 }
 
 // FilterLo returns the active filter's lower bound; meaningful only when
@@ -45,6 +57,20 @@ func (d *Dimension) FilterHi() float64 { return d.filterHi }
 
 // Filtered reports whether the dimension has an active range filter.
 func (d *Dimension) Filtered() bool { return d.active }
+
+// fails reports whether a value fails the dimension's current filter. An
+// empty filter (inverted or NaN bounds) fails every record; NaN *values*
+// keep their historical pass-always behavior — they have no place in a
+// sorted order, so dimensions containing them pin the full-scan path.
+func (d *Dimension) fails(v float64) bool {
+	if !d.active {
+		return false
+	}
+	if d.empty {
+		return true
+	}
+	return v < d.filterLo || v > d.filterHi
+}
 
 // BinOf returns the histogram bin of a value in this dimension's domain.
 func (d *Dimension) BinOf(v float64) int {
@@ -75,6 +101,14 @@ type Crossfilter struct {
 	// the histogram/total deltas are int64 counts whose merge is exact in
 	// any order.
 	parallelism int
+
+	// incremental enables the sorted-index delta path (delta.go); false
+	// pins the full-scan implementation, the differential-test oracle.
+	// crossover is the delta fraction above which the full scan wins.
+	incremental bool
+	crossover   float64
+	deltaScans  int64
+	fullScans   int64
 }
 
 // SetParallelism sets the worker count for filter updates and rebuilds.
@@ -113,7 +147,11 @@ func New(table *storage.Table, dimNames []string, bins int) (*Crossfilter, error
 		return nil, fmt.Errorf("crossfilter: at most 32 dimensions (got %d)", len(dimNames))
 	}
 	n := table.NumRows()
-	c := &Crossfilter{n: n, masks: make([]uint32, n), parallelism: runtime.GOMAXPROCS(0)}
+	c := &Crossfilter{
+		n: n, masks: make([]uint32, n),
+		parallelism: runtime.GOMAXPROCS(0),
+		incremental: true, crossover: DefaultCrossover,
+	}
 	for _, name := range dimNames {
 		col := table.Column(name)
 		if col == nil {
@@ -135,6 +173,7 @@ func New(table *storage.Table, dimNames []string, bins int) (*Crossfilter, error
 				d.bins[i] = int32(d.BinOf(v))
 			}
 		})
+		d.buildIndex(n)
 		c.dims = append(c.dims, d)
 	}
 	c.hists = make([][]int64, len(c.dims))
@@ -187,32 +226,39 @@ func (c *Crossfilter) Histograms() [][]int64 {
 }
 
 // SetFilter sets dimension d's range filter to [lo, hi] and updates every
-// histogram incrementally: only records whose membership in d's filter
-// changed are touched.
+// histogram incrementally. With the delta path enabled only the records
+// between the old and new filter boundaries (found by binary search into
+// the dimension's sorted order) are touched — O(Δ log n) per drag step —
+// falling back to the full scan past the crossover fraction.
+//
+// Inverted (lo > hi) or NaN bounds cannot match any record: they are
+// normalized to an empty filter rather than the pass-all state a NaN
+// comparison would silently yield.
 func (c *Crossfilter) SetFilter(d int, lo, hi float64) {
 	dim := c.dims[d]
 	bit := uint32(1) << uint(d)
 	dim.filterLo, dim.filterHi, dim.active = lo, hi, true
-	c.applyFilter(d, bit, func(v float64) bool { return v < lo || v > hi })
+	dim.empty = math.IsNaN(lo) || math.IsNaN(hi) || lo > hi
+	c.updateFilter(d, bit)
 }
 
 // ClearFilter removes dimension d's filter.
 func (c *Crossfilter) ClearFilter(d int) {
 	dim := c.dims[d]
 	bit := uint32(1) << uint(d)
-	dim.active = false
-	c.applyFilter(d, bit, func(float64) bool { return false })
+	dim.active, dim.empty = false, false
+	c.updateFilter(d, bit)
 }
 
 // applyFilter recomputes dimension d's fail bit for every record, applying
-// histogram deltas for records that changed.
+// histogram deltas for records that changed — the full-scan path, and the
+// oracle the delta scan is differentially tested against.
 //
 // The scan is morsel-parallel: each worker owns disjoint records (masks
 // write in place) and accumulates its histogram and total changes into
 // private int64 delta buffers, merged exactly after the scan. Results are
 // identical to the serial path at every worker count.
-func (c *Crossfilter) applyFilter(d int, bit uint32, fails func(float64) bool) {
-	dim := c.dims[d]
+func (c *Crossfilter) applyFilter(d int, bit uint32) {
 	workers := c.workers()
 	offs := c.histOffsets()
 	totals := make([]int64, workers)
@@ -224,48 +270,57 @@ func (c *Crossfilter) applyFilter(d int, bit uint32, fails func(float64) bool) {
 	morsel.Run(c.n, workers, func(w, _, lo, hi int) {
 		delta := deltas[w]
 		for i := lo; i < hi; i++ {
-			oldFail := c.masks[i]&bit != 0
-			newFail := fails(dim.values[i])
-			if oldFail == newFail {
-				continue
-			}
-			oldMask := c.masks[i]
-			var newMask uint32
-			if newFail {
-				newMask = oldMask | bit
-			} else {
-				newMask = oldMask &^ bit
-			}
-			c.masks[i] = newMask
-
-			// Total: passes all filters.
-			if oldMask == 0 {
-				totals[w]--
-			}
-			if newMask == 0 {
-				totals[w]++
-			}
-			// Histograms: record contributes to hist[k] iff it passes all
-			// filters except k's. Flipping bit d changes contribution for
-			// every k whose remaining mask is affected.
-			for k, kd := range c.dims {
-				kbit := uint32(1) << uint(k)
-				oldIn := oldMask&^kbit == 0
-				newIn := newMask&^kbit == 0
-				if oldIn == newIn {
-					continue
-				}
-				b := kd.bins[i]
-				if newIn {
-					delta[offs[k]+int(b)]++
-				} else {
-					delta[offs[k]+int(b)]--
-				}
-			}
+			c.flipRecord(i, d, bit, &totals[w], delta, offs)
 		}
 	})
 
 	c.mergeDeltas(offs, totals, deltas)
+}
+
+// flipRecord reconciles record i's fail bit for dimension d against the
+// dimension's current filter, accumulating total and histogram deltas.
+// Shared by the full scan and the sorted-index delta scan so the two paths
+// cannot drift.
+func (c *Crossfilter) flipRecord(i, d int, bit uint32, total *int64, delta []int64, offs []int) {
+	dim := c.dims[d]
+	oldFail := c.masks[i]&bit != 0
+	newFail := dim.fails(dim.values[i])
+	if oldFail == newFail {
+		return
+	}
+	oldMask := c.masks[i]
+	var newMask uint32
+	if newFail {
+		newMask = oldMask | bit
+	} else {
+		newMask = oldMask &^ bit
+	}
+	c.masks[i] = newMask
+
+	// Total: passes all filters.
+	if oldMask == 0 {
+		*total--
+	}
+	if newMask == 0 {
+		*total++
+	}
+	// Histograms: record contributes to hist[k] iff it passes all filters
+	// except k's. Flipping bit d changes contribution for every k whose
+	// remaining mask is affected.
+	for k, kd := range c.dims {
+		kbit := uint32(1) << uint(k)
+		oldIn := oldMask&^kbit == 0
+		newIn := newMask&^kbit == 0
+		if oldIn == newIn {
+			continue
+		}
+		b := kd.bins[i]
+		if newIn {
+			delta[offs[k]+int(b)]++
+		} else {
+			delta[offs[k]+int(b)]--
+		}
+	}
 }
 
 // histOffsets flattens the per-dimension histograms into one delta buffer
@@ -321,7 +376,7 @@ func (c *Crossfilter) recomputeAll() {
 		for i := lo; i < hi; i++ {
 			var mask uint32
 			for d, dim := range c.dims {
-				if dim.active && (dim.values[i] < dim.filterLo || dim.values[i] > dim.filterHi) {
+				if dim.fails(dim.values[i]) {
 					mask |= 1 << uint(d)
 				}
 			}

@@ -1,0 +1,185 @@
+// Sorted-index delta scans: the crossfilter.js technique for making a
+// brush drag cost O(Δ log n) instead of O(n).
+//
+// Each dimension keeps a one-time permutation of record indexes sorted by
+// value. A range filter then corresponds to a contiguous window of sorted
+// positions, found by binary search; when the filter moves, the records
+// whose membership changed are exactly the symmetric difference of the old
+// and new windows — at most two contiguous position segments. A drag step
+// moves one brush edge a few pixels, so the delta is tiny relative to the
+// record count and the update never looks at the rest of the data.
+//
+// Past a crossover fraction of the record count the full morsel-parallel
+// scan (applyFilter) is cheaper than chasing the permutation's scattered
+// record indexes through memory, so large jumps — page-wide brushes,
+// filter clears — fall back to it. Both paths reconcile records through
+// the same flipRecord body, and the differential tests in delta_test.go
+// prove them byte-identical over randomized brush sequences.
+
+package crossfilter
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/morsel"
+)
+
+// DefaultCrossover is the delta fraction of the record count above which
+// SetFilter abandons the delta scan for the full scan. Sequential scans
+// run ~4× faster per record than permuted access, so the break-even sits
+// near 1/4.
+const DefaultCrossover = 0.25
+
+// SetIncremental enables or disables the sorted-index delta path. false
+// pins the full-scan implementation — the differential-test oracle and the
+// ablation baseline. Not safe to call concurrently with filter updates.
+func (c *Crossfilter) SetIncremental(on bool) { c.incremental = on }
+
+// Incremental reports whether the delta path is enabled.
+func (c *Crossfilter) Incremental() bool { return c.incremental }
+
+// SetCrossover sets the delta fraction above which filter updates fall
+// back to the full scan. Values outside (0, 1] keep the current setting.
+func (c *Crossfilter) SetCrossover(frac float64) {
+	if frac > 0 && frac <= 1 {
+		c.crossover = frac
+	}
+}
+
+// ScanStats reports how many filter updates took the delta path versus the
+// full scan, for tests and the ablation benchmark.
+func (c *Crossfilter) ScanStats() (delta, full int64) { return c.deltaScans, c.fullScans }
+
+// buildIndex constructs the dimension's sorted permutation. Dimensions
+// containing NaN values get no index (NaN has no sorted position) and pin
+// the full-scan path.
+func (d *Dimension) buildIndex(n int) {
+	for _, v := range d.values {
+		if math.IsNaN(v) {
+			d.hasNaN = true
+			return
+		}
+	}
+	d.order = make([]int32, n)
+	for i := range d.order {
+		d.order[i] = int32(i)
+	}
+	sort.Slice(d.order, func(a, b int) bool { return d.values[d.order[a]] < d.values[d.order[b]] })
+	d.sorted = make([]float64, n)
+	for p, i := range d.order {
+		d.sorted[p] = d.values[i]
+	}
+	d.winLo, d.winHi = 0, n
+}
+
+// window returns the sorted position range passing the dimension's current
+// filter. Ties at the boundaries fall on the correct side because the
+// window is defined purely by value thresholds.
+func (d *Dimension) window(n int) (lo, hi int) {
+	if !d.active {
+		return 0, n
+	}
+	if d.empty {
+		// Any empty interval is correct for a match-nothing filter;
+		// anchoring it at the old window's lower edge minimizes the delta.
+		return d.winLo, d.winLo
+	}
+	lo = sort.SearchFloat64s(d.sorted, d.filterLo)
+	hi = sort.Search(n, func(p int) bool { return d.sorted[p] > d.filterHi })
+	return lo, hi
+}
+
+// updateFilter reconciles every record's fail bit for dimension d with the
+// dimension's just-updated filter state, choosing between the sorted-index
+// delta scan and the full scan.
+func (c *Crossfilter) updateFilter(d int, bit uint32) {
+	dim := c.dims[d]
+	if dim.hasNaN || dim.order == nil {
+		c.fullScans++
+		c.applyFilter(d, bit)
+		return
+	}
+	oldLo, oldHi := dim.winLo, dim.winHi
+	newLo, newHi := dim.window(c.n)
+	dim.winLo, dim.winHi = newLo, newHi
+	if !c.incremental {
+		c.fullScans++
+		c.applyFilter(d, bit)
+		return
+	}
+
+	// The records whose membership changed are the symmetric difference of
+	// the old and new passing windows: the span between the two lower edges
+	// plus the span between the two upper edges, merged when they meet.
+	// (Overlap would double-visit records, and concurrent workers may not
+	// share a record even for an idempotent reconcile.)
+	a1, b1 := min(oldLo, newLo), max(oldLo, newLo)
+	a2, b2 := min(oldHi, newHi), max(oldHi, newHi)
+	var segs [2][2]int
+	nseg := 0
+	if b1 >= a2 {
+		if lo, hi := a1, max(b1, b2); hi > lo {
+			segs[0] = [2]int{lo, hi}
+			nseg = 1
+		}
+	} else {
+		if b1 > a1 {
+			segs[nseg] = [2]int{a1, b1}
+			nseg++
+		}
+		if b2 > a2 {
+			segs[nseg] = [2]int{a2, b2}
+			nseg++
+		}
+	}
+	total := 0
+	for s := 0; s < nseg; s++ {
+		total += segs[s][1] - segs[s][0]
+	}
+	if float64(total) > c.crossover*float64(c.n) {
+		c.fullScans++
+		c.applyFilter(d, bit)
+		return
+	}
+	c.deltaScans++
+	if total == 0 {
+		return
+	}
+	c.applyDelta(d, bit, segs[:nseg], total)
+}
+
+// applyDelta reconciles only the records at the given sorted positions.
+// Workers own disjoint position ranges of the disjoint segments, hence
+// disjoint records — the same ownership discipline as the full scan — and
+// accumulate int64 deltas that merge exactly, so the result is identical
+// at every worker count. Small deltas (the drag case) run inline with zero
+// scheduling overhead.
+func (c *Crossfilter) applyDelta(d int, bit uint32, segs [][2]int, total int) {
+	dim := c.dims[d]
+	workers := 1
+	if c.parallelism > 1 && total >= 2*morsel.Size {
+		workers = morsel.Workers(c.parallelism, total)
+	}
+	offs := c.histOffsets()
+	totals := make([]int64, workers)
+	deltas := make([][]int64, workers)
+	for w := range deltas {
+		deltas[w] = make([]int64, offs[len(c.dims)])
+	}
+
+	seg0lo := segs[0][0]
+	seg0len := segs[0][1] - seg0lo
+	morsel.Run(total, workers, func(w, _, flo, fhi int) {
+		delta := deltas[w]
+		for f := flo; f < fhi; f++ {
+			p := seg0lo + f
+			if f >= seg0len {
+				p = segs[1][0] + (f - seg0len)
+			}
+			c.flipRecord(int(dim.order[p]), d, bit, &totals[w], delta, offs)
+		}
+	})
+
+	c.mergeDeltas(offs, totals, deltas)
+}

@@ -1,0 +1,284 @@
+package crossfilter
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/morsel"
+	"repro/internal/storage"
+)
+
+// driveRandomBrushes applies the same seeded mix of drag steps, jumps,
+// clears, and degenerate filters to both crossfilters, checking full state
+// equality (totals, histograms, and per-record masks) after every step.
+func driveRandomBrushes(t *testing.T, seed int64, steps int, want, got *Crossfilter) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// lo/hi track a synthetic brush per dimension so most steps are small
+	// edge moves, the drag-style delta the sorted index exists for.
+	nd := want.NumDims()
+	brushLo := make([]float64, nd)
+	brushHi := make([]float64, nd)
+	for d := 0; d < nd; d++ {
+		dim := want.Dim(d)
+		brushLo[d], brushHi[d] = dim.Lo, dim.Hi
+	}
+	apply := func(f func(c *Crossfilter)) {
+		f(want)
+		f(got)
+	}
+	for step := 0; step < steps; step++ {
+		d := rng.Intn(nd)
+		dim := want.Dim(d)
+		span := dim.Hi - dim.Lo
+		switch r := rng.Float64(); {
+		case r < 0.55: // drag: nudge one brush edge by up to 2% of the domain
+			delta := (rng.Float64() - 0.5) * span * 0.04
+			if rng.Intn(2) == 0 {
+				brushLo[d] += delta
+			} else {
+				brushHi[d] += delta
+			}
+			if brushLo[d] > brushHi[d] {
+				brushLo[d], brushHi[d] = brushHi[d], brushLo[d]
+			}
+			apply(func(c *Crossfilter) { c.SetFilter(d, brushLo[d], brushHi[d]) })
+		case r < 0.75: // jump: a fresh random brush
+			brushLo[d] = dim.Lo + rng.Float64()*span
+			brushHi[d] = brushLo[d] + rng.Float64()*(dim.Hi-brushLo[d])
+			apply(func(c *Crossfilter) { c.SetFilter(d, brushLo[d], brushHi[d]) })
+		case r < 0.85: // clear
+			apply(func(c *Crossfilter) { c.ClearFilter(d) })
+		case r < 0.92: // degenerate: inverted bounds (empty filter)
+			apply(func(c *Crossfilter) { c.SetFilter(d, dim.Hi, dim.Lo) })
+		default: // degenerate: NaN bounds (empty filter)
+			apply(func(c *Crossfilter) { c.SetFilter(d, math.NaN(), brushHi[d]) })
+		}
+		mustEqualFullState(t, step, want, got)
+	}
+}
+
+// mustEqualFullState extends mustEqualState with per-record mask equality —
+// byte-identical internal state, not just equal aggregates.
+func mustEqualFullState(t *testing.T, step int, want, got *Crossfilter) {
+	t.Helper()
+	mustEqualState(t, step, want, got)
+	for i := range want.masks {
+		if want.masks[i] != got.masks[i] {
+			t.Fatalf("step %d: record %d mask %b vs %b", step, i, want.masks[i], got.masks[i])
+		}
+	}
+}
+
+// TestDeltaMatchesFullScan is the tentpole's differential proof: the
+// sorted-index delta path must be byte-identical to the full-scan oracle
+// over randomized brush sequences at every worker count.
+func TestDeltaMatchesFullScan(t *testing.T) {
+	roads := dataset.Roads(11, 4*morsel.Size)
+	dims := []string{"x", "y", "z"}
+	for _, p := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			oracle, err := New(roads, dims, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle.SetIncremental(false)
+			oracle.SetParallelism(p)
+			inc, err := New(roads, dims, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc.SetParallelism(p)
+			driveRandomBrushes(t, int64(500+p), 80, oracle, inc)
+			if delta, _ := inc.ScanStats(); delta == 0 {
+				t.Error("incremental side never took the delta path")
+			}
+			if delta, full := oracle.ScanStats(); delta != 0 || full == 0 {
+				t.Errorf("oracle took the delta path: delta=%d full=%d", delta, full)
+			}
+		})
+	}
+}
+
+// TestDeltaCrossoverExtremes pins both crossover extremes against the
+// oracle: crossover 1 forces every update (even clears and page-wide
+// jumps) through the delta scan, including its parallel segment walk.
+func TestDeltaCrossoverExtremes(t *testing.T) {
+	roads := dataset.Roads(12, 3*morsel.Size)
+	dims := []string{"x", "y"}
+	for _, crossover := range []float64{1e-9, 1.0} {
+		for _, p := range []int{1, 4} {
+			t.Run(fmt.Sprintf("c%v_p%d", crossover, p), func(t *testing.T) {
+				oracle, err := New(roads, dims, 20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle.SetIncremental(false)
+				inc, err := New(roads, dims, 20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc.SetParallelism(p)
+				inc.SetCrossover(crossover)
+				driveRandomBrushes(t, int64(700+p), 50, oracle, inc)
+				delta, full := inc.ScanStats()
+				if crossover == 1.0 && full != 0 {
+					t.Errorf("crossover 1 still fell back to full scans: %d", full)
+				}
+				if crossover < 1e-6 && delta > 0 {
+					// Only zero-length deltas (no-op moves) may count.
+					t.Logf("tiny crossover recorded %d delta scans (no-op moves)", delta)
+				}
+			})
+		}
+	}
+}
+
+// TestEmptyFilterGuards pins the satellite fix: inverted and NaN filter
+// bounds are an empty filter — zero records pass, nothing silently
+// matches everything — and clearing restores the unfiltered state.
+func TestEmptyFilterGuards(t *testing.T) {
+	cf := roadCF(t, 2000)
+	unfiltered := cf.Histogram(1)
+
+	cf.SetFilter(0, 5, 3) // inverted
+	if cf.Total() != 0 {
+		t.Errorf("inverted bounds: total = %d, want 0", cf.Total())
+	}
+	if !cf.Dim(0).Filtered() {
+		t.Error("inverted filter not marked active")
+	}
+	cf.SetFilter(0, math.NaN(), 3)
+	if cf.Total() != 0 {
+		t.Errorf("NaN lo: total = %d, want 0", cf.Total())
+	}
+	cf.SetFilter(0, 3, math.NaN())
+	if cf.Total() != 0 {
+		t.Errorf("NaN hi: total = %d, want 0", cf.Total())
+	}
+	// Other dimensions' histograms (which respect dim 0's filter) are empty.
+	for b, c := range cf.Histogram(1) {
+		if c != 0 {
+			t.Fatalf("bin %d nonzero under empty filter", b)
+		}
+	}
+	// Dim 0's own histogram ignores its own filter.
+	var sum int64
+	for _, c := range cf.Histogram(0) {
+		sum += c
+	}
+	if sum != 2000 {
+		t.Errorf("dim 0 self-histogram sum = %d", sum)
+	}
+
+	cf.ClearFilter(0)
+	if cf.Total() != 2000 {
+		t.Errorf("total after clear = %d", cf.Total())
+	}
+	after := cf.Histogram(1)
+	for b := range unfiltered {
+		if unfiltered[b] != after[b] {
+			t.Fatalf("bin %d: %d → %d after empty-filter round trip", b, unfiltered[b], after[b])
+		}
+	}
+	// A full rebuild agrees with the incremental empty-filter handling.
+	cf.SetFilter(0, math.NaN(), math.NaN())
+	cf.RecomputeAll()
+	if cf.Total() != 0 {
+		t.Errorf("recompute under NaN filter: total = %d, want 0", cf.Total())
+	}
+}
+
+// TestNaNValuesPinFullScan: a dimension containing NaN values has no
+// sorted order, so it must fall back to the full scan — and keep the
+// historical semantics that NaN values pass every range filter.
+func TestNaNValuesPinFullScan(t *testing.T) {
+	tbl := storage.NewTable("t", storage.Schema{{Name: "a", Type: storage.Float64}})
+	for i := 0; i < 50; i++ {
+		v := float64(i)
+		if i%10 == 0 {
+			v = math.NaN()
+		}
+		tbl.MustAppendRow(storage.NewFloat(v))
+	}
+	cf, err := New(tbl, []string{"a"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf.SetFilter(0, 1, 8)
+	if delta, full := cf.ScanStats(); delta != 0 || full != 1 {
+		t.Errorf("NaN column: delta=%d full=%d, want full scans only", delta, full)
+	}
+	// 8 finite values in [1,8] plus 5 NaNs that never fail a range filter.
+	if cf.Total() != 13 {
+		t.Errorf("total = %d, want 13", cf.Total())
+	}
+}
+
+// TestDragUsesDeltaPath asserts the economics the tentpole promises: a
+// drag sequence of small edge moves stays on the delta path under the
+// default crossover.
+func TestDragUsesDeltaPath(t *testing.T) {
+	cf := roadCF(t, 3*morsel.Size)
+	x := cf.Dim(0)
+	span := x.Hi - x.Lo
+	cf.SetFilter(0, x.Lo+0.4*span, x.Lo+0.6*span) // initial brush: big jump
+	_, fullAfterFirst := cf.ScanStats()
+	for i := 0; i < 30; i++ {
+		lo := x.Lo + (0.4+0.002*float64(i))*span
+		cf.SetFilter(0, lo, lo+0.2*span)
+	}
+	delta, full := cf.ScanStats()
+	if full != fullAfterFirst {
+		t.Errorf("drag steps fell back to full scans: %d → %d", fullAfterFirst, full)
+	}
+	if delta < 30 {
+		t.Errorf("delta scans = %d, want ≥ 30", delta)
+	}
+}
+
+// TestDeltaRaceStress exercises the parallel delta scan's worker ownership
+// under the race detector: crossover 1 forces even page-wide jumps and
+// clears through applyDelta's two-segment walk at 8 workers.
+func TestDeltaRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	roads := dataset.Roads(13, 5*morsel.Size)
+	cf, err := New(roads, []string{"x", "y", "z"}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf.SetParallelism(8)
+	cf.SetCrossover(1)
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 60; step++ {
+		d := rng.Intn(3)
+		dim := cf.Dim(d)
+		span := dim.Hi - dim.Lo
+		if step%7 == 6 {
+			cf.ClearFilter(d)
+			continue
+		}
+		lo := dim.Lo + rng.Float64()*span*0.8
+		cf.SetFilter(d, lo, lo+rng.Float64()*(dim.Hi-lo))
+	}
+	// Sanity: the state still reconciles with a full rebuild.
+	gotTotal := cf.Total()
+	got := cf.Histograms()
+	cf.RecomputeAll()
+	if cf.Total() != gotTotal {
+		t.Fatalf("stress total %d, recompute %d", gotTotal, cf.Total())
+	}
+	want := cf.Histograms()
+	for d := range want {
+		for b := range want[d] {
+			if got[d][b] != want[d][b] {
+				t.Fatalf("dim %d bin %d: %d vs %d", d, b, got[d][b], want[d][b])
+			}
+		}
+	}
+}

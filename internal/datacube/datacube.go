@@ -66,6 +66,10 @@ type Cube struct {
 // maxCells bounds cube memory (8 bytes per cell).
 const maxCells = 1 << 26
 
+// maxHistDims bounds the stack-allocated index buffers of the query paths;
+// a 2-bin cube hits maxCells at 26 dimensions, so 32 loses nothing.
+const maxHistDims = 32
+
 // maxParallelCells caps per-worker scratch cubes during a parallel build;
 // above it (32 MB of partials per worker) the build falls back to the
 // serial loop rather than multiplying memory by the worker count.
@@ -85,6 +89,9 @@ func Build(t *storage.Table, dims []Dim) (*Cube, error) {
 func BuildWith(t *storage.Table, dims []Dim, parallelism int) (*Cube, error) {
 	if len(dims) == 0 {
 		return nil, fmt.Errorf("datacube: no dimensions")
+	}
+	if len(dims) > maxHistDims {
+		return nil, fmt.Errorf("datacube: at most %d dimensions (got %d)", maxHistDims, len(dims))
 	}
 	total := 1
 	for _, d := range dims {
@@ -175,12 +182,18 @@ type Range struct {
 }
 
 // binRange converts a domain range to an inclusive bin interval. Bins are
-// included when they overlap the range at all — the cube's precision is
-// bin-granular, exactly the approximation imMens accepts.
+// included when they overlap the half-open range [Lo, Hi) at all — the
+// cube's precision is bin-granular, exactly the approximation imMens
+// accepts. The half-open convention pins the boundary case: a Hi landing
+// exactly on bin k's lower edge stops short of bin k rather than pulling
+// the whole next bin in. A degenerate range (Lo == Hi) is the width-zero
+// brush and keeps the single bin under it.
 func (d Dim) binRange(r Range) (lo, hi int) {
 	lo = d.binOf(r.Lo)
-	// The upper edge is exclusive of the next bin unless it reaches into it.
 	hi = d.binOf(r.Hi)
+	if hi > lo && d.binLo(hi) == r.Hi {
+		hi--
+	}
 	return lo, hi
 }
 
@@ -191,22 +204,41 @@ func (c *Cube) Histogram(target int, filters []*Range) ([]int64, error) {
 	if target < 0 || target >= len(c.dims) {
 		return nil, fmt.Errorf("datacube: no dimension %d", target)
 	}
-	if filters != nil && len(filters) != len(c.dims) {
-		return nil, fmt.Errorf("datacube: %d filters for %d dimensions", len(filters), len(c.dims))
+	out := make([]int64, c.dims[target].Bins)
+	if err := c.HistogramInto(target, filters, out); err != nil {
+		return nil, err
 	}
-	lo := make([]int, len(c.dims))
-	hi := make([]int, len(c.dims))
+	return out, nil
+}
+
+// HistogramInto computes dimension target's histogram into out (length
+// Dim(target).Bins), zeroing it first — the allocation-free form the
+// serving hot path uses.
+func (c *Cube) HistogramInto(target int, filters []*Range, out []int64) error {
+	if target < 0 || target >= len(c.dims) {
+		return fmt.Errorf("datacube: no dimension %d", target)
+	}
+	if filters != nil && len(filters) != len(c.dims) {
+		return fmt.Errorf("datacube: %d filters for %d dimensions", len(filters), len(c.dims))
+	}
+	if len(out) != c.dims[target].Bins {
+		return fmt.Errorf("datacube: out has %d bins, dimension %d has %d", len(out), target, c.dims[target].Bins)
+	}
+	for b := range out {
+		out[b] = 0
+	}
+	var lo, hi [maxHistDims]int
 	for i, d := range c.dims {
 		lo[i], hi[i] = 0, d.Bins-1
 		if filters != nil && filters[i] != nil {
 			lo[i], hi[i] = d.binRange(*filters[i])
 			if lo[i] > hi[i] {
-				return make([]int64, c.dims[target].Bins), nil
+				return nil
 			}
 		}
 	}
-	out := make([]int64, c.dims[target].Bins)
-	idx := make([]int, len(c.dims))
+	var idxBuf [maxHistDims]int
+	idx := idxBuf[:len(c.dims)]
 	for i := range idx {
 		idx[i] = lo[i]
 	}
@@ -229,7 +261,7 @@ func (c *Cube) Histogram(target int, filters []*Range) ([]int64, error) {
 			break
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Count returns the number of records inside the filtered box (bin

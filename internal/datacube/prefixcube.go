@@ -1,0 +1,206 @@
+// Prefix-sum (summed-area) cube: the dense cube's counts integrated along
+// every axis, so a filtered count needs only the box's 2^d corners and a
+// filtered histogram one corner difference per target bin — O(bins·2^(d-1))
+// instead of walking the whole filtered cell box. This is the standard
+// summed-area-table decomposition imMens applies to its data tiles; for
+// the 20³ crossfilter cube it turns an up-to-8000-cell walk into at most
+// 8 (Count) or ~160 (Histogram) array reads per query, independent of both
+// the record count and the brush size.
+
+package datacube
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// PrefixCube is the summed-area form of a Cube. Cell (i₁..i_d) of sums
+// holds the record count over bins [0, i₁) × … × [0, i_d) — an exclusive
+// prefix on a (Bins+1)-per-dimension grid, so the zero boundary planes
+// make every inclusion-exclusion corner a plain lookup.
+type PrefixCube struct {
+	dims    []Dim
+	strides []int // strides over the (Bins+1)-sized prefix grid
+	sums    []int64
+	records int
+}
+
+// NewPrefix integrates a dense cube into its summed-area form in
+// O(d · cells). The cube is not retained.
+func NewPrefix(c *Cube) *PrefixCube {
+	p := &PrefixCube{dims: c.dims, records: c.records}
+	p.strides = make([]int, len(c.dims))
+	total := 1
+	for i := len(c.dims) - 1; i >= 0; i-- {
+		p.strides[i] = total
+		total *= c.dims[i].Bins + 1
+	}
+	p.sums = make([]int64, total)
+
+	// Scatter the cube's cells to prefix coordinates shifted by one along
+	// every axis, leaving the zero planes empty.
+	for cell, v := range c.cells {
+		if v == 0 {
+			continue
+		}
+		idx, rest := 0, cell
+		for i := range c.dims {
+			b := rest / c.strides[i]
+			rest %= c.strides[i]
+			idx += (b + 1) * p.strides[i]
+		}
+		p.sums[idx] = v
+	}
+	// Integrate along one axis at a time. Ascending flat order guarantees
+	// idx-stride is already integrated when idx needs it.
+	for a := range p.dims {
+		stride, size := p.strides[a], p.dims[a].Bins+1
+		for idx := range p.sums {
+			if (idx/stride)%size != 0 {
+				p.sums[idx] += p.sums[idx-stride]
+			}
+		}
+	}
+	return p
+}
+
+// BuildPrefix builds the cube with the given parallelism and integrates it
+// — the one-call construction path for serving.
+func BuildPrefix(t *storage.Table, dims []Dim, parallelism int) (*PrefixCube, error) {
+	c, err := BuildWith(t, dims, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return NewPrefix(c), nil
+}
+
+// NumRecords returns the number of records aggregated into the cube.
+func (p *PrefixCube) NumRecords() int { return p.records }
+
+// NumDims returns the cube's dimension count.
+func (p *PrefixCube) NumDims() int { return len(p.dims) }
+
+// Dim returns dimension i's descriptor.
+func (p *PrefixCube) Dim(i int) Dim { return p.dims[i] }
+
+// DimIndex finds a dimension by name, or -1.
+func (p *PrefixCube) DimIndex(name string) int {
+	for i, d := range p.dims {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// binBox resolves filters to an inclusive bin box, reporting empty boxes.
+func (p *PrefixCube) binBox(filters []*Range, lo, hi []int) (empty bool, err error) {
+	if filters != nil && len(filters) != len(p.dims) {
+		return false, fmt.Errorf("datacube: %d filters for %d dimensions", len(filters), len(p.dims))
+	}
+	for i, d := range p.dims {
+		lo[i], hi[i] = 0, d.Bins-1
+		if filters != nil && filters[i] != nil {
+			lo[i], hi[i] = d.binRange(*filters[i])
+			if lo[i] > hi[i] {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// Count returns the number of records inside the filtered box (bin
+// precision) in O(2^d) corner lookups: the box sum is the alternating sum
+// of the prefix values at the box's corners.
+func (p *PrefixCube) Count(filters []*Range) (int64, error) {
+	var loBuf, hiBuf [maxHistDims]int
+	lo, hi := loBuf[:len(p.dims)], hiBuf[:len(p.dims)]
+	empty, err := p.binBox(filters, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	if empty {
+		return 0, nil
+	}
+	var sum int64
+	for mask := 0; mask < 1<<len(p.dims); mask++ {
+		idx, sign := 0, int64(1)
+		for i := range p.dims {
+			if mask&(1<<i) != 0 {
+				idx += lo[i] * p.strides[i]
+				sign = -sign
+			} else {
+				idx += (hi[i] + 1) * p.strides[i]
+			}
+		}
+		sum += sign * p.sums[idx]
+	}
+	return sum, nil
+}
+
+// Histogram returns dimension target's histogram under the given filters,
+// allocating the result. See HistogramInto.
+func (p *PrefixCube) Histogram(target int, filters []*Range) ([]int64, error) {
+	if target < 0 || target >= len(p.dims) {
+		return nil, fmt.Errorf("datacube: no dimension %d", target)
+	}
+	out := make([]int64, p.dims[target].Bins)
+	if err := p.HistogramInto(target, filters, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HistogramInto computes dimension target's histogram into out, zeroing it
+// first. For each of the 2^(d-1) corner combinations of the non-target
+// dimensions, the target axis is differenced bin by bin — adjacent prefix
+// values bracket exactly one bin — so the cost is O(bins · 2^(d-1))
+// regardless of the filter box's size. Results are identical to
+// Cube.HistogramInto for every filter set.
+func (p *PrefixCube) HistogramInto(target int, filters []*Range, out []int64) error {
+	if target < 0 || target >= len(p.dims) {
+		return fmt.Errorf("datacube: no dimension %d", target)
+	}
+	if len(out) != p.dims[target].Bins {
+		return fmt.Errorf("datacube: out has %d bins, dimension %d has %d", len(out), target, p.dims[target].Bins)
+	}
+	for b := range out {
+		out[b] = 0
+	}
+	var loBuf, hiBuf, othersBuf [maxHistDims]int
+	lo, hi := loBuf[:len(p.dims)], hiBuf[:len(p.dims)]
+	empty, err := p.binBox(filters, lo, hi)
+	if err != nil {
+		return err
+	}
+	if empty {
+		return nil
+	}
+	others := othersBuf[:0]
+	for i := range p.dims {
+		if i != target {
+			others = append(others, i)
+		}
+	}
+	st := p.strides[target]
+	for mask := 0; mask < 1<<len(others); mask++ {
+		base, sign := 0, int64(1)
+		for j, i := range others {
+			if mask&(1<<j) != 0 {
+				base += lo[i] * p.strides[i]
+				sign = -sign
+			} else {
+				base += (hi[i] + 1) * p.strides[i]
+			}
+		}
+		prev := p.sums[base+lo[target]*st]
+		for b := lo[target]; b <= hi[target]; b++ {
+			next := p.sums[base+(b+1)*st]
+			out[b] += sign * (next - prev)
+			prev = next
+		}
+	}
+	return nil
+}

@@ -1,12 +1,75 @@
 package opt
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/engine"
 )
+
+// ResultLRU is a fixed-capacity LRU cache that carries result values —
+// the server-side companion to SessionCache (which keys on quantized
+// interaction state) and to the key-only Cache policies. The serving
+// layer uses it for /v1/tiles results keyed by (dataset, tile). Not
+// synchronized; callers serialize access.
+type ResultLRU struct {
+	capacity int
+	ll       *list.List
+	index    map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type resultEntry struct {
+	key string
+	val any
+}
+
+// NewResultLRU builds a cache holding at most capacity entries; capacity
+// <= 0 disables storage (every Get misses).
+func NewResultLRU(capacity int) *ResultLRU {
+	return &ResultLRU{capacity: capacity, ll: list.New(), index: map[string]*list.Element{}}
+}
+
+// Get returns the cached value and whether it was present, updating
+// recency and the hit/miss counters.
+func (c *ResultLRU) Get(key string) (any, bool) {
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(resultEntry).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// beyond capacity.
+func (c *ResultLRU) Put(key string, val any) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		el.Value = resultEntry{key, val}
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(resultEntry).key)
+	}
+	c.index[key] = c.ll.PushFront(resultEntry{key, val})
+}
+
+// Len returns the number of cached entries.
+func (c *ResultLRU) Len() int { return c.ll.Len() }
+
+// Stats returns hit and miss counts.
+func (c *ResultLRU) Stats() (hits, misses int64) { return c.hits, c.misses }
 
 // SessionCache reuses results of equivalent queries within a session — the
 // Sesame-style optimization the survey credits with up to 25× gains, only

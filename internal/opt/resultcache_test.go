@@ -132,3 +132,65 @@ func TestReuseHitRateZeroOnDistinctQueries(t *testing.T) {
 		t.Errorf("hit rate %.2f on a monotone sweep, want ~0", cache.HitRate())
 	}
 }
+
+func TestResultLRU(t *testing.T) {
+	c := NewResultLRU(2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Errorf("a = %v %v", v, ok)
+	}
+	// a is now most recent, so inserting c evicts b.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recent entry evicted")
+	}
+	// Refreshing an existing key replaces the value without growing.
+	c.Put("a", 9)
+	if v, _ := c.Get("a"); v.(int) != 9 {
+		t.Errorf("refresh lost: %v", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 2 {
+		t.Errorf("stats = %d/%d, want 3/2", hits, misses)
+	}
+	// Zero capacity stores nothing.
+	off := NewResultLRU(0)
+	off.Put("x", 1)
+	if _, ok := off.Get("x"); ok || off.Len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+// TestKLFilterRidesDeltaPath: the KL admission filter's sample crossfilter
+// updates through SetFilter, so the drag-style workloads it sees should run
+// on the sorted-index delta path, not full scans.
+func TestKLFilterRidesDeltaPath(t *testing.T) {
+	roads := dataset.Roads(3, 20000)
+	cols := []string{"x", "y", "z"}
+	f, err := NewKLFilter(0.01, roads, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 8.2, 10.0
+	for i := 0; i < 20; i++ {
+		ev := QueryEvent{
+			Moved:  0,
+			Ranges: [][2]float64{{lo + float64(i)*0.01, hi}, {56.5, 57.7}, {-10, 200}},
+		}
+		f.Admit(ev)
+	}
+	delta, _ := f.sample.ScanStats()
+	if delta == 0 {
+		t.Error("KL filter sample never took the delta path")
+	}
+}

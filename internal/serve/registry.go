@@ -29,6 +29,8 @@ type Registry struct {
 	lcv            int64
 	overConstraint int64
 	regressions    int64
+	tileHits       int64
+	tileMisses     int64
 
 	firstIssue time.Time
 	lastIssue  time.Time
@@ -126,6 +128,21 @@ func (r *Registry) recordRegression() {
 	r.mu.Unlock()
 }
 
+// recordTileHit counts a /v1/tiles request served from the result cache
+// without touching the admission queue.
+func (r *Registry) recordTileHit() {
+	r.mu.Lock()
+	r.tileHits++
+	r.mu.Unlock()
+}
+
+// recordTileMiss counts a /v1/tiles request that had to execute.
+func (r *Registry) recordTileMiss() {
+	r.mu.Lock()
+	r.tileMisses++
+	r.mu.Unlock()
+}
+
 // Stats is one /metrics snapshot.
 type Stats struct {
 	Issued         int64   `json:"issued"`
@@ -138,6 +155,8 @@ type Stats struct {
 	OverConstraint int64   `json:"over_constraint"`
 	ConstraintMS   float64 `json:"constraint_ms"`
 	Regressions    int64   `json:"seq_regressions"`
+	TileCacheHits  int64   `json:"tile_cache_hits"`
+	TileCacheMiss  int64   `json:"tile_cache_misses"`
 	QIFPerSec      float64 `json:"qif_per_sec"`
 	P50MS          float64 `json:"p50_ms"`
 	P95MS          float64 `json:"p95_ms"`
@@ -162,6 +181,8 @@ func (r *Registry) snapshot(queueDepth, inflight int) Stats {
 		OverConstraint: r.overConstraint,
 		ConstraintMS:   float64(r.constraint) / float64(time.Millisecond),
 		Regressions:    r.regressions,
+		TileCacheHits:  r.tileHits,
+		TileCacheMiss:  r.tileMisses,
 		QueueDepth:     queueDepth,
 		Inflight:       inflight,
 	}

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/datacube"
 	"repro/internal/engine"
+	"repro/internal/opt"
 	"repro/internal/storage"
 	"repro/internal/tracefmt"
 	"repro/internal/widget"
@@ -57,6 +58,9 @@ type Config struct {
 	// Log, when non-nil, receives one tracefmt.ServeRecord JSON line per
 	// completed request.
 	Log io.Writer
+	// TileCacheSize bounds the /v1/tiles LRU result cache (entries keyed
+	// by dataset and tile). 0 means 1024; negative disables caching.
+	TileCacheSize int
 }
 
 // Backends are the data systems the server fronts. Engine serves /v1/query,
@@ -79,9 +83,13 @@ type Server struct {
 
 	eng     *engine.Engine
 	cube    *datacube.Cube
+	prefix  *datacube.PrefixCube
 	tiles   *storage.Table
 	tileLat *storage.Column
 	tileLng *storage.Column
+
+	tileMu    sync.Mutex
+	tileCache *opt.ResultLRU
 
 	mux      *http.ServeMux
 	queue    chan func()
@@ -146,15 +154,25 @@ func New(b Backends, cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	tileCacheSize := cfg.TileCacheSize
+	if tileCacheSize == 0 {
+		tileCacheSize = 1024
+	}
 	s := &Server{
-		cfg:      cfg,
-		reg:      NewRegistry(cfg.Constraint),
-		eng:      b.Engine,
-		cube:     b.Cube,
-		tiles:    b.Tiles,
-		queue:    make(chan func(), cfg.QueueDepth),
-		sessions: make(map[string]*sessionState),
-		start:    time.Now(),
+		cfg:       cfg,
+		reg:       NewRegistry(cfg.Constraint),
+		eng:       b.Engine,
+		cube:      b.Cube,
+		tiles:     b.Tiles,
+		queue:     make(chan func(), cfg.QueueDepth),
+		sessions:  make(map[string]*sessionState),
+		tileCache: opt.NewResultLRU(tileCacheSize),
+		start:     time.Now(),
+	}
+	if b.Cube != nil {
+		// The summed-area form answers every brush in O(bins·2^(d-1))
+		// lookups; the dense cube stays as the differential oracle.
+		s.prefix = datacube.NewPrefix(b.Cube)
 	}
 	if b.Tiles != nil {
 		s.tileLat = b.Tiles.Column(b.TileLat)
@@ -550,25 +568,37 @@ func (s *Server) runBrushes(sess *sessionState) {
 	}
 }
 
-// execBrush answers the coordinated-view query on the cube: all
-// histograms plus the total under the snapshot's filters.
+// execBrush answers the coordinated-view query on the summed-area cube:
+// all histograms plus the total under the snapshot's filters, in
+// O(bins·2^(d-1)) lookups per histogram instead of a filtered cell-box
+// walk. One flat backing array serves every histogram, so the hot path
+// allocates only what the JSON response itself needs.
 func (s *Server) execBrush(req BrushRequest) (*BrushResponse, error) {
-	filters := make([]*datacube.Range, s.cube.NumDims())
+	ndims := s.prefix.NumDims()
+	filters := make([]*datacube.Range, ndims)
+	rangeBuf := make([]datacube.Range, ndims)
 	for i, rg := range req.Ranges {
 		if rg != nil {
-			filters[i] = &datacube.Range{Lo: rg[0], Hi: rg[1]}
+			rangeBuf[i] = datacube.Range{Lo: rg[0], Hi: rg[1]}
+			filters[i] = &rangeBuf[i]
 		}
 	}
 	resp := &BrushResponse{AppliedSeq: req.Seq}
-	resp.Histograms = make([][]int64, s.cube.NumDims())
-	for d := 0; d < s.cube.NumDims(); d++ {
-		h, err := s.cube.Histogram(d, filters)
-		if err != nil {
+	resp.Histograms = make([][]int64, ndims)
+	bins := 0
+	for d := 0; d < ndims; d++ {
+		bins += s.prefix.Dim(d).Bins
+	}
+	backing := make([]int64, bins)
+	for d := 0; d < ndims; d++ {
+		nb := s.prefix.Dim(d).Bins
+		resp.Histograms[d] = backing[:nb:nb]
+		backing = backing[nb:]
+		if err := s.prefix.HistogramInto(d, filters, resp.Histograms[d]); err != nil {
 			return nil, err
 		}
-		resp.Histograms[d] = h
 	}
-	total, err := s.cube.Count(filters)
+	total, err := s.prefix.Count(filters)
 	if err != nil {
 		return nil, err
 	}
@@ -633,6 +663,22 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Unlock()
 	s.reg.recordIssue(start)
 
+	// Tile counts are immutable per (dataset, tile), so a cache hit skips
+	// the admission queue and the scan entirely.
+	cacheKey := s.tiles.Name + "|" + tile.String()
+	s.tileMu.Lock()
+	cached, hit := s.tileCache.Get(cacheKey)
+	s.tileMu.Unlock()
+	if hit {
+		s.reg.recordTileHit()
+		count := cached.(int64)
+		s.finish(sess, id, start)
+		writeJSON(w, http.StatusOK, TileResponse{Seq: seq, Key: tile.String(), Count: count})
+		s.logRequest(session, seq, "tile", http.StatusOK, start, seq, false)
+		return
+	}
+	s.reg.recordTileMiss()
+
 	ch := make(chan int64, 1)
 	admitErr := s.admit(func() {
 		latLo, latHi, lngLo, lngHi := tileBounds(tile)
@@ -647,6 +693,9 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 			time.Sleep(s.cfg.ExecDelay)
 		}
 		s.reg.recordExec()
+		s.tileMu.Lock()
+		s.tileCache.Put(cacheKey, count)
+		s.tileMu.Unlock()
 		ch <- count
 	})
 	if admitErr != nil {

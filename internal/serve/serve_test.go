@@ -382,3 +382,67 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("second drain: %v", err)
 	}
 }
+
+// TestTileCacheHitMiss: a repeated tile request is served from the LRU
+// result cache (skipping the admission queue) and the hit/miss counters
+// surface in /metrics.
+func TestTileCacheHitMiss(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+
+	getTile := func(key string) TileResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/tiles?session=s1&key=" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tile %s status = %d", key, resp.StatusCode)
+		}
+		var tr TileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	first := getTile("0/0/0")
+	again := getTile("0/0/0")
+	if again.Count != first.Count {
+		t.Errorf("cached count %d != computed %d", again.Count, first.Count)
+	}
+	other := getTile("4/1/7")
+	if other.Count != 0 {
+		t.Errorf("antipodal tile count = %d, want 0", other.Count)
+	}
+
+	st := srv.Stats()
+	if st.TileCacheHits != 1 || st.TileCacheMiss != 2 {
+		t.Errorf("cache hits=%d misses=%d, want 1/2", st.TileCacheHits, st.TileCacheMiss)
+	}
+	// The counters ride the same /metrics endpoint operators already watch.
+	remote, err := FetchStats(nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.TileCacheHits != 1 || remote.TileCacheMiss != 2 {
+		t.Errorf("remote hits=%d misses=%d", remote.TileCacheHits, remote.TileCacheMiss)
+	}
+}
+
+// TestTileCacheDisabled: a negative TileCacheSize turns the cache off;
+// identical requests recompute every time.
+func TestTileCacheDisabled(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, TileCacheSize: -1})
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/v1/tiles?session=s1&key=0/0/0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	st := srv.Stats()
+	if st.TileCacheHits != 0 || st.TileCacheMiss != 2 {
+		t.Errorf("disabled cache hits=%d misses=%d, want 0/2", st.TileCacheHits, st.TileCacheMiss)
+	}
+}
