@@ -8,12 +8,15 @@
 //	idevald [-addr :8080] [-dataset road|listings] [-rows N]
 //	        [-profile memory|disk] [-workers N] [-queue N]
 //	        [-constraint 500ms] [-execdelay 0] [-log FILE] [-seed N]
+//	        [-deadlines] [-degradeafter 250ms]   # degradation ladder
+//	        [-chaos PROFILE] [-chaosseed N]      # fault injection
 //
 // Endpoints: POST /v1/query {session,seq,sql}; POST /v1/brush
 // {session,seq,ranges,moved}; GET /v1/tiles?session=&z=&x=&y=;
-// GET /metrics; GET /healthz. SIGTERM/SIGINT drain gracefully: admission
-// stops (new requests get 503), in-flight and queued work completes, then
-// the process exits.
+// GET /metrics; GET /healthz (liveness, always 200); GET /readyz
+// (readiness: 503 while draining or circuit-breaker open). SIGTERM/SIGINT
+// drain gracefully: admission stops (new requests get 503), in-flight,
+// queued, and pending coalesced work completes, then the process exits.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
@@ -42,9 +46,14 @@ func main() {
 	execDelay := flag.Duration("execdelay", 0, "artificial per-execution delay (overload experiments)")
 	logPath := flag.String("log", "", "tracefmt request log file (JSON lines)")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	deadlines := flag.Bool("deadlines", false, "enable deadline-aware execution with the degradation ladder")
+	degradeAfter := flag.Duration("degradeafter", 0, "per-request budget before degrading (0 = constraint/2)")
+	chaos := flag.String("chaos", "", "inject faults from this profile (spikes|errors|stall|slow|mixed)")
+	chaosSeed := flag.Int64("chaosseed", 1, "fault injection seed")
 	flag.Parse()
 
-	if err := run(*addr, *ds, *rows, *profile, *workers, *queue, *constraint, *execDelay, *logPath, *seed); err != nil {
+	if err := run(*addr, *ds, *rows, *profile, *workers, *queue, *constraint, *execDelay, *logPath, *seed,
+		*deadlines, *degradeAfter, *chaos, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "idevald:", err)
 		os.Exit(1)
 	}
@@ -63,7 +72,8 @@ func buildBackends(ds string, rows int, prof engine.Profile, seed int64) (serve.
 	}
 }
 
-func run(addr, ds string, rows int, profile string, workers, queue int, constraint, execDelay time.Duration, logPath string, seed int64) error {
+func run(addr, ds string, rows int, profile string, workers, queue int, constraint, execDelay time.Duration, logPath string, seed int64,
+	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64) error {
 	prof := engine.ProfileMemory
 	if profile == "disk" {
 		prof = engine.ProfileDisk
@@ -75,7 +85,18 @@ func run(addr, ds string, rows int, profile string, workers, queue int, constrai
 		return err
 	}
 
-	cfg := serve.Config{Workers: workers, QueueDepth: queue, Constraint: constraint, ExecDelay: execDelay}
+	cfg := serve.Config{
+		Workers: workers, QueueDepth: queue, Constraint: constraint, ExecDelay: execDelay,
+		Deadlines: deadlines, DegradeAfter: degradeAfter,
+	}
+	if chaos != "" {
+		fp, ok := fault.ProfileByName(chaos)
+		if !ok {
+			return fmt.Errorf("unknown chaos profile %q", chaos)
+		}
+		cfg.Fault = fault.New(fp, chaosSeed)
+		fmt.Fprintf(os.Stderr, "idevald: chaos mode: injecting %s faults (seed %d)\n", chaos, chaosSeed)
+	}
 	if logPath != "" {
 		f, err := os.Create(logPath)
 		if err != nil {
@@ -114,7 +135,7 @@ func run(addr, ds string, rows int, profile string, workers, queue int, constrai
 		return err
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "idevald: drained. issued=%d executed=%d coalesced=%d shed=%d lcv=%d p95=%.1fms\n",
-		st.Issued, st.Executed, st.Coalesced, st.Shed, st.LCV, st.P95MS)
+	fmt.Fprintf(os.Stderr, "idevald: drained. issued=%d executed=%d coalesced=%d shed=%d lcv=%d degraded=%d p95=%.1fms\n",
+		st.Issued, st.Executed, st.Coalesced, st.Shed, st.LCV, st.Degraded, st.P95MS)
 	return nil
 }

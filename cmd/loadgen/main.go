@@ -12,6 +12,8 @@
 //	        [-users 32] [-adjust 4] [-events 40] [-timescale 0.05]
 //	        [-workers N] [-queue N] [-execdelay 2ms] [-sqlevery 0]
 //	        [-seed 1] [-json BENCH_serve.json]
+//	        [-deadlines] [-degradeafter 250ms]  # deadline-aware serving
+//	loadgen -chaos [-json BENCH_chaos.json] # fault-profile matrix, in-process
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
@@ -44,17 +47,33 @@ func main() {
 	workers := flag.Int("workers", 2, "in-process worker pool size")
 	queue := flag.Int("queue", 8, "in-process admission queue depth")
 	execDelay := flag.Duration("execdelay", 2*time.Millisecond, "in-process per-execution delay")
+	deadlines := flag.Bool("deadlines", false, "enable deadline-aware execution with the degradation ladder")
+	degradeAfter := flag.Duration("degradeafter", 0, "per-request budget before degrading (0 = constraint/2)")
+	chaos := flag.Bool("chaos", false, "run the chaos matrix: every fault profile × {deadlines on, off} in-process")
 	flag.Parse()
 
+	if *chaos {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_chaos.json"
+		}
+		if err := runChaos(*users, *adjust, *events, *timescale, *seed, out,
+			*rows, *profile, *workers, *queue, *execDelay, *degradeAfter); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*addr, *users, *adjust, *events, *timescale, *seed, *sqlEvery, *jsonOut,
-		*rows, *profile, *workers, *queue, *execDelay); err != nil {
+		*rows, *profile, *workers, *queue, *execDelay, *deadlines, *degradeAfter); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, users, adjust, events int, timescale float64, seed int64, sqlEvery int,
-	jsonOut string, rows int, profile string, workers, queue int, execDelay time.Duration) error {
+	jsonOut string, rows int, profile string, workers, queue int, execDelay time.Duration,
+	deadlines bool, degradeAfter time.Duration) error {
 	baseURL := addr
 	if baseURL == "" {
 		prof := engine.ProfileMemory
@@ -68,6 +87,7 @@ func run(addr string, users, adjust, events int, timescale float64, seed int64, 
 		}
 		srv, err := serve.New(backends, serve.Config{
 			Workers: workers, QueueDepth: queue, Constraint: metrics.DefaultConstraint, ExecDelay: execDelay,
+			Deadlines: deadlines, DegradeAfter: degradeAfter,
 		})
 		if err != nil {
 			return err
@@ -144,6 +164,11 @@ func printReport(r *serve.LoadReport) {
 		r.P50MS, r.P95MS, r.P99MS)
 	fmt.Printf("responses:      %d/%d (ok %d, shed %d, errors %d)\n",
 		r.Responded, r.Issued, r.OK, r.Shed, r.Errors)
+	fmt.Printf("client retry:   retries %d  giveups %d\n", r.Retries, r.Giveups)
+	if s.Degraded > 0 || s.Deadlines > 0 || s.Retries > 0 || s.BreakerTrips > 0 {
+		fmt.Printf("robustness:     degraded %d  deadline-exceeded %d  backend-retries %d  breaker-trips %d\n",
+			s.Degraded, s.Deadlines, s.Retries, s.BreakerTrips)
+	}
 }
 
 // benchSummary is the BENCH_serve.json schema: the serving perf trajectory
@@ -160,6 +185,8 @@ type benchSummary struct {
 	P95MS      float64 `json:"p95_ms"`
 	P99MS      float64 `json:"p99_ms"`
 	WallMS     float64 `json:"wall_ms"`
+	Retries    int     `json:"client_retries"`
+	Giveups    int     `json:"client_giveups"`
 }
 
 func summary(r *serve.LoadReport) benchSummary {
@@ -175,5 +202,127 @@ func summary(r *serve.LoadReport) benchSummary {
 		P95MS:      r.P95MS,
 		P99MS:      r.P99MS,
 		WallMS:     float64(r.Wall) / float64(time.Millisecond),
+		Retries:    r.Retries,
+		Giveups:    r.Giveups,
 	}
+}
+
+// chaosPass is one (profile, deadlines) cell of the chaos matrix.
+type chaosPass struct {
+	Deadlines      bool    `json:"deadlines"`
+	Issued         int     `json:"issued"`
+	LCVPercent     float64 `json:"lcv_percent"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	Degraded       int64   `json:"degraded"`
+	DeadlineCuts   int64   `json:"deadline_exceeded"`
+	BackendRetries int64   `json:"backend_retries"`
+	ClientRetries  int     `json:"client_retries"`
+	Giveups        int     `json:"client_giveups"`
+	Errors         int     `json:"errors"`
+	WallMS         float64 `json:"wall_ms"`
+}
+
+// chaosEntry pairs the deadline-aware pass with the no-deadline baseline on
+// the same fault profile and seed.
+type chaosEntry struct {
+	Profile  string    `json:"profile"`
+	Deadline chaosPass `json:"deadline_aware"`
+	Baseline chaosPass `json:"baseline"`
+}
+
+// runChaos runs every fault profile twice — deadlines on, then off — against
+// a fresh in-process server each pass, same fault seed, and reports LCV and
+// latency side by side. The circuit breaker is disabled so the comparison
+// isolates the deadline ladder.
+func runChaos(users, adjust, events int, timescale float64, seed int64, jsonOut string,
+	rows int, profile string, workers, queue int, execDelay, degradeAfter time.Duration) error {
+	prof := engine.ProfileMemory
+	if profile == "disk" {
+		prof = engine.ProfileDisk
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: chaos matrix over %d fault profiles (%d rows, %d users)...\n",
+		len(fault.Profiles), rows, users)
+
+	onePass := func(fp fault.Profile, deadlines bool) (chaosPass, error) {
+		backends, err := serve.RoadBackends(seed, rows, prof)
+		if err != nil {
+			return chaosPass{}, err
+		}
+		srv, err := serve.New(backends, serve.Config{
+			Workers: workers, QueueDepth: queue, Constraint: metrics.DefaultConstraint,
+			ExecDelay: execDelay,
+			Deadlines: deadlines, DegradeAfter: degradeAfter,
+			Fault:            fault.New(fp, seed),
+			BreakerThreshold: -1,
+		})
+		if err != nil {
+			return chaosPass{}, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return chaosPass{}, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer httpSrv.Close()
+
+		report, err := serve.RunLoad(serve.LoadConfig{
+			BaseURL:     "http://" + ln.Addr().String(),
+			Users:       users,
+			Adjustments: adjust,
+			MaxEvents:   events,
+			Seed:        seed,
+			TimeScale:   timescale,
+			Dims:        serve.RoadLoadDims(),
+		})
+		if err != nil {
+			return chaosPass{}, err
+		}
+		s := report.Server
+		return chaosPass{
+			Deadlines:      deadlines,
+			Issued:         report.Issued,
+			LCVPercent:     s.LCVPercent,
+			P50MS:          report.P50MS,
+			P99MS:          report.P99MS,
+			Degraded:       s.Degraded,
+			DeadlineCuts:   s.Deadlines,
+			BackendRetries: s.Retries,
+			ClientRetries:  report.Retries,
+			Giveups:        report.Giveups,
+			Errors:         report.Errors,
+			WallMS:         float64(report.Wall) / float64(time.Millisecond),
+		}, nil
+	}
+
+	entries := make([]chaosEntry, 0, len(fault.Profiles))
+	for _, fp := range fault.Profiles {
+		on, err := onePass(fp, true)
+		if err != nil {
+			return fmt.Errorf("profile %s deadlines=on: %w", fp.Name, err)
+		}
+		off, err := onePass(fp, false)
+		if err != nil {
+			return fmt.Errorf("profile %s deadlines=off: %w", fp.Name, err)
+		}
+		entries = append(entries, chaosEntry{Profile: fp.Name, Deadline: on, Baseline: off})
+		fmt.Printf("%-8s deadlines=on   lcv %5.1f%%  p50 %7.1fms  p99 %7.1fms  degraded %d  retries %d\n",
+			fp.Name, 100*on.LCVPercent, on.P50MS, on.P99MS, on.Degraded, on.BackendRetries)
+		fmt.Printf("%-8s deadlines=off  lcv %5.1f%%  p50 %7.1fms  p99 %7.1fms\n",
+			fp.Name, 100*off.LCVPercent, off.P50MS, off.P99MS)
+	}
+
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", jsonOut)
+	return nil
 }

@@ -11,9 +11,11 @@
 package crossfilter
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/morsel"
 	"repro/internal/storage"
@@ -109,6 +111,17 @@ type Crossfilter struct {
 	crossover   float64
 	deltaScans  int64
 	fullScans   int64
+
+	// dirty is set when a cancelled context aborted a scan mid-update:
+	// masks, histograms, and total are then mutually inconsistent (a delta
+	// window cannot be resumed — it was advanced before the scan ran). The
+	// next filter update repairs by full rebuild before doing anything else.
+	dirty bool
+
+	// scanRecords counts records visited by filter-update scans, bumped once
+	// per morsel (atomic: workers run concurrently). Tests use it to assert
+	// that cancellation stops scan work within one morsel per worker.
+	scanRecords atomic.Int64
 }
 
 // SetParallelism sets the worker count for filter updates and rebuilds.
@@ -235,20 +248,58 @@ func (c *Crossfilter) Histograms() [][]int64 {
 // normalized to an empty filter rather than the pass-all state a NaN
 // comparison would silently yield.
 func (c *Crossfilter) SetFilter(d int, lo, hi float64) {
+	_ = c.SetFilterCtx(nil, d, lo, hi)
+}
+
+// SetFilterCtx is SetFilter under a context: an expired or cancelled ctx
+// aborts the update's scan at morsel granularity and returns the context's
+// error. After a cancelled update the crossfilter's counts are inconsistent
+// (Dirty reports true) until the next successful filter update, which
+// repairs them with a full rebuild before applying itself. A nil ctx is
+// never cancelled and behaves exactly like SetFilter.
+func (c *Crossfilter) SetFilterCtx(ctx context.Context, d int, lo, hi float64) error {
 	dim := c.dims[d]
 	bit := uint32(1) << uint(d)
 	dim.filterLo, dim.filterHi, dim.active = lo, hi, true
 	dim.empty = math.IsNaN(lo) || math.IsNaN(hi) || lo > hi
-	c.updateFilter(d, bit)
+	return c.updateFilter(ctx, d, bit)
 }
 
 // ClearFilter removes dimension d's filter.
 func (c *Crossfilter) ClearFilter(d int) {
+	_ = c.ClearFilterCtx(nil, d)
+}
+
+// ClearFilterCtx is ClearFilter under a context, with the same cancellation
+// contract as SetFilterCtx.
+func (c *Crossfilter) ClearFilterCtx(ctx context.Context, d int) error {
 	dim := c.dims[d]
 	bit := uint32(1) << uint(d)
 	dim.active, dim.empty = false, false
-	c.updateFilter(d, bit)
+	return c.updateFilter(ctx, d, bit)
 }
+
+// Dirty reports whether a cancelled update left the counts inconsistent.
+// The next successful filter update (or RepairCtx) clears it.
+func (c *Crossfilter) Dirty() bool { return c.dirty }
+
+// RepairCtx rebuilds every count from scratch if a cancelled update left
+// them inconsistent. A no-op when clean.
+func (c *Crossfilter) RepairCtx(ctx context.Context) error {
+	if !c.dirty {
+		return nil
+	}
+	c.fullScans++
+	if err := c.recomputeAllCtx(ctx); err != nil {
+		return err
+	}
+	c.dirty = false
+	return nil
+}
+
+// ScanRecords returns the cumulative number of records visited by filter
+// updates and rebuilds, maintained at morsel granularity.
+func (c *Crossfilter) ScanRecords() int64 { return c.scanRecords.Load() }
 
 // applyFilter recomputes dimension d's fail bit for every record, applying
 // histogram deltas for records that changed — the full-scan path, and the
@@ -257,8 +308,10 @@ func (c *Crossfilter) ClearFilter(d int) {
 // The scan is morsel-parallel: each worker owns disjoint records (masks
 // write in place) and accumulates its histogram and total changes into
 // private int64 delta buffers, merged exactly after the scan. Results are
-// identical to the serial path at every worker count.
-func (c *Crossfilter) applyFilter(d int, bit uint32) {
+// identical to the serial path at every worker count. A cancelled ctx
+// aborts between morsels; masks already flipped stay flipped, so the caller
+// must mark the crossfilter dirty.
+func (c *Crossfilter) applyFilter(ctx context.Context, d int, bit uint32) error {
 	workers := c.workers()
 	offs := c.histOffsets()
 	totals := make([]int64, workers)
@@ -267,14 +320,19 @@ func (c *Crossfilter) applyFilter(d int, bit uint32) {
 		deltas[w] = make([]int64, offs[len(c.dims)])
 	}
 
-	morsel.Run(c.n, workers, func(w, _, lo, hi int) {
+	err := morsel.RunCtx(ctx, c.n, workers, func(w, _, lo, hi int) {
+		c.scanRecords.Add(int64(hi - lo))
 		delta := deltas[w]
 		for i := lo; i < hi; i++ {
 			c.flipRecord(i, d, bit, &totals[w], delta, offs)
 		}
 	})
+	if err != nil {
+		return err
+	}
 
 	c.mergeDeltas(offs, totals, deltas)
+	return nil
 }
 
 // flipRecord reconciles record i's fail bit for dimension d against the
@@ -355,14 +413,14 @@ func (c *Crossfilter) mergeDeltas(offs []int, totals []int64, deltas [][]int64) 
 // baseline for the ablation benchmark. Morsel-parallel like applyFilter:
 // per-worker count deltas merge exactly, so the rebuild matches the serial
 // path at every worker count.
-func (c *Crossfilter) recomputeAll() {
-	c.total = 0
-	for d := range c.hists {
-		for b := range c.hists[d] {
-			c.hists[d][b] = 0
-		}
-	}
+func (c *Crossfilter) recomputeAll() { _ = c.recomputeAllCtx(nil) }
 
+// recomputeAllCtx is recomputeAll under a context. It recomputes every mask
+// from the dimensions' current filter state, so it both rebuilds and repairs
+// — a partially applied cancelled update does not confuse it. On
+// cancellation it returns the ctx error and the structure stays (or
+// becomes) inconsistent; the caller keeps it marked dirty.
+func (c *Crossfilter) recomputeAllCtx(ctx context.Context) error {
 	workers := c.workers()
 	offs := c.histOffsets()
 	totals := make([]int64, workers)
@@ -371,7 +429,8 @@ func (c *Crossfilter) recomputeAll() {
 		deltas[w] = make([]int64, offs[len(c.dims)])
 	}
 
-	morsel.Run(c.n, workers, func(w, _, lo, hi int) {
+	err := morsel.RunCtx(ctx, c.n, workers, func(w, _, lo, hi int) {
+		c.scanRecords.Add(int64(hi - lo))
 		delta := deltas[w]
 		for i := lo; i < hi; i++ {
 			var mask uint32
@@ -391,8 +450,19 @@ func (c *Crossfilter) recomputeAll() {
 			}
 		}
 	})
+	if err != nil {
+		c.dirty = true
+		return err
+	}
 
+	c.total = 0
+	for d := range c.hists {
+		for b := range c.hists[d] {
+			c.hists[d][b] = 0
+		}
+	}
 	c.mergeDeltas(offs, totals, deltas)
+	return nil
 }
 
 // RecomputeAll performs a full non-incremental rebuild with the current

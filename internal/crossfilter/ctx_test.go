@@ -1,0 +1,112 @@
+package crossfilter
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/morsel"
+)
+
+// TestSetFilterCtxCancelMarksDirtyAndRepairs is the acceptance check for
+// cooperative cancellation in the crossfilter: a pre-cancelled update scans
+// zero additional records (workers stop at the next morsel boundary, so a
+// pre-cancelled context never claims one), leaves the structure marked
+// dirty, and RepairCtx restores exactly the state an uncancelled oracle
+// reaches with the same filter sequence.
+func TestSetFilterCtxCancelMarksDirtyAndRepairs(t *testing.T) {
+	n := 4 * morsel.Size
+	roads := dataset.Roads(3, n)
+	cf, err := New(roads, []string{"x", "y", "z"}, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := New(roads, []string{"x", "y", "z"}, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean filter first, applied to both.
+	cf.SetFilter(0, 8.2, 10.5)
+	oracle.SetFilter(0, 8.2, 10.5)
+	if cf.Dirty() {
+		t.Fatal("dirty after successful update")
+	}
+
+	// Cancelled update: the filter window moves but the scan never runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := cf.ScanRecords()
+	if err := cf.SetFilterCtx(ctx, 1, 56.2, 56.8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if scanned := cf.ScanRecords() - before; scanned > morsel.Size {
+		t.Fatalf("cancelled update scanned %d records, want <= one morsel (%d)", scanned, morsel.Size)
+	}
+	if !cf.Dirty() {
+		t.Fatal("cancelled update did not mark the crossfilter dirty")
+	}
+
+	// Repair rebuilds to the same state as the oracle applying the same
+	// final filters cleanly.
+	oracle.SetFilter(1, 56.2, 56.8)
+	if err := cf.RepairCtx(context.Background()); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if cf.Dirty() {
+		t.Fatal("still dirty after repair")
+	}
+	mustEqualFullState(t, 0, oracle, cf)
+
+	// A cancelled repair stays dirty; a later successful filter update
+	// self-repairs before applying.
+	if err := cf.SetFilterCtx(ctx, 2, 10, 40); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if err := cf.RepairCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled repair err = %v, want Canceled", err)
+	}
+	if !cf.Dirty() {
+		t.Fatal("cancelled repair cleared the dirty flag")
+	}
+	oracle.SetFilter(2, 10, 40)
+	oracle.SetFilter(0, 8.5, 10.0)
+	if err := cf.SetFilterCtx(context.Background(), 0, 8.5, 10.0); err != nil {
+		t.Fatalf("self-repairing update: %v", err)
+	}
+	if cf.Dirty() {
+		t.Fatal("successful update left the crossfilter dirty")
+	}
+	mustEqualFullState(t, 1, oracle, cf)
+}
+
+// TestClearFilterCtxCancel: the clear path honors cancellation with the
+// same dirty-and-repair contract.
+func TestClearFilterCtxCancel(t *testing.T) {
+	roads := dataset.Roads(4, 2*morsel.Size)
+	cf, err := New(roads, []string{"x", "y"}, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := New(roads, []string{"x", "y"}, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf.SetFilter(0, 8.2, 10.5)
+	oracle.SetFilter(0, 8.2, 10.5)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cf.ClearFilterCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if !cf.Dirty() {
+		t.Fatal("cancelled clear did not mark dirty")
+	}
+	oracle.ClearFilter(0)
+	if err := cf.RepairCtx(nil); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	mustEqualFullState(t, 0, oracle, cf)
+}

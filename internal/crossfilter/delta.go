@@ -19,6 +19,7 @@
 package crossfilter
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -92,22 +93,33 @@ func (d *Dimension) window(n int) (lo, hi int) {
 
 // updateFilter reconciles every record's fail bit for dimension d with the
 // dimension's just-updated filter state, choosing between the sorted-index
-// delta scan and the full scan.
-func (c *Crossfilter) updateFilter(d int, bit uint32) {
+// delta scan and the full scan. A cancelled ctx aborts the scan at morsel
+// granularity, marks the crossfilter dirty (the delta window has already
+// moved, so a partial scan cannot be resumed), and returns the ctx error;
+// the next update repairs with a full rebuild before applying itself.
+func (c *Crossfilter) updateFilter(ctx context.Context, d int, bit uint32) error {
 	dim := c.dims[d]
-	if dim.hasNaN || dim.order == nil {
-		c.fullScans++
-		c.applyFilter(d, bit)
-		return
+	hasIndex := !dim.hasNaN && dim.order != nil
+	var oldLo, oldHi int
+	if hasIndex {
+		oldLo, oldHi = dim.winLo, dim.winHi
+		dim.winLo, dim.winHi = dim.window(c.n)
 	}
-	oldLo, oldHi := dim.winLo, dim.winHi
-	newLo, newHi := dim.window(c.n)
-	dim.winLo, dim.winHi = newLo, newHi
-	if !c.incremental {
+	if c.dirty {
+		// A previous cancelled scan left masks and counts inconsistent; a
+		// full rebuild from the dimensions' current filter state (which
+		// already includes this update) repairs everything at once.
 		c.fullScans++
-		c.applyFilter(d, bit)
-		return
+		if err := c.recomputeAllCtx(ctx); err != nil {
+			return err
+		}
+		c.dirty = false
+		return nil
 	}
+	if !hasIndex || !c.incremental {
+		return c.runFull(ctx, d, bit)
+	}
+	newLo, newHi := dim.winLo, dim.winHi
 
 	// The records whose membership changed are the symmetric difference of
 	// the old and new passing windows: the span between the two lower edges
@@ -138,15 +150,36 @@ func (c *Crossfilter) updateFilter(d int, bit uint32) {
 		total += segs[s][1] - segs[s][0]
 	}
 	if float64(total) > c.crossover*float64(c.n) {
-		c.fullScans++
-		c.applyFilter(d, bit)
-		return
+		return c.runFull(ctx, d, bit)
 	}
 	c.deltaScans++
 	if total == 0 {
-		return
+		return ctxDone(ctx)
 	}
-	c.applyDelta(d, bit, segs[:nseg], total)
+	if err := c.applyDelta(ctx, d, bit, segs[:nseg], total); err != nil {
+		c.dirty = true
+		return err
+	}
+	return nil
+}
+
+// runFull routes an update through the full scan, marking the crossfilter
+// dirty on cancellation.
+func (c *Crossfilter) runFull(ctx context.Context, d int, bit uint32) error {
+	c.fullScans++
+	if err := c.applyFilter(ctx, d, bit); err != nil {
+		c.dirty = true
+		return err
+	}
+	return nil
+}
+
+// ctxDone returns ctx.Err() for non-nil contexts; nil contexts never cancel.
+func ctxDone(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // applyDelta reconciles only the records at the given sorted positions.
@@ -154,8 +187,9 @@ func (c *Crossfilter) updateFilter(d int, bit uint32) {
 // disjoint records — the same ownership discipline as the full scan — and
 // accumulate int64 deltas that merge exactly, so the result is identical
 // at every worker count. Small deltas (the drag case) run inline with zero
-// scheduling overhead.
-func (c *Crossfilter) applyDelta(d int, bit uint32, segs [][2]int, total int) {
+// scheduling overhead. A cancelled ctx aborts between morsels; the caller
+// marks the crossfilter dirty.
+func (c *Crossfilter) applyDelta(ctx context.Context, d int, bit uint32, segs [][2]int, total int) error {
 	dim := c.dims[d]
 	workers := 1
 	if c.parallelism > 1 && total >= 2*morsel.Size {
@@ -170,7 +204,8 @@ func (c *Crossfilter) applyDelta(d int, bit uint32, segs [][2]int, total int) {
 
 	seg0lo := segs[0][0]
 	seg0len := segs[0][1] - seg0lo
-	morsel.Run(total, workers, func(w, _, flo, fhi int) {
+	err := morsel.RunCtx(ctx, total, workers, func(w, _, flo, fhi int) {
+		c.scanRecords.Add(int64(fhi - flo))
 		delta := deltas[w]
 		for f := flo; f < fhi; f++ {
 			p := seg0lo + f
@@ -180,6 +215,10 @@ func (c *Crossfilter) applyDelta(d int, bit uint32, segs [][2]int, total int) {
 			c.flipRecord(int(dim.order[p]), d, bit, &totals[w], delta, offs)
 		}
 	})
+	if err != nil {
+		return err
+	}
 
 	c.mergeDeltas(offs, totals, deltas)
+	return nil
 }

@@ -1,0 +1,53 @@
+package datacube
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestBuildWithCtx: an ample context builds the same cube as the plain
+// path; a pre-cancelled one aborts before finishing and returns no cube.
+func TestBuildWithCtx(t *testing.T) {
+	roads := dataset.Roads(5, 30000)
+	dims := roadDims()
+
+	want, err := BuildWith(roads, dims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		got, err := BuildWithCtx(context.Background(), roads, dims, par)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if got.NumRecords() != want.NumRecords() || got.NumCells() != want.NumCells() {
+			t.Fatalf("parallelism %d: shape mismatch", par)
+		}
+		wn, err := want.Count(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gn, err := got.Count(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wn != gn {
+			t.Fatalf("parallelism %d: count %d, want %d", par, gn, wn)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		cube, err := BuildWithCtx(ctx, roads, dims, par)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want Canceled", par, err)
+		}
+		if cube != nil {
+			t.Fatalf("parallelism %d: cancelled build returned a cube", par)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package datacube
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -87,6 +88,14 @@ func Build(t *storage.Table, dims []Dim) (*Cube, error) {
 // int64 addition, so the cube is identical to a serial build at every
 // worker count. Values below 1 mean runtime.GOMAXPROCS(0).
 func BuildWith(t *storage.Table, dims []Dim, parallelism int) (*Cube, error) {
+	return BuildWithCtx(nil, t, dims, parallelism)
+}
+
+// BuildWithCtx is BuildWith under a context: an expired or cancelled ctx
+// aborts the build at morsel granularity, discards all partial counts, and
+// returns the context's error — no partially counted cube ever escapes. A
+// nil ctx is never cancelled.
+func BuildWithCtx(ctx context.Context, t *storage.Table, dims []Dim, parallelism int) (*Cube, error) {
 	if len(dims) == 0 {
 		return nil, fmt.Errorf("datacube: no dimensions")
 	}
@@ -125,16 +134,24 @@ func BuildWith(t *storage.Table, dims []Dim, parallelism int) (*Cube, error) {
 		workers = morsel.Workers(parallelism, n)
 	}
 	if workers <= 1 {
-		c.countRows(cols, c.cells, 0, n)
+		err := morsel.RunCtx(ctx, n, 1, func(_, _, lo, hi int) {
+			c.countRows(cols, c.cells, lo, hi)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("datacube: build aborted: %w", err)
+		}
 		return c, nil
 	}
 	partials := make([][]int64, workers)
 	for w := range partials {
 		partials[w] = make([]int64, total)
 	}
-	morsel.Run(n, workers, func(w, _, lo, hi int) {
+	err := morsel.RunCtx(ctx, n, workers, func(w, _, lo, hi int) {
 		c.countRows(cols, partials[w], lo, hi)
 	})
+	if err != nil {
+		return nil, fmt.Errorf("datacube: build aborted: %w", err)
+	}
 	for _, p := range partials {
 		for i, v := range p {
 			c.cells[i] += v

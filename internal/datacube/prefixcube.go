@@ -10,6 +10,7 @@
 package datacube
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/storage"
@@ -68,7 +69,14 @@ func NewPrefix(c *Cube) *PrefixCube {
 // BuildPrefix builds the cube with the given parallelism and integrates it
 // — the one-call construction path for serving.
 func BuildPrefix(t *storage.Table, dims []Dim, parallelism int) (*PrefixCube, error) {
-	c, err := BuildWith(t, dims, parallelism)
+	return BuildPrefixCtx(nil, t, dims, parallelism)
+}
+
+// BuildPrefixCtx is BuildPrefix under a context, with BuildWithCtx's
+// cancellation contract for the counting pass. (The integration pass is
+// O(cells), far below one morsel of row work, and runs to completion.)
+func BuildPrefixCtx(ctx context.Context, t *storage.Table, dims []Dim, parallelism int) (*PrefixCube, error) {
+	c, err := BuildWithCtx(ctx, t, dims, parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/leakcheck"
+	"repro/internal/morsel"
+	"repro/internal/sql"
+)
+
+// ctxTestQueries exercise every execution path that honors cancellation:
+// the histogram fast path, the general scan+aggregate, and a sort+limit.
+var ctxTestQueries = []string{
+	"SELECT ROUND((y - 56) / 0.05), COUNT(*) FROM dataroad WHERE x >= 8.2 AND x <= 10.5 GROUP BY ROUND((y - 56) / 0.05) ORDER BY ROUND((y - 56) / 0.05)",
+	"SELECT ROUND(y, 1), COUNT(*), SUM(x) FROM dataroad WHERE z >= 0 GROUP BY ROUND(y, 1) ORDER BY ROUND(y, 1)",
+	"SELECT x, y FROM dataroad WHERE y >= 56.5 ORDER BY x, y LIMIT 100",
+}
+
+// TestQueryCtxAmpleDeadline: with a generous deadline QueryCtx returns
+// exactly what Query returns — the ctx plumbing must not perturb results.
+func TestQueryCtxAmpleDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	eng := New(ProfileMemory)
+	eng.SetParallelism(4)
+	eng.Register(dataset.Roads(2, 3*morsel.Size))
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, q := range ctxTestQueries {
+		want, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := eng.QueryCtx(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: QueryCtx: %v", q, err)
+		}
+		mustEqualResults(t, q, want, got)
+	}
+}
+
+// TestQueryCtxPreCancelled: an already-cancelled context aborts execution
+// before any scan work, surfacing context.Canceled, and leaves no morsel
+// workers behind.
+func TestQueryCtxPreCancelled(t *testing.T) {
+	leakcheck.Check(t)
+	eng := New(ProfileMemory)
+	eng.SetParallelism(4)
+	eng.Register(dataset.Roads(2, 3*morsel.Size))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, q := range ctxTestQueries {
+		res, err := eng.QueryCtx(ctx, q)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want Canceled", q, err)
+		}
+		if res != nil {
+			t.Fatalf("%s: cancelled query returned a result", q)
+		}
+	}
+}
+
+// TestQueryCtxExpiredDeadline: a deadline in the past reads as
+// DeadlineExceeded, the classification serve's degradation ladder keys on.
+func TestQueryCtxExpiredDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	eng := New(ProfileMemory)
+	eng.SetParallelism(2)
+	eng.Register(dataset.Roads(2, 3*morsel.Size))
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := eng.QueryCtx(ctx, ctxTestQueries[0]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestPartialHistogram: the degraded-tier estimator scans a bounded prefix
+// and scales. With the bound at or above the table size it must reproduce
+// the exact histogram; below it, the scaled total must land near the truth.
+func TestPartialHistogram(t *testing.T) {
+	n := 4 * morsel.Size
+	eng := New(ProfileMemory)
+	eng.SetParallelism(2)
+	eng.Register(dataset.Roads(2, n))
+
+	q := ctxTestQueries[0]
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, frac, ok, err := eng.PartialHistogram(context.Background(), stmt, n)
+	if err != nil || !ok {
+		t.Fatalf("full partial: ok=%v err=%v", ok, err)
+	}
+	if frac != 1 {
+		t.Fatalf("full partial fraction = %g, want 1", frac)
+	}
+	// Compare rows only: the partial path does not reproduce the exact
+	// path's page/cost accounting, just its answer.
+	if len(full.Rows) != len(exact.Rows) {
+		t.Fatalf("full partial rows = %d, want %d", len(full.Rows), len(exact.Rows))
+	}
+	for i := range exact.Rows {
+		for j := range exact.Rows[i] {
+			if !exact.Rows[i][j].Equal(full.Rows[i][j]) {
+				t.Fatalf("full partial row %d col %d = %v, want %v", i, j, full.Rows[i][j], exact.Rows[i][j])
+			}
+		}
+	}
+
+	est, frac, ok, err := eng.PartialHistogram(context.Background(), stmt, n/4)
+	if err != nil || !ok {
+		t.Fatalf("quarter partial: ok=%v err=%v", ok, err)
+	}
+	if frac <= 0 || frac > 0.3 {
+		t.Fatalf("quarter partial fraction = %g, want ~0.25", frac)
+	}
+	sum := func(r *Result) (s float64) {
+		for _, row := range r.Rows {
+			s += row[len(row)-1].AsFloat()
+		}
+		return s
+	}
+	exactTotal, estTotal := sum(exact), sum(est)
+	if estTotal < exactTotal*0.5 || estTotal > exactTotal*1.5 {
+		t.Fatalf("scaled estimate total %.0f vs exact %.0f: not in ±50%%", estTotal, exactTotal)
+	}
+
+	// Non-histogram statements report !ok so callers fall through.
+	other, err := sql.Parse("SELECT x, y FROM dataroad LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := eng.PartialHistogram(context.Background(), other, n); ok {
+		t.Fatal("non-histogram statement matched the partial fast path")
+	}
+}

@@ -12,11 +12,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/morsel"
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
@@ -173,28 +175,50 @@ func (e *Engine) Table(name string) *storage.Table { return e.tables[name] }
 
 // Query parses and executes a SQL string.
 func (e *Engine) Query(q string) (*Result, error) {
+	return e.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx parses and executes a SQL string under a context. An expired or
+// cancelled context aborts the scan cooperatively at morsel granularity and
+// returns the context's error (errors.Is-matchable against
+// context.DeadlineExceeded / context.Canceled).
+func (e *Engine) QueryCtx(ctx context.Context, q string) (*Result, error) {
 	stmt, err := sql.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(stmt)
+	return e.ExecuteCtx(ctx, stmt)
 }
 
 // Execute runs a parsed statement.
 func (e *Engine) Execute(stmt *sql.SelectStmt) (*Result, error) {
+	return e.ExecuteCtx(context.Background(), stmt)
+}
+
+// ExecuteCtx runs a parsed statement under a context. Every hot loop —
+// filtered scans, hash aggregation, the histogram fast path, join build and
+// probe — checks cancellation at morsel boundaries, so an expired deadline
+// stops burning CPU within one morsel's worth of rows per worker. On
+// cancellation no result is returned; cost-model charges for the partial
+// work are discarded along with it.
+func (e *Engine) ExecuteCtx(ctx context.Context, stmt *sql.SelectStmt) (*Result, error) {
 	start := time.Now()
 	var stats ExecStats
 
 	var res *Result
 	if hq, ok := e.matchHistogram(stmt); ok {
-		res = e.runHistogram(hq, &stats)
-		stats.UsedFastPath = true
-	} else {
-		rel, err := e.evalTableExpr(stmt.From, &stats)
+		var err error
+		res, err = e.runHistogram(ctx, hq, &stats)
 		if err != nil {
 			return nil, err
 		}
-		res, err = e.runGeneric(stmt, rel, &stats)
+		stats.UsedFastPath = true
+	} else {
+		rel, err := e.evalTableExpr(ctx, stmt.From, &stats)
+		if err != nil {
+			return nil, err
+		}
+		res, err = e.runGeneric(ctx, stmt, rel, &stats)
 		if err != nil {
 			return nil, err
 		}
@@ -207,6 +231,12 @@ func (e *Engine) Execute(stmt *sql.SelectStmt) (*Result, error) {
 		time.Duration(stats.TuplesScanned)*e.profile.PerTuple
 	res.Stats = stats
 	return res, nil
+}
+
+// ctxErr wraps a context cancellation in engine terms while keeping the
+// cause errors.Is-matchable.
+func ctxErr(err error) error {
+	return fmt.Errorf("engine: execution aborted: %w", err)
 }
 
 // chargePages routes a scan of rows [lo, hi) of table t through the buffer
@@ -260,7 +290,7 @@ func (r *relation) row(i int) []storage.Value {
 	return r.rows[i]
 }
 
-func (e *Engine) evalTableExpr(te sql.TableExpr, stats *ExecStats) (*relation, error) {
+func (e *Engine) evalTableExpr(ctx context.Context, te sql.TableExpr, stats *ExecStats) (*relation, error) {
 	switch t := te.(type) {
 	case nil:
 		// SELECT without FROM: a single empty row.
@@ -280,7 +310,7 @@ func (e *Engine) evalTableExpr(te sql.TableExpr, stats *ExecStats) (*relation, e
 		}
 		return &relation{bindings: b, table: tbl}, nil
 	case sql.SubqueryRef:
-		sub, err := e.Execute(t.Query)
+		sub, err := e.ExecuteCtx(ctx, t.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +329,7 @@ func (e *Engine) evalTableExpr(te sql.TableExpr, stats *ExecStats) (*relation, e
 		}
 		return &relation{bindings: b, rows: sub.Rows}, nil
 	case sql.JoinExpr:
-		return e.evalJoin(t, stats)
+		return e.evalJoin(ctx, t, stats)
 	default:
 		return nil, fmt.Errorf("engine: unsupported table expression %T", te)
 	}
@@ -307,12 +337,12 @@ func (e *Engine) evalTableExpr(te sql.TableExpr, stats *ExecStats) (*relation, e
 
 // evalJoin materializes both sides and hash-joins them on the single
 // equality in ON; remaining ON conjuncts become a residual filter.
-func (e *Engine) evalJoin(j sql.JoinExpr, stats *ExecStats) (*relation, error) {
-	left, err := e.evalTableExpr(j.Left, stats)
+func (e *Engine) evalJoin(ctx context.Context, j sql.JoinExpr, stats *ExecStats) (*relation, error) {
+	left, err := e.evalTableExpr(ctx, j.Left, stats)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.evalTableExpr(j.Right, stats)
+	right, err := e.evalTableExpr(ctx, j.Right, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -355,6 +385,9 @@ func (e *Engine) evalJoin(j sql.JoinExpr, stats *ExecStats) (*relation, error) {
 	ht := make(map[string][]int, build.numRows())
 	e.chargeRelationScan(build, stats)
 	for i := 0; i < build.numRows(); i++ {
+		if i%morsel.Size == 0 && ctx.Err() != nil {
+			return nil, ctxErr(ctx.Err())
+		}
 		k := encodeValue(buildKey(build.row(i)))
 		ht[k] = append(ht[k], i)
 	}
@@ -369,6 +402,9 @@ func (e *Engine) evalJoin(j sql.JoinExpr, stats *ExecStats) (*relation, error) {
 
 	e.chargeRelationScan(probe, stats)
 	for i := 0; i < probe.numRows(); i++ {
+		if i%morsel.Size == 0 && ctx.Err() != nil {
+			return nil, ctxErr(ctx.Err())
+		}
 		prow := probe.row(i)
 		k := encodeValue(probeKey(prow))
 		for _, bi := range ht[k] {

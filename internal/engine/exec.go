@@ -1,18 +1,20 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 
+	"repro/internal/morsel"
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
 
 // runGeneric executes the row-at-a-time path: filter, aggregate or project,
 // sort, limit.
-func (e *Engine) runGeneric(stmt *sql.SelectStmt, rel *relation, stats *ExecStats) (*Result, error) {
+func (e *Engine) runGeneric(ctx context.Context, stmt *sql.SelectStmt, rel *relation, stats *ExecStats) (*Result, error) {
 	hasAgg := len(stmt.GroupBy) > 0
 	for _, item := range stmt.Items {
 		if containsAggregate(item.Expr) {
@@ -20,13 +22,13 @@ func (e *Engine) runGeneric(stmt *sql.SelectStmt, rel *relation, stats *ExecStat
 		}
 	}
 
-	rows, windowed, err := e.filterRows(stmt, rel, hasAgg, stats)
+	rows, windowed, err := e.filterRows(ctx, stmt, rel, hasAgg, stats)
 	if err != nil {
 		return nil, err
 	}
 
 	if hasAgg {
-		return e.runAggregate(stmt, rel, rows, stats)
+		return e.runAggregate(ctx, stmt, rel, rows, stats)
 	}
 	return e.runProjection(stmt, rel, rows, windowed)
 }
@@ -36,7 +38,7 @@ func (e *Engine) runGeneric(stmt *sql.SelectStmt, rel *relation, stats *ExecStat
 // ordering), the scan terminates early once LIMIT+OFFSET rows matched.
 // windowed reports that LIMIT and OFFSET were fully applied during the
 // scan, so the projection stage must not apply them again.
-func (e *Engine) filterRows(stmt *sql.SelectStmt, rel *relation, hasAgg bool, stats *ExecStats) (rows [][]storage.Value, windowed bool, err error) {
+func (e *Engine) filterRows(ctx context.Context, stmt *sql.SelectStmt, rel *relation, hasAgg bool, stats *ExecStats) (rows [][]storage.Value, windowed bool, err error) {
 	var filter evalFunc
 	if stmt.Where != nil {
 		f, err := compileExpr(stmt.Where, rel.bindings)
@@ -85,7 +87,10 @@ func (e *Engine) filterRows(stmt *sql.SelectStmt, rel *relation, hasAgg bool, st
 	// stay serial — their charges depend on where the scan stops.
 	if need < 0 {
 		if workers := e.parallelWorkers(n); workers > 1 {
-			out := scanFilter(rel, filter, workers)
+			out, err := scanFilter(ctx, rel, filter, workers)
+			if err != nil {
+				return nil, false, ctxErr(err)
+			}
 			stats.TuplesScanned += n
 			if rel.table != nil {
 				e.chargePages(rel.table, 0, n, stats)
@@ -97,6 +102,9 @@ func (e *Engine) filterRows(stmt *sql.SelectStmt, rel *relation, hasAgg bool, st
 	var out [][]storage.Value
 	scanned := 0
 	for i := 0; i < n; i++ {
+		if i%morsel.Size == 0 && ctx.Err() != nil {
+			return nil, false, ctxErr(ctx.Err())
+		}
 		scanned++
 		row := rel.row(i)
 		if filter != nil && !truthy(filter(row)) {
@@ -243,7 +251,7 @@ func (s *aggState) result(spec *aggSpec) storage.Value {
 // Projection and ORDER BY expressions are rewritten so that each aggregate
 // call becomes a reference to a pseudo-column appended to the group's
 // representative row; everything then reuses the scalar compiler.
-func (e *Engine) runAggregate(stmt *sql.SelectStmt, rel *relation, rows [][]storage.Value, stats *ExecStats) (*Result, error) {
+func (e *Engine) runAggregate(ctx context.Context, stmt *sql.SelectStmt, rel *relation, rows [][]storage.Value, stats *ExecStats) (*Result, error) {
 	// Collect distinct aggregate calls from projections and ORDER BY.
 	specIndex := map[string]int{}
 	var specs []*aggSpec
@@ -306,7 +314,10 @@ func (e *Engine) runAggregate(stmt *sql.SelectStmt, rel *relation, rows [][]stor
 	// Hash aggregation runs over morsel partials merged in morsel order
 	// (see groupAggregate in parallel.go); group order and every
 	// accumulated value are identical at any parallelism level.
-	groups, order := groupAggregate(rows, groupFns, specs, e.parallelWorkers(len(rows)))
+	groups, order, err := groupAggregate(ctx, rows, groupFns, specs, e.parallelWorkers(len(rows)))
+	if err != nil {
+		return nil, ctxErr(err)
+	}
 	// Global aggregation over an empty input still yields one group.
 	if len(groupFns) == 0 && len(order) == 0 {
 		empty := make([]storage.Value, len(rel.bindings))

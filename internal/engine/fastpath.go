@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/morsel"
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
@@ -270,13 +272,22 @@ const fastBinOffset = 4096
 // charged up front by the coordinator exactly as the serial path does, and
 // the int64 bin counts merge exactly, so results and cost accounting are
 // identical at every parallelism level.
-func (e *Engine) runHistogram(q *histQuery, stats *ExecStats) *Result {
+func (e *Engine) runHistogram(ctx context.Context, q *histQuery, stats *ExecStats) (*Result, error) {
 	n := q.table.NumRows()
 	stats.TuplesScanned += n
 	e.chargePages(q.table, 0, n, stats)
 
-	acc := countHistogram(q, n, e.parallelWorkers(n))
+	acc, err := countHistogram(ctx, q, n, e.parallelWorkers(n))
+	if err != nil {
+		return nil, ctxErr(err)
+	}
+	return histResult(&acc, 1), nil
+}
 
+// histResult materializes a (bin, count) result from an accumulator, scaling
+// counts by scale (1 for exact results). Scaled counts round to the nearest
+// integer so tiny fractions don't vanish.
+func histResult(acc *histAcc, scale float64) *Result {
 	var bins []int
 	for idx, c := range acc.dense {
 		if c > 0 {
@@ -294,10 +305,63 @@ func (e *Engine) runHistogram(q *histQuery, stats *ExecStats) *Result {
 		if idx := bin + fastBinOffset; idx >= 0 && idx < len(acc.dense) {
 			c = acc.dense[idx]
 		}
+		if scale != 1 {
+			c = int64(float64(c)*scale + 0.5)
+		}
 		rows[i] = []storage.Value{storage.NewFloat(float64(bin)), storage.NewInt(c)}
 	}
 	return &Result{
 		Columns: []string{"bin", "count"},
 		Rows:    rows,
 	}
+}
+
+// PartialHistogram executes a histogram-shaped statement over only the first
+// maxRows rows of the table, scaling bin counts by n/scanned so the result
+// estimates the full answer. It is the query-path degradation tier: a bounded
+// amount of work no matter how large the table. The scan is serial (the whole
+// point is that it is small) and checks ctx at morsel boundaries.
+//
+// The bool reports whether stmt matched the histogram fast-path shape; only
+// matched statements can be degraded this way. The float64 is the fraction of
+// the table scanned (1 when maxRows >= n).
+func (e *Engine) PartialHistogram(ctx context.Context, stmt *sql.SelectStmt, maxRows int) (*Result, float64, bool, error) {
+	q, ok := e.matchHistogram(stmt)
+	if !ok {
+		return nil, 0, false, nil
+	}
+	n := q.table.NumRows()
+	scan := n
+	if maxRows > 0 && maxRows < n {
+		scan = maxRows
+	}
+	var acc histAcc
+	acc.dense = make([]int64, 2*fastBinOffset)
+	err := morselScanHist(ctx, q, &acc, scan)
+	if err != nil {
+		return nil, 0, true, ctxErr(err)
+	}
+	frac := 1.0
+	scale := 1.0
+	if scan < n && scan > 0 {
+		frac = float64(scan) / float64(n)
+		scale = float64(n) / float64(scan)
+	}
+	res := histResult(&acc, scale)
+	res.Stats.TuplesScanned = scan
+	res.Stats.UsedFastPath = true
+	return res, frac, true, nil
+}
+
+// morselScanHist runs countHistogramRange serially over [0, scan) with
+// per-morsel ctx checks.
+func morselScanHist(ctx context.Context, q *histQuery, acc *histAcc, scan int) error {
+	for m := 0; m < morsel.Count(scan); m++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lo, hi := morsel.Bounds(m, scan)
+		countHistogramRange(q, acc, lo, hi)
+	}
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/morsel"
@@ -37,11 +38,12 @@ func (e *Engine) parallelWorkers(n int) int {
 
 // scanFilter applies filter over all rows of rel, preserving row order.
 // Workers filter disjoint morsels into per-morsel buffers that concatenate
-// in morsel order, so the output is byte-identical to a serial scan.
-func scanFilter(rel *relation, filter evalFunc, workers int) [][]storage.Value {
+// in morsel order, so the output is byte-identical to a serial scan. A
+// cancelled ctx aborts between morsels and discards all partial output.
+func scanFilter(ctx context.Context, rel *relation, filter evalFunc, workers int) ([][]storage.Value, error) {
 	n := rel.numRows()
 	parts := make([][][]storage.Value, morsel.Count(n))
-	morsel.Run(n, workers, func(_, m, lo, hi int) {
+	err := morsel.RunCtx(ctx, n, workers, func(_, m, lo, hi int) {
 		var out [][]storage.Value
 		for i := lo; i < hi; i++ {
 			row := rel.row(i)
@@ -52,6 +54,9 @@ func scanFilter(rel *relation, filter evalFunc, workers int) [][]storage.Value {
 		}
 		parts[m] = out
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -60,7 +65,7 @@ func scanFilter(rel *relation, filter evalFunc, workers int) [][]storage.Value {
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
 }
 
 // aggGroup accumulates all aggregate states of one group; rep is the
@@ -103,10 +108,11 @@ func (s *aggState) merge(o *aggState) {
 // them in morsel order, so group order (first occurrence in row order) and
 // every accumulated value are identical for any worker count. For inputs of
 // a single morsel this degenerates to exactly the pre-parallel serial loop.
-func groupAggregate(rows [][]storage.Value, groupFns []evalFunc, specs []*aggSpec, workers int) (map[string]*aggGroup, []string) {
+// A cancelled ctx aborts between morsels and discards all partials.
+func groupAggregate(ctx context.Context, rows [][]storage.Value, groupFns []evalFunc, specs []*aggSpec, workers int) (map[string]*aggGroup, []string, error) {
 	n := len(rows)
 	partials := make([]aggPartial, morsel.Count(n))
-	morsel.Run(n, workers, func(_, m, lo, hi int) {
+	err := morsel.RunCtx(ctx, n, workers, func(_, m, lo, hi int) {
 		p := aggPartial{groups: map[string]*aggGroup{}}
 		keyVals := make([]storage.Value, len(groupFns))
 		for i := lo; i < hi; i++ {
@@ -127,6 +133,9 @@ func groupAggregate(rows [][]storage.Value, groupFns []evalFunc, specs []*aggSpe
 		}
 		partials[m] = p
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 
 	groups := map[string]*aggGroup{}
 	var order []string
@@ -144,7 +153,7 @@ func groupAggregate(rows [][]storage.Value, groupFns []evalFunc, specs []*aggSpe
 			}
 		}
 	}
-	return groups, order
+	return groups, order, nil
 }
 
 // histAcc is one worker's histogram accumulator: a dense window around bin
@@ -157,15 +166,19 @@ type histAcc struct {
 // countHistogram runs the fast path's filter+bin counting loop over all
 // rows with the given worker count. Counts are int64, so per-worker
 // accumulators merge exactly regardless of order; the result is identical
-// at every parallelism level.
-func countHistogram(q *histQuery, n, workers int) histAcc {
+// at every parallelism level. A cancelled ctx aborts between morsels and
+// discards all partial counts.
+func countHistogram(ctx context.Context, q *histQuery, n, workers int) (histAcc, error) {
 	accs := make([]histAcc, workers)
 	for w := range accs {
 		accs[w].dense = make([]int64, 2*fastBinOffset)
 	}
-	morsel.Run(n, workers, func(w, _, lo, hi int) {
+	err := morsel.RunCtx(ctx, n, workers, func(w, _, lo, hi int) {
 		countHistogramRange(q, &accs[w], lo, hi)
 	})
+	if err != nil {
+		return histAcc{}, err
+	}
 	out := accs[0]
 	for _, acc := range accs[1:] {
 		for i, c := range acc.dense {
@@ -178,7 +191,7 @@ func countHistogram(q *histQuery, n, workers int) histAcc {
 			out.sparse[bin] += c
 		}
 	}
-	return out
+	return out, nil
 }
 
 // countHistogramRange applies the range predicates and bins rows [lo, hi)

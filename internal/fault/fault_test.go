@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDeterministic: the fault schedule is a pure function of (seed, op
+// index) — two injectors with the same seed draw identical schedules, and a
+// different seed draws a different one.
+func TestDeterministic(t *testing.T) {
+	p, ok := ProfileByName("mixed")
+	if !ok {
+		t.Fatal("no mixed profile")
+	}
+	a, b := New(p, 42), New(p, 42)
+	other := New(p, 43)
+	same := true
+	diff := false
+	for i := 0; i < 2000; i++ {
+		oa, ob, oc := a.Next(), b.Next(), other.Next()
+		if oa != ob {
+			same = false
+		}
+		if oa != oc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed drew different schedules")
+	}
+	if !diff {
+		t.Fatal("different seeds drew identical schedules")
+	}
+}
+
+// TestRates: over many draws every configured fault class fires at roughly
+// its configured probability.
+func TestRates(t *testing.T) {
+	p := Profile{
+		SpikeProb: 0.2, SpikeDelay: time.Millisecond,
+		ErrProb:   0.1,
+		StallProb: 0.05, StallDelay: time.Millisecond,
+	}
+	in := New(p, 7)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Next()
+	}
+	s := in.Stats()
+	if s.Ops != n {
+		t.Fatalf("ops = %d, want %d", s.Ops, n)
+	}
+	check := func(name string, got int64, want float64) {
+		frac := float64(got) / n
+		if frac < want*0.7 || frac > want*1.3 {
+			t.Errorf("%s rate = %.3f, want ~%.3f", name, frac, want)
+		}
+	}
+	check("err", s.Errs, p.ErrProb)
+	// Stalls and spikes draw after the error class skims its share off.
+	check("stall", s.Stalls, p.StallProb*(1-p.ErrProb))
+	check("spike", s.Spikes, p.SpikeProb*(1-p.ErrProb)*(1-p.StallProb))
+}
+
+// TestSleepCutByContext: an expired deadline cuts an injected stall short
+// instead of serving it in full.
+func TestSleepCutByContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Sleep(ctx, 5*time.Second)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("sleep ran %v, deadline did not cut it", elapsed)
+	}
+}
+
+// TestDoInjectsErrors: Do surfaces ErrInjected for error faults under a
+// pure-error profile.
+func TestDoInjectsErrors(t *testing.T) {
+	in := New(Profile{ErrProb: 1}, 1)
+	if err := in.Do(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	clean := New(Profile{}, 1)
+	if err := clean.Do(context.Background()); err != nil {
+		t.Fatalf("clean profile injected %v", err)
+	}
+}

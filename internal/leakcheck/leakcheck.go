@@ -1,0 +1,44 @@
+// Package leakcheck asserts that tests return the process to its baseline
+// goroutine count — the harness that catches abandoned morsel workers on
+// cancellation and serve-layer goroutines that outlive Drain.
+//
+// Call Check(t) FIRST in a test, before starting servers or clients:
+// t.Cleanup runs in LIFO order, so registering first means the leak
+// assertion runs last, after every other cleanup has shut its goroutines
+// down.
+package leakcheck
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check records the current goroutine count and registers a cleanup that
+// fails the test if the count has not returned to that baseline shortly
+// after all other cleanups ran. The poll loop closes idle HTTP connections
+// each round — httptest clients park keep-alive readers in background
+// goroutines that are live-but-idle, not leaked.
+func Check(t *testing.T) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			http.DefaultClient.CloseIdleConnections()
+			n = runtime.NumGoroutine()
+			if n <= baseline {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: goroutine count %d never returned to baseline %d\n%s", n, baseline, buf)
+	})
+}

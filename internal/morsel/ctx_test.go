@@ -1,0 +1,71 @@
+package morsel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCtxNilBehavesLikeRun: a nil context imposes no cancellation and
+// every morsel runs.
+func TestRunCtxNilBehavesLikeRun(t *testing.T) {
+	n := 3*Size + 17
+	var rows atomic.Int64
+	if err := RunCtx(nil, n, 4, func(_, _, lo, hi int) {
+		rows.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatalf("RunCtx(nil ctx) = %v", err)
+	}
+	if rows.Load() != int64(n) {
+		t.Fatalf("processed %d rows, want %d", rows.Load(), n)
+	}
+}
+
+// TestRunCtxPreCancelled: a context cancelled before the run starts means
+// zero morsels execute — workers check before claiming, not after.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var morsels atomic.Int64
+		err := RunCtx(ctx, 10*Size, workers, func(_, _, _, _ int) {
+			morsels.Add(1)
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		if morsels.Load() != 0 {
+			t.Fatalf("workers=%d: %d morsels ran after pre-cancel, want 0", workers, morsels.Load())
+		}
+	}
+}
+
+// TestRunCtxMidRunCancel: cancelling mid-run stops each worker at its next
+// morsel boundary — at most `workers` more morsels run after the cancel.
+func TestRunCtxMidRunCancel(t *testing.T) {
+	const workers = 4
+	n := 64 * Size
+	ctx, cancel := context.WithCancel(context.Background())
+	var morsels, afterCancel atomic.Int64
+	var cancelled atomic.Bool
+	err := RunCtx(ctx, n, workers, func(_, m, _, _ int) {
+		if cancelled.Load() {
+			afterCancel.Add(1)
+		}
+		if morsels.Add(1) == 8 {
+			cancelled.Store(true)
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if total := morsels.Load(); total == int64(Count(n)) {
+		t.Fatal("all morsels ran despite mid-run cancel")
+	}
+	// Each worker may already hold one claimed morsel when cancel lands.
+	if extra := afterCancel.Load(); extra > workers {
+		t.Fatalf("%d morsels started after cancel, want <= %d (one per worker)", extra, workers)
+	}
+}

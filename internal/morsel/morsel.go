@@ -14,6 +14,7 @@
 package morsel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -101,4 +102,58 @@ func Run(n, workers int, fn func(worker, m, lo, hi int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// RunCtx is Run with cooperative cancellation at morsel granularity: every
+// worker checks ctx before claiming its next morsel, so an expired deadline
+// stops the scan within one morsel's worth of work per worker. A morsel
+// already started always completes — partial-result merging stays
+// per-morsel atomic — and the skipped tail is reported by returning
+// ctx.Err(). A nil ctx runs exactly like Run.
+//
+// Callers must treat a non-nil error as "the scan did not cover [0, n)":
+// whatever per-morsel or per-worker state fn produced is incomplete and
+// must be discarded or repaired.
+func RunCtx(ctx context.Context, n, workers int, fn func(worker, m, lo, hi int)) error {
+	if ctx == nil {
+		Run(n, workers, fn)
+		return nil
+	}
+	morsels := Count(n)
+	if morsels == 0 {
+		return ctx.Err()
+	}
+	if workers > morsels {
+		workers = morsels
+	}
+	if workers <= 1 {
+		for m := 0; m < morsels; m++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lo, hi := Bounds(m, n)
+			fn(0, m, lo, hi)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				lo, hi := Bounds(m, n)
+				fn(worker, m, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Context errors are sticky, so after the join this reports whether any
+	// worker could have bailed early.
+	return ctx.Err()
 }

@@ -1,0 +1,68 @@
+package progressive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestPartialBoundedEstimate: Partial is the degradation ladder's one-shot
+// tier — a single bounded-sample snapshot. The sample bound must hold, the
+// scaled estimate must be near-unbiased, and a bound at or above the table
+// size must reproduce the exact histogram.
+func TestPartialBoundedEstimate(t *testing.T) {
+	roads := dataset.Roads(1, 40000)
+	ex := NewExecutor(roads, 7)
+	q := roadQuery()
+
+	exactSnaps, err := ex.Run(q, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactSnaps[len(exactSnaps)-1].Estimate
+
+	snap, err := ex.Partial(q, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SampleRows != 5000 {
+		t.Fatalf("sampled %d rows, want 5000", snap.SampleRows)
+	}
+	if got, want := snap.Fraction, 5000.0/40000; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fraction = %v, want %v", got, want)
+	}
+	if snap.MSE != -1 {
+		t.Fatalf("MSE = %v, want -1 (unscored)", snap.MSE)
+	}
+	var estTotal, exactTotal float64
+	for b := range exact {
+		estTotal += snap.Estimate[b]
+		exactTotal += exact[b]
+	}
+	if estTotal < exactTotal*0.9 || estTotal > exactTotal*1.1 {
+		t.Fatalf("estimate mass %.0f vs exact %.0f: biased beyond ±10%%", estTotal, exactTotal)
+	}
+
+	// Bound >= table size: exact, fraction 1.
+	full, err := ex.Partial(q, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Fraction != 1 {
+		t.Fatalf("full fraction = %v, want 1", full.Fraction)
+	}
+	for b := range exact {
+		if math.Abs(full.Estimate[b]-exact[b]) > 1e-6 {
+			t.Fatalf("bin %d: full partial %v, exact %v", b, full.Estimate[b], exact[b])
+		}
+	}
+
+	// Bad inputs fail like Run does.
+	if _, err := ex.Partial(Query{Column: "missing", Lo: 0, Hi: 1, Bins: 4}, 100); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := ex.Partial(q, 0); err == nil {
+		t.Fatal("non-positive sample bound accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	b := newBreaker(3, 100*time.Millisecond)
+	now := time.Unix(0, 0)
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.failure(now)
+	}
+	ok, ra := b.allow(now)
+	if ok {
+		t.Fatal("breaker did not open after threshold failures")
+	}
+	if ra < time.Second {
+		t.Fatalf("retryAfter = %v, want >= 1s floor", ra)
+	}
+
+	// After the cooldown exactly one probe is admitted.
+	later := now.Add(150 * time.Millisecond)
+	if ok, _ := b.allow(later); !ok {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if ok, _ := b.allow(later); ok {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+
+	// Probe failure reopens; probe success closes.
+	b.failure(later)
+	if ok, _ := b.allow(later.Add(50 * time.Millisecond)); ok {
+		t.Fatal("reopened breaker admitted a request inside cooldown")
+	}
+	probe := later.Add(300 * time.Millisecond)
+	if ok, _ := b.allow(probe); !ok {
+		t.Fatal("second probe rejected")
+	}
+	b.success()
+	if ok, _ := b.allow(probe); !ok {
+		t.Fatal("closed breaker rejected after successful probe")
+	}
+	trips, rejects := b.stats()
+	if trips != 2 {
+		t.Fatalf("trips = %d, want 2", trips)
+	}
+	if rejects == 0 {
+		t.Fatal("rejects not counted")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Second)
+	for i := 0; i < 100; i++ {
+		b.failure(time.Unix(0, 0))
+	}
+	if ok, _ := b.allow(time.Unix(0, 0)); !ok {
+		t.Fatal("disabled breaker rejected")
+	}
+	var nilB *breaker
+	if ok, _ := nilB.allow(time.Unix(0, 0)); !ok {
+		t.Fatal("nil breaker rejected")
+	}
+	nilB.success()
+	nilB.failure(time.Unix(0, 0))
+}

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/leakcheck"
+)
+
+// newChaosServer is newTestServer with a fault injector and robustness
+// config under test control.
+func newChaosServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServer(t, cfg)
+}
+
+// brushRanges builds a 3-dim ranges snapshot brushing only dimension 0.
+func brushRanges(lo, hi float64) []*[2]float64 {
+	return []*[2]float64{{lo, hi}, nil, nil}
+}
+
+// decodeBrush decodes a brush response body.
+func decodeBrush(t *testing.T, body []byte) BrushResponse {
+	t.Helper()
+	var br BrushResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("brush response %s: %v", body, err)
+	}
+	return br
+}
+
+// TestBrushExactWhenBudgetAmple: with deadlines on, no faults, and a
+// generous budget, every brush answers from the exact tier and nothing is
+// marked degraded.
+func TestBrushExactWhenBudgetAmple(t *testing.T) {
+	srv, ts := newChaosServer(t, Config{
+		Workers:   2,
+		Deadlines: true,
+		// Default DegradeAfter (constraint/2 = 250ms) dwarfs a 20k-row scan.
+	})
+	for seq := int64(0); seq < 3; seq++ {
+		resp, body := postJSON(t, ts.URL+"/v1/brush", BrushRequest{
+			Session: "ample", Seq: seq, Ranges: brushRanges(8.2+float64(seq)*0.01, 10.5),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d: status %d, body %s", seq, resp.StatusCode, body)
+		}
+		br := decodeBrush(t, body)
+		if br.Tier != "exact" || br.Degraded {
+			t.Fatalf("seq %d: tier %q degraded=%v, want exact/false", seq, br.Tier, br.Degraded)
+		}
+	}
+	if st := srv.Stats(); st.Degraded != 0 || st.Deadlines != 0 {
+		t.Fatalf("degraded=%d deadlines=%d, want 0/0", st.Degraded, st.Deadlines)
+	}
+}
+
+// TestBrushDegradesUnderStall: an always-stalling backend blows the budget
+// on every brush; the ladder answers with a partial sample marked degraded
+// — bounded work inside the deadline instead of a 300ms stall served in
+// full — and still carries the applied sequence.
+func TestBrushDegradesUnderStall(t *testing.T) {
+	stallAll := fault.New(fault.Profile{Name: "stall-all", StallProb: 1, StallDelay: 300 * time.Millisecond}, 11)
+	srv, ts := newChaosServer(t, Config{
+		Workers:          2,
+		Deadlines:        true,
+		DegradeAfter:     15 * time.Millisecond,
+		Fault:            stallAll,
+		BreakerThreshold: -1,
+	})
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/brush", BrushRequest{
+		Session: "stalled", Seq: 0, Ranges: brushRanges(8.2, 10.5),
+	})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	br := decodeBrush(t, body)
+	if br.Tier != "partial" || !br.Degraded {
+		t.Fatalf("tier %q degraded=%v, want partial/true", br.Tier, br.Degraded)
+	}
+	if br.SampleFraction <= 0 || br.SampleFraction > 1 {
+		t.Fatalf("sample fraction = %v", br.SampleFraction)
+	}
+	if br.AppliedSeq != 0 {
+		t.Fatalf("applied seq = %d, want 0", br.AppliedSeq)
+	}
+	if br.Total <= 0 {
+		t.Fatalf("degraded total = %d, want > 0", br.Total)
+	}
+	// The stall was cut at the deadline, not served in full.
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("degraded brush took %v: stall not cut by deadline", elapsed)
+	}
+	st := srv.Stats()
+	if st.Degraded == 0 || st.Deadlines == 0 {
+		t.Fatalf("degraded=%d deadlines=%d, want both > 0", st.Degraded, st.Deadlines)
+	}
+}
+
+// TestBrushCacheTier: with the budget already blown, a brush whose exact
+// ranges were answered before is served from the result cache — exact data,
+// not marked degraded.
+func TestBrushCacheTier(t *testing.T) {
+	leakcheck.Check(t)
+	stallAll := fault.New(fault.Profile{Name: "stall-all", StallProb: 1, StallDelay: 300 * time.Millisecond}, 12)
+	backends, err := RoadBackends(1, testRows, engine.ProfileMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(backends, Config{
+		Workers:          1,
+		Deadlines:        true,
+		DegradeAfter:     10 * time.Millisecond,
+		Fault:            stallAll,
+		BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainForTest(t, srv)
+
+	req := BrushRequest{Session: "cached", Seq: 7, Ranges: brushRanges(8.2, 10.5)}
+	srv.cacheBrush(req, &BrushResponse{AppliedSeq: 3, Total: 42, Tier: "exact"})
+
+	// earliest far in the past: the exact tier's budget is already blown.
+	resp, err := srv.execBrushLadder(req, time.Now().Add(-time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Tier != "cache" || resp.Degraded {
+		t.Fatalf("tier %q degraded=%v, want cache/false", resp.Tier, resp.Degraded)
+	}
+	if resp.AppliedSeq != 7 {
+		t.Fatalf("applied seq = %d, want the request's own 7", resp.AppliedSeq)
+	}
+	if resp.Total != 42 {
+		t.Fatalf("total = %d, want the cached 42", resp.Total)
+	}
+	if st := srv.Stats(); st.BrushCacheHits != 1 {
+		t.Fatalf("brush cache hits = %d, want 1", st.BrushCacheHits)
+	}
+}
+
+// TestQueryDegradesUnderStall: a histogram-shaped SQL query under an
+// always-stalling backend comes back 200 with a scaled sample estimate
+// instead of 503.
+func TestQueryDegradesUnderStall(t *testing.T) {
+	stallAll := fault.New(fault.Profile{Name: "stall-all", StallProb: 1, StallDelay: 300 * time.Millisecond}, 13)
+	_, ts := newChaosServer(t, Config{
+		Workers:          2,
+		Deadlines:        true,
+		DegradeAfter:     15 * time.Millisecond,
+		Fault:            stallAll,
+		BreakerThreshold: -1,
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/query", QueryRequest{
+		Session: "sql", Seq: 0,
+		SQL: "SELECT ROUND((y - 56) / 0.05), COUNT(*) FROM dataroad WHERE x >= 8.2 AND x <= 10.5 GROUP BY ROUND((y - 56) / 0.05) ORDER BY ROUND((y - 56) / 0.05)",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Degraded || qr.SampleFraction <= 0 {
+		t.Fatalf("degraded=%v fraction=%v, want degraded sample", qr.Degraded, qr.SampleFraction)
+	}
+	if len(qr.Rows) == 0 {
+		t.Fatal("degraded query returned no rows")
+	}
+
+	// A non-histogram query has no degraded tier: 503 with a retry hint.
+	resp, _ = postJSON(t, ts.URL+"/v1/query", QueryRequest{
+		Session: "sql", Seq: 1, SQL: "SELECT x, y FROM dataroad ORDER BY x, y LIMIT 5",
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("non-degradable query status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestBreakerOpensAndReadyzReports: consecutive injected errors trip the
+// circuit breaker; further requests are rejected 503 + Retry-After at
+// admission, /readyz reports not-ready while /healthz stays alive, and the
+// half-open probe closes the breaker once the fault clears.
+func TestBreakerOpensAndReadyzReports(t *testing.T) {
+	errAll := fault.New(fault.Profile{Name: "err-all", ErrProb: 1}, 14)
+	srv, ts := newChaosServer(t, Config{
+		Workers:          2,
+		Fault:            errAll,
+		MaxRetries:       -1, // no retries: each request is one failure
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+	})
+	sql := "SELECT x, y FROM dataroad ORDER BY x, y LIMIT 5" // no degraded tier
+	for seq := int64(0); seq < 2; seq++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/query", QueryRequest{Session: "trip", Seq: seq, SQL: sql})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("seq %d: status %d, want 503", seq, resp.StatusCode)
+		}
+	}
+
+	// Breaker open: rejected at admission with a retry hint.
+	resp, body := postJSON(t, ts.URL+"/v1/query", QueryRequest{Session: "trip", Seq: 2, SQL: sql})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, body %s, want 503 from open breaker", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("breaker rejection without Retry-After")
+	}
+	st := srv.Stats()
+	if st.BreakerTrips != 1 || st.BreakerRejects == 0 {
+		t.Fatalf("trips=%d rejects=%d, want 1/>0", st.BreakerTrips, st.BreakerRejects)
+	}
+
+	// Liveness vs readiness split.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200 while breaker open", hz.StatusCode)
+	}
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rzBody struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(rz.Body).Decode(&rzBody); err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable || rzBody.Status != "breaker_open" {
+		t.Fatalf("readyz = %d %q, want 503 breaker_open", rz.StatusCode, rzBody.Status)
+	}
+
+	// Fault clears; after the cooldown the half-open probe closes the
+	// breaker and service resumes.
+	errAll.SetProfile(fault.Profile{Name: "clean"})
+	time.Sleep(120 * time.Millisecond)
+	resp, body = postJSON(t, ts.URL+"/v1/query", QueryRequest{Session: "trip", Seq: 3, SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery status %d, body %s", resp.StatusCode, body)
+	}
+	rz2, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz2.Body.Close()
+	if rz2.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery readyz = %d, want 200", rz2.StatusCode)
+	}
+}
+
+// TestDrainFlushesPendingBrush: a brush parked behind an in-progress
+// execution when Drain starts is flushed — answered 200 with its own seq —
+// not dropped with a 503.
+func TestDrainFlushesPendingBrush(t *testing.T) {
+	srv, ts := newChaosServer(t, Config{Workers: 1, ExecDelay: 80 * time.Millisecond})
+
+	type result struct {
+		status int
+		br     BrushResponse
+	}
+	post := func(seq int64) chan result {
+		ch := make(chan result, 1)
+		go func() {
+			resp, body := postJSON(t, ts.URL+"/v1/brush", BrushRequest{
+				Session: "flush", Seq: seq, Ranges: brushRanges(8.2+float64(seq)*0.05, 10.5),
+			})
+			r := result{status: resp.StatusCode}
+			if resp.StatusCode == http.StatusOK {
+				r.br = decodeBrush(t, body)
+			}
+			ch <- r
+		}()
+		return ch
+	}
+
+	first := post(0)
+	time.Sleep(25 * time.Millisecond) // reaches the worker: session running
+	second := post(1)                 // parks behind it, no fresh admission
+	time.Sleep(10 * time.Millisecond)
+
+	drainForTest(t, srv)
+
+	r0, r1 := <-first, <-second
+	if r0.status != http.StatusOK {
+		t.Fatalf("in-flight brush status = %d, want 200", r0.status)
+	}
+	if r1.status != http.StatusOK {
+		t.Fatalf("parked brush status = %d, want 200 (flushed, not dropped)", r1.status)
+	}
+	if r1.br.AppliedSeq != 1 {
+		t.Fatalf("parked brush applied seq = %d, want 1", r1.br.AppliedSeq)
+	}
+}
+
+// TestChaosLCVBound is the robustness acceptance test: under the stall
+// fault profile, a fixed-cadence brushing workload must hold LCV at or
+// under 5% with deadline-aware degradation, while the same workload and
+// fault seed without deadlines blows past 20% — the paper's argument that
+// a bounded-latency degraded answer beats an unbounded exact one.
+func TestChaosLCVBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos LCV integration in -short mode")
+	}
+	stall, ok := fault.ProfileByName("stall")
+	if !ok {
+		t.Fatal("no stall profile")
+	}
+
+	run := func(deadlines bool) Stats {
+		srv, ts := newChaosServer(t, Config{
+			Workers:          4,
+			Deadlines:        deadlines,
+			DegradeAfter:     15 * time.Millisecond,
+			Fault:            fault.New(stall, 99),
+			BreakerThreshold: -1, // isolate the deadline effect
+		})
+		const sessions, events = 4, 30
+		const gap = 40 * time.Millisecond
+		var wg sync.WaitGroup
+		for u := 0; u < sessions; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				session := "lcv-" + string(rune('a'+u))
+				var rwg sync.WaitGroup
+				for i := 0; i < events; i++ {
+					req := BrushRequest{
+						Session: session, Seq: int64(i),
+						Ranges: brushRanges(8.2+float64(i)*0.01+float64(u)*0.002, 10.5),
+					}
+					rwg.Add(1)
+					go func() {
+						defer rwg.Done()
+						resp, _ := postJSON(t, ts.URL+"/v1/brush", req)
+						_ = resp
+					}()
+					time.Sleep(gap)
+				}
+				rwg.Wait()
+			}(u)
+		}
+		wg.Wait()
+		return srv.Stats()
+	}
+
+	withDeadlines := run(true)
+	baseline := run(false)
+
+	t.Logf("deadlines on:  lcv=%d/%d (%.1f%%) degraded=%d deadline_exceeded=%d p99=%.1fms",
+		withDeadlines.LCV, withDeadlines.Issued, 100*withDeadlines.LCVPercent,
+		withDeadlines.Degraded, withDeadlines.Deadlines, withDeadlines.P99MS)
+	t.Logf("deadlines off: lcv=%d/%d (%.1f%%) p99=%.1fms",
+		baseline.LCV, baseline.Issued, 100*baseline.LCVPercent, baseline.P99MS)
+
+	if withDeadlines.LCVPercent > 0.05 {
+		t.Errorf("deadline-aware LCV = %.1f%%, want <= 5%%", 100*withDeadlines.LCVPercent)
+	}
+	if baseline.LCVPercent < 0.20 {
+		t.Errorf("baseline LCV = %.1f%%, want > 20%% (stall profile should collapse it)",
+			100*baseline.LCVPercent)
+	}
+	if withDeadlines.Degraded == 0 {
+		t.Error("deadline run never degraded: the ladder was not exercised")
+	}
+}
+
+// drainForTest drains a server the test built directly (no httptest wrapper).
+func drainForTest(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,14 @@ type LoadConfig struct {
 	// (0 = brush-only). Table names the SQL table.
 	SQLEvery int
 	Table    string
+
+	// MaxRetries re-issues a request answered 429 or 503 up to this many
+	// times with capped jittered backoff, honoring the server's Retry-After
+	// hint (scaled by TimeScale like think times). 0 means the default of
+	// 3; negative disables retries.
+	MaxRetries int
+	RetryBase  time.Duration // first backoff step (0 = 4ms)
+	RetryCap   time.Duration // backoff and hint ceiling (0 = 200ms)
 }
 
 // UserResult is one synthetic user's outcome.
@@ -48,6 +56,8 @@ type UserResult struct {
 	OK         int
 	Shed       int
 	Errors     int
+	Retries    int // re-issues after 429/503 responses
+	Giveups    int // requests still 429/503 after exhausting retries
 	MaxSeq     int64
 	FinalSeq   int64 // highest applied_seq observed
 	GotLatest  bool  // the session's latest state was executed
@@ -65,6 +75,8 @@ type LoadReport struct {
 	OK        int
 	Shed      int
 	Errors    int
+	Retries   int
+	Giveups   int
 	QIFPerSec float64
 	P50MS     float64
 	P95MS     float64
@@ -91,6 +103,18 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 1
 	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 3
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 4 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 200 * time.Millisecond
+	}
 
 	report := &LoadReport{Users: make([]UserResult, cfg.Users)}
 	start := time.Now()
@@ -113,6 +137,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		report.OK += ur.OK
 		report.Shed += ur.Shed
 		report.Errors += ur.Errors
+		report.Retries += ur.Retries
+		report.Giveups += ur.Giveups
 		lats = append(lats, metrics.Durations(ur.Latencies)...)
 		issues = append(issues, ur.IssueTimes...)
 	}
@@ -153,10 +179,11 @@ func runUser(cfg LoadConfig, u int, start time.Time) UserResult {
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	record := func(status int, appliedSeq int64, latency time.Duration) {
+	record := func(status int, appliedSeq int64, latency time.Duration, retries int) {
 		mu.Lock()
 		defer mu.Unlock()
 		res.Responded++
+		res.Retries += retries
 		switch {
 		case status == http.StatusOK:
 			res.OK++
@@ -166,8 +193,14 @@ func runUser(cfg LoadConfig, u int, start time.Time) UserResult {
 			}
 		case status == http.StatusTooManyRequests:
 			res.Shed++
+			if cfg.MaxRetries > 0 {
+				res.Giveups++
+			}
 		default:
 			res.Errors++
+			if status == http.StatusServiceUnavailable && cfg.MaxRetries > 0 {
+				res.Giveups++
+			}
 		}
 	}
 
@@ -193,8 +226,8 @@ func runUser(cfg LoadConfig, u int, start time.Time) UserResult {
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			status, appliedSeq := postBrush(cfg.Client, cfg.BaseURL, req)
-			record(status, appliedSeq, time.Since(t0))
+			status, appliedSeq, retries := postBrush(cfg, req)
+			record(status, appliedSeq, time.Since(t0), retries)
 		}()
 
 		if cfg.SQLEvery > 0 && i%cfg.SQLEvery == 0 && cfg.Table != "" {
@@ -213,8 +246,8 @@ func runUser(cfg LoadConfig, u int, start time.Time) UserResult {
 			go func() {
 				defer wg.Done()
 				t0 := time.Now()
-				status := postSQL(cfg, res.Session, sqlSeq, stmtRanges)
-				record(status, -1, time.Since(t0))
+				status, retries := postSQL(cfg, res.Session, sqlSeq, stmtRanges)
+				record(status, -1, time.Since(t0), retries)
 			}()
 		}
 	}
@@ -231,8 +264,8 @@ func runUser(cfg LoadConfig, u int, start time.Time) UserResult {
 		res.MaxSeq = seq
 		mu.Unlock()
 		t0 := time.Now()
-		status, appliedSeq := postBrush(cfg.Client, cfg.BaseURL, req)
-		record(status, appliedSeq, time.Since(t0))
+		status, appliedSeq, retries := postBrush(cfg, req)
+		record(status, appliedSeq, time.Since(t0), retries)
 	}
 	res.GotLatest = res.FinalSeq >= res.MaxSeq
 	return res
@@ -249,41 +282,100 @@ func snapshotRanges(ranges []*[2]float64) []*[2]float64 {
 	return out
 }
 
-// postBrush issues one brush and returns the HTTP status and applied
-// sequence (-1 when unavailable). Transport errors read as status 0.
-func postBrush(client *http.Client, baseURL string, req BrushRequest) (int, int64) {
+// postRetry issues do() and, on 429/503, re-issues it up to cfg.MaxRetries
+// times with capped jittered exponential backoff, honoring the server's
+// Retry-After hint scaled into the loadgen's compressed clock. It returns
+// the final response (body open; nil on transport error) and the number of
+// retries consumed.
+func postRetry(cfg LoadConfig, do func() (*http.Response, error)) (*http.Response, int) {
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		resp, err := do()
+		if err != nil {
+			return nil, retries
+		}
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= cfg.MaxRetries {
+			return resp, retries
+		}
+		hint := retryAfterHint(resp, cfg.TimeScale)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		retries++
+		time.Sleep(retryWait(cfg, attempt, hint))
+	}
+}
+
+// retryAfterHint parses a Retry-After seconds header and scales it by
+// TimeScale — the synthetic clock compresses think time, so it compresses
+// server pushback the same way.
+func retryAfterHint(resp *http.Response, scale float64) time.Duration {
+	var secs int
+	if _, err := fmt.Sscanf(resp.Header.Get("Retry-After"), "%d", &secs); err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(float64(secs) * float64(time.Second) * scale)
+}
+
+// retryWait computes the backoff for one retry: jittered exponential from
+// RetryBase, floored at the server's scaled Retry-After hint, ceilinged at
+// RetryCap.
+func retryWait(cfg LoadConfig, attempt int, hint time.Duration) time.Duration {
+	backoff := cfg.RetryBase << uint(attempt)
+	if backoff > cfg.RetryCap {
+		backoff = cfg.RetryCap
+	}
+	wait := backoff + time.Duration(rand.Int63n(int64(backoff)))
+	if wait < hint {
+		wait = hint
+	}
+	if wait > cfg.RetryCap {
+		wait = cfg.RetryCap
+	}
+	return wait
+}
+
+// postBrush issues one brush (with retries) and returns the HTTP status,
+// applied sequence (-1 when unavailable), and retry count. Transport errors
+// read as status 0.
+func postBrush(cfg LoadConfig, req BrushRequest) (int, int64, int) {
 	body, _ := json.Marshal(req)
-	resp, err := client.Post(baseURL+"/v1/brush", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, -1
+	resp, retries := postRetry(cfg, func() (*http.Response, error) {
+		return cfg.Client.Post(cfg.BaseURL+"/v1/brush", "application/json", bytes.NewReader(body))
+	})
+	if resp == nil {
+		return 0, -1, retries
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, -1
+		return resp.StatusCode, -1, retries
 	}
 	var br BrushResponse
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return 0, -1
+		return 0, -1, retries
 	}
-	return resp.StatusCode, br.AppliedSeq
+	return resp.StatusCode, br.AppliedSeq, retries
 }
 
 // postSQL issues the paper's filtered-histogram SQL query for the first
-// dimension under the current ranges.
-func postSQL(cfg LoadConfig, session string, seq int64, ranges [][2]float64) int {
+// dimension under the current ranges, with the same retry policy.
+func postSQL(cfg LoadConfig, session string, seq int64, ranges [][2]float64) (int, int) {
 	stmt, err := opt.HistogramQuery(cfg.Table, cfg.Dims, ranges, 0, 20)
 	if err != nil {
-		return 0
+		return 0, 0
 	}
 	body, _ := json.Marshal(QueryRequest{Session: session, Seq: seq, SQL: stmt.String()})
-	resp, err := cfg.Client.Post(cfg.BaseURL+"/v1/query", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0
+	resp, retries := postRetry(cfg, func() (*http.Response, error) {
+		return cfg.Client.Post(cfg.BaseURL+"/v1/query", "application/json", bytes.NewReader(body))
+	})
+	if resp == nil {
+		return 0, retries
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode
+	return resp.StatusCode, retries
 }
 
 // FetchStats pulls the server's /metrics snapshot.

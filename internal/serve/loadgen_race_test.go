@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/leakcheck"
 )
 
 // TestLoadgenRace is the serving subsystem's integration proof, meant to
@@ -18,6 +20,7 @@ func TestLoadgenRace(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loadgen integration in -short mode")
 	}
+	leakcheck.Check(t)
 	backends, err := RoadBackends(1, 50000, engine.ProfileMemory)
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +30,12 @@ func TestLoadgenRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
 
 	const users, maxEvents = 32, 40
 	report, err := RunLoad(LoadConfig{

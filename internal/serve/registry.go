@@ -31,6 +31,11 @@ type Registry struct {
 	regressions    int64
 	tileHits       int64
 	tileMisses     int64
+	degraded       int64
+	deadlines      int64
+	retries        int64
+	brushCacheHits int64
+	breakerRejects int64
 
 	firstIssue time.Time
 	lastIssue  time.Time
@@ -143,6 +148,43 @@ func (r *Registry) recordTileMiss() {
 	r.mu.Unlock()
 }
 
+// recordDegraded counts one request answered by a lower ladder tier (cached
+// or partial result) instead of the exact scan.
+func (r *Registry) recordDegraded() {
+	r.mu.Lock()
+	r.degraded++
+	r.mu.Unlock()
+}
+
+// recordDeadline counts one execution cut short by its deadline budget.
+func (r *Registry) recordDeadline() {
+	r.mu.Lock()
+	r.deadlines++
+	r.mu.Unlock()
+}
+
+// recordRetry counts one backend retry after an injected transient error.
+func (r *Registry) recordRetry() {
+	r.mu.Lock()
+	r.retries++
+	r.mu.Unlock()
+}
+
+// recordBrushCacheHit counts one brush answered from the exact-result cache.
+func (r *Registry) recordBrushCacheHit() {
+	r.mu.Lock()
+	r.brushCacheHits++
+	r.mu.Unlock()
+}
+
+// recordBreakerReject counts one request rejected by the open circuit
+// breaker before admission.
+func (r *Registry) recordBreakerReject() {
+	r.mu.Lock()
+	r.breakerRejects++
+	r.mu.Unlock()
+}
+
 // Stats is one /metrics snapshot.
 type Stats struct {
 	Issued         int64   `json:"issued"`
@@ -157,6 +199,12 @@ type Stats struct {
 	Regressions    int64   `json:"seq_regressions"`
 	TileCacheHits  int64   `json:"tile_cache_hits"`
 	TileCacheMiss  int64   `json:"tile_cache_misses"`
+	Degraded       int64   `json:"degraded"`
+	Deadlines      int64   `json:"deadline_exceeded"`
+	Retries        int64   `json:"retries"`
+	BrushCacheHits int64   `json:"brush_cache_hits"`
+	BreakerRejects int64   `json:"breaker_rejects"`
+	BreakerTrips   int64   `json:"breaker_trips"`
 	QIFPerSec      float64 `json:"qif_per_sec"`
 	P50MS          float64 `json:"p50_ms"`
 	P95MS          float64 `json:"p95_ms"`
@@ -183,6 +231,11 @@ func (r *Registry) snapshot(queueDepth, inflight int) Stats {
 		Regressions:    r.regressions,
 		TileCacheHits:  r.tileHits,
 		TileCacheMiss:  r.tileMisses,
+		Degraded:       r.degraded,
+		Deadlines:      r.deadlines,
+		Retries:        r.retries,
+		BrushCacheHits: r.brushCacheHits,
+		BreakerRejects: r.breakerRejects,
 		QueueDepth:     queueDepth,
 		Inflight:       inflight,
 	}

@@ -24,9 +24,11 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -36,7 +38,10 @@ import (
 
 	"repro/internal/datacube"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/opt"
+	"repro/internal/progressive"
+	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/tracefmt"
 	"repro/internal/widget"
@@ -61,6 +66,40 @@ type Config struct {
 	// TileCacheSize bounds the /v1/tiles LRU result cache (entries keyed
 	// by dataset and tile). 0 means 1024; negative disables caching.
 	TileCacheSize int
+
+	// Deadlines enables deadline-aware execution with the degradation
+	// ladder: each request's backend work runs under a context expiring
+	// DegradeAfter past issue (queue wait included), and a blown budget
+	// falls back exact → cached → progressive partial instead of running to
+	// completion. Disabled, requests run to completion no matter the cost —
+	// the chaos baseline.
+	Deadlines bool
+	// DegradeAfter is the per-request budget before degrading; 0 means
+	// Constraint/2 (half the latency constraint spent trying for exact, the
+	// rest reserved for the fallback and the response path).
+	DegradeAfter time.Duration
+	// Fault, when non-nil, injects the configured fault schedule into every
+	// backend execution — the chaos harness hook.
+	Fault *fault.Injector
+	// MaxRetries bounds retry attempts after injected backend errors; 0
+	// means 2, negative disables retries.
+	MaxRetries int
+	// RetryBase is the backoff base for retry attempt k (base·2^k, capped,
+	// full jitter); 0 means 2ms.
+	RetryBase time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit breaker (503 + Retry-After at admission); 0 means 8, negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open period before a half-open probe; 0 means
+	// 250ms.
+	BreakerCooldown time.Duration
+	// BrushCacheSize bounds the ranges-keyed cache of exact brush answers
+	// (the ladder's middle tier). 0 means 256; negative disables it.
+	BrushCacheSize int
+	// PartialRows is the sample size of the progressive partial tier; 0
+	// means 32768 rows.
+	PartialRows int
 }
 
 // Backends are the data systems the server fronts. Engine serves /v1/query,
@@ -90,6 +129,21 @@ type Server struct {
 
 	tileMu    sync.Mutex
 	tileCache *opt.ResultLRU
+
+	// Degradation ladder state: fault injector and circuit breaker guarding
+	// backend executions, resolved retry/deadline knobs, the ranges-keyed
+	// cache of exact brush answers, and the progressive executor for the
+	// partial tier (nil when the cube has no backing table).
+	fault        *fault.Injector
+	brk          *breaker
+	degradeAfter time.Duration
+	maxRetries   int
+	retryBase    time.Duration
+	partialRows  int
+	prog         *progressive.Executor
+	cubeDims     []datacube.Dim
+	brushMu      sync.Mutex
+	brushCache   *opt.ResultLRU
 
 	mux      *http.ServeMux
 	queue    chan func()
@@ -168,11 +222,62 @@ func New(b Backends, cfg Config) (*Server, error) {
 		sessions:  make(map[string]*sessionState),
 		tileCache: opt.NewResultLRU(tileCacheSize),
 		start:     time.Now(),
+		fault:     cfg.Fault,
+	}
+	s.degradeAfter = cfg.DegradeAfter
+	if s.degradeAfter <= 0 {
+		s.degradeAfter = s.reg.Constraint() / 2
+	}
+	s.maxRetries = cfg.MaxRetries
+	if s.maxRetries == 0 {
+		s.maxRetries = 2
+	}
+	s.retryBase = cfg.RetryBase
+	if s.retryBase <= 0 {
+		s.retryBase = 2 * time.Millisecond
+	}
+	s.partialRows = cfg.PartialRows
+	if s.partialRows <= 0 {
+		s.partialRows = 32768
+	}
+	breakerThreshold := cfg.BreakerThreshold
+	if breakerThreshold == 0 {
+		breakerThreshold = 8
+	}
+	breakerCooldown := cfg.BreakerCooldown
+	if breakerCooldown <= 0 {
+		breakerCooldown = 250 * time.Millisecond
+	}
+	s.brk = newBreaker(breakerThreshold, breakerCooldown)
+	brushCacheSize := cfg.BrushCacheSize
+	if brushCacheSize == 0 {
+		brushCacheSize = 256
+	}
+	if brushCacheSize > 0 {
+		s.brushCache = opt.NewResultLRU(brushCacheSize)
 	}
 	if b.Cube != nil {
 		// The summed-area form answers every brush in O(bins·2^(d-1))
 		// lookups; the dense cube stays as the differential oracle.
 		s.prefix = datacube.NewPrefix(b.Cube)
+		for d := 0; d < b.Cube.NumDims(); d++ {
+			s.cubeDims = append(s.cubeDims, b.Cube.Dim(d))
+		}
+		// The progressive partial tier samples the cube's backing table
+		// directly; it needs every cube dimension as a numeric column.
+		if b.Tiles != nil {
+			usable := true
+			for _, d := range s.cubeDims {
+				col := b.Tiles.Column(d.Name)
+				if col == nil || col.Type == storage.String {
+					usable = false
+					break
+				}
+			}
+			if usable {
+				s.prog = progressive.NewExecutor(b.Tiles, 1)
+			}
+		}
 	}
 	if b.Tiles != nil {
 		s.tileLat = b.Tiles.Column(b.TileLat)
@@ -187,6 +292,7 @@ func New(b Backends, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/tiles", s.handleTiles)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go func() {
@@ -209,7 +315,9 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Stats snapshots the online metrics.
 func (s *Server) Stats() Stats {
-	return s.reg.snapshot(len(s.queue), int(s.inflight.Load()))
+	st := s.reg.snapshot(len(s.queue), int(s.inflight.Load()))
+	st.BreakerTrips, _ = s.brk.stats()
+	return st
 }
 
 // Drain stops admission (new requests get 503), lets queued and in-flight
@@ -328,12 +436,17 @@ type QueryRequest struct {
 	SQL     string `json:"sql"`
 }
 
-// QueryResponse carries the materialized result.
+// QueryResponse carries the materialized result. Degraded marks a partial
+// answer: the query blew its deadline budget and was answered from a
+// bounded sample instead (SampleFraction of the table, counts scaled up) —
+// only histogram-shaped queries degrade this way.
 type QueryResponse struct {
-	Seq     int64    `json:"seq"`
-	Columns []string `json:"columns"`
-	Rows    [][]any  `json:"rows"`
-	ModelMS float64  `json:"model_ms"`
+	Seq            int64    `json:"seq"`
+	Columns        []string `json:"columns"`
+	Rows           [][]any  `json:"rows"`
+	ModelMS        float64  `json:"model_ms"`
+	Degraded       bool     `json:"degraded,omitempty"`
+	SampleFraction float64  `json:"sample_fraction,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -350,6 +463,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "want JSON {session, seq, sql}")
 		return
 	}
+	if !s.breakerAdmit(w, req.Session, req.Seq, "query") {
+		return
+	}
 	start := time.Now()
 	id := s.nextID.Add(1)
 	sess := s.session(req.Session)
@@ -359,13 +475,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Unlock()
 	s.reg.recordIssue(start)
 
+	// The execution context budgets the exact tier: deadline degradeAfter
+	// past issue, so queue wait counts against it.
+	execCtx := context.Background()
+	if s.cfg.Deadlines {
+		var cancel context.CancelFunc
+		execCtx, cancel = context.WithDeadline(execCtx, start.Add(s.degradeAfter))
+		defer cancel()
+	}
+
 	type outcome struct {
 		res *engine.Result
 		err error
 	}
 	ch := make(chan outcome, 1)
 	err := s.admit(func() {
-		res, err := s.eng.Query(req.SQL)
+		res, err := func() (*engine.Result, error) {
+			if err := s.faultGate(execCtx); err != nil {
+				return nil, err
+			}
+			return s.eng.QueryCtx(execCtx, req.SQL)
+		}()
 		if s.cfg.ExecDelay > 0 {
 			time.Sleep(s.cfg.ExecDelay)
 		}
@@ -382,33 +512,105 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sess.mu.Lock()
 		delete(sess.uncounted, id)
 		sess.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
 		httpError(w, status, err.Error())
 		s.logRequest(req.Session, req.Seq, "query", status, start, 0, false)
 		return
 	}
 	out := <-ch
 	s.finish(sess, id, start)
+	resp := QueryResponse{Seq: req.Seq}
 	if out.err != nil {
+		if !isBackendFault(out.err) {
+			// A real SQL/execution error: the backend is healthy, the query
+			// is not.
+			s.brk.success()
+			s.reg.recordError()
+			httpError(w, http.StatusBadRequest, out.err.Error())
+			s.logRequest(req.Session, req.Seq, "query", http.StatusBadRequest, start, 0, false)
+			return
+		}
+		if errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled) {
+			s.reg.recordDeadline()
+		}
+		// Degrade tier: histogram-shaped queries answer from a bounded
+		// sample, scaled to the full table.
+		if degraded, frac := s.degradeQuery(req.SQL); degraded != nil {
+			s.reg.recordDegraded()
+			s.brk.success()
+			resp.Columns = degraded.Columns
+			resp.ModelMS = float64(degraded.Stats.ModelCost) / float64(time.Millisecond)
+			resp.Rows = rowsJSON(degraded.Rows)
+			resp.Degraded = true
+			resp.SampleFraction = frac
+			writeJSON(w, http.StatusOK, resp)
+			s.logRequest(req.Session, req.Seq, "query", http.StatusOK, start, req.Seq, false)
+			return
+		}
+		s.brk.failure(time.Now())
 		s.reg.recordError()
-		httpError(w, http.StatusBadRequest, out.err.Error())
-		s.logRequest(req.Session, req.Seq, "query", http.StatusBadRequest, start, 0, false)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, out.err.Error())
+		s.logRequest(req.Session, req.Seq, "query", http.StatusServiceUnavailable, start, 0, false)
 		return
 	}
-	resp := QueryResponse{
-		Seq:     req.Seq,
-		Columns: out.res.Columns,
-		ModelMS: float64(out.res.Stats.ModelCost) / float64(time.Millisecond),
+	s.brk.success()
+	resp.Columns = out.res.Columns
+	resp.ModelMS = float64(out.res.Stats.ModelCost) / float64(time.Millisecond)
+	resp.Rows = rowsJSON(out.res.Rows)
+	writeJSON(w, http.StatusOK, resp)
+	s.logRequest(req.Session, req.Seq, "query", http.StatusOK, start, req.Seq, false)
+}
+
+// isBackendFault distinguishes faults of the backend (injected errors,
+// blown deadlines — retry or degrade) from faults of the request (parse and
+// execution errors — the client's problem).
+func isBackendFault(err error) bool {
+	return errors.Is(err, fault.ErrInjected) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// degradeQuery answers a histogram-shaped SQL query from a bounded sample
+// prefix, scaled to the table. Non-histogram shapes return nil — they have
+// no cheap unbiased estimate.
+func (s *Server) degradeQuery(sqlText string) (*engine.Result, float64) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, 0
 	}
-	resp.Rows = make([][]any, len(out.res.Rows))
-	for i, row := range out.res.Rows {
+	res, frac, ok, err := s.eng.PartialHistogram(context.Background(), stmt, s.partialRows)
+	if !ok || err != nil {
+		return nil, 0
+	}
+	return res, frac
+}
+
+func rowsJSON(rows [][]storage.Value) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
 		vals := make([]any, len(row))
 		for j, v := range row {
 			vals[j] = valueJSON(v)
 		}
-		resp.Rows[i] = vals
+		out[i] = vals
 	}
-	writeJSON(w, http.StatusOK, resp)
-	s.logRequest(req.Session, req.Seq, "query", http.StatusOK, start, req.Seq, false)
+	return out
+}
+
+// breakerAdmit rejects the request with 503 + Retry-After when the circuit
+// breaker is open, before any session bookkeeping. Returns false when
+// rejected.
+func (s *Server) breakerAdmit(w http.ResponseWriter, session string, seq int64, kind string) bool {
+	ok, ra := s.brk.allow(time.Now())
+	if ok {
+		return true
+	}
+	s.reg.recordBreakerReject()
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ra.Seconds()))))
+	httpError(w, http.StatusServiceUnavailable, "serve: circuit breaker open")
+	s.logRequest(session, seq, kind, http.StatusServiceUnavailable, time.Now(), 0, false)
+	return false
 }
 
 func valueJSON(v storage.Value) any {
@@ -440,11 +642,21 @@ type BrushRequest struct {
 // AppliedSeq is the sequence number of the snapshot that executed; it is
 // at least the request's own Seq, and strictly greater when the request
 // was coalesced into a newer one.
+//
+// Tier reports which rung of the degradation ladder answered: "exact" (or
+// "" when deadlines are off), "cache" (a previous exact answer for the same
+// ranges — exact data, so not degraded), or "partial" (a scaled sample
+// estimate; Degraded is true and SampleFraction reports the fraction of
+// records it saw). Degraded responses still carry the applied seq, so
+// clients stay sequence-consistent across tiers.
 type BrushResponse struct {
-	AppliedSeq int64     `json:"applied_seq"`
-	Coalesced  bool      `json:"coalesced"`
-	Total      int64     `json:"total"`
-	Histograms [][]int64 `json:"histograms"`
+	AppliedSeq     int64     `json:"applied_seq"`
+	Coalesced      bool      `json:"coalesced"`
+	Total          int64     `json:"total"`
+	Histograms     [][]int64 `json:"histograms"`
+	Tier           string    `json:"tier,omitempty"`
+	Degraded       bool      `json:"degraded,omitempty"`
+	SampleFraction float64   `json:"sample_fraction,omitempty"`
 }
 
 func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
@@ -466,8 +678,12 @@ func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("want %d ranges, got %d", s.cube.NumDims(), len(req.Ranges)))
 		return
 	}
-	if s.isDraining() {
-		httpError(w, http.StatusServiceUnavailable, errDraining.Error())
+	// Note: no isDraining pre-check here. During Drain a brush may still
+	// ride an existing slot or in-progress execution — the run-to-idle loop
+	// flushes pending coalesced brushes before the worker pool exits. Only
+	// a brush needing a fresh admission is refused (admit returns
+	// errDraining below).
+	if !s.breakerAdmit(w, req.Session, req.Seq, "brush") {
 		return
 	}
 	start := time.Now()
@@ -509,6 +725,7 @@ func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.reg.recordShed()
 		}
+		w.Header().Set("Retry-After", "1")
 		httpError(w, status, admitErr.Error())
 		s.logRequest(req.Session, req.Seq, "brush", status, start, 0, false)
 		return
@@ -519,8 +736,15 @@ func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 	s.finish(sess, id, start)
 	if out.err != nil {
 		s.reg.recordError()
-		httpError(w, http.StatusInternalServerError, out.err.Error())
-		s.logRequest(req.Session, req.Seq, "brush", http.StatusInternalServerError, start, 0, false)
+		status := http.StatusInternalServerError
+		if isBackendFault(out.err) {
+			// The backend is faulting or out of budget, not the request
+			// malformed: tell the client to retry, like the breaker does.
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, status, out.err.Error())
+		s.logRequest(req.Session, req.Seq, "brush", status, start, 0, false)
 		return
 	}
 	resp := *out.resp
@@ -533,7 +757,8 @@ func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 // snapshots the latest filter state and answers every waiter that
 // accumulated since the previous pass with that one result. Per-session
 // execution is serialized here, which is what makes applied sequence
-// numbers monotonic.
+// numbers monotonic. During Drain the loop keeps running until the slot is
+// empty — pending coalesced brushes are flushed, not dropped.
 func (s *Server) runBrushes(sess *sessionState) {
 	for {
 		sess.mu.Lock()
@@ -546,9 +771,18 @@ func (s *Server) runBrushes(sess *sessionState) {
 		sess.slot = nil
 		sess.running = true
 		payload := sess.latest
+		// The deadline budget runs from the moment the oldest rider issued:
+		// queue wait counts against it, so a request that already blew its
+		// budget waiting skips straight to the fallback tiers.
+		earliest := bt.waiters[0].start
+		for _, wt := range bt.waiters[1:] {
+			if wt.start.Before(earliest) {
+				earliest = wt.start
+			}
+		}
 		sess.mu.Unlock()
 
-		resp, err := s.execBrush(payload)
+		resp, err := s.execBrushLadder(payload, earliest)
 		if s.cfg.ExecDelay > 0 {
 			time.Sleep(s.cfg.ExecDelay)
 		}
@@ -566,6 +800,201 @@ func (s *Server) runBrushes(sess *sessionState) {
 			wt.ch <- brushOutcome{resp: resp, err: err}
 		}
 	}
+}
+
+// faultGate passes one backend operation through the fault injector,
+// retrying injected errors with capped jittered exponential backoff while
+// the budget lasts. nil means proceed with the real work; fault.ErrInjected
+// means retries were exhausted; a context error means the deadline expired
+// mid-delay (an injected stall serves only as much of itself as the budget
+// allows). Without an injector it is just the budget check.
+func (s *Server) faultGate(ctx context.Context) error {
+	if s.fault == nil {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
+	const maxBackoff = 100 * time.Millisecond
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = s.fault.Do(ctx)
+		if err == nil || !errors.Is(err, fault.ErrInjected) {
+			return err
+		}
+		if attempt >= s.maxRetries {
+			return err
+		}
+		backoff := s.retryBase << uint(attempt)
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		// Full jitter: [backoff, 2·backoff) decorrelates retry herds.
+		backoff += time.Duration(rand.Int63n(int64(backoff)))
+		s.reg.recordRetry()
+		if serr := fault.Sleep(ctx, backoff); serr != nil {
+			return serr
+		}
+	}
+}
+
+// execBrushLadder answers one brush snapshot through the degradation
+// ladder. With deadlines off it is the chaos baseline: injected faults are
+// served in full and only the exact tier exists. With deadlines on, the
+// exact tier runs under a budget of degradeAfter from the oldest rider's
+// issue; a blown budget falls back to a cached exact answer for the same
+// ranges, then to a progressive partial estimate marked Degraded.
+func (s *Server) execBrushLadder(req BrushRequest, earliest time.Time) (*BrushResponse, error) {
+	if !s.cfg.Deadlines {
+		if err := s.faultGate(nil); err != nil {
+			s.brk.failure(time.Now())
+			return nil, err
+		}
+		resp, err := s.execBrush(req)
+		if err != nil {
+			s.brk.failure(time.Now())
+			return nil, err
+		}
+		s.brk.success()
+		s.cacheBrush(req, resp)
+		return resp, nil
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), earliest.Add(s.degradeAfter))
+	defer cancel()
+
+	// Tier 1: exact, while the budget holds.
+	gateErr := s.faultGate(ctx)
+	if gateErr == nil {
+		resp, err := s.execBrush(req)
+		if err != nil {
+			s.brk.failure(time.Now())
+			return nil, err
+		}
+		resp.Tier = "exact"
+		s.brk.success()
+		s.cacheBrush(req, resp)
+		return resp, nil
+	}
+	if errors.Is(gateErr, context.DeadlineExceeded) || errors.Is(gateErr, context.Canceled) {
+		s.reg.recordDeadline()
+	}
+
+	// Tier 2: a cached exact answer for these exact ranges — stale only in
+	// the sense that it was computed earlier; the data is immutable, so it
+	// is not degraded, just cheaper.
+	if cached := s.lookupBrush(req); cached != nil {
+		c := *cached
+		c.AppliedSeq = req.Seq
+		c.Tier = "cache"
+		s.reg.recordBrushCacheHit()
+		s.brk.success()
+		return &c, nil
+	}
+
+	// Tier 3: progressive partial — a bounded-work sample estimate, marked
+	// degraded so the client can render it as provisional.
+	if s.prog != nil {
+		resp, err := s.execBrushPartial(req)
+		if err == nil {
+			s.reg.recordDegraded()
+			s.brk.success()
+			return resp, nil
+		}
+	}
+
+	s.brk.failure(time.Now())
+	return nil, gateErr
+}
+
+// brushKey is the ranges-keyed cache key: the filter state fully determines
+// an exact brush answer (data is immutable), so any session may reuse it.
+func brushKey(req BrushRequest) string {
+	key := make([]byte, 0, 16*len(req.Ranges))
+	for _, rg := range req.Ranges {
+		if rg == nil {
+			key = append(key, '*', '|')
+			continue
+		}
+		key = strconv.AppendFloat(key, rg[0], 'g', -1, 64)
+		key = append(key, ',')
+		key = strconv.AppendFloat(key, rg[1], 'g', -1, 64)
+		key = append(key, '|')
+	}
+	return string(key)
+}
+
+// cacheBrush stores an exact answer under its ranges key. The cached value
+// is read-only from then on; lookup copies the struct before overriding
+// per-request fields.
+func (s *Server) cacheBrush(req BrushRequest, resp *BrushResponse) {
+	if s.brushCache == nil {
+		return
+	}
+	s.brushMu.Lock()
+	s.brushCache.Put(brushKey(req), resp)
+	s.brushMu.Unlock()
+}
+
+// lookupBrush returns the cached exact answer for the request's ranges, or
+// nil.
+func (s *Server) lookupBrush(req BrushRequest) *BrushResponse {
+	if s.brushCache == nil {
+		return nil
+	}
+	s.brushMu.Lock()
+	v, ok := s.brushCache.Get(brushKey(req))
+	s.brushMu.Unlock()
+	if !ok {
+		return nil
+	}
+	return v.(*BrushResponse)
+}
+
+// execBrushPartial is the ladder's last rung: per-dimension scaled sample
+// estimates over the cube's backing table, using the progressive executor's
+// shuffled prefix as a uniform sample. Work is bounded by partialRows per
+// dimension regardless of table size.
+func (s *Server) execBrushPartial(req BrushRequest) (*BrushResponse, error) {
+	resp := &BrushResponse{
+		AppliedSeq: req.Seq,
+		Tier:       "partial",
+		Degraded:   true,
+	}
+	resp.Histograms = make([][]int64, len(s.cubeDims))
+	filters := make(map[string][2]float64, len(s.cubeDims))
+	for i, rg := range req.Ranges {
+		if rg != nil {
+			filters[s.cubeDims[i].Name] = [2]float64{rg[0], rg[1]}
+		}
+	}
+	var total float64
+	for d, dim := range s.cubeDims {
+		q := progressive.Query{
+			Column:  dim.Name,
+			Lo:      dim.Lo,
+			Hi:      dim.Hi,
+			Bins:    dim.Bins,
+			Filters: filters,
+		}
+		snap, err := s.prog.Partial(q, s.partialRows)
+		if err != nil {
+			return nil, err
+		}
+		resp.SampleFraction = snap.Fraction
+		h := make([]int64, dim.Bins)
+		for b, v := range snap.Estimate {
+			h[b] = int64(v + 0.5)
+		}
+		resp.Histograms[d] = h
+		if d == 0 {
+			for _, v := range snap.Estimate {
+				total += v
+			}
+		}
+	}
+	resp.Total = int64(total + 0.5)
+	return resp, nil
 }
 
 // execBrush answers the coordinated-view query on the summed-area cube:
@@ -655,6 +1084,9 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "want key=z/x/y or z=&x=&y=")
 		return
 	}
+	if !s.breakerAdmit(w, session, seq, "tile") {
+		return
+	}
 	start := time.Now()
 	id := s.nextID.Add(1)
 	sess := s.session(session)
@@ -679,11 +1111,31 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reg.recordTileMiss()
 
-	ch := make(chan int64, 1)
+	execCtx := context.Background()
+	if s.cfg.Deadlines {
+		var cancel context.CancelFunc
+		execCtx, cancel = context.WithDeadline(execCtx, start.Add(s.degradeAfter))
+		defer cancel()
+	}
+	type tileOutcome struct {
+		count int64
+		err   error
+	}
+	ch := make(chan tileOutcome, 1)
 	admitErr := s.admit(func() {
+		defer s.reg.recordExec()
+		if err := s.faultGate(execCtx); err != nil {
+			ch <- tileOutcome{0, err}
+			return
+		}
 		latLo, latHi, lngLo, lngHi := tileBounds(tile)
 		var count int64
-		for i := 0; i < s.tiles.NumRows(); i++ {
+		n := s.tiles.NumRows()
+		for i := 0; i < n; i++ {
+			if i%tileScanCheck == 0 && execCtx.Err() != nil {
+				ch <- tileOutcome{0, execCtx.Err()}
+				return
+			}
 			lat, lng := s.tileLat.Float(i), s.tileLng.Float(i)
 			if lat >= latLo && lat < latHi && lng >= lngLo && lng < lngHi {
 				count++
@@ -692,11 +1144,10 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.ExecDelay > 0 {
 			time.Sleep(s.cfg.ExecDelay)
 		}
-		s.reg.recordExec()
 		s.tileMu.Lock()
 		s.tileCache.Put(cacheKey, count)
 		s.tileMu.Unlock()
-		ch <- count
+		ch <- tileOutcome{count, nil}
 	})
 	if admitErr != nil {
 		status := http.StatusTooManyRequests
@@ -708,30 +1159,71 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 		sess.mu.Lock()
 		delete(sess.uncounted, id)
 		sess.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
 		httpError(w, status, admitErr.Error())
 		s.logRequest(session, seq, "tile", status, start, 0, false)
 		return
 	}
-	count := <-ch
+	out := <-ch
 	s.finish(sess, id, start)
-	writeJSON(w, http.StatusOK, TileResponse{Seq: seq, Key: tile.String(), Count: count})
+	if out.err != nil {
+		if errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled) {
+			s.reg.recordDeadline()
+		}
+		s.brk.failure(time.Now())
+		s.reg.recordError()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, out.err.Error())
+		s.logRequest(session, seq, "tile", http.StatusServiceUnavailable, start, 0, false)
+		return
+	}
+	s.brk.success()
+	writeJSON(w, http.StatusOK, TileResponse{Seq: seq, Key: tile.String(), Count: out.count})
 	s.logRequest(session, seq, "tile", http.StatusOK, start, seq, false)
 }
 
-// --- /metrics and /healthz --------------------------------------------------
+// tileScanCheck is the tile scan's cancellation-check stride — one morsel's
+// worth of rows, matching the engine's granularity.
+const tileScanCheck = 16 * 1024
+
+// --- /metrics, /healthz, /readyz --------------------------------------------
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP, so it
+// always answers 200. A draining server is still alive — it reports the
+// state and its remaining queue depth so an operator can watch the flush,
+// but an orchestrator must not kill it for failing liveness mid-drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	status := http.StatusOK
 	state := "ok"
 	if s.isDraining() {
-		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]string{"status": state})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      state,
+		"queue_depth": len(s.queue),
+	})
+}
+
+// handleReadyz is readiness: 503 while draining (stop routing new traffic
+// here) or while the circuit breaker holds the backend open.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	status := http.StatusOK
+	state := "ready"
+	switch {
+	case s.isDraining():
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	case s.brk.isOpen(time.Now()):
+		status = http.StatusServiceUnavailable
+		state = "breaker_open"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":      state,
+		"queue_depth": len(s.queue),
+	})
 }
 
 // --- helpers ----------------------------------------------------------------

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/datacube"
 	"repro/internal/engine"
+	"repro/internal/leakcheck"
 	"repro/internal/tracefmt"
 )
 
@@ -21,8 +22,12 @@ import (
 const testRows = 20000
 
 // newTestServer builds a road-backed server plus an httptest frontend.
+// Every test through here doubles as a goroutine-leak check: leakcheck is
+// registered before the server cleanup, so it runs after Drain and asserts
+// the worker pool actually exited.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	leakcheck.Check(t)
 	backends, err := RoadBackends(1, testRows, engine.ProfileMemory)
 	if err != nil {
 		t.Fatal(err)
@@ -368,13 +373,32 @@ func TestGracefulDrain(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("post-drain query = %d, want 503", resp.StatusCode)
 	}
+	// Liveness stays 200 while draining (the process is still up); only
+	// readiness flips to 503 so routers stop sending traffic.
 	hz, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
+	var hzBody struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&hzBody); err != nil {
+		t.Fatal(err)
+	}
 	hz.Body.Close()
-	if hz.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("post-drain healthz = %d, want 503", hz.StatusCode)
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("post-drain healthz = %d, want 200 (liveness)", hz.StatusCode)
+	}
+	if hzBody.Status != "draining" {
+		t.Errorf("post-drain healthz status = %q, want \"draining\"", hzBody.Status)
+	}
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain readyz = %d, want 503", rz.StatusCode)
 	}
 
 	// Drain is idempotent.
