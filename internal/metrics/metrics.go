@@ -61,12 +61,43 @@ func Summarize(xs []float64) Summary {
 
 // Percentile returns the p-th percentile (0–100) using linear
 // interpolation between closest ranks. The input need not be sorted.
+// The extremes (p<=0, p>=100) are answered by a single scan without
+// copying or sorting — callers asking for the max should not pay
+// O(n log n) and an allocation for it.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	if p <= 0 {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	}
+	if p >= 100 {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over an already-sorted sample: callers
+// reading several percentiles from one snapshot sort once and reuse the
+// copy instead of paying one sort per percentile.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return sorted[0]
 	}

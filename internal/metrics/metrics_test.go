@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -349,5 +350,68 @@ func TestBreakdown(t *testing.T) {
 	}
 	if s := b.String(); s == "" {
 		t.Error("empty String")
+	}
+}
+
+// TestPercentileExtremeFastPath pins the regression: the p>=100 (max) and
+// p<=0 (min) answers come from a single scan, allocation-free and without
+// mutating the input, and agree with the sorted-rank definition.
+func TestPercentileExtremeFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 10001)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	var wantMax, wantMin = xs[0], xs[0]
+	for _, x := range xs {
+		wantMax = math.Max(wantMax, x)
+		wantMin = math.Min(wantMin, x)
+	}
+	if got := Percentile(xs, 100); got != wantMax {
+		t.Errorf("Percentile(xs, 100) = %v, want max %v", got, wantMax)
+	}
+	if got := Percentile(xs, 150); got != wantMax {
+		t.Errorf("Percentile(xs, 150) = %v, want max %v", got, wantMax)
+	}
+	if got := Percentile(xs, 0); got != wantMin {
+		t.Errorf("Percentile(xs, 0) = %v, want min %v", got, wantMin)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { Percentile(xs, 100) }); allocs != 0 {
+		t.Errorf("Percentile(xs, 100) allocates %v times, want 0", allocs)
+	}
+	// The fast path must not sort the caller's slice in place.
+	probe := []float64{5, 1, 9, 3}
+	Percentile(probe, 100)
+	if probe[0] != 5 || probe[3] != 3 {
+		t.Errorf("Percentile(·, 100) mutated input: %v", probe)
+	}
+}
+
+// TestPercentileSortedMatchesPercentile: reading several percentiles from
+// one sorted copy is the same function as sorting per call.
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 997)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 30
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{0, 1, 25, 50, 90, 95, 99, 99.9, 100} {
+		if got, want := PercentileSorted(sorted, p), Percentile(xs, p); got != want {
+			t.Errorf("PercentileSorted(%v) = %v, Percentile = %v", p, got, want)
+		}
+	}
+}
+
+func BenchmarkPercentileMax(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]float64, 1<<18)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 100)
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -12,6 +13,13 @@ import (
 // percentile reports then describe recent behavior, which is what an
 // operator watching /metrics wants.
 const maxLatencySamples = 1 << 18
+
+// qifWindow bounds the ring of recent issue timestamps that the QIF
+// report is computed over. Percentiles describe a recent window of
+// traffic, so the issuing-rate headline must describe the same recent
+// horizon — a lifetime average would mix in traffic the reservoir
+// rotated out long ago.
+const qifWindow = 1 << 12
 
 // Registry is the serving layer's online metrics: the paper's frontend
 // metrics (LCV against the next-action definition, QIF) plus the classical
@@ -41,6 +49,13 @@ type Registry struct {
 	lastIssue  time.Time
 	latencies  []float64 // milliseconds, most recent maxLatencySamples
 	dropped    int64     // latency samples rotated out of the reservoir
+
+	// issueRing holds the most recent qifWindow issue timestamps; QIF is
+	// reported over this window so it describes the same recent traffic
+	// the latency percentiles do.
+	issueRing  []time.Time
+	issueHead  int // next write position
+	issueCount int // occupied slots, <= qifWindow
 }
 
 // NewRegistry builds a registry evaluating against the given wall-clock
@@ -64,6 +79,30 @@ func (r *Registry) recordIssue(now time.Time) {
 	}
 	r.issued++
 	r.lastIssue = now
+	if r.issueRing == nil {
+		r.issueRing = make([]time.Time, qifWindow)
+	}
+	r.issueRing[r.issueHead] = now
+	r.issueHead = (r.issueHead + 1) % qifWindow
+	if r.issueCount < qifWindow {
+		r.issueCount++
+	}
+}
+
+// qifLocked computes the windowed issuing rate over the issue ring; the
+// caller holds r.mu. O(1): the ring's oldest and newest entries bound the
+// window span.
+func (r *Registry) qifLocked() float64 {
+	if r.issueCount < 2 {
+		return 0
+	}
+	newest := r.issueRing[(r.issueHead-1+qifWindow)%qifWindow]
+	oldest := r.issueRing[(r.issueHead-r.issueCount+qifWindow)%qifWindow]
+	span := newest.Sub(oldest)
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.issueCount-1) / span.Seconds()
 }
 
 // recordExec counts one backend execution. Under coalescing this runs once
@@ -206,19 +245,27 @@ type Stats struct {
 	BreakerRejects int64   `json:"breaker_rejects"`
 	BreakerTrips   int64   `json:"breaker_trips"`
 	QIFPerSec      float64 `json:"qif_per_sec"`
+	QIFWindow      int     `json:"qif_window"`
 	P50MS          float64 `json:"p50_ms"`
 	P95MS          float64 `json:"p95_ms"`
 	P99MS          float64 `json:"p99_ms"`
 	MaxMS          float64 `json:"max_ms"`
+	LatencySamples int64   `json:"latency_samples"`
+	LatencyDropped int64   `json:"latency_dropped"`
 	QueueDepth     int     `json:"queue_depth"`
 	Inflight       int     `json:"inflight"`
 }
 
 // snapshot computes the current stats; queue depth and inflight come from
 // the server, which owns those gauges.
+//
+// The lock is held only to copy state out: percentile computation — the
+// O(n log n) sort of the latency reservoir — runs after release, so a
+// scrape never stalls the request path's recordIssue/recordLatency behind
+// sorting work. The reservoir is sorted once and all four percentiles
+// read from the single sorted copy.
 func (r *Registry) snapshot(queueDepth, inflight int) Stats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s := Stats{
 		Issued:         r.issued,
 		Executed:       r.executed,
@@ -242,16 +289,19 @@ func (r *Registry) snapshot(queueDepth, inflight int) Stats {
 	if r.issued > 0 {
 		s.LCVPercent = float64(r.lcv) / float64(r.issued)
 	}
-	if r.issued > 1 {
-		if span := r.lastIssue.Sub(r.firstIssue); span > 0 {
-			s.QIFPerSec = float64(r.issued-1) / span.Seconds()
-		}
-	}
-	if len(r.latencies) > 0 {
-		s.P50MS = metrics.Percentile(r.latencies, 50)
-		s.P95MS = metrics.Percentile(r.latencies, 95)
-		s.P99MS = metrics.Percentile(r.latencies, 99)
-		s.MaxMS = metrics.Percentile(r.latencies, 100)
+	s.QIFPerSec = r.qifLocked()
+	s.QIFWindow = r.issueCount
+	s.LatencySamples = int64(len(r.latencies))
+	s.LatencyDropped = r.dropped
+	lat := append([]float64(nil), r.latencies...)
+	r.mu.Unlock()
+
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		s.P50MS = metrics.PercentileSorted(lat, 50)
+		s.P95MS = metrics.PercentileSorted(lat, 95)
+		s.P99MS = metrics.PercentileSorted(lat, 99)
+		s.MaxMS = metrics.PercentileSorted(lat, 100)
 	}
 	return s
 }

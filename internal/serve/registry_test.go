@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fillRegistry loads n latency samples spread over [0, 400) ms.
+func fillRegistry(r *Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.recordLatency(time.Duration(i%400) * time.Millisecond)
+	}
+}
+
+// TestSnapshotDoesNotStallRecorders is the sort-under-lock regression
+// test: while snapshot runs against a full reservoir, a request-path
+// recorder must never wait on r.mu for anything like the cost of sorting
+// the reservoir. Before the fix, snapshot held the mutex through four
+// copy+sorts of up to 2^18 samples (tens of milliseconds); now the lock
+// covers only an O(n) copy-out, and with the histogram registry an O(1)
+// read, so the worst recorder stall stays far below the sort cost.
+func TestSnapshotDoesNotStallRecorders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive lock-hold test in -short mode")
+	}
+	r := NewRegistry(0)
+	fillRegistry(r, maxLatencySamples)
+
+	var stop atomic.Bool
+	var worst atomic.Int64 // ns
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			t0 := time.Now()
+			r.recordLatency(5 * time.Millisecond)
+			if d := int64(time.Since(t0)); d > worst.Load() {
+				worst.Store(d)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		_ = r.snapshot(0, 0)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Sorting 2^18 floats costs ~15-30ms; four sorts under the lock made
+	// recorder stalls of ~100ms routine. 10ms is far above any copy-out
+	// or scheduling noise and far below the old sort-under-lock cost.
+	if w := time.Duration(worst.Load()); w > 10*time.Millisecond {
+		t.Errorf("recorder stalled %v behind a scrape, want < 10ms (sort must not run under r.mu)", w)
+	} else {
+		t.Logf("worst recorder stall behind 50 scrapes: %v", w)
+	}
+}
+
+// TestQIFWindowed: the issuing rate must describe the recent window, not
+// the lifetime span. A burst long past followed by a fresh burst reports
+// the recent rate once the ring has rotated the idle gap out.
+func TestQIFWindowed(t *testing.T) {
+	r := NewRegistry(0)
+	base := time.Unix(1000, 0)
+	// Old burst: qifWindow issues at 1/ms, then an hour of silence, then a
+	// fresh full window at 1/ms. A lifetime QIF would be ~2·qifWindow over
+	// an hour (~2.3/s); the windowed QIF must report ~1000/s.
+	for i := 0; i < qifWindow; i++ {
+		r.recordIssue(base.Add(time.Duration(i) * time.Millisecond))
+	}
+	late := base.Add(time.Hour)
+	for i := 0; i < qifWindow; i++ {
+		r.recordIssue(late.Add(time.Duration(i) * time.Millisecond))
+	}
+	s := r.snapshot(0, 0)
+	if s.QIFPerSec < 900 || s.QIFPerSec > 1100 {
+		t.Errorf("windowed QIF = %.1f/s, want ~1000/s (lifetime span must not dilute it)", s.QIFPerSec)
+	}
+	if s.QIFWindow != qifWindow {
+		t.Errorf("QIFWindow = %d, want %d", s.QIFWindow, qifWindow)
+	}
+	if s.Issued != 2*qifWindow {
+		t.Errorf("Issued = %d, want %d", s.Issued, 2*qifWindow)
+	}
+}
+
+// TestLatencySampleAccounting: operators can tell when the latency window
+// rotated because samples and dropped are exposed.
+func TestLatencySampleAccounting(t *testing.T) {
+	r := NewRegistry(0)
+	fillRegistry(r, 1000)
+	s := r.snapshot(0, 0)
+	if s.LatencySamples != 1000 {
+		t.Errorf("LatencySamples = %d, want 1000", s.LatencySamples)
+	}
+	if s.LatencyDropped != 0 {
+		t.Errorf("LatencyDropped = %d, want 0 before rotation", s.LatencyDropped)
+	}
+}
+
+// BenchmarkSnapshot measures scrape cost across reservoir fills. The
+// interesting number is not the total (sorting outside the lock still
+// costs O(n log n)) but that RecordLatencyDuringScrape below stays flat.
+func BenchmarkSnapshot(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 15, 1 << 18} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			r := NewRegistry(0)
+			fillRegistry(r, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = r.snapshot(0, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkRecordLatencyDuringScrape measures the request path's latency
+// recording while a scraper loops snapshots — the contention the
+// sort-under-lock bug inflicted. Time/op must be independent of the
+// sample count.
+func BenchmarkRecordLatencyDuringScrape(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 18} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			r := NewRegistry(0)
+			fillRegistry(r, n)
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					_ = r.snapshot(0, 0)
+				}
+			}()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					r.recordLatency(3 * time.Millisecond)
+				}
+			})
+			b.StopTimer()
+			stop.Store(true)
+			wg.Wait()
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return "n1M"
+	case n == 1<<18:
+		return "n256k"
+	case n == 1<<15:
+		return "n32k"
+	default:
+		return "n4k"
+	}
+}
