@@ -10,13 +10,20 @@
 //	        [-constraint 500ms] [-execdelay 0] [-log FILE] [-seed N]
 //	        [-deadlines] [-degradeafter 250ms]   # degradation ladder
 //	        [-chaos PROFILE] [-chaosseed N]      # fault injection
+//	        [-debug-addr 127.0.0.1:6060]         # pprof endpoint
 //
 // Endpoints: POST /v1/query {session,seq,sql}; POST /v1/brush
 // {session,seq,ranges,moved}; GET /v1/tiles?session=&z=&x=&y=;
-// GET /metrics; GET /healthz (liveness, always 200); GET /readyz
+// GET /metrics (JSON, or Prometheus text with ?format=prometheus);
+// GET /v1/trace (recent per-request stage traces, JSON lines);
+// GET /healthz (liveness, always 200); GET /readyz
 // (readiness: 503 while draining or circuit-breaker open). SIGTERM/SIGINT
 // drain gracefully: admission stops (new requests get 503), in-flight,
 // queued, and pending coalesced work completes, then the process exits.
+//
+// -debug-addr starts a second HTTP listener with net/http/pprof handlers
+// at /debug/pprof/ — kept off the serving mux so profiling endpoints are
+// never exposed on the public address.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -debug-addr listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,10 +58,11 @@ func main() {
 	degradeAfter := flag.Duration("degradeafter", 0, "per-request budget before degrading (0 = constraint/2)")
 	chaos := flag.String("chaos", "", "inject faults from this profile (spikes|errors|stall|slow|mixed)")
 	chaosSeed := flag.Int64("chaosseed", 1, "fault injection seed")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
 
 	if err := run(*addr, *ds, *rows, *profile, *workers, *queue, *constraint, *execDelay, *logPath, *seed,
-		*deadlines, *degradeAfter, *chaos, *chaosSeed); err != nil {
+		*deadlines, *degradeAfter, *chaos, *chaosSeed, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "idevald:", err)
 		os.Exit(1)
 	}
@@ -73,10 +82,21 @@ func buildBackends(ds string, rows int, prof engine.Profile, seed int64) (serve.
 }
 
 func run(addr, ds string, rows int, profile string, workers, queue int, constraint, execDelay time.Duration, logPath string, seed int64,
-	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64) error {
+	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64, debugAddr string) error {
 	prof := engine.ProfileMemory
 	if profile == "disk" {
 		prof = engine.ProfileDisk
+	}
+
+	if debugAddr != "" {
+		// http.DefaultServeMux carries the net/http/pprof registrations from
+		// the blank import; the serving mux stays free of them.
+		go func() {
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "idevald: debug listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "idevald: pprof at http://%s/debug/pprof/\n", debugAddr)
 	}
 
 	fmt.Fprintf(os.Stderr, "idevald: building %s dataset...\n", ds)

@@ -13,21 +13,33 @@
 //	        [-workers N] [-queue N] [-execdelay 2ms] [-sqlevery 0]
 //	        [-seed 1] [-json BENCH_serve.json]
 //	        [-deadlines] [-degradeafter 250ms]  # deadline-aware serving
+//	        [-obsvjson BENCH_obsv.json]         # scrape-under-load benchmark
 //	loadgen -chaos [-json BENCH_chaos.json] # fault-profile matrix, in-process
+//
+// With -obsvjson, a scraper pulls /metrics?format=prometheus continuously
+// while the load runs, validates every body against the exposition format
+// (a malformed scrape fails the run), and the report gains the scrape
+// throughput and latency observed under load plus the per-stage span
+// breakdown — against the measured cost of the legacy sorted-reservoir
+// scrape for scale.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/serve"
 )
 
@@ -40,6 +52,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "behavior and dataset seed")
 	sqlEvery := flag.Int("sqlevery", 0, "issue a SQL histogram query with every Nth brush (0 = off)")
 	jsonOut := flag.String("json", "", "write the report as JSON to this file")
+	obsvOut := flag.String("obsvjson", "", "scrape /metrics under load and write the observability benchmark here (e.g. BENCH_obsv.json)")
 
 	// In-process server knobs (ignored with -addr):
 	rows := flag.Int("rows", 120000, "road dataset cardinality for the in-process server")
@@ -64,7 +77,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*addr, *users, *adjust, *events, *timescale, *seed, *sqlEvery, *jsonOut,
+	if err := run(*addr, *users, *adjust, *events, *timescale, *seed, *sqlEvery, *jsonOut, *obsvOut,
 		*rows, *profile, *workers, *queue, *execDelay, *deadlines, *degradeAfter); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -72,7 +85,7 @@ func main() {
 }
 
 func run(addr string, users, adjust, events int, timescale float64, seed int64, sqlEvery int,
-	jsonOut string, rows int, profile string, workers, queue int, execDelay time.Duration,
+	jsonOut, obsvOut string, rows int, profile string, workers, queue int, execDelay time.Duration,
 	deadlines bool, degradeAfter time.Duration) error {
 	baseURL := addr
 	if baseURL == "" {
@@ -114,11 +127,24 @@ func run(addr string, users, adjust, events int, timescale float64, seed int64, 
 		Table:       "dataroad",
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: driving %d users against %s...\n", users, baseURL)
+	var scraper *promScraper
+	if obsvOut != "" {
+		scraper = startScraper(baseURL)
+	}
 	report, err := serve.RunLoad(cfg)
+	if scraper != nil {
+		scraper.stop()
+	}
 	if err != nil {
 		return err
 	}
 	printReport(report)
+
+	if scraper != nil {
+		if err := writeObsv(obsvOut, report, scraper); err != nil {
+			return err
+		}
+	}
 
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)
@@ -169,6 +195,18 @@ func printReport(r *serve.LoadReport) {
 		fmt.Printf("robustness:     degraded %d  deadline-exceeded %d  backend-retries %d  breaker-trips %d\n",
 			s.Degraded, s.Deadlines, s.Retries, s.BreakerTrips)
 	}
+	if len(s.Stages) > 0 {
+		fmt.Printf("stages:         (span p50/p95/p99, LCV attribution)\n")
+		for stg := obsv.StageAdmission; stg < obsv.NumStages; stg++ {
+			name := stg.String()
+			ss, ok := s.Stages[name]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-10s    n %-7d p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.1fms  lcv %d\n",
+				name, ss.Count, ss.P50MS, ss.P95MS, ss.P99MS, ss.MaxMS, s.LCVByStage[name])
+		}
+	}
 }
 
 // benchSummary is the BENCH_serve.json schema: the serving perf trajectory
@@ -205,6 +243,158 @@ func summary(r *serve.LoadReport) benchSummary {
 		Retries:    r.Retries,
 		Giveups:    r.Giveups,
 	}
+}
+
+// promScraper polls /metrics?format=prometheus in a loop, the way a
+// monitoring agent would, while the load is running. Every body is
+// validated against the exposition format; the first malformed scrape is
+// kept and fails the run. Per-scrape wall latency is recorded so the
+// benchmark captures scrape cost *under load* — the regime where the old
+// sorted-reservoir snapshot stalled recorders.
+type promScraper struct {
+	done      chan struct{}
+	stopped   chan struct{}
+	latencies []float64 // ms, successive scrapes
+	series    int       // sample lines in the last body
+	scrapeErr error
+	elapsed   time.Duration
+}
+
+func startScraper(baseURL string) *promScraper {
+	sc := &promScraper{done: make(chan struct{}), stopped: make(chan struct{})}
+	go sc.loop(baseURL)
+	return sc
+}
+
+func (sc *promScraper) loop(baseURL string) {
+	defer close(sc.stopped)
+	client := &http.Client{Timeout: 10 * time.Second}
+	start := time.Now()
+	for {
+		select {
+		case <-sc.done:
+			sc.elapsed = time.Since(start)
+			return
+		default:
+		}
+		t0 := time.Now()
+		resp, err := client.Get(baseURL + "/metrics?format=prometheus")
+		if err != nil {
+			if sc.scrapeErr == nil {
+				sc.scrapeErr = err
+			}
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("scrape status %d", resp.StatusCode)
+		}
+		if err == nil {
+			err = obsv.ValidateExposition(body)
+		}
+		if err != nil && sc.scrapeErr == nil {
+			sc.scrapeErr = err
+		}
+		sc.latencies = append(sc.latencies, float64(time.Since(t0))/float64(time.Millisecond))
+		sc.series = countSeries(body)
+	}
+}
+
+func (sc *promScraper) stop() {
+	close(sc.done)
+	<-sc.stopped
+}
+
+// countSeries counts sample lines (non-comment, non-blank) in an
+// exposition body — the scrape's series cardinality.
+func countSeries(body []byte) int {
+	n := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n
+}
+
+// obsvSummary is the BENCH_obsv.json schema: scrape throughput and
+// latency observed while the load ran, the per-stage breakdown, and the
+// measured cost of the pre-fix sorted-reservoir scrape for scale.
+type obsvSummary struct {
+	Users         int     `json:"users"`
+	Issued        int     `json:"issued"`
+	Scrapes       int     `json:"scrapes_under_load"`
+	ScrapesPerSec float64 `json:"scrapes_per_sec"`
+	ScrapeP50MS   float64 `json:"scrape_p50_ms"`
+	ScrapeP99MS   float64 `json:"scrape_p99_ms"`
+	PromSeries    int     `json:"prom_series"`
+	// LegacySortedScrapeMS measures, on this host, four copy+sort
+	// percentile reads over a full 2^18-sample reservoir — the work the
+	// old Registry.snapshot did under its mutex on every scrape.
+	LegacySortedScrapeMS float64                     `json:"legacy_sorted_reservoir_scrape_ms"`
+	Stages               map[string]serve.StageStats `json:"stages"`
+	LCVByStage           map[string]int64            `json:"lcv_by_stage"`
+}
+
+func writeObsv(path string, r *serve.LoadReport, sc *promScraper) error {
+	if sc.scrapeErr != nil {
+		return fmt.Errorf("prometheus scrape under load: %w", sc.scrapeErr)
+	}
+	if len(sc.latencies) == 0 {
+		return fmt.Errorf("no scrapes completed during the load")
+	}
+	out := obsvSummary{
+		Users:                len(r.Users),
+		Issued:               r.Issued,
+		Scrapes:              len(sc.latencies),
+		ScrapesPerSec:        float64(len(sc.latencies)) / sc.elapsed.Seconds(),
+		ScrapeP50MS:          metrics.Percentile(sc.latencies, 50),
+		ScrapeP99MS:          metrics.Percentile(sc.latencies, 99),
+		PromSeries:           sc.series,
+		LegacySortedScrapeMS: legacyScrapeCost(),
+		Stages:               r.Server.Stages,
+		LCVByStage:           r.Server.LCVByStage,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Printf("scrapes:        %d under load (%.1f/s, p50 %.2fms p99 %.2fms, %d series) — legacy sorted scrape %.1fms\n",
+		out.Scrapes, out.ScrapesPerSec, out.ScrapeP50MS, out.ScrapeP99MS, out.PromSeries, out.LegacySortedScrapeMS)
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", path)
+	return nil
+}
+
+// legacyScrapeCost times the before-fix scrape: the old snapshot held the
+// registry mutex while calling metrics.Percentile four times over the
+// sample reservoir (capacity 2^18), each call copying and sorting. Best
+// of three, in ms.
+func legacyScrapeCost() float64 {
+	xs := make([]float64, 1<<18)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	best := 0.0
+	for iter := 0; iter < 3; iter++ {
+		t0 := time.Now()
+		for _, p := range []float64{50, 95, 99, 99.9} {
+			_ = metrics.Percentile(xs, p)
+		}
+		d := float64(time.Since(t0)) / float64(time.Millisecond)
+		if iter == 0 || d < best {
+			best = d
+		}
+	}
+	return best
 }
 
 // chaosPass is one (profile, deadlines) cell of the chaos matrix.

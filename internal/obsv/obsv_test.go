@@ -1,0 +1,275 @@
+package obsv
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestBucketEdges(t *testing.T) {
+	edges := BucketEdges()
+	if len(edges) != NumBuckets-1 {
+		t.Fatalf("edges = %d, want %d", len(edges), NumBuckets-1)
+	}
+	if edges[0] != 10*time.Microsecond {
+		t.Errorf("edge[0] = %v, want 10µs", edges[0])
+	}
+	for i := range bucketEdgesNS {
+		if i > 0 {
+			ratio := bucketEdgesNS[i] / bucketEdgesNS[i-1]
+			if math.Abs(ratio-math.Sqrt2) > 1e-9 {
+				t.Errorf("edge[%d]/edge[%d] = %v, want √2", i, i-1, ratio)
+			}
+		}
+		// The exported Duration edges truncate to integer ns.
+		if diff := bucketEdgesNS[i] - float64(edges[i]); diff < 0 || diff >= 1 {
+			t.Errorf("edge[%d] Duration %v drifts %vns from the float edge", i, edges[i], diff)
+		}
+	}
+	if edges[len(edges)-1] < 5*time.Hour {
+		t.Errorf("top finite edge %v too low to cover multi-hour stalls", edges[len(edges)-1])
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want int
+	}{
+		{0, 0}, {9_999, 0}, {10_000, 0}, {10_001, 1}, {14_142, 1}, {20_000, 2},
+		{float64(bucketEdgesNS[NumBuckets-2]) + 1, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+// latencyStreams generates randomized latency workloads shaped like real
+// serving traffic: tight unimodal, heavy-tailed, and bimodal
+// fast-path/slow-path mixes.
+func latencyStreams(seed int64, n int) map[string][]time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	streams := map[string][]time.Duration{}
+
+	uni := make([]time.Duration, n)
+	for i := range uni {
+		uni[i] = time.Duration(500+rng.Intn(4500)) * time.Microsecond
+	}
+	streams["uniform"] = uni
+
+	exp := make([]time.Duration, n)
+	for i := range exp {
+		exp[i] = time.Duration(rng.ExpFloat64() * 8 * float64(time.Millisecond))
+	}
+	streams["exponential"] = exp
+
+	logn := make([]time.Duration, n)
+	for i := range logn {
+		logn[i] = time.Duration(math.Exp(rng.NormFloat64()*0.8+math.Log(3)) * float64(time.Millisecond))
+	}
+	streams["lognormal"] = logn
+
+	bim := make([]time.Duration, n)
+	for i := range bim {
+		if rng.Float64() < 0.85 {
+			bim[i] = time.Duration(200+rng.Intn(800)) * time.Microsecond
+		} else {
+			bim[i] = time.Duration(40+rng.Intn(400)) * time.Millisecond
+		}
+	}
+	streams["bimodal"] = bim
+	return streams
+}
+
+// TestHistogramPercentileDifferential is the tentpole's acceptance
+// differential: histogram-derived p50/p95/p99 must agree with the exact
+// sorted-sample percentile (metrics.Percentile over the same stream)
+// within one bucket's relative error on randomized latency streams.
+func TestHistogramPercentileDifferential(t *testing.T) {
+	const tol = 0.06
+	for name, stream := range latencyStreams(41, 20000) {
+		var h Histogram
+		ms := make([]float64, len(stream))
+		for i, d := range stream {
+			h.Observe(d)
+			ms[i] = float64(d) / float64(time.Millisecond)
+		}
+		snap := h.Snapshot()
+		for _, p := range []float64{50, 95, 99} {
+			want := metrics.Percentile(ms, p)
+			got := float64(snap.Percentile(p)) / float64(time.Millisecond)
+			relErr := math.Abs(got-want) / want
+			if relErr > tol {
+				t.Errorf("%s p%.0f: histogram %.3fms vs sorted %.3fms (rel err %.1f%%, want <= %.0f%%)",
+					name, p, got, want, 100*relErr, 100*tol)
+			} else {
+				t.Logf("%s p%.0f: histogram %.3fms vs sorted %.3fms (rel err %.2f%%)",
+					name, p, got, want, 100*relErr)
+			}
+		}
+		if got, want := snap.Percentile(100), stream[0]; got < want/1000 {
+			t.Errorf("%s: p100 = %v suspiciously small", name, got)
+		}
+	}
+}
+
+// TestHistogramMaxExact: p>=100 is the exact observed maximum, not a
+// bucket edge.
+func TestHistogramMaxExact(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	h.Observe(777 * time.Millisecond)
+	h.Observe(11 * time.Millisecond)
+	if got := h.Percentile(100); got != 777*time.Millisecond {
+		t.Errorf("p100 = %v, want exactly 777ms", got)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Count() != 0 {
+		t.Error("empty histogram must read 0")
+	}
+	h.Observe(-5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Errorf("negative observation dropped; count = %d", h.Count())
+	}
+	if got := h.Percentile(100); got != 0 {
+		t.Errorf("negative clamps to 0, got max %v", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// run under -race. Counts must balance exactly.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Intn(int(50 * time.Millisecond))))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Errorf("count = %d, want %d", snap.Count, workers*per)
+	}
+	var sum int64
+	for _, c := range snap.Counts {
+		sum += c
+	}
+	if sum != workers*per {
+		t.Errorf("bucket sum = %d, want %d", sum, workers*per)
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := []string{"admission", "queue", "coalesce", "execute", "merge", "write"}
+	for s := StageAdmission; s < NumStages; s++ {
+		if s.String() != want[s] {
+			t.Errorf("stage %d = %q, want %q", s, s.String(), want[s])
+		}
+	}
+	if Stage(99).String() != "unknown" {
+		t.Error("out-of-range stage must read unknown")
+	}
+}
+
+func TestTracerStagesAndDominant(t *testing.T) {
+	tc := NewTracer(8)
+	start := time.Now()
+	tr := tc.Begin("s1", 7, "brush", start)
+	tr.Enter(StageQueue)
+	tr.Enter(StageExecute)
+	time.Sleep(5 * time.Millisecond) // execute dominates
+	tr.Enter(StageMerge)
+	tr.SetTier("exact")
+	tr.MarkLCV()
+	tr.Enter(StageWrite)
+	tc.Finish(tr, 200)
+	tc.Finish(tr, 500) // second finish must be a no-op
+
+	recs := tc.Recent()
+	if len(recs) != 1 {
+		t.Fatalf("ring has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Session != "s1" || rec.Seq != 7 || rec.Kind != "brush" || rec.Status != 200 || rec.Tier != "exact" {
+		t.Errorf("record = %+v", rec)
+	}
+	if !rec.LCV {
+		t.Error("LCV mark lost")
+	}
+	if rec.Visited(StageCoalesce) {
+		t.Error("coalesce stage was never entered")
+	}
+	if d := rec.Dominant(); d != StageExecute {
+		t.Errorf("dominant = %v, want execute", d)
+	}
+	if rec.Total < 5*time.Millisecond {
+		t.Errorf("total %v < slept execute span", rec.Total)
+	}
+	lcv := tc.LCVByStage()
+	if lcv[StageExecute] != 1 {
+		t.Errorf("lcv_by_stage[execute] = %d, want 1", lcv[StageExecute])
+	}
+	if tc.StageHist(StageExecute).Count() != 1 || tc.StageHist(StageCoalesce).Count() != 0 {
+		t.Error("stage histograms must observe visited stages only")
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	tc := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr := tc.Begin("s", int64(i), "query", time.Now())
+		tc.Finish(tr, 200)
+	}
+	recs := tc.Recent()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := int64(6 + i); rec.Seq != want {
+			t.Errorf("ring[%d].Seq = %d, want %d (oldest-first of the last 4)", i, rec.Seq, want)
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		d := 3 * time.Millisecond
+		for pb.Next() {
+			h.Observe(d)
+			d += time.Microsecond
+		}
+	})
+}
+
+func BenchmarkHistogramPercentile(b *testing.B) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1<<18; i++ {
+		h.Observe(time.Duration(rng.ExpFloat64() * float64(10*time.Millisecond)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := h.Snapshot()
+		_ = snap.Percentile(50)
+		_ = snap.Percentile(95)
+		_ = snap.Percentile(99)
+		_ = snap.Percentile(100)
+	}
+}

@@ -1,0 +1,250 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4). It tracks which metric names have had their HELP/TYPE
+// header emitted, so vector metrics (several label sets of one name) emit
+// one header; callers must keep a name's samples consecutive, as the
+// format requires. Errors are sticky — check Err once at the end.
+type PromWriter struct {
+	w    io.Writer
+	ns   string
+	seen map[string]bool
+	err  error
+}
+
+// NewPromWriter writes exposition text to w with every metric name
+// prefixed "namespace_".
+func NewPromWriter(w io.Writer, namespace string) *PromWriter {
+	return &PromWriter{w: w, ns: namespace + "_", seen: map[string]bool{}}
+}
+
+// Err returns the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func fmtVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// sample emits one sample line; labels is the inner label list without
+// braces ("" for none).
+func (p *PromWriter) sample(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %s\n", name, fmtVal(v))
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, fmtVal(v))
+}
+
+// Counter emits a single-series counter.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	n := p.ns + name
+	p.header(n, help, "counter")
+	p.sample(n, "", v)
+}
+
+// Gauge emits a single-series gauge.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	n := p.ns + name
+	p.header(n, help, "gauge")
+	p.sample(n, "", v)
+}
+
+// CounterVec emits one counter series per label value, sorted for a
+// deterministic exposition.
+func (p *PromWriter) CounterVec(name, help, label string, vals map[string]float64) {
+	n := p.ns + name
+	p.header(n, help, "counter")
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.sample(n, fmt.Sprintf("%s=%q", label, k), vals[k])
+	}
+}
+
+// Histogram emits one histogram series from a snapshot, with cumulative
+// le buckets in seconds, under the given label list ("" for none).
+func (p *PromWriter) Histogram(name, help, labels string, s HistSnapshot) {
+	n := p.ns + name
+	p.header(n, help, "histogram")
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for b, c := range s.Counts {
+		cum += c
+		if b < len(bucketEdgesNS) {
+			p.sample(n+"_bucket", fmt.Sprintf("%s%sle=%q", labels, sep, fmtVal(bucketEdgesNS[b]/1e9)), float64(cum))
+		}
+	}
+	p.sample(n+"_bucket", labels+sep+`le="+Inf"`, float64(cum))
+	p.sample(n+"_sum", labels, float64(s.SumNS)/1e9)
+	p.sample(n+"_count", labels, float64(cum))
+}
+
+// --- exposition validation ---------------------------------------------------
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^{}]*)\})? (-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|\+Inf|NaN)(?: [0-9]+)?$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+)
+
+// ValidateExposition checks text against the Prometheus exposition
+// format: well-formed HELP/TYPE comments, syntactically valid sample
+// lines with valid label pairs, samples only for metrics whose TYPE was
+// declared first, and — for histograms — cumulative bucket counts that
+// are non-decreasing in le order with a +Inf bucket matching _count.
+// It returns the first violation found, or nil. CI's loadgen smoke runs
+// it against a live /metrics scrape.
+func ValidateExposition(data []byte) error {
+	types := map[string]string{}
+	type bucketKey struct{ name, labels string }
+	lastCum := map[bucketKey]float64{}
+	infSeen := map[bucketKey]float64{}
+	counts := map[bucketKey]float64{}
+
+	for i, line := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			switch {
+			case strings.HasPrefix(line, "# HELP "):
+				if !helpRe.MatchString(line) {
+					return fmt.Errorf("prom: line %d: malformed HELP: %q", lineNo, line)
+				}
+			case strings.HasPrefix(line, "# TYPE "):
+				m := typeRe.FindStringSubmatch(line)
+				if m == nil {
+					return fmt.Errorf("prom: line %d: malformed TYPE: %q", lineNo, line)
+				}
+				if _, dup := types[m[1]]; dup {
+					return fmt.Errorf("prom: line %d: duplicate TYPE for %s", lineNo, m[1])
+				}
+				types[m[1]] = m[2]
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("prom: line %d: malformed sample: %q", lineNo, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		var le string
+		if labels != "" {
+			var rest []string
+			for _, pair := range splitLabels(labels) {
+				if !labelRe.MatchString(pair) {
+					return fmt.Errorf("prom: line %d: malformed label %q", lineNo, pair)
+				}
+				if strings.HasPrefix(pair, "le=") {
+					le = pair[len(`le="`) : len(pair)-1]
+				} else {
+					rest = append(rest, pair)
+				}
+			}
+			labels = strings.Join(rest, ",")
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if !strings.HasSuffix(name, suffix) {
+				continue
+			}
+			if _, ok := types[strings.TrimSuffix(name, suffix)]; ok {
+				base = strings.TrimSuffix(name, suffix)
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			return fmt.Errorf("prom: line %d: sample %s precedes its TYPE declaration", lineNo, name)
+		}
+		if types[base] != "histogram" {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(valStr, "+"), 64)
+		if err != nil && valStr != "+Inf" {
+			return fmt.Errorf("prom: line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		key := bucketKey{base, labels}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if le == "" {
+				return fmt.Errorf("prom: line %d: histogram bucket without le label", lineNo)
+			}
+			if prev, ok := lastCum[key]; ok && v < prev {
+				return fmt.Errorf("prom: line %d: bucket counts decrease (%v after %v) for %s{%s}",
+					lineNo, v, prev, base, labels)
+			}
+			lastCum[key] = v
+			if le == "+Inf" {
+				infSeen[key] = v
+			}
+		case strings.HasSuffix(name, "_count"):
+			counts[key] = v
+		}
+	}
+	for key, c := range counts {
+		inf, ok := infSeen[key]
+		if !ok {
+			return fmt.Errorf("prom: histogram %s{%s} lacks a +Inf bucket", key.name, key.labels)
+		}
+		if inf != c {
+			return fmt.Errorf("prom: histogram %s{%s}: +Inf bucket %v != count %v", key.name, key.labels, inf, c)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromWriterOutputValidates(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{3 * time.Millisecond, 80 * time.Millisecond, time.Second} {
+		h.Observe(d)
+	}
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf, "idevald")
+	p.Counter("requests_total", "Requests served.", 42)
+	p.Gauge("inflight", "Requests in flight.", 3)
+	p.CounterVec("lcv_by_stage_total", "LCVs attributed to their dominant stage.", "stage",
+		map[string]float64{"execute": 5, "queue": 2})
+	p.Histogram("request_seconds", "End-to-end request latency.", "", h.Snapshot())
+	p.Histogram("stage_seconds", "Per-stage span latency.", `stage="execute"`, h.Snapshot())
+	p.Histogram("stage_seconds", "Per-stage span latency.", `stage="queue"`, h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("own output rejected: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE idevald_requests_total counter",
+		"idevald_requests_total 42",
+		`idevald_lcv_by_stage_total{stage="execute"} 5`,
+		"# TYPE idevald_request_seconds histogram",
+		`idevald_request_seconds_bucket{le="+Inf"} 3`,
+		"idevald_request_seconds_count 3",
+		`idevald_stage_seconds_bucket{stage="queue",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q\n%s", want, out)
+		}
+	}
+	// HELP/TYPE for a vector metric appears once even with several series.
+	if got := strings.Count(out, "# TYPE idevald_stage_seconds histogram"); got != 1 {
+		t.Errorf("stage_seconds TYPE emitted %d times, want 1", got)
+	}
+	// Cumulative le buckets are in seconds: 80ms falls in a sub-second
+	// bucket, so some finite bucket must already count 2 of the 3 samples.
+	if !strings.Contains(out, "idevald_request_seconds_sum 1.083") {
+		t.Errorf("histogram sum not in seconds:\n%s", out)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"bad sample line",
+			"# TYPE m counter\nm{oops 1\n", "malformed sample"},
+		{"sample before TYPE",
+			"m 1\n# TYPE m counter\n", "precedes its TYPE"},
+		{"duplicate TYPE",
+			"# TYPE m counter\nm 1\n# TYPE m gauge\n", "duplicate TYPE"},
+		{"malformed HELP",
+			"# HELP m\n# TYPE m counter\nm 1\n", "malformed HELP"},
+		{"bad label pair",
+			"# TYPE m counter\nm{1bad=\"x\"} 1\n", "malformed label"},
+		{"decreasing buckets",
+			"# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+			"decrease"},
+		{"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_count 5\n",
+			"+Inf"},
+		{"Inf != count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 5\n",
+			"!= count"},
+		{"bucket without le",
+			"# TYPE h histogram\nh_bucket 4\nh_count 4\n",
+			"without le"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateExposition([]byte(c.text))
+			if err == nil {
+				t.Fatalf("accepted malformed exposition:\n%s", c.text)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateExpositionAcceptsClean(t *testing.T) {
+	clean := "# HELP m total things\n# TYPE m counter\nm 12\n" +
+		"# TYPE g gauge\ng{a=\"x,y\",b=\"z\"} -1.5e3\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 0.5\nh_count 3\n"
+	if err := ValidateExposition([]byte(clean)); err != nil {
+		t.Errorf("rejected clean exposition: %v", err)
+	}
+}

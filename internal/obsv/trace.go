@@ -1,0 +1,176 @@
+package obsv
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is one completed request's stage breakdown, the unit stored
+// in the trace ring and exported at /v1/trace. Records in the ring are
+// immutable once pushed.
+type TraceRecord struct {
+	Session string
+	Seq     int64
+	Kind    string // "query", "brush", or "tile"
+	Start   time.Time
+	Total   time.Duration
+	Status  int
+	Tier    string // degradation-ladder tier that answered, when known
+	LCV     bool   // counted as a latency-constraint violation
+	Stages  [NumStages]time.Duration
+	seen    uint8 // bitmask of visited stages
+}
+
+// Visited reports whether the request passed through the stage at all —
+// distinct from a visited stage that measured ~0 time.
+func (r *TraceRecord) Visited(s Stage) bool { return r.seen&(1<<uint(s)) != 0 }
+
+// Dominant returns the stage that consumed the most time; ties pick the
+// earlier pipeline stage. This is where a violated latency constraint is
+// attributed.
+func (r *TraceRecord) Dominant() Stage {
+	best := StageAdmission
+	for s := StageAdmission + 1; s < NumStages; s++ {
+		if r.Stages[s] > r.Stages[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// Trace is one in-flight request's span recorder. It is owned by the
+// request's goroutine; handing it across goroutines (handler → worker →
+// handler) is safe when each handoff carries a happens-before edge, which
+// the serving layer's queue channel and outcome channels provide. MarkLCV
+// is the one cross-goroutine entry point and is atomic.
+type Trace struct {
+	rec      TraceRecord
+	lcv      atomic.Bool
+	cur      Stage
+	curStart time.Time
+	finished bool
+}
+
+// Enter closes the current stage at now and opens s. Stages may be
+// entered in any order; re-entering accumulates.
+func (t *Trace) Enter(s Stage) {
+	now := time.Now()
+	t.rec.Stages[t.cur] += now.Sub(t.curStart)
+	t.cur = s
+	t.curStart = now
+	t.rec.seen |= 1 << uint(s)
+}
+
+// SetTier records which degradation-ladder tier answered.
+func (t *Trace) SetTier(tier string) { t.rec.Tier = tier }
+
+// MarkLCV flags the request as a latency-constraint violation: its
+// session issued the next request while this one was still in flight.
+// Safe to call from any goroutine.
+func (t *Trace) MarkLCV() { t.lcv.Store(true) }
+
+// Tracer owns the per-stage histograms, the LCV-by-stage attribution
+// counters, and the ring of recent traces. All methods are safe for
+// concurrent use.
+type Tracer struct {
+	stages     [NumStages]Histogram
+	lcvByStage [NumStages]atomic.Int64
+	ring       traceRing
+}
+
+// DefaultTraceRing is the default capacity of the recent-trace ring.
+const DefaultTraceRing = 512
+
+// NewTracer builds a tracer with a recent-trace ring of the given
+// capacity (0 means DefaultTraceRing).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRing
+	}
+	t := &Tracer{}
+	t.ring.slots = make([]atomic.Pointer[TraceRecord], ringSize)
+	return t
+}
+
+// Begin starts a trace for one request in the admission stage. start is
+// the request's issue time (the serving layer's latency origin).
+func (t *Tracer) Begin(session string, seq int64, kind string, start time.Time) *Trace {
+	tr := &Trace{
+		rec:      TraceRecord{Session: session, Seq: seq, Kind: kind, Start: start},
+		cur:      StageAdmission,
+		curStart: start,
+	}
+	tr.rec.seen = 1 << uint(StageAdmission)
+	return tr
+}
+
+// Finish closes the trace's current stage, records every visited stage
+// into its histogram, attributes the request's LCV flag to the dominant
+// stage, and pushes the record into the recent-trace ring. Calling Finish
+// twice is a no-op after the first.
+func (t *Tracer) Finish(tr *Trace, status int) {
+	if tr == nil || tr.finished {
+		return
+	}
+	tr.finished = true
+	now := time.Now()
+	tr.rec.Stages[tr.cur] += now.Sub(tr.curStart)
+	tr.rec.Total = now.Sub(tr.rec.Start)
+	tr.rec.Status = status
+	tr.rec.LCV = tr.lcv.Load()
+	for s := StageAdmission; s < NumStages; s++ {
+		if tr.rec.Visited(s) {
+			t.stages[s].Observe(tr.rec.Stages[s])
+		}
+	}
+	if tr.rec.LCV {
+		t.lcvByStage[tr.rec.Dominant()].Add(1)
+	}
+	t.ring.push(&tr.rec)
+}
+
+// StageHist returns the histogram of one stage's spans.
+func (t *Tracer) StageHist(s Stage) *Histogram { return &t.stages[s] }
+
+// LCVByStage returns the violation count attributed to each stage.
+func (t *Tracer) LCVByStage() [NumStages]int64 {
+	var out [NumStages]int64
+	for s := range t.lcvByStage {
+		out[s] = t.lcvByStage[s].Load()
+	}
+	return out
+}
+
+// Recent returns the ring's traces, oldest first. The records are
+// immutable; the slice is fresh.
+func (t *Tracer) Recent() []*TraceRecord { return t.ring.snapshot() }
+
+// traceRing is a bounded lock-free ring of completed traces: writers
+// claim a slot with one atomic increment and store a pointer; readers
+// walk the last len(slots) positions. A reader racing a writer may see a
+// slot's previous occupant — fine for a diagnostics feed.
+type traceRing struct {
+	slots []atomic.Pointer[TraceRecord]
+	next  atomic.Int64
+}
+
+func (r *traceRing) push(rec *TraceRecord) {
+	i := r.next.Add(1) - 1
+	r.slots[int(i%int64(len(r.slots)))].Store(rec)
+}
+
+func (r *traceRing) snapshot() []*TraceRecord {
+	n := r.next.Load()
+	size := int64(len(r.slots))
+	from := n - size
+	if from < 0 {
+		from = 0
+	}
+	out := make([]*TraceRecord, 0, n-from)
+	for i := from; i < n; i++ {
+		if rec := r.slots[int(i%size)].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

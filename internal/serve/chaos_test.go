@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -392,4 +395,77 @@ func drainForTest(t *testing.T, srv *Server) {
 	if err := srv.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestChaosStallAttribution: with the chaos "stall" profile served in full
+// (deadlines off — the baseline that eats the whole 900ms), a session
+// pacing ahead of its stalled requests racks up LCV violations, and the
+// tracer must attribute them to the execute stage: the stall happens
+// inside the backend, and lcv_by_stage is what says so. This is the
+// attribution acceptance check — before stage tracing, all an operator saw
+// was the violation count.
+func TestChaosStallAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos integration in -short mode")
+	}
+	stallProfile := fault.Profiles[2]
+	if stallProfile.Name != "stall" {
+		t.Fatalf("fault.Profiles[2] = %q, want the stall profile", stallProfile.Name)
+	}
+	srv, ts := newChaosServer(t, Config{
+		// Enough workers that stalled requests occupy workers, not the
+		// queue: the violation's time must land in execute, and the test
+		// must not manufacture queue-dominant violations of its own.
+		Workers:          16,
+		QueueDepth:       64,
+		Fault:            fault.New(stallProfile, 99),
+		BreakerThreshold: -1,
+	})
+	// One session issues 40 queries 10ms apart: a stalled query (900ms) is
+	// still in flight across many subsequent issues, so it is counted as a
+	// violation; an unstalled one (~1ms) finishes before the next issue.
+	const n = 40
+	var wg sync.WaitGroup
+	var transportErrs atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seq int64) {
+			defer wg.Done()
+			body, _ := json.Marshal(QueryRequest{
+				Session: "staller", Seq: seq,
+				SQL: "SELECT COUNT(*) FROM dataroad WHERE x >= 9",
+			})
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				transportErrs.Add(1)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(int64(i))
+		time.Sleep(10 * time.Millisecond)
+	}
+	wg.Wait()
+	if transportErrs.Load() != 0 {
+		t.Fatalf("%d transport errors", transportErrs.Load())
+	}
+
+	st := srv.Stats()
+	if st.LCV == 0 {
+		t.Fatal("stall run produced no LCV violations; pacing vs stall delay broke")
+	}
+	exec, ok := st.LCVByStage["execute"]
+	if !ok || exec == 0 {
+		t.Fatalf("lcv_by_stage lacks execute: %v", st.LCVByStage)
+	}
+	for stage, count := range st.LCVByStage {
+		if stage != "execute" && count > exec {
+			t.Errorf("lcv_by_stage[%s] = %d > execute's %d: stall not attributed to the backend",
+				stage, count, exec)
+		}
+	}
+	if es := st.Stages["execute"]; es.MaxMS < 500 {
+		t.Errorf("execute stage max %.1fms, want >= 500ms (the stall must appear in the stage histogram)", es.MaxMS)
+	}
+	t.Logf("lcv=%d lcv_by_stage=%v execute p99=%.1fms", st.LCV, st.LCVByStage, st.Stages["execute"].P99MS)
 }

@@ -1,55 +1,56 @@
 package serve
 
 import (
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 )
-
-// maxLatencySamples bounds the registry's latency reservoir. A long-running
-// server keeps the most recent window rather than growing without bound;
-// percentile reports then describe recent behavior, which is what an
-// operator watching /metrics wants.
-const maxLatencySamples = 1 << 18
 
 // qifWindow bounds the ring of recent issue timestamps that the QIF
 // report is computed over. Percentiles describe a recent window of
 // traffic, so the issuing-rate headline must describe the same recent
-// horizon — a lifetime average would mix in traffic the reservoir
-// rotated out long ago.
+// horizon — a lifetime average would mix in traffic from long ago.
 const qifWindow = 1 << 12
 
 // Registry is the serving layer's online metrics: the paper's frontend
 // metrics (LCV against the next-action definition, QIF) plus the classical
 // backend ones (latency percentiles, shed and error counts, queue depth),
 // all computed incrementally as requests flow.
+//
+// Counters are atomics and latency goes into a lock-free fixed-bucket
+// histogram (internal/obsv), so the request path never shares a lock with
+// a scrape. The one remaining mutex guards only the QIF timestamp ring.
 type Registry struct {
 	constraint time.Duration
 
-	mu             sync.Mutex
-	issued         int64
-	executed       int64
-	coalesced      int64
-	shed           int64
-	errors         int64
-	lcv            int64
-	overConstraint int64
-	regressions    int64
-	tileHits       int64
-	tileMisses     int64
-	degraded       int64
-	deadlines      int64
-	retries        int64
-	brushCacheHits int64
-	breakerRejects int64
+	issued         atomic.Int64
+	executed       atomic.Int64
+	coalesced      atomic.Int64
+	shed           atomic.Int64
+	errors         atomic.Int64
+	lcv            atomic.Int64
+	overConstraint atomic.Int64
+	regressions    atomic.Int64
+	tileHits       atomic.Int64
+	tileMisses     atomic.Int64
+	degraded       atomic.Int64
+	deadlines      atomic.Int64
+	retries        atomic.Int64
+	brushCacheHits atomic.Int64
+	breakerRejects atomic.Int64
 
-	firstIssue time.Time
-	lastIssue  time.Time
-	latencies  []float64 // milliseconds, most recent maxLatencySamples
-	dropped    int64     // latency samples rotated out of the reservoir
+	// hist holds user-perceived end-to-end latency; percentile reads are a
+	// bucket walk over atomic counters — no reservoir, no sorting.
+	hist obsv.Histogram
 
+	// tracer owns the per-stage histograms, LCV-by-stage attribution, and
+	// the recent-trace ring exported at /v1/trace.
+	tracer *obsv.Tracer
+
+	mu sync.Mutex // guards the QIF ring only
 	// issueRing holds the most recent qifWindow issue timestamps; QIF is
 	// reported over this window so it describes the same recent traffic
 	// the latency percentiles do.
@@ -64,21 +65,23 @@ func NewRegistry(constraint time.Duration) *Registry {
 	if constraint <= 0 {
 		constraint = metrics.DefaultConstraint
 	}
-	return &Registry{constraint: constraint}
+	return &Registry{
+		constraint: constraint,
+		tracer:     obsv.NewTracer(0),
+	}
 }
 
 // Constraint returns the wall-clock latency constraint in force.
 func (r *Registry) Constraint() time.Duration { return r.constraint }
 
+// Tracer returns the registry's stage tracer; handlers Begin/Finish traces
+// against it.
+func (r *Registry) Tracer() *obsv.Tracer { return r.tracer }
+
 // recordIssue counts one offered request and feeds the QIF clock.
 func (r *Registry) recordIssue(now time.Time) {
+	r.issued.Add(1)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.issued == 0 {
-		r.firstIssue = now
-	}
-	r.issued++
-	r.lastIssue = now
 	if r.issueRing == nil {
 		r.issueRing = make([]time.Time, qifWindow)
 	}
@@ -87,6 +90,7 @@ func (r *Registry) recordIssue(now time.Time) {
 	if r.issueCount < qifWindow {
 		r.issueCount++
 	}
+	r.mu.Unlock()
 }
 
 // qifLocked computes the windowed issuing rate over the issue ring; the
@@ -108,120 +112,71 @@ func (r *Registry) qifLocked() float64 {
 // recordExec counts one backend execution. Under coalescing this runs once
 // per execution, not once per request, which is what makes executed <
 // issued the signature of the optimization working.
-func (r *Registry) recordExec() {
-	r.mu.Lock()
-	r.executed++
-	r.mu.Unlock()
-}
+func (r *Registry) recordExec() { r.executed.Add(1) }
 
 // recordLatency records one responded request's user-perceived latency.
 func (r *Registry) recordLatency(latency time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if latency > r.constraint {
-		r.overConstraint++
+		r.overConstraint.Add(1)
 	}
-	if len(r.latencies) >= maxLatencySamples {
-		// Drop the oldest half in one move so appends stay amortized O(1).
-		half := len(r.latencies) / 2
-		r.dropped += int64(half)
-		r.latencies = append(r.latencies[:0], r.latencies[half:]...)
-	}
-	r.latencies = append(r.latencies, float64(latency)/float64(time.Millisecond))
+	r.hist.Observe(latency)
 }
 
 // recordCoalesced counts one request superseded by a newer one.
-func (r *Registry) recordCoalesced() {
-	r.mu.Lock()
-	r.coalesced++
-	r.mu.Unlock()
-}
+func (r *Registry) recordCoalesced() { r.coalesced.Add(1) }
 
 // recordShed counts one request rejected at admission (HTTP 429).
-func (r *Registry) recordShed() {
-	r.mu.Lock()
-	r.shed++
-	r.mu.Unlock()
-}
+func (r *Registry) recordShed() { r.shed.Add(1) }
 
 // recordError counts one request that failed during execution.
-func (r *Registry) recordError() {
-	r.mu.Lock()
-	r.errors++
-	r.mu.Unlock()
-}
+func (r *Registry) recordError() { r.errors.Add(1) }
 
 // recordLCV adds n latency-constraint violations: requests still in flight
 // when their session issued its next request (Figure 2's definition,
 // evaluated online).
 func (r *Registry) recordLCV(n int) {
-	if n == 0 {
-		return
+	if n != 0 {
+		r.lcv.Add(int64(n))
 	}
-	r.mu.Lock()
-	r.lcv += int64(n)
-	r.mu.Unlock()
 }
 
 // recordRegression counts a per-session sequence regression: an executed
 // state older than one already applied. It must stay zero; the race
 // integration test asserts on it.
-func (r *Registry) recordRegression() {
-	r.mu.Lock()
-	r.regressions++
-	r.mu.Unlock()
-}
+func (r *Registry) recordRegression() { r.regressions.Add(1) }
 
 // recordTileHit counts a /v1/tiles request served from the result cache
 // without touching the admission queue.
-func (r *Registry) recordTileHit() {
-	r.mu.Lock()
-	r.tileHits++
-	r.mu.Unlock()
-}
+func (r *Registry) recordTileHit() { r.tileHits.Add(1) }
 
 // recordTileMiss counts a /v1/tiles request that had to execute.
-func (r *Registry) recordTileMiss() {
-	r.mu.Lock()
-	r.tileMisses++
-	r.mu.Unlock()
-}
+func (r *Registry) recordTileMiss() { r.tileMisses.Add(1) }
 
 // recordDegraded counts one request answered by a lower ladder tier (cached
 // or partial result) instead of the exact scan.
-func (r *Registry) recordDegraded() {
-	r.mu.Lock()
-	r.degraded++
-	r.mu.Unlock()
-}
+func (r *Registry) recordDegraded() { r.degraded.Add(1) }
 
 // recordDeadline counts one execution cut short by its deadline budget.
-func (r *Registry) recordDeadline() {
-	r.mu.Lock()
-	r.deadlines++
-	r.mu.Unlock()
-}
+func (r *Registry) recordDeadline() { r.deadlines.Add(1) }
 
 // recordRetry counts one backend retry after an injected transient error.
-func (r *Registry) recordRetry() {
-	r.mu.Lock()
-	r.retries++
-	r.mu.Unlock()
-}
+func (r *Registry) recordRetry() { r.retries.Add(1) }
 
 // recordBrushCacheHit counts one brush answered from the exact-result cache.
-func (r *Registry) recordBrushCacheHit() {
-	r.mu.Lock()
-	r.brushCacheHits++
-	r.mu.Unlock()
-}
+func (r *Registry) recordBrushCacheHit() { r.brushCacheHits.Add(1) }
 
 // recordBreakerReject counts one request rejected by the open circuit
 // breaker before admission.
-func (r *Registry) recordBreakerReject() {
-	r.mu.Lock()
-	r.breakerRejects++
-	r.mu.Unlock()
+func (r *Registry) recordBreakerReject() { r.breakerRejects.Add(1) }
+
+// StageStats is one pipeline stage's span summary in a Stats snapshot.
+type StageStats struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
 }
 
 // Stats is one /metrics snapshot.
@@ -254,54 +209,84 @@ type Stats struct {
 	LatencyDropped int64   `json:"latency_dropped"`
 	QueueDepth     int     `json:"queue_depth"`
 	Inflight       int     `json:"inflight"`
+
+	// Stages is the per-stage span breakdown (admission, queue, coalesce,
+	// execute, merge, write), present for stages that have observations.
+	Stages map[string]StageStats `json:"stages,omitempty"`
+	// LCVByStage attributes each latency-constraint violation to the
+	// pipeline stage that consumed the most of the violating request's
+	// time — the "where did the budget go" view of LCV.
+	LCVByStage map[string]int64 `json:"lcv_by_stage,omitempty"`
 }
 
+const msPerNS = 1.0 / float64(time.Millisecond)
+
+func durMS(d time.Duration) float64 { return float64(d) * msPerNS }
+
 // snapshot computes the current stats; queue depth and inflight come from
-// the server, which owns those gauges.
-//
-// The lock is held only to copy state out: percentile computation — the
-// O(n log n) sort of the latency reservoir — runs after release, so a
-// scrape never stalls the request path's recordIssue/recordLatency behind
-// sorting work. The reservoir is sorted once and all four percentiles
-// read from the single sorted copy.
+// the server, which owns those gauges. Nothing here blocks the request
+// path: counters and histogram buckets are atomics, and r.mu (the QIF
+// ring) is held for an O(1) read.
 func (r *Registry) snapshot(queueDepth, inflight int) Stats {
-	r.mu.Lock()
 	s := Stats{
-		Issued:         r.issued,
-		Executed:       r.executed,
-		Coalesced:      r.coalesced,
-		Shed:           r.shed,
-		Errors:         r.errors,
-		LCV:            r.lcv,
-		OverConstraint: r.overConstraint,
-		ConstraintMS:   float64(r.constraint) / float64(time.Millisecond),
-		Regressions:    r.regressions,
-		TileCacheHits:  r.tileHits,
-		TileCacheMiss:  r.tileMisses,
-		Degraded:       r.degraded,
-		Deadlines:      r.deadlines,
-		Retries:        r.retries,
-		BrushCacheHits: r.brushCacheHits,
-		BreakerRejects: r.breakerRejects,
+		Issued:         r.issued.Load(),
+		Executed:       r.executed.Load(),
+		Coalesced:      r.coalesced.Load(),
+		Shed:           r.shed.Load(),
+		Errors:         r.errors.Load(),
+		LCV:            r.lcv.Load(),
+		OverConstraint: r.overConstraint.Load(),
+		ConstraintMS:   durMS(r.constraint),
+		Regressions:    r.regressions.Load(),
+		TileCacheHits:  r.tileHits.Load(),
+		TileCacheMiss:  r.tileMisses.Load(),
+		Degraded:       r.degraded.Load(),
+		Deadlines:      r.deadlines.Load(),
+		Retries:        r.retries.Load(),
+		BrushCacheHits: r.brushCacheHits.Load(),
+		BreakerRejects: r.breakerRejects.Load(),
 		QueueDepth:     queueDepth,
 		Inflight:       inflight,
 	}
-	if r.issued > 0 {
-		s.LCVPercent = float64(r.lcv) / float64(r.issued)
+	if s.Issued > 0 {
+		s.LCVPercent = float64(s.LCV) / float64(s.Issued)
 	}
+	r.mu.Lock()
 	s.QIFPerSec = r.qifLocked()
 	s.QIFWindow = r.issueCount
-	s.LatencySamples = int64(len(r.latencies))
-	s.LatencyDropped = r.dropped
-	lat := append([]float64(nil), r.latencies...)
 	r.mu.Unlock()
 
-	if len(lat) > 0 {
-		sort.Float64s(lat)
-		s.P50MS = metrics.PercentileSorted(lat, 50)
-		s.P95MS = metrics.PercentileSorted(lat, 95)
-		s.P99MS = metrics.PercentileSorted(lat, 99)
-		s.MaxMS = metrics.PercentileSorted(lat, 100)
+	lat := r.hist.Snapshot()
+	s.LatencySamples = lat.Count
+	if lat.Count > 0 {
+		s.P50MS = durMS(lat.Percentile(50))
+		s.P95MS = durMS(lat.Percentile(95))
+		s.P99MS = durMS(lat.Percentile(99))
+		s.MaxMS = durMS(lat.Percentile(100))
+	}
+
+	lcvByStage := r.tracer.LCVByStage()
+	for st := obsv.StageAdmission; st < obsv.NumStages; st++ {
+		snap := r.tracer.StageHist(st).Snapshot()
+		if snap.Count > 0 {
+			if s.Stages == nil {
+				s.Stages = make(map[string]StageStats, int(obsv.NumStages))
+			}
+			s.Stages[st.String()] = StageStats{
+				Count:  snap.Count,
+				MeanMS: durMS(snap.Mean()),
+				P50MS:  durMS(snap.Percentile(50)),
+				P95MS:  durMS(snap.Percentile(95)),
+				P99MS:  durMS(snap.Percentile(99)),
+				MaxMS:  durMS(snap.Percentile(100)),
+			}
+		}
+		if n := lcvByStage[st]; n > 0 {
+			if s.LCVByStage == nil {
+				s.LCVByStage = make(map[string]int64, int(obsv.NumStages))
+			}
+			s.LCVByStage[st.String()] = n
+		}
 	}
 	return s
 }

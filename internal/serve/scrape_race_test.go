@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/leakcheck"
+	"repro/internal/obsv"
+	"repro/internal/tracefmt"
+)
+
+// TestConcurrentScrapeRace is the observability layer's integration proof,
+// meant to run under -race: while the 32-user load from TestLoadgenRace
+// drives the full HTTP stack, scraper goroutines hammer /metrics (JSON and
+// Prometheus) and /v1/trace the whole time. Every scrape must succeed and
+// parse, every Prometheus body must validate against the exposition
+// format, and the load's own guarantees must still hold. Wall-clock scrape
+// latency is logged, not asserted — under -race on a small CI host it
+// measures the scheduler, not the server; the lock-hold bound the
+// sort-under-lock bug violated is pinned by TestSnapshotDoesNotStallRecorders
+// under controlled conditions.
+func TestConcurrentScrapeRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scrape integration in -short mode")
+	}
+	leakcheck.Check(t)
+	backends, err := RoadBackends(1, 50000, engine.ProfileMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(backends, Config{Workers: 4, QueueDepth: 8, ExecDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
+
+	var stop atomic.Bool
+	var scrapes, promScrapes, traceScrapes atomic.Int64
+	var worstNS atomic.Int64
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(url string) ([]byte, error) {
+		t0 := time.Now()
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = &scrapeStatusError{url: url, status: resp.StatusCode}
+		}
+		if d := int64(time.Since(t0)); d > worstNS.Load() {
+			worstNS.Store(d)
+		}
+		return body, err
+	}
+
+	const scrapers = 3
+	var wg sync.WaitGroup
+	for w := 0; w < scrapers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if body, err := get(ts.URL + "/metrics"); err != nil {
+					fail(err)
+				} else if err := json.Unmarshal(body, &Stats{}); err != nil {
+					fail(err)
+				}
+				scrapes.Add(1)
+				if body, err := get(ts.URL + "/metrics?format=prometheus"); err != nil {
+					fail(err)
+				} else if err := obsv.ValidateExposition(body); err != nil {
+					fail(err)
+				}
+				promScrapes.Add(1)
+				if body, err := get(ts.URL + "/v1/trace"); err != nil {
+					fail(err)
+				} else if _, err := tracefmt.ReadTraceRecords(bytes.NewReader(body)); err != nil {
+					fail(err)
+				}
+				traceScrapes.Add(1)
+			}
+		}()
+	}
+
+	report, err := RunLoad(LoadConfig{
+		BaseURL:     ts.URL,
+		Users:       32,
+		Adjustments: 4,
+		MaxEvents:   40,
+		Seed:        7,
+		TimeScale:   0.02,
+		Dims:        RoadLoadDims(),
+		SQLEvery:    10,
+		Table:       "dataroad",
+	})
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstErr != nil {
+		t.Fatalf("scrape failed under load: %v", firstErr)
+	}
+
+	if report.Responded != report.Issued {
+		t.Errorf("dropped responses: issued %d, responded %d", report.Issued, report.Responded)
+	}
+	if report.Server.Regressions != 0 {
+		t.Errorf("per-session sequence regressions = %d, want 0", report.Server.Regressions)
+	}
+	if scrapes.Load() == 0 || promScrapes.Load() == 0 || traceScrapes.Load() == 0 {
+		t.Errorf("scrapers starved: json=%d prom=%d trace=%d",
+			scrapes.Load(), promScrapes.Load(), traceScrapes.Load())
+	}
+	// The load ran with scrapers attached; the traced stage counts must
+	// account for every response the server produced.
+	st := srv.Stats()
+	if len(st.Stages) == 0 {
+		t.Fatal("no stage breakdown in stats")
+	}
+	if exec := st.Stages["execute"]; exec.Count == 0 {
+		t.Error("execute stage has no observations after a full load")
+	}
+	t.Logf("scrapes: json=%d prom=%d trace=%d worst=%v; stages=%d lcv_by_stage=%v",
+		scrapes.Load(), promScrapes.Load(), traceScrapes.Load(),
+		time.Duration(worstNS.Load()), len(st.Stages), st.LCVByStage)
+}
+
+type scrapeStatusError struct {
+	url    string
+	status int
+}
+
+func (e *scrapeStatusError) Error() string {
+	return "scrape " + e.url + ": unexpected status " + http.StatusText(e.status)
+}

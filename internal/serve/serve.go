@@ -39,6 +39,7 @@ import (
 	"repro/internal/datacube"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/obsv"
 	"repro/internal/opt"
 	"repro/internal/progressive"
 	"repro/internal/sql"
@@ -177,11 +178,13 @@ type sessionState struct {
 	lastSeq int64
 	applied int64
 
-	// uncounted holds request ids in flight that have not yet been counted
-	// as latency-constraint violations; they are counted (and cleared) the
-	// moment the session issues its next request — Figure 2's definition,
-	// evaluated online.
-	uncounted map[int64]struct{}
+	// uncounted holds the in-flight requests (by id, with their stage
+	// traces) that have not yet been counted as latency-constraint
+	// violations; they are counted (and cleared) the moment the session
+	// issues its next request — Figure 2's definition, evaluated online.
+	// Counting also marks the trace, so the violation is attributed to the
+	// violating request's dominant stage when it finishes.
+	uncounted map[int64]*obsv.Trace
 }
 
 type brushTask struct {
@@ -192,6 +195,7 @@ type brushWaiter struct {
 	id    int64
 	seq   int64
 	start time.Time
+	tr    *obsv.Trace
 	ch    chan brushOutcome
 }
 
@@ -291,6 +295,7 @@ func New(b Backends, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/brush", s.handleBrush)
 	s.mux.HandleFunc("/v1/tiles", s.handleTiles)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/trace", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	for w := 0; w < cfg.Workers; w++ {
@@ -379,7 +384,7 @@ func (s *Server) session(name string) *sessionState {
 	defer s.sessMu.Unlock()
 	sess := s.sessions[name]
 	if sess == nil {
-		sess = &sessionState{lastSeq: -1, applied: -1, uncounted: make(map[int64]struct{})}
+		sess = &sessionState{lastSeq: -1, applied: -1, uncounted: make(map[int64]*obsv.Trace)}
 		s.sessions[name] = sess
 	}
 	return sess
@@ -387,23 +392,35 @@ func (s *Server) session(name string) *sessionState {
 
 // issueLocked performs the per-issue bookkeeping under sess.mu: every
 // still-unfinished request of this session becomes an LCV violation (its
-// result had not arrived when the user acted again), and this request
-// joins the in-flight set.
-func (s *Server) issueLocked(sess *sessionState, id int64) {
+// result had not arrived when the user acted again) and has its trace
+// marked so the violation is attributed to a stage at finish, and this
+// request joins the in-flight set.
+func (s *Server) issueLocked(sess *sessionState, id int64, tr *obsv.Trace) {
 	s.reg.recordLCV(len(sess.uncounted))
-	for k := range sess.uncounted {
+	for k, prev := range sess.uncounted {
+		prev.MarkLCV()
 		delete(sess.uncounted, k)
 	}
-	sess.uncounted[id] = struct{}{}
+	sess.uncounted[id] = tr
 }
 
 // finish removes a completed request from the session's in-flight set and
-// records its user-perceived latency.
+// records its user-perceived latency. After it returns, no later issue can
+// mark this request's trace, so the trace is safe to Finish.
 func (s *Server) finish(sess *sessionState, id int64, start time.Time) {
 	sess.mu.Lock()
 	delete(sess.uncounted, id)
 	sess.mu.Unlock()
 	s.reg.recordLatency(time.Since(start))
+}
+
+// done closes one request out: the trace's visited stages feed the stage
+// histograms (and its LCV flag its dominant stage's attribution counter),
+// the record joins the /v1/trace ring, and the request log gets its line.
+// tr may be nil for requests rejected before a trace began.
+func (s *Server) done(tr *obsv.Trace, session string, seq int64, kind string, status int, start time.Time, appliedSeq int64, coalesced bool) {
+	s.reg.tracer.Finish(tr, status)
+	s.logRequest(session, seq, kind, status, start, appliedSeq, coalesced)
 }
 
 // --- request log ------------------------------------------------------------
@@ -468,10 +485,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	id := s.nextID.Add(1)
+	tr := s.reg.tracer.Begin(req.Session, req.Seq, "query", start)
 	sess := s.session(req.Session)
 
 	sess.mu.Lock()
-	s.issueLocked(sess, id)
+	s.issueLocked(sess, id, tr)
 	sess.mu.Unlock()
 	s.reg.recordIssue(start)
 
@@ -489,7 +507,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		err error
 	}
 	ch := make(chan outcome, 1)
+	// The queue stage opens before admit: a successful admit hands the
+	// trace to the worker (the queue send is the happens-before edge), and
+	// the span from here to the worker's Enter(StageExecute) is queue wait.
+	tr.Enter(obsv.StageQueue)
 	err := s.admit(func() {
+		tr.Enter(obsv.StageExecute)
 		res, err := func() (*engine.Result, error) {
 			if err := s.faultGate(execCtx); err != nil {
 				return nil, err
@@ -500,6 +523,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			time.Sleep(s.cfg.ExecDelay)
 		}
 		s.reg.recordExec()
+		tr.Enter(obsv.StageMerge)
 		ch <- outcome{res, err}
 	})
 	if err != nil {
@@ -514,7 +538,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sess.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, status, err.Error())
-		s.logRequest(req.Session, req.Seq, "query", status, start, 0, false)
+		s.done(tr, req.Session, req.Seq, "query", status, start, 0, false)
 		return
 	}
 	out := <-ch
@@ -527,7 +551,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.brk.success()
 			s.reg.recordError()
 			httpError(w, http.StatusBadRequest, out.err.Error())
-			s.logRequest(req.Session, req.Seq, "query", http.StatusBadRequest, start, 0, false)
+			s.done(tr, req.Session, req.Seq, "query", http.StatusBadRequest, start, 0, false)
 			return
 		}
 		if errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled) {
@@ -543,23 +567,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Rows = rowsJSON(degraded.Rows)
 			resp.Degraded = true
 			resp.SampleFraction = frac
+			tr.SetTier("partial")
+			tr.Enter(obsv.StageWrite)
 			writeJSON(w, http.StatusOK, resp)
-			s.logRequest(req.Session, req.Seq, "query", http.StatusOK, start, req.Seq, false)
+			s.done(tr, req.Session, req.Seq, "query", http.StatusOK, start, req.Seq, false)
 			return
 		}
 		s.brk.failure(time.Now())
 		s.reg.recordError()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, out.err.Error())
-		s.logRequest(req.Session, req.Seq, "query", http.StatusServiceUnavailable, start, 0, false)
+		s.done(tr, req.Session, req.Seq, "query", http.StatusServiceUnavailable, start, 0, false)
 		return
 	}
 	s.brk.success()
 	resp.Columns = out.res.Columns
 	resp.ModelMS = float64(out.res.Stats.ModelCost) / float64(time.Millisecond)
 	resp.Rows = rowsJSON(out.res.Rows)
+	tr.Enter(obsv.StageWrite)
 	writeJSON(w, http.StatusOK, resp)
-	s.logRequest(req.Session, req.Seq, "query", http.StatusOK, start, req.Seq, false)
+	s.done(tr, req.Session, req.Seq, "query", http.StatusOK, start, req.Seq, false)
 }
 
 // isBackendFault distinguishes faults of the backend (injected errors,
@@ -602,14 +629,18 @@ func rowsJSON(rows [][]storage.Value) [][]any {
 // breaker is open, before any session bookkeeping. Returns false when
 // rejected.
 func (s *Server) breakerAdmit(w http.ResponseWriter, session string, seq int64, kind string) bool {
-	ok, ra := s.brk.allow(time.Now())
+	now := time.Now()
+	ok, ra := s.brk.allow(now)
 	if ok {
 		return true
 	}
 	s.reg.recordBreakerReject()
+	// The reject still gets a trace: its whole life is the admission stage,
+	// so open-breaker periods are visible in /v1/trace.
+	tr := s.reg.tracer.Begin(session, seq, kind, now)
 	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ra.Seconds()))))
 	httpError(w, http.StatusServiceUnavailable, "serve: circuit breaker open")
-	s.logRequest(session, seq, kind, http.StatusServiceUnavailable, time.Now(), 0, false)
+	s.done(tr, session, seq, kind, http.StatusServiceUnavailable, now, 0, false)
 	return false
 }
 
@@ -688,28 +719,37 @@ func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	id := s.nextID.Add(1)
+	tr := s.reg.tracer.Begin(req.Session, req.Seq, "brush", start)
 	sess := s.session(req.Session)
-	waiter := &brushWaiter{id: id, seq: req.Seq, start: start, ch: make(chan brushOutcome, 1)}
+	waiter := &brushWaiter{id: id, seq: req.Seq, start: start, tr: tr, ch: make(chan brushOutcome, 1)}
 	s.reg.recordIssue(start)
 
 	sess.mu.Lock()
-	s.issueLocked(sess, id)
+	s.issueLocked(sess, id, tr)
 	if req.Seq > sess.lastSeq {
 		sess.lastSeq = req.Seq
 		sess.latest = req
 	}
+	// Stage transitions happen under sess.mu, which is also what hands the
+	// waiter (and its trace) to the run-to-idle loop: a rider parks in the
+	// coalesce stage; only the waiter that admits a fresh execution waits
+	// in the queue stage. runBrushes stamps both into the execute stage
+	// when their pass starts.
 	var admitErr error
 	switch {
 	case sess.slot != nil:
 		// A pending execution exists: this request rides along with it and
 		// one backend execution is saved.
+		tr.Enter(obsv.StageCoalesce)
 		sess.slot.waiters = append(sess.slot.waiters, waiter)
 		s.reg.recordCoalesced()
 	case sess.running:
 		// An execution is in progress; park in a fresh slot that the
 		// run-to-idle loop will pick up without re-entering admission.
+		tr.Enter(obsv.StageCoalesce)
 		sess.slot = &brushTask{waiters: []*brushWaiter{waiter}}
 	default:
+		tr.Enter(obsv.StageQueue)
 		sess.slot = &brushTask{waiters: []*brushWaiter{waiter}}
 		admitErr = s.admit(func() { s.runBrushes(sess) })
 		if admitErr != nil {
@@ -727,7 +767,7 @@ func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Retry-After", "1")
 		httpError(w, status, admitErr.Error())
-		s.logRequest(req.Session, req.Seq, "brush", status, start, 0, false)
+		s.done(tr, req.Session, req.Seq, "brush", status, start, 0, false)
 		return
 	}
 	sess.mu.Unlock()
@@ -744,13 +784,14 @@ func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", "1")
 		}
 		httpError(w, status, out.err.Error())
-		s.logRequest(req.Session, req.Seq, "brush", status, start, 0, false)
+		s.done(tr, req.Session, req.Seq, "brush", status, start, 0, false)
 		return
 	}
 	resp := *out.resp
 	resp.Coalesced = resp.AppliedSeq > req.Seq
+	tr.Enter(obsv.StageWrite)
 	writeJSON(w, http.StatusOK, resp)
-	s.logRequest(req.Session, req.Seq, "brush", http.StatusOK, start, resp.AppliedSeq, resp.Coalesced)
+	s.done(tr, req.Session, req.Seq, "brush", http.StatusOK, start, resp.AppliedSeq, resp.Coalesced)
 }
 
 // runBrushes executes the session's pending brushes to idle: each pass
@@ -782,6 +823,14 @@ func (s *Server) runBrushes(sess *sessionState) {
 		}
 		sess.mu.Unlock()
 
+		// Every rider's queue/coalesce wait ends here; the one execution's
+		// span lands on each of their traces. Their handler goroutines are
+		// parked on wt.ch until the send below, so the traces are ours to
+		// stamp (sess.mu above ordered their handlers' writes before us).
+		for _, wt := range bt.waiters {
+			wt.tr.Enter(obsv.StageExecute)
+		}
+
 		resp, err := s.execBrushLadder(payload, earliest)
 		if s.cfg.ExecDelay > 0 {
 			time.Sleep(s.cfg.ExecDelay)
@@ -797,6 +846,10 @@ func (s *Server) runBrushes(sess *sessionState) {
 		sess.mu.Unlock()
 
 		for _, wt := range bt.waiters {
+			wt.tr.Enter(obsv.StageMerge)
+			if resp != nil {
+				wt.tr.SetTier(resp.Tier)
+			}
 			wt.ch <- brushOutcome{resp: resp, err: err}
 		}
 	}
@@ -1089,9 +1142,10 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	id := s.nextID.Add(1)
+	tr := s.reg.tracer.Begin(session, seq, "tile", start)
 	sess := s.session(session)
 	sess.mu.Lock()
-	s.issueLocked(sess, id)
+	s.issueLocked(sess, id, tr)
 	sess.mu.Unlock()
 	s.reg.recordIssue(start)
 
@@ -1105,8 +1159,10 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 		s.reg.recordTileHit()
 		count := cached.(int64)
 		s.finish(sess, id, start)
+		tr.SetTier("cache")
+		tr.Enter(obsv.StageWrite)
 		writeJSON(w, http.StatusOK, TileResponse{Seq: seq, Key: tile.String(), Count: count})
-		s.logRequest(session, seq, "tile", http.StatusOK, start, seq, false)
+		s.done(tr, session, seq, "tile", http.StatusOK, start, seq, false)
 		return
 	}
 	s.reg.recordTileMiss()
@@ -1122,9 +1178,12 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 		err   error
 	}
 	ch := make(chan tileOutcome, 1)
+	tr.Enter(obsv.StageQueue)
 	admitErr := s.admit(func() {
 		defer s.reg.recordExec()
+		tr.Enter(obsv.StageExecute)
 		if err := s.faultGate(execCtx); err != nil {
+			tr.Enter(obsv.StageMerge)
 			ch <- tileOutcome{0, err}
 			return
 		}
@@ -1133,6 +1192,7 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 		n := s.tiles.NumRows()
 		for i := 0; i < n; i++ {
 			if i%tileScanCheck == 0 && execCtx.Err() != nil {
+				tr.Enter(obsv.StageMerge)
 				ch <- tileOutcome{0, execCtx.Err()}
 				return
 			}
@@ -1147,6 +1207,7 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 		s.tileMu.Lock()
 		s.tileCache.Put(cacheKey, count)
 		s.tileMu.Unlock()
+		tr.Enter(obsv.StageMerge)
 		ch <- tileOutcome{count, nil}
 	})
 	if admitErr != nil {
@@ -1161,7 +1222,7 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 		sess.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, status, admitErr.Error())
-		s.logRequest(session, seq, "tile", status, start, 0, false)
+		s.done(tr, session, seq, "tile", status, start, 0, false)
 		return
 	}
 	out := <-ch
@@ -1174,12 +1235,13 @@ func (s *Server) handleTiles(w http.ResponseWriter, r *http.Request) {
 		s.reg.recordError()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, out.err.Error())
-		s.logRequest(session, seq, "tile", http.StatusServiceUnavailable, start, 0, false)
+		s.done(tr, session, seq, "tile", http.StatusServiceUnavailable, start, 0, false)
 		return
 	}
 	s.brk.success()
+	tr.Enter(obsv.StageWrite)
 	writeJSON(w, http.StatusOK, TileResponse{Seq: seq, Key: tile.String(), Count: out.count})
-	s.logRequest(session, seq, "tile", http.StatusOK, start, seq, false)
+	s.done(tr, session, seq, "tile", http.StatusOK, start, seq, false)
 }
 
 // tileScanCheck is the tile scan's cancellation-check stride — one morsel's
@@ -1188,7 +1250,14 @@ const tileScanCheck = 16 * 1024
 
 // --- /metrics, /healthz, /readyz --------------------------------------------
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics answers JSON by default (the repo's own tooling decodes
+// Stats) and Prometheus text exposition when asked — ?format=prometheus,
+// or an Accept header naming text/plain or OpenMetrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		s.writeProm(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 

@@ -94,6 +94,60 @@ func ReadServeTrace(r io.Reader) ([]ServeRecord, error) {
 	return out, nil
 }
 
+// TraceRecord is one request's stage-span breakdown on the wire: the
+// /v1/trace export of the serving layer's per-request tracer. StagesMS
+// maps visited pipeline stages (admission, queue, coalesce, execute,
+// merge, write) to the milliseconds each consumed; Dominant names the
+// stage that consumed the most.
+type TraceRecord struct {
+	TimestampMS int64              `json:"timestamp_ms"`
+	Session     string             `json:"session"`
+	Seq         int64              `json:"seq"`
+	Kind        string             `json:"kind"`
+	Status      int                `json:"status"`
+	TotalMS     float64            `json:"total_ms"`
+	Tier        string             `json:"tier,omitempty"`
+	LCV         bool               `json:"lcv,omitempty"`
+	Dominant    string             `json:"dominant"`
+	StagesMS    map[string]float64 `json:"stages_ms"`
+}
+
+// WriteTraceRecords emits stage-trace records as JSON lines.
+func WriteTraceRecords(w io.Writer, recs []TraceRecord) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("tracefmt: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadTraceRecords decodes JSON-line stage-trace records. Like serve
+// records they are not required to be time-ordered: the ring snapshots
+// completions, and concurrent requests complete out of issue order.
+func ReadTraceRecords(r io.Reader) ([]TraceRecord, error) {
+	var out []TraceRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("tracefmt: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracefmt: %w", err)
+	}
+	return out, nil
+}
+
 // WriteSliderTrace emits one user's slider events as JSON lines.
 func WriteSliderTrace(w io.Writer, user int, device string, evs []trace.SliderEvent) error {
 	enc := json.NewEncoder(w)

@@ -179,3 +179,36 @@ func TestServeTraceSkipsBlankLines(t *testing.T) {
 		t.Errorf("record = %+v", got[0])
 	}
 }
+
+func TestTraceRecordRoundTrip(t *testing.T) {
+	recs := []TraceRecord{
+		{TimestampMS: 12, Session: "s1", Seq: 3, Kind: "brush", Status: 200,
+			TotalMS: 8.5, Tier: "exact", LCV: true, Dominant: "execute",
+			StagesMS: map[string]float64{"admission": 0.1, "queue": 1.2, "execute": 6.8, "write": 0.4}},
+		{TimestampMS: 20, Session: "s2", Seq: 0, Kind: "tile", Status: 503,
+			Dominant: "queue", StagesMS: map[string]float64{"admission": 0.05, "queue": 30}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Session != recs[i].Session || got[i].Status != recs[i].Status ||
+			got[i].Dominant != recs[i].Dominant || got[i].LCV != recs[i].LCV ||
+			len(got[i].StagesMS) != len(recs[i].StagesMS) {
+			t.Errorf("record %d: %+v vs %+v", i, got[i], recs[i])
+		}
+		for k, v := range recs[i].StagesMS {
+			if got[i].StagesMS[k] != v {
+				t.Errorf("record %d stage %s: %v vs %v", i, k, got[i].StagesMS[k], v)
+			}
+		}
+	}
+}
