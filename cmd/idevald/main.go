@@ -10,6 +10,7 @@
 //	        [-constraint 500ms] [-execdelay 0] [-log FILE] [-seed N]
 //	        [-deadlines] [-degradeafter 250ms]   # degradation ladder
 //	        [-chaos PROFILE] [-chaosseed N]      # fault injection
+//	        [-shards N] [-shardmode hash|range]  # scatter-gather serving
 //	        [-debug-addr 127.0.0.1:6060]         # pprof endpoint
 //
 // Endpoints: POST /v1/query {session,seq,sql}; POST /v1/brush
@@ -41,6 +42,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -58,11 +60,13 @@ func main() {
 	degradeAfter := flag.Duration("degradeafter", 0, "per-request budget before degrading (0 = constraint/2)")
 	chaos := flag.String("chaos", "", "inject faults from this profile (spikes|errors|stall|slow|mixed)")
 	chaosSeed := flag.Int64("chaosseed", 1, "fault injection seed")
+	shards := flag.Int("shards", 0, "partition the dataset across N scatter-gather shards (0 or 1 = unsharded)")
+	shardMode := flag.String("shardmode", "hash", "shard partitioning: hash or range")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
 
 	if err := run(*addr, *ds, *rows, *profile, *workers, *queue, *constraint, *execDelay, *logPath, *seed,
-		*deadlines, *degradeAfter, *chaos, *chaosSeed, *debugAddr); err != nil {
+		*deadlines, *degradeAfter, *chaos, *chaosSeed, *shards, *shardMode, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "idevald:", err)
 		os.Exit(1)
 	}
@@ -82,7 +86,7 @@ func buildBackends(ds string, rows int, prof engine.Profile, seed int64) (serve.
 }
 
 func run(addr, ds string, rows int, profile string, workers, queue int, constraint, execDelay time.Duration, logPath string, seed int64,
-	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64, debugAddr string) error {
+	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64, shards int, shardMode, debugAddr string) error {
 	prof := engine.ProfileMemory
 	if profile == "disk" {
 		prof = engine.ProfileDisk
@@ -108,6 +112,15 @@ func run(addr, ds string, rows int, profile string, workers, queue int, constrai
 	cfg := serve.Config{
 		Workers: workers, QueueDepth: queue, Constraint: constraint, ExecDelay: execDelay,
 		Deadlines: deadlines, DegradeAfter: degradeAfter,
+	}
+	if shards > 1 {
+		mode, err := shard.ParseMode(shardMode)
+		if err != nil {
+			return err
+		}
+		cfg.Shards = shards
+		cfg.ShardMode = mode
+		fmt.Fprintf(os.Stderr, "idevald: scatter-gather over %d %s-partitioned shards\n", shards, mode)
 	}
 	if chaos != "" {
 		fp, ok := fault.ProfileByName(chaos)

@@ -15,6 +15,8 @@
 //	        [-deadlines] [-degradeafter 250ms]  # deadline-aware serving
 //	        [-obsvjson BENCH_obsv.json]         # scrape-under-load benchmark
 //	loadgen -chaos [-json BENCH_chaos.json] # fault-profile matrix, in-process
+//	loadgen -shardbench [-users N]          # shard-count matrix, in-process
+//	        [-json BENCH_shard.json]
 //
 // With -obsvjson, a scraper pulls /metrics?format=prometheus continuously
 // while the load runs, validates every body against the exposition format
@@ -41,6 +43,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obsv"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -63,8 +66,23 @@ func main() {
 	deadlines := flag.Bool("deadlines", false, "enable deadline-aware execution with the degradation ladder")
 	degradeAfter := flag.Duration("degradeafter", 0, "per-request budget before degrading (0 = constraint/2)")
 	chaos := flag.Bool("chaos", false, "run the chaos matrix: every fault profile × {deadlines on, off} in-process")
+	shards := flag.Int("shards", 0, "shard the in-process server's dataset across N scatter-gather shards")
+	shardMode := flag.String("shardmode", "hash", "shard partitioning for -shards / -shardbench: hash or range")
+	shardBench := flag.Bool("shardbench", false, "run the shard matrix: S in {1,2,4,8} at the same offered load, in-process")
 	flag.Parse()
 
+	if *shardBench {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_shard.json"
+		}
+		if err := runShardBench(*users, *adjust, *events, *timescale, *seed, *sqlEvery, out, *shardMode,
+			*rows, *profile, *workers, *queue, *execDelay); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *chaos {
 		out := *jsonOut
 		if out == "" {
@@ -78,7 +96,7 @@ func main() {
 		return
 	}
 	if err := run(*addr, *users, *adjust, *events, *timescale, *seed, *sqlEvery, *jsonOut, *obsvOut,
-		*rows, *profile, *workers, *queue, *execDelay, *deadlines, *degradeAfter); err != nil {
+		*rows, *profile, *workers, *queue, *execDelay, *deadlines, *degradeAfter, *shards, *shardMode); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -86,7 +104,7 @@ func main() {
 
 func run(addr string, users, adjust, events int, timescale float64, seed int64, sqlEvery int,
 	jsonOut, obsvOut string, rows int, profile string, workers, queue int, execDelay time.Duration,
-	deadlines bool, degradeAfter time.Duration) error {
+	deadlines bool, degradeAfter time.Duration, shards int, shardMode string) error {
 	baseURL := addr
 	if baseURL == "" {
 		prof := engine.ProfileMemory
@@ -98,10 +116,19 @@ func run(addr string, users, adjust, events int, timescale float64, seed int64, 
 		if err != nil {
 			return err
 		}
-		srv, err := serve.New(backends, serve.Config{
+		cfg := serve.Config{
 			Workers: workers, QueueDepth: queue, Constraint: metrics.DefaultConstraint, ExecDelay: execDelay,
 			Deadlines: deadlines, DegradeAfter: degradeAfter,
-		})
+		}
+		if shards > 1 {
+			mode, err := shard.ParseMode(shardMode)
+			if err != nil {
+				return err
+			}
+			cfg.Shards = shards
+			cfg.ShardMode = mode
+		}
+		srv, err := serve.New(backends, cfg)
 		if err != nil {
 			return err
 		}
@@ -511,6 +538,128 @@ func runChaos(users, adjust, events int, timescale float64, seed int64, jsonOut 
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(entries); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", jsonOut)
+	return nil
+}
+
+// shardCell is one shard count of the BENCH_shard.json matrix: the same
+// offered load replayed against S scatter-gather shards, S=1 being the
+// unsharded baseline the differential suite proves byte-identical.
+type shardCell struct {
+	Shards     int     `json:"shards"`
+	Mode       string  `json:"mode"`
+	Users      int     `json:"users"`
+	Issued     int     `json:"issued"`
+	Executed   int64   `json:"executed"`
+	Coalesced  int64   `json:"coalesced"`
+	Shed       int64   `json:"shed"`
+	QIFPerSec  float64 `json:"qif_per_sec"`
+	LCVPercent float64 `json:"lcv_percent"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	WallMS     float64 `json:"wall_ms"`
+	Errors     int     `json:"errors"`
+}
+
+// runShardBench replays the same synthetic-user load (same behavior seed)
+// against fresh in-process servers sharded S ∈ {1, 2, 4, 8} ways and
+// writes the matrix as BENCH_shard.json. Every cell must answer every
+// request and leave every session on its latest state — dropped work is a
+// hard failure, not a data point.
+func runShardBench(users, adjust, events int, timescale float64, seed int64, sqlEvery int,
+	jsonOut, shardMode string, rows int, profile string, workers, queue int, execDelay time.Duration) error {
+	prof := engine.ProfileMemory
+	if profile == "disk" {
+		prof = engine.ProfileDisk
+	}
+	mode, err := shard.ParseMode(shardMode)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: shard matrix (%s partitioning, %d rows, %d users)...\n", mode, rows, users)
+
+	cells := make([]shardCell, 0, 4)
+	for _, s := range []int{1, 2, 4, 8} {
+		backends, err := serve.RoadBackends(seed, rows, prof)
+		if err != nil {
+			return err
+		}
+		cfg := serve.Config{
+			Workers: workers, QueueDepth: queue, Constraint: metrics.DefaultConstraint, ExecDelay: execDelay,
+		}
+		if s > 1 {
+			cfg.Shards = s
+			cfg.ShardMode = mode
+			// Per-shard pools sized like the serve pool, so a long SQL scan
+			// on one shard never queues brush scatters behind it.
+			cfg.ShardWorkers = workers
+		}
+		srv, err := serve.New(backends, cfg)
+		if err != nil {
+			return fmt.Errorf("S=%d: %w", s, err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+
+		report, err := serve.RunLoad(serve.LoadConfig{
+			BaseURL:     "http://" + ln.Addr().String(),
+			Users:       users,
+			Adjustments: adjust,
+			MaxEvents:   events,
+			Seed:        seed,
+			TimeScale:   timescale,
+			Dims:        serve.RoadLoadDims(),
+			SQLEvery:    sqlEvery,
+			Table:       "dataroad",
+		})
+		httpSrv.Close()
+		if err != nil {
+			return fmt.Errorf("S=%d: %w", s, err)
+		}
+		if report.Responded != report.Issued {
+			return fmt.Errorf("S=%d dropped responses: issued %d, responded %d", s, report.Issued, report.Responded)
+		}
+		for _, u := range report.Users {
+			if !u.GotLatest {
+				return fmt.Errorf("S=%d: session %s missed its latest result", s, u.Session)
+			}
+		}
+		sv := report.Server
+		cells = append(cells, shardCell{
+			Shards:     s,
+			Mode:       mode.String(),
+			Users:      len(report.Users),
+			Issued:     report.Issued,
+			Executed:   sv.Executed,
+			Coalesced:  sv.Coalesced,
+			Shed:       sv.Shed,
+			QIFPerSec:  report.QIFPerSec,
+			LCVPercent: sv.LCVPercent,
+			P50MS:      report.P50MS,
+			P95MS:      report.P95MS,
+			P99MS:      report.P99MS,
+			WallMS:     float64(report.Wall) / float64(time.Millisecond),
+			Errors:     report.Errors,
+		})
+		fmt.Printf("S=%d  qif %6.1f/s  lcv %5.2f%%  p50 %6.1fms  p95 %6.1fms  p99 %6.1fms  executed %d  coalesced %d\n",
+			s, report.QIFPerSec, 100*sv.LCVPercent, report.P50MS, report.P95MS, report.P99MS, sv.Executed, sv.Coalesced)
+	}
+
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cells); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", jsonOut)

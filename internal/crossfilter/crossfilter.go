@@ -147,17 +147,38 @@ func (c *Crossfilter) workers() int {
 	return morsel.Workers(c.parallelism, c.n)
 }
 
+// DimSpec pins one dimension's domain explicitly. Shard replicas use it:
+// every shard must bin against the *global* [Lo, Hi], not its partition's
+// local min/max, or per-shard histograms stop being addable.
+type DimSpec struct {
+	Name   string
+	Lo, Hi float64
+}
+
 // New builds a crossfilter over the named numeric columns of the table,
-// with the given histogram bin count (0 means DefaultBins).
+// with the given histogram bin count (0 means DefaultBins). Domains are
+// taken from each column's min/max.
 func New(table *storage.Table, dimNames []string, bins int) (*Crossfilter, error) {
+	specs := make([]DimSpec, len(dimNames))
+	for i, name := range dimNames {
+		lo, hi, _ := table.MinMax(name)
+		specs[i] = DimSpec{Name: name, Lo: lo, Hi: hi}
+	}
+	return NewWithBounds(table, specs, bins)
+}
+
+// NewWithBounds builds a crossfilter with explicit per-dimension domains.
+// Identical to New except the bin edges come from the specs, which is what
+// keeps histograms of disjoint partitions of one table merge-compatible.
+func NewWithBounds(table *storage.Table, specs []DimSpec, bins int) (*Crossfilter, error) {
 	if bins <= 0 {
 		bins = DefaultBins
 	}
-	if len(dimNames) == 0 {
+	if len(specs) == 0 {
 		return nil, fmt.Errorf("crossfilter: no dimensions")
 	}
-	if len(dimNames) > 32 {
-		return nil, fmt.Errorf("crossfilter: at most 32 dimensions (got %d)", len(dimNames))
+	if len(specs) > 32 {
+		return nil, fmt.Errorf("crossfilter: at most 32 dimensions (got %d)", len(specs))
 	}
 	n := table.NumRows()
 	c := &Crossfilter{
@@ -165,7 +186,8 @@ func New(table *storage.Table, dimNames []string, bins int) (*Crossfilter, error
 		parallelism: runtime.GOMAXPROCS(0),
 		incremental: true, crossover: DefaultCrossover,
 	}
-	for _, name := range dimNames {
+	for _, spec := range specs {
+		name := spec.Name
 		col := table.Column(name)
 		if col == nil {
 			return nil, fmt.Errorf("crossfilter: no column %q in table %q", name, table.Name)
@@ -173,8 +195,7 @@ func New(table *storage.Table, dimNames []string, bins int) (*Crossfilter, error
 		if col.Type == storage.String {
 			return nil, fmt.Errorf("crossfilter: column %q is not numeric", name)
 		}
-		lo, hi, _ := table.MinMax(name)
-		d := &Dimension{Name: name, Lo: lo, Hi: hi, Bins: bins}
+		d := &Dimension{Name: name, Lo: spec.Lo, Hi: spec.Hi, Bins: bins}
 		d.values = make([]float64, n)
 		d.bins = make([]int32, n)
 		// Each slot is computed independently from the column, so workers

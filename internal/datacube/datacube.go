@@ -231,11 +231,15 @@ func (c *Cube) Histogram(target int, filters []*Range) ([]int64, error) {
 // HistogramInto computes dimension target's histogram into out (length
 // Dim(target).Bins), zeroing it first — the allocation-free form the
 // serving hot path uses.
+// Length mismatches (out vs the target dimension's bins, or a non-empty
+// filter slice vs the dimension count) are errors, never silent
+// truncation; a zero-length filter slice is the explicit "no filters"
+// state and behaves like nil.
 func (c *Cube) HistogramInto(target int, filters []*Range, out []int64) error {
 	if target < 0 || target >= len(c.dims) {
 		return fmt.Errorf("datacube: no dimension %d", target)
 	}
-	if filters != nil && len(filters) != len(c.dims) {
+	if len(filters) != 0 && len(filters) != len(c.dims) {
 		return fmt.Errorf("datacube: %d filters for %d dimensions", len(filters), len(c.dims))
 	}
 	if len(out) != c.dims[target].Bins {
@@ -247,7 +251,7 @@ func (c *Cube) HistogramInto(target int, filters []*Range, out []int64) error {
 	var lo, hi [maxHistDims]int
 	for i, d := range c.dims {
 		lo[i], hi[i] = 0, d.Bins-1
-		if filters != nil && filters[i] != nil {
+		if len(filters) != 0 && filters[i] != nil {
 			lo[i], hi[i] = d.binRange(*filters[i])
 			if lo[i] > hi[i] {
 				return nil

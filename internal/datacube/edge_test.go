@@ -1,0 +1,156 @@
+package datacube
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// edgeTable builds a tiny two-column table for validation tests.
+func edgeTable(t *testing.T) *storage.Table {
+	t.Helper()
+	tbl := storage.NewTable("edge", storage.Schema{
+		{Name: "a", Type: storage.Float64},
+		{Name: "b", Type: storage.Float64},
+	})
+	for i := 0; i < 40; i++ {
+		tbl.MustAppendRow(storage.NewFloat(float64(i%10)), storage.NewFloat(float64(i%4)))
+	}
+	return tbl
+}
+
+// TestHistogramIntoValidation is the satellite's table-driven edge matrix:
+// both cube forms must return errors (never silently truncate) for
+// mismatched output or filter lengths, must treat a zero-length filter
+// slice as the explicit unfiltered state, and must handle 1-bin dimensions.
+func TestHistogramIntoValidation(t *testing.T) {
+	tbl := edgeTable(t)
+	dims := []Dim{
+		{Name: "a", Lo: 0, Hi: 10, Bins: 5},
+		{Name: "b", Lo: 0, Hi: 4, Bins: 4},
+	}
+	cube, err := Build(tbl, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := NewPrefix(cube)
+
+	type call func(target int, filters []*Range, out []int64) error
+	impls := []struct {
+		name string
+		hist call
+	}{
+		{"cube", cube.HistogramInto},
+		{"prefix", prefix.HistogramInto},
+	}
+	cases := []struct {
+		name    string
+		target  int
+		filters []*Range
+		outLen  int
+		wantErr string // substring; "" means success
+	}{
+		{"nil filters", 0, nil, 5, ""},
+		{"empty filter slice means unfiltered", 0, []*Range{}, 5, ""},
+		{"all-nil filters at full arity", 1, []*Range{nil, nil}, 4, ""},
+		{"short out", 0, nil, 4, "out has 4 bins"},
+		{"long out", 0, nil, 6, "out has 6 bins"},
+		{"zero out", 0, nil, 0, "out has 0 bins"},
+		{"one filter for two dims", 0, []*Range{{Lo: 0, Hi: 1}}, 5, "1 filters for 2 dimensions"},
+		{"three filters for two dims", 0, []*Range{nil, nil, nil}, 5, "3 filters for 2 dimensions"},
+		{"negative target", -1, nil, 5, "no dimension -1"},
+		{"target out of range", 2, nil, 5, "no dimension 2"},
+	}
+	for _, impl := range impls {
+		for _, tc := range cases {
+			err := impl.hist(tc.target, tc.filters, make([]int64, tc.outLen))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Errorf("%s/%s: unexpected error %v", impl.name, tc.name, err)
+				}
+				continue
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("%s/%s: error %v, want %q", impl.name, tc.name, err, tc.wantErr)
+			}
+		}
+	}
+
+	// A zero-length filter slice must produce the same counts as nil.
+	for target := range dims {
+		a, err := cube.Histogram(target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, dims[target].Bins)
+		if err := cube.HistogramInto(target, []*Range{}, out); err != nil {
+			t.Fatal(err)
+		}
+		for b := range a {
+			if out[b] != a[b] {
+				t.Fatalf("target %d bin %d: empty-slice %d vs nil %d", target, b, out[b], a[b])
+			}
+		}
+	}
+
+	// Count shares binBox's validation.
+	if _, err := prefix.Count([]*Range{nil}); err == nil {
+		t.Error("prefix.Count accepted wrong filter arity")
+	}
+	if n, err := prefix.Count([]*Range{}); err != nil || n != int64(tbl.NumRows()) {
+		t.Errorf("prefix.Count([]) = %d, %v; want full table", n, err)
+	}
+}
+
+// TestOneBinDimensions pins the degenerate 1-bin case: every record lands
+// in the single bin, filters reduce to all-or-nothing, and both cube forms
+// agree.
+func TestOneBinDimensions(t *testing.T) {
+	tbl := edgeTable(t)
+	dims := []Dim{
+		{Name: "a", Lo: 0, Hi: 10, Bins: 1},
+		{Name: "b", Lo: 0, Hi: 4, Bins: 3},
+	}
+	cube, err := Build(tbl, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := NewPrefix(cube)
+	for _, filters := range [][]*Range{
+		nil,
+		{nil, {Lo: 0, Hi: 2}},
+		{{Lo: 3, Hi: 7}, nil},
+		{{Lo: 10, Hi: 0}, nil}, // inverted: empty
+	} {
+		for target := range dims {
+			want, err := cube.Histogram(target, filters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := prefix.Histogram(target, filters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != dims[target].Bins || len(got) != len(want) {
+				t.Fatalf("target %d: lengths %d/%d", target, len(got), len(want))
+			}
+			for b := range want {
+				if got[b] != want[b] {
+					t.Fatalf("target %d bin %d: %d vs %d (filters %+v)", target, b, got[b], want[b], filters)
+				}
+			}
+		}
+	}
+	h, err := cube.Histogram(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != int64(tbl.NumRows()) {
+		t.Fatalf("1-bin histogram = %d, want all %d records", h[0], tbl.NumRows())
+	}
+	// Zero bins is rejected at build time, not silently accepted.
+	if _, err := Build(tbl, []Dim{{Name: "a", Lo: 0, Hi: 10, Bins: 0}}); err == nil {
+		t.Error("zero-bin dimension accepted")
+	}
+}

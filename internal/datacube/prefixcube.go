@@ -103,13 +103,15 @@ func (p *PrefixCube) DimIndex(name string) int {
 }
 
 // binBox resolves filters to an inclusive bin box, reporting empty boxes.
+// A zero-length filter slice means unfiltered, like nil; any other length
+// mismatch against the dimension count is an error.
 func (p *PrefixCube) binBox(filters []*Range, lo, hi []int) (empty bool, err error) {
-	if filters != nil && len(filters) != len(p.dims) {
+	if len(filters) != 0 && len(filters) != len(p.dims) {
 		return false, fmt.Errorf("datacube: %d filters for %d dimensions", len(filters), len(p.dims))
 	}
 	for i, d := range p.dims {
 		lo[i], hi[i] = 0, d.Bins-1
-		if filters != nil && filters[i] != nil {
+		if len(filters) != 0 && filters[i] != nil {
 			lo[i], hi[i] = d.binRange(*filters[i])
 			if lo[i] > hi[i] {
 				return true, nil

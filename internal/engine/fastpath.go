@@ -316,6 +316,16 @@ func histResult(acc *histAcc, scale float64) *Result {
 	}
 }
 
+// IsHistogramShaped reports whether stmt matches the histogram fast-path
+// shape against this engine's tables. Shard coordinators use it as the
+// merge-eligibility gate: a histogram's per-partition bin counts merge by
+// addition, so only this shape scatter-gathers; anything else must run on
+// a full replica.
+func (e *Engine) IsHistogramShaped(stmt *sql.SelectStmt) bool {
+	_, ok := e.matchHistogram(stmt)
+	return ok
+}
+
 // PartialHistogram executes a histogram-shaped statement over only the first
 // maxRows rows of the table, scaling bin counts by n/scanned so the result
 // estimates the full answer. It is the query-path degradation tier: a bounded

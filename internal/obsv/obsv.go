@@ -13,8 +13,9 @@
 // against the exact sorted-sample percentile).
 //
 // The tracer decomposes each request into pipeline stages — admission →
-// queue wait → coalesce wait → execute → merge → response write — the
-// server-side refinement of the paper's §3.1.1 latency components. Each
+// queue wait → coalesce wait → execute → scatter (sharded fan-out, when
+// serving from shard replicas) → merge → response write — the server-side
+// refinement of the paper's §3.1.1 latency components. Each
 // completed request feeds one histogram per visited stage, and a
 // latency-constraint violation is attributed to its dominant stage, which
 // is what turns "a constraint was violated" into "the queue (or the
@@ -44,8 +45,13 @@ const (
 	// StageExecute is backend execution, including the degradation
 	// ladder's fallback tiers and injected faults.
 	StageExecute
-	// StageMerge is post-execution work: result bookkeeping and response
-	// assembly up to the write.
+	// StageScatter is the sharded fan-out: time from handing a request to
+	// every shard worker until the gather completes (all shards answered,
+	// or the deadline cut the gather short). Single-replica requests never
+	// visit it.
+	StageScatter
+	// StageMerge is post-execution work: merging per-shard answers by
+	// addition, result bookkeeping, and response assembly up to the write.
 	StageMerge
 	// StageWrite is response serialization and the write to the socket.
 	StageWrite
@@ -55,7 +61,7 @@ const (
 )
 
 var stageNames = [NumStages]string{
-	"admission", "queue", "coalesce", "execute", "merge", "write",
+	"admission", "queue", "coalesce", "execute", "scatter", "merge", "write",
 }
 
 // String returns the stage's wire name, used as the Prometheus and JSON

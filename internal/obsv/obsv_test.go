@@ -176,7 +176,7 @@ func TestHistogramConcurrent(t *testing.T) {
 }
 
 func TestStageNames(t *testing.T) {
-	want := []string{"admission", "queue", "coalesce", "execute", "merge", "write"}
+	want := []string{"admission", "queue", "coalesce", "execute", "scatter", "merge", "write"}
 	for s := StageAdmission; s < NumStages; s++ {
 		if s.String() != want[s] {
 			t.Errorf("stage %d = %q, want %q", s, s.String(), want[s])

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obsv"
 	"repro/internal/fault"
 	"repro/internal/leakcheck"
 )
@@ -135,7 +136,7 @@ func TestBrushCacheTier(t *testing.T) {
 	srv.cacheBrush(req, &BrushResponse{AppliedSeq: 3, Total: 42, Tier: "exact"})
 
 	// earliest far in the past: the exact tier's budget is already blown.
-	resp, err := srv.execBrushLadder(req, time.Now().Add(-time.Second))
+	resp, err := srv.execBrushLadder(req, time.Now().Add(-time.Second), func(obsv.Stage) {})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/opt"
 	"repro/internal/progressive"
+	"repro/internal/shard"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/tracefmt"
@@ -101,6 +102,23 @@ type Config struct {
 	// PartialRows is the sample size of the progressive partial tier; 0
 	// means 32768 rows.
 	PartialRows int
+
+	// Shards enables sharded scatter-gather serving: the cube's backing
+	// table (Backends.Tiles) is partitioned across this many shard
+	// replicas, each with its own prefix cube (and engine, when the
+	// backends include one), and brush/histogram-query requests fan out to
+	// every shard and merge by addition. 0 or 1 serves unsharded. Requires
+	// a cube with a backing table whose columns include every cube
+	// dimension.
+	Shards int
+	// ShardMode selects hash (default) or range partitioning.
+	ShardMode shard.Mode
+	// ShardWorkers is the goroutine-pool size per shard; 0 means 2.
+	ShardWorkers int
+	// ShardFaults optionally fault-gates individual shards (nil entries
+	// inject nothing) — the chaos hook for wedging one shard while the
+	// rest stay healthy. Independent of Fault, which gates whole requests.
+	ShardFaults []*fault.Injector
 }
 
 // Backends are the data systems the server fronts. Engine serves /v1/query,
@@ -143,6 +161,7 @@ type Server struct {
 	partialRows  int
 	prog         *progressive.Executor
 	cubeDims     []datacube.Dim
+	coord        *shard.Coordinator
 	brushMu      sync.Mutex
 	brushCache   *opt.ResultLRU
 
@@ -290,6 +309,26 @@ func New(b Backends, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: tile table %q lacks columns %q/%q", b.Tiles.Name, b.TileLat, b.TileLng)
 		}
 	}
+	if cfg.Shards > 1 {
+		if b.Tiles == nil || len(s.cubeDims) == 0 {
+			return nil, fmt.Errorf("serve: sharded serving needs a cube with a backing table")
+		}
+		opts := shard.Options{
+			Shards:  cfg.Shards,
+			Mode:    cfg.ShardMode,
+			Workers: cfg.ShardWorkers,
+			Faults:  cfg.ShardFaults,
+		}
+		if b.Engine != nil {
+			opts.WithEngine = true
+			opts.Profile = b.Engine.Profile()
+		}
+		coord, err := shard.New(b.Tiles, s.cubeDims, opts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard coordinator: %w", err)
+		}
+		s.coord = coord
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/brush", s.handleBrush)
@@ -344,6 +383,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// The worker pool is gone, so no scatter can be in flight: the
+		// shard pools can drain too.
+		if s.coord != nil {
+			s.coord.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain: %w", ctx.Err())
@@ -503,8 +547,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	type outcome struct {
-		res *engine.Result
-		err error
+		res  *engine.Result
+		frac float64 // covered record fraction; < 1 marks a sharded partial
+		err  error
 	}
 	ch := make(chan outcome, 1)
 	// The queue stage opens before admit: a successful admit hands the
@@ -513,18 +558,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr.Enter(obsv.StageQueue)
 	err := s.admit(func() {
 		tr.Enter(obsv.StageExecute)
-		res, err := func() (*engine.Result, error) {
+		out := func() outcome {
 			if err := s.faultGate(execCtx); err != nil {
-				return nil, err
+				return outcome{err: err}
 			}
-			return s.eng.QueryCtx(execCtx, req.SQL)
+			if s.coord != nil {
+				// Histogram-shaped queries scatter across the shard engines
+				// and merge by addition; any other shape has no merge law
+				// and runs on the unsharded engine below.
+				tr.Enter(obsv.StageScatter)
+				res, frac, ok, err := s.coord.QueryHistogram(execCtx, req.SQL)
+				if ok {
+					return outcome{res: res, frac: frac, err: err}
+				}
+			}
+			res, err := s.eng.QueryCtx(execCtx, req.SQL)
+			return outcome{res: res, frac: 1, err: err}
 		}()
 		if s.cfg.ExecDelay > 0 {
 			time.Sleep(s.cfg.ExecDelay)
 		}
 		s.reg.recordExec()
 		tr.Enter(obsv.StageMerge)
-		ch <- outcome{res, err}
+		ch <- out
 	})
 	if err != nil {
 		status := http.StatusTooManyRequests
@@ -584,6 +640,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.Columns = out.res.Columns
 	resp.ModelMS = float64(out.res.Stats.ModelCost) / float64(time.Millisecond)
 	resp.Rows = rowsJSON(out.res.Rows)
+	if out.frac < 1 {
+		// A shard missed the deadline: the merged histogram estimates the
+		// full answer from the covered partitions.
+		resp.Degraded = true
+		resp.SampleFraction = out.frac
+		s.reg.recordDegraded()
+		tr.SetTier("partial")
+	}
 	tr.Enter(obsv.StageWrite)
 	writeJSON(w, http.StatusOK, resp)
 	s.done(tr, req.Session, req.Seq, "query", http.StatusOK, start, req.Seq, false)
@@ -830,8 +894,15 @@ func (s *Server) runBrushes(sess *sessionState) {
 		for _, wt := range bt.waiters {
 			wt.tr.Enter(obsv.StageExecute)
 		}
+		// stamp lets the ladder mark later stage transitions (the sharded
+		// scatter) on every rider's trace.
+		stamp := func(st obsv.Stage) {
+			for _, wt := range bt.waiters {
+				wt.tr.Enter(st)
+			}
+		}
 
-		resp, err := s.execBrushLadder(payload, earliest)
+		resp, err := s.execBrushLadder(payload, earliest, stamp)
 		if s.cfg.ExecDelay > 0 {
 			time.Sleep(s.cfg.ExecDelay)
 		}
@@ -897,13 +968,26 @@ func (s *Server) faultGate(ctx context.Context) error {
 // exact tier runs under a budget of degradeAfter from the oldest rider's
 // issue; a blown budget falls back to a cached exact answer for the same
 // ranges, then to a progressive partial estimate marked Degraded.
-func (s *Server) execBrushLadder(req BrushRequest, earliest time.Time) (*BrushResponse, error) {
+//
+// Sharded, the exact tier is a scatter-gather: full coverage is the exact
+// answer (byte-identical to the unsharded path); a straggler shard turns
+// the gather into a partial answer — served as Degraded with the covered
+// record fraction, after the cache tier gets a chance to do better.
+func (s *Server) execBrushLadder(req BrushRequest, earliest time.Time, stamp func(obsv.Stage)) (*BrushResponse, error) {
 	if !s.cfg.Deadlines {
 		if err := s.faultGate(nil); err != nil {
 			s.brk.failure(time.Now())
 			return nil, err
 		}
-		resp, err := s.execBrush(req)
+		var resp *BrushResponse
+		var err error
+		if s.coord != nil {
+			// No deadline: the gather blocks for every shard, so the merge
+			// is always the complete exact answer.
+			resp, _, err = s.execBrushShard(nil, req, stamp)
+		} else {
+			resp, err = s.execBrush(req)
+		}
 		if err != nil {
 			s.brk.failure(time.Now())
 			return nil, err
@@ -918,7 +1002,36 @@ func (s *Server) execBrushLadder(req BrushRequest, earliest time.Time) (*BrushRe
 
 	// Tier 1: exact, while the budget holds.
 	gateErr := s.faultGate(ctx)
-	if gateErr == nil {
+	if gateErr == nil && s.coord != nil {
+		resp, frac, err := s.execBrushShard(ctx, req, stamp)
+		switch {
+		case err != nil:
+			// Zero coverage (or a closed coordinator): degrade like a blown
+			// deadline — cache, then progressive partial.
+			gateErr = err
+		case frac == 1:
+			resp.Tier = "exact"
+			s.brk.success()
+			s.cacheBrush(req, resp)
+			return resp, nil
+		default:
+			// A straggler shard missed the budget. A cached exact answer
+			// beats the partial estimate; otherwise serve the covered
+			// shards' scaled merge.
+			s.reg.recordDeadline()
+			if cached := s.lookupBrush(req); cached != nil {
+				c := *cached
+				c.AppliedSeq = req.Seq
+				c.Tier = "cache"
+				s.reg.recordBrushCacheHit()
+				s.brk.success()
+				return &c, nil
+			}
+			s.reg.recordDegraded()
+			s.brk.success()
+			return resp, nil
+		}
+	} else if gateErr == nil {
 		resp, err := s.execBrush(req)
 		if err != nil {
 			s.brk.failure(time.Now())
@@ -1050,6 +1163,57 @@ func (s *Server) execBrushPartial(req BrushRequest) (*BrushResponse, error) {
 	return resp, nil
 }
 
+// brushFilters converts a request's wire-format ranges to datacube filters
+// (nil entries stay unfiltered).
+func brushFilters(ranges []*[2]float64) []*datacube.Range {
+	filters := make([]*datacube.Range, len(ranges))
+	buf := make([]datacube.Range, len(ranges))
+	for i, rg := range ranges {
+		if rg != nil {
+			buf[i] = datacube.Range{Lo: rg[0], Hi: rg[1]}
+			filters[i] = &buf[i]
+		}
+	}
+	return filters
+}
+
+// execBrushShard scatter-gathers one brush snapshot across the shard
+// replicas. Full coverage merges to the exact answer. Partial coverage
+// (a shard missed ctx's deadline) returns a Degraded response with the
+// covered shards' counts scaled by 1/fraction — the same estimation
+// convention as the progressive partial tier — and the fraction is also
+// returned so the ladder can distinguish the cases. Zero coverage is an
+// error.
+func (s *Server) execBrushShard(ctx context.Context, req BrushRequest, stamp func(obsv.Stage)) (*BrushResponse, float64, error) {
+	stamp(obsv.StageScatter)
+	g, err := s.coord.Scatter(ctx, brushFilters(req.Ranges))
+	if err != nil {
+		return nil, 0, err
+	}
+	if g.Covered() == 0 {
+		if err := g.FirstErr(); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, fmt.Errorf("serve: shard gather covered no shards")
+	}
+	b := g.MergeBrush(s.cubeDims)
+	frac := b.Fraction()
+	resp := &BrushResponse{AppliedSeq: req.Seq, Histograms: b.Histograms, Total: b.Total}
+	if frac < 1 {
+		scale := 1 / frac
+		for _, h := range resp.Histograms {
+			for i, v := range h {
+				h[i] = int64(float64(v)*scale + 0.5)
+			}
+		}
+		resp.Total = int64(float64(b.Total)*scale + 0.5)
+		resp.Tier = "partial"
+		resp.Degraded = true
+		resp.SampleFraction = frac
+	}
+	return resp, frac, nil
+}
+
 // execBrush answers the coordinated-view query on the summed-area cube:
 // all histograms plus the total under the snapshot's filters, in
 // O(bins·2^(d-1)) lookups per histogram instead of a filtered cell-box
@@ -1057,14 +1221,7 @@ func (s *Server) execBrushPartial(req BrushRequest) (*BrushResponse, error) {
 // allocates only what the JSON response itself needs.
 func (s *Server) execBrush(req BrushRequest) (*BrushResponse, error) {
 	ndims := s.prefix.NumDims()
-	filters := make([]*datacube.Range, ndims)
-	rangeBuf := make([]datacube.Range, ndims)
-	for i, rg := range req.Ranges {
-		if rg != nil {
-			rangeBuf[i] = datacube.Range{Lo: rg[0], Hi: rg[1]}
-			filters[i] = &rangeBuf[i]
-		}
-	}
+	filters := brushFilters(req.Ranges)
 	resp := &BrushResponse{AppliedSeq: req.Seq}
 	resp.Histograms = make([][]int64, ndims)
 	bins := 0

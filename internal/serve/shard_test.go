@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/leakcheck"
+	"repro/internal/opt"
+	"repro/internal/shard"
+)
+
+// shardTestServer builds a road server and its httptest frontend, draining
+// both on cleanup.
+func shardTestServer(t *testing.T, rows int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	backends, err := RoadBackends(1, rows, engine.ProfileMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(backends, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	return srv, ts
+}
+
+// TestShardedServerMatchesUnsharded is the serving-layer end of the
+// differential proof: the same randomized brush and histogram-query
+// traffic against a sharded server and an unsharded oracle server built
+// from the same dataset. Brush responses must be byte-identical on the
+// wire; query responses must agree on every row (model cost legitimately
+// differs — S parallel partial scans are not one full scan).
+func TestShardedServerMatchesUnsharded(t *testing.T) {
+	leakcheck.Check(t)
+	const rows = 20000
+	_, oracle := shardTestServer(t, rows, Config{Workers: 2})
+	dims := RoadCubeDims()
+	loadDims := RoadLoadDims()
+
+	for _, mode := range []shard.Mode{shard.Hash, shard.Range} {
+		for _, s := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("%v/S%d", mode, s), func(t *testing.T) {
+				_, sharded := shardTestServer(t, rows, Config{Workers: 2, Shards: s, ShardMode: mode})
+				rng := rand.New(rand.NewSource(int64(1000*s) + int64(mode)))
+				session := fmt.Sprintf("diff-%v-%d", mode, s)
+
+				for seq := int64(0); seq < 15; seq++ {
+					ranges := make([]*[2]float64, len(dims))
+					for i, d := range dims {
+						if rng.Intn(4) == 0 {
+							continue
+						}
+						lo := d.Lo + rng.Float64()*(d.Hi-d.Lo)
+						ranges[i] = &[2]float64{lo, lo + rng.Float64()*(d.Hi-lo)}
+					}
+					req := BrushRequest{Session: session, Seq: seq, Ranges: ranges}
+					st1, body1 := postJSON(t, oracle.URL+"/v1/brush", req)
+					st2, body2 := postJSON(t, sharded.URL+"/v1/brush", req)
+					if st1.StatusCode != http.StatusOK || st2.StatusCode != http.StatusOK {
+						t.Fatalf("seq %d: status %d vs %d", seq, st1.StatusCode, st2.StatusCode)
+					}
+					if !bytes.Equal(body1, body2) {
+						t.Fatalf("seq %d: sharded brush body differs:\n%s\nvs oracle:\n%s", seq, body2, body1)
+					}
+				}
+
+				for seq := int64(0); seq < 8; seq++ {
+					ranges := make([][2]float64, len(dims))
+					for i, d := range dims {
+						lo := d.Lo + rng.Float64()*(d.Hi-d.Lo)
+						ranges[i] = [2]float64{lo, lo + rng.Float64()*(d.Hi-lo)}
+					}
+					stmt, err := opt.HistogramQuery("dataroad", loadDims, ranges, rng.Intn(len(dims)), dims[0].Bins)
+					if err != nil {
+						t.Fatal(err)
+					}
+					req := QueryRequest{Session: session, Seq: seq, SQL: stmt.String()}
+					st1, body1 := postJSON(t, oracle.URL+"/v1/query", req)
+					st2, body2 := postJSON(t, sharded.URL+"/v1/query", req)
+					if st1.StatusCode != http.StatusOK || st2.StatusCode != http.StatusOK {
+						t.Fatalf("query seq %d: status %d vs %d", seq, st1.StatusCode, st2.StatusCode)
+					}
+					var want, got QueryResponse
+					if err := json.Unmarshal(body1, &want); err != nil {
+						t.Fatal(err)
+					}
+					if err := json.Unmarshal(body2, &got); err != nil {
+						t.Fatal(err)
+					}
+					if got.Degraded || got.SampleFraction != 0 {
+						t.Fatalf("query seq %d: degraded sharded answer with no fault injected", seq)
+					}
+					if !reflect.DeepEqual(got.Columns, want.Columns) || !reflect.DeepEqual(got.Rows, want.Rows) {
+						t.Fatalf("query seq %d: rows differ\nsharded: %v\noracle:  %v", seq, got.Rows, want.Rows)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedBrushDegradesOnStalledShard is the serving-layer chaos proof:
+// with one of four shards wedged and deadlines on, a brush comes back 200
+// within the budget as a Degraded partial whose SampleFraction is exactly
+// the covered shards' record share, with the request's own applied_seq
+// preserved.
+func TestShardedBrushDegradesOnStalledShard(t *testing.T) {
+	leakcheck.Check(t)
+	const stalled = 2
+	faults := make([]*fault.Injector, 4)
+	faults[stalled] = fault.New(fault.Profile{Name: "wedge", StallProb: 1, StallDelay: 5 * time.Second}, 11)
+	srv, ts := shardTestServer(t, 8000, Config{
+		Workers:        2,
+		Shards:         4,
+		ShardFaults:    faults,
+		Deadlines:      true,
+		DegradeAfter:   80 * time.Millisecond,
+		BrushCacheSize: -1, // force the partial tier; the cache tier would win
+	})
+
+	wantFrac := float64(0)
+	for i := 0; i < srv.coord.NumShards(); i++ {
+		if i != stalled {
+			wantFrac += float64(srv.coord.Replica(i).Table.NumRows())
+		}
+	}
+	wantFrac /= float64(srv.coord.Records())
+
+	req := BrushRequest{Session: "chaos", Seq: 5, Ranges: make([]*[2]float64, 3)}
+	start := time.Now()
+	st, body := postJSON(t, ts.URL+"/v1/brush", req)
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("brush took %v with a wedged shard", el)
+	}
+	if st.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", st.StatusCode, body)
+	}
+	var resp BrushResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.Tier != "partial" {
+		t.Fatalf("tier %q degraded=%v, want a degraded partial", resp.Tier, resp.Degraded)
+	}
+	if resp.SampleFraction != wantFrac {
+		t.Fatalf("sample fraction %g, want %g", resp.SampleFraction, wantFrac)
+	}
+	if resp.AppliedSeq != 5 {
+		t.Fatalf("applied seq %d, want 5", resp.AppliedSeq)
+	}
+	// The scaled total estimates the full dataset from the covered share.
+	if resp.Total <= 0 {
+		t.Fatalf("partial total %d", resp.Total)
+	}
+	if st := srv.Stats(); st.Degraded == 0 || st.Deadlines == 0 {
+		t.Fatalf("registry degraded=%d deadlines=%d, want both > 0", st.Degraded, st.Deadlines)
+	}
+
+	// Heal the shard: the next brush is exact again and sequence order
+	// holds across the tier change.
+	faults[stalled].SetProfile(fault.Profile{})
+	req.Seq = 6
+	st, body = postJSON(t, ts.URL+"/v1/brush", req)
+	if st.StatusCode != http.StatusOK {
+		t.Fatalf("healed status %d: %s", st.StatusCode, body)
+	}
+	var healed BrushResponse
+	if err := json.Unmarshal(body, &healed); err != nil {
+		t.Fatal(err)
+	}
+	if healed.Degraded || healed.Tier != "exact" {
+		t.Fatalf("healed tier %q degraded=%v", healed.Tier, healed.Degraded)
+	}
+	if healed.AppliedSeq != 6 {
+		t.Fatalf("healed applied seq %d", healed.AppliedSeq)
+	}
+	if srv.Stats().Regressions != 0 {
+		t.Fatal("sequence regression across tier change")
+	}
+}
+
+// TestShardLoadgenRace drives 32 concurrent synthetic users through the
+// full HTTP stack of a 4-shard server (run under -race in CI): every
+// request answered, applied sequences monotonic, every session ends on its
+// latest state — the same invariants as the unsharded loadgen proof, now
+// with scatter-gather underneath.
+func TestShardLoadgenRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadgen integration in -short mode")
+	}
+	leakcheck.Check(t)
+	srv, ts := shardTestServer(t, 50000, Config{
+		Workers: 4, QueueDepth: 8, ExecDelay: 2 * time.Millisecond, Shards: 4,
+	})
+
+	report, err := RunLoad(LoadConfig{
+		BaseURL:     ts.URL,
+		Users:       32,
+		Adjustments: 4,
+		MaxEvents:   40,
+		Seed:        7,
+		TimeScale:   0.02,
+		Dims:        RoadLoadDims(),
+		SQLEvery:    10,
+		Table:       "dataroad",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Issued < 1000 {
+		t.Errorf("issued %d queries, want >= 1000", report.Issued)
+	}
+	if report.Responded != report.Issued {
+		t.Errorf("dropped responses: issued %d, responded %d", report.Issued, report.Responded)
+	}
+	if report.Errors != 0 {
+		t.Errorf("errors = %d, want 0", report.Errors)
+	}
+	if report.Server.Regressions != 0 {
+		t.Errorf("per-session sequence regressions = %d, want 0", report.Server.Regressions)
+	}
+	for _, u := range report.Users {
+		if !u.GotLatest {
+			t.Errorf("%s: final applied seq %d < latest issued %d", u.Session, u.FinalSeq, u.MaxSeq)
+		}
+	}
+	if report.Server.Coalesced == 0 {
+		t.Error("coalesced counter is zero")
+	}
+	t.Logf("sharded: issued=%d executed=%d coalesced=%d shed=%d lcv=%d p95=%.1fms wall=%v",
+		report.Issued, report.Server.Executed, report.Server.Coalesced, report.Server.Shed,
+		report.Server.LCV, report.P95MS, report.Wall)
+	_ = srv
+}

@@ -1,0 +1,34 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/datacube"
+	"repro/internal/dataset"
+)
+
+// BenchmarkBrushScatter times one full scatter-gather brush merge against
+// the coordinator — the serving layer's exact-tier cost per shard count.
+func BenchmarkBrushScatter(b *testing.B) {
+	roads := dataset.Roads(1, 30000)
+	dims := roadDims()
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("S%d", s), func(b *testing.B) {
+			coord, err := New(roads, dims, Options{Shards: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer coord.Close()
+			filters := []*datacube.Range{{Lo: -50, Hi: 50}, nil, nil}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Brush(ctx, filters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

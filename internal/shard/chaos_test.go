@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datacube"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/leakcheck"
+)
+
+// alwaysStall is a fault profile that stalls every operation well past any
+// test deadline — the deterministic "one shard wedged" scenario.
+var alwaysStall = fault.Profile{Name: "wedge", StallProb: 1, StallDelay: 5 * time.Second}
+
+// TestStalledShardPartialGather wedges one of four shards and proves the
+// coordinator returns within the deadline with exactly the other shards'
+// records covered — the partial answer the serving ladder degrades to,
+// with the sample fraction the paper's DSD metric needs to be honest.
+func TestStalledShardPartialGather(t *testing.T) {
+	leakcheck.Check(t)
+	roads := dataset.Roads(63, 4000)
+	dims := roadDims()
+	const stalled = 2
+	faults := make([]*fault.Injector, 4)
+	faults[stalled] = fault.New(alwaysStall, 7)
+	coord, err := New(roads, dims, Options{Shards: 4, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	oracle, err := datacube.BuildPrefix(roads, dims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []*datacube.Range{nil, {Lo: dims[1].Lo, Hi: (dims[1].Lo + dims[1].Hi) / 2}, nil}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	g, err := coord.Scatter(ctx, filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("gather took %v, deadline ignored", el)
+	}
+	if g.Complete() {
+		t.Fatal("gather complete despite a wedged shard")
+	}
+	if g.Covered() != 3 {
+		t.Fatalf("covered %d shards, want 3", g.Covered())
+	}
+	if g.Errs[stalled] == nil || !errors.Is(g.Errs[stalled], context.DeadlineExceeded) {
+		t.Fatalf("stalled shard error = %v", g.Errs[stalled])
+	}
+
+	// The fraction is record-weighted over the covered shards.
+	wantCovered := 0
+	for i := 0; i < 4; i++ {
+		if i != stalled {
+			wantCovered += coord.Replica(i).Table.NumRows()
+		}
+	}
+	wantFrac := float64(wantCovered) / float64(roads.NumRows())
+	b := g.MergeBrush(dims)
+	if b.Fraction() != wantFrac || g.Fraction() != wantFrac {
+		t.Fatalf("fraction %g want %g", b.Fraction(), wantFrac)
+	}
+
+	// The partial merge is exactly the oracle minus the wedged shard's own
+	// contribution — no double counting, no invented records.
+	missing := coord.Replica(stalled).Prefix
+	for target := range dims {
+		want, err := oracle.Histogram(target, filters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miss, err := missing.Histogram(target, filters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bin := range want {
+			if b.Histograms[target][bin] != want[bin]-miss[bin] {
+				t.Fatalf("target %d bin %d: partial %d want %d-%d",
+					target, bin, b.Histograms[target][bin], want[bin], miss[bin])
+			}
+		}
+	}
+
+	// Clearing the fault heals the fleet: the next full-deadline gather is
+	// complete and byte-identical to the oracle again.
+	faults[stalled].SetProfile(fault.Profile{})
+	healed, err := coord.Brush(context.Background(), filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Covered != 4 || healed.Fraction() != 1 {
+		t.Fatalf("healed coverage %d fraction %g", healed.Covered, healed.Fraction())
+	}
+	wantTotal, err := oracle.Count(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Total != wantTotal {
+		t.Fatalf("healed total %d want %d", healed.Total, wantTotal)
+	}
+}
+
+// TestCrossScatterRefusesPartial proves the stateful crossfilter path
+// refuses partial coverage outright: applying a filter to only some
+// replicas would leave the fleet permanently inconsistent, so a wedged
+// shard must fail the mutation, not degrade it.
+func TestCrossScatterRefusesPartial(t *testing.T) {
+	leakcheck.Check(t)
+	roads := dataset.Roads(64, 1500)
+	dims := roadDims()
+	faults := []*fault.Injector{nil, fault.New(alwaysStall, 3)}
+	coord, err := New(roads, dims, Options{Shards: 2, WithCross: true, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := coord.CrossSet(ctx, 0, dims[0].Lo, dims[0].Hi); err == nil {
+		t.Fatal("partial crossfilter mutation accepted")
+	}
+	// Stateless brushes keep working against the healthy shard (fresh
+	// deadline — the first one was spent waiting out the wedged mutation).
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	g, err := coord.Scatter(ctx2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Covered() != 1 {
+		t.Fatalf("covered %d, want 1", g.Covered())
+	}
+}
+
+// TestCoordinatorShutdown proves Close is idempotent, drains every pool
+// goroutine (leakcheck), and fails scatters issued afterwards instead of
+// hanging or panicking — including concurrently with in-flight work.
+func TestCoordinatorShutdown(t *testing.T) {
+	leakcheck.Check(t)
+	roads := dataset.Roads(65, 2000)
+	dims := roadDims()
+	coord, err := New(roads, dims, Options{Shards: 4, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer brushes from several goroutines while Close races in.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := coord.Brush(context.Background(), nil); err != nil {
+					return // closed underneath us — expected
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	coord.Close()
+	coord.Close() // idempotent
+	wg.Wait()
+
+	if _, err := coord.Scatter(context.Background(), nil); err == nil {
+		t.Fatal("scatter accepted after Close")
+	}
+	if _, _, _, err := coord.QueryHistogram(context.Background(), "SELECT 1"); err == nil {
+		// Coordinator has no engines; ok=false, err=nil is the contract.
+		_ = err
+	}
+}
+
+// TestExpiredContextSkipsWork proves a task whose deadline passed while
+// queued is answered with the context error without touching the backends.
+func TestExpiredContextSkipsWork(t *testing.T) {
+	leakcheck.Check(t)
+	roads := dataset.Roads(66, 1000)
+	coord, err := New(roads, roadDims(), Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, err := coord.Scatter(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Covered() != 0 {
+		t.Fatalf("covered %d with a dead context", g.Covered())
+	}
+	for i, e := range g.Errs {
+		if !errors.Is(e, context.Canceled) {
+			t.Fatalf("shard %d error %v", i, e)
+		}
+	}
+	if g.Fraction() != 0 {
+		t.Fatalf("fraction %g", g.Fraction())
+	}
+}

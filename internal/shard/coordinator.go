@@ -1,0 +1,444 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/crossfilter"
+	"repro/internal/datacube"
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Coordinator owns the shard replicas and scatter-gathers requests across
+// them. It is safe for concurrent use: scatters run under a read lock,
+// Close under the write lock, and each shard's pool serializes nothing
+// beyond its own task channel.
+type Coordinator struct {
+	opts    Options
+	dims    []datacube.Dim
+	workers []*worker
+	records int // total records across all partitions
+	bins    int // sum of the dims' bin counts (one backing array per answer)
+
+	mu     sync.RWMutex // guards task-channel sends against Close
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New partitions t across opts.Shards replicas and starts their worker
+// pools. dims are both the partitioning dimensions and the served cube
+// dimensions: every replica's prefix cube (and crossfilter, if requested)
+// bins against these global domains, never its partition's own min/max —
+// bin edges must agree across shards or histogram addition is meaningless.
+func New(t *storage.Table, dims []datacube.Dim, opts Options) (*Coordinator, error) {
+	opts.normalize(len(dims))
+	parts, err := Partition(t, dims, opts.Shards, opts.Mode, opts.RangeDim)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{opts: opts, dims: dims, records: t.NumRows()}
+	for _, d := range dims {
+		c.bins += d.Bins
+	}
+	specs := make([]crossfilter.DimSpec, len(dims))
+	for i, d := range dims {
+		specs[i] = crossfilter.DimSpec{Name: d.Name, Lo: d.Lo, Hi: d.Hi}
+	}
+	for id, part := range parts {
+		rep := &Replica{ID: id, Table: part}
+		rep.Prefix, err = datacube.BuildPrefix(part, dims, opts.Parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", id, err)
+		}
+		if opts.WithEngine {
+			rep.Engine = engine.New(opts.Profile)
+			rep.Engine.SetParallelism(opts.Parallelism)
+			rep.Engine.Register(part)
+		}
+		if opts.WithCross {
+			rep.Cross, err = crossfilter.NewWithBounds(part, specs, opts.Bins)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", id, err)
+			}
+			rep.Cross.SetParallelism(opts.Parallelism)
+		}
+		w := &worker{rep: rep, fault: opts.injector(id), tasks: make(chan *task, taskQueueDepth)}
+		c.workers = append(c.workers, w)
+		for g := 0; g < opts.Workers; g++ {
+			c.wg.Add(1)
+			go w.loop(&c.wg)
+		}
+	}
+	return c, nil
+}
+
+// NumShards returns the shard count.
+func (c *Coordinator) NumShards() int { return len(c.workers) }
+
+// Records returns the total record count across all partitions.
+func (c *Coordinator) Records() int { return c.records }
+
+// Replica returns shard i's replica — the differential tests reach through
+// this to compare per-shard structures against the oracle.
+func (c *Coordinator) Replica(i int) *Replica { return c.workers[i].rep }
+
+// Close shuts the worker pools down and waits for every goroutine to exit.
+// Scatters issued after Close fail; scatters in flight complete (their
+// tasks were already enqueued).
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed.Swap(true) {
+		c.mu.Unlock()
+		return
+	}
+	for _, w := range c.workers {
+		close(w.tasks)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// scatter enqueues run on every shard's pool and returns the gather
+// channel, buffered to the dispatch count so stragglers answering after an
+// abandoned gather never block.
+func (c *Coordinator) scatter(ctx context.Context, run func(ctx context.Context, r *Replica) (*Answer, error)) (<-chan result, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed.Load() {
+		return nil, fmt.Errorf("shard: coordinator closed")
+	}
+	out := make(chan result, len(c.workers))
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for i, w := range c.workers {
+		t := &task{ctx: ctx, run: run, out: out}
+		select {
+		case w.tasks <- t:
+		case <-done:
+			// The shard's backlog is full and the deadline hit first:
+			// answer for it locally so the gather still sees S results.
+			out <- result{shard: i, err: ctx.Err()}
+		}
+	}
+	return out, nil
+}
+
+// Gather is the outcome of one scatter: per-shard answers (nil where a
+// shard failed or missed the deadline) plus coverage accounting.
+type Gather struct {
+	Answers []*Answer // indexed by shard; nil means no answer
+	Errs    []error   // indexed by shard; the miss reason where Answers is nil
+
+	records        int // total records across all shards
+	covered        int // shards that answered
+	coveredRecords int // records owned by the shards that answered
+}
+
+// gather collects up to len(workers) results, stopping early when ctx
+// expires; shards that have not answered by then are marked with ctx's
+// error.
+func (c *Coordinator) gather(ctx context.Context, out <-chan result) *Gather {
+	g := &Gather{
+		Answers: make([]*Answer, len(c.workers)),
+		Errs:    make([]error, len(c.workers)),
+		records: c.records,
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for n := 0; n < len(c.workers); n++ {
+		select {
+		case r := <-out:
+			if r.err != nil {
+				g.Errs[r.shard] = r.err
+				continue
+			}
+			g.Answers[r.shard] = r.ans
+			g.covered++
+			g.coveredRecords += r.ans.Records
+		case <-done:
+			for i := range g.Errs {
+				if g.Answers[i] == nil && g.Errs[i] == nil {
+					g.Errs[i] = ctx.Err()
+				}
+			}
+			return g
+		}
+	}
+	return g
+}
+
+// Complete reports whether every shard answered.
+func (g *Gather) Complete() bool { return g.covered == len(g.Answers) }
+
+// Covered returns the number of shards that answered.
+func (g *Gather) Covered() int { return g.covered }
+
+// Fraction returns the fraction of all records owned by the shards that
+// answered — the SampleFraction a degraded partial response reports. An
+// empty dataset is trivially fully covered.
+func (g *Gather) Fraction() float64 {
+	if g.records == 0 {
+		return 1
+	}
+	return float64(g.coveredRecords) / float64(g.records)
+}
+
+// FirstErr returns the first per-shard error, or nil.
+func (g *Gather) FirstErr() error {
+	for _, err := range g.Errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Brush is a merged brush answer: one histogram per dimension plus the
+// filtered total, summed over the covered shards.
+type Brush struct {
+	Histograms     [][]int64
+	Total          int64
+	Shards         int // shard count
+	Covered        int // shards included in the merge
+	Records        int // records across all shards
+	CoveredRecords int // records across the covered shards
+}
+
+// Fraction returns the covered record fraction (1 for an empty dataset).
+func (b *Brush) Fraction() float64 {
+	if b.Records == 0 {
+		return 1
+	}
+	return float64(b.CoveredRecords) / float64(b.Records)
+}
+
+// MergeBrush sums the covered shards' histograms element-wise and their
+// totals — the merge law the differential suite proves equal to the
+// unsharded computation whenever coverage is complete.
+func (g *Gather) MergeBrush(dims []datacube.Dim) *Brush {
+	b := &Brush{
+		Histograms:     make([][]int64, len(dims)),
+		Shards:         len(g.Answers),
+		Covered:        g.covered,
+		Records:        g.records,
+		CoveredRecords: g.coveredRecords,
+	}
+	total := 0
+	for _, d := range dims {
+		total += d.Bins
+	}
+	backing := make([]int64, total)
+	off := 0
+	for i, d := range dims {
+		b.Histograms[i] = backing[off : off+d.Bins : off+d.Bins]
+		off += d.Bins
+	}
+	for _, a := range g.Answers {
+		if a == nil {
+			continue
+		}
+		b.Total += a.Total
+		for i, h := range a.Histograms {
+			dst := b.Histograms[i]
+			for bin, v := range h {
+				dst[bin] += v
+			}
+		}
+	}
+	return b
+}
+
+// Scatter fans a prefix-cube brush request (all-dimension histograms plus
+// the filtered count) out to every shard and gathers under ctx. filters
+// follows datacube conventions: nil or empty means unfiltered, otherwise
+// one entry per dimension with nil entries unfiltered.
+func (c *Coordinator) Scatter(ctx context.Context, filters []*datacube.Range) (*Gather, error) {
+	dims, bins := c.dims, c.bins
+	run := func(tctx context.Context, r *Replica) (*Answer, error) {
+		a := &Answer{Records: r.Table.NumRows(), Histograms: make([][]int64, len(dims))}
+		backing := make([]int64, bins)
+		off := 0
+		for i, d := range dims {
+			a.Histograms[i] = backing[off : off+d.Bins : off+d.Bins]
+			off += d.Bins
+			if err := r.Prefix.HistogramInto(i, filters, a.Histograms[i]); err != nil {
+				return nil, err
+			}
+		}
+		total, err := r.Prefix.Count(filters)
+		if err != nil {
+			return nil, err
+		}
+		a.Total = total
+		return a, nil
+	}
+	out, err := c.scatter(ctx, run)
+	if err != nil {
+		return nil, err
+	}
+	return c.gather(ctx, out), nil
+}
+
+// Brush is the one-shot form of Scatter: gather and merge. Callers that
+// need coverage-sensitive handling (degradation ladders) use Scatter and
+// inspect the Gather.
+func (c *Coordinator) Brush(ctx context.Context, filters []*datacube.Range) (*Brush, error) {
+	g, err := c.Scatter(ctx, filters)
+	if err != nil {
+		return nil, err
+	}
+	return g.MergeBrush(c.dims), nil
+}
+
+// crossScatter runs a crossfilter mutation plus snapshot on every shard and
+// requires full coverage: the replicas are stateful, so applying a filter
+// to only some of them would leave the fleet permanently inconsistent.
+func (c *Coordinator) crossScatter(ctx context.Context, mutate func(ctx context.Context, cf *crossfilter.Crossfilter) error) (*Brush, error) {
+	if !c.opts.WithCross {
+		return nil, fmt.Errorf("shard: coordinator built without crossfilter replicas")
+	}
+	run := func(tctx context.Context, r *Replica) (*Answer, error) {
+		r.crossMu.Lock()
+		defer r.crossMu.Unlock()
+		if err := mutate(tctx, r.Cross); err != nil {
+			return nil, err
+		}
+		// Histograms returns copies, so the snapshot is consistent even
+		// after the lock is released.
+		return &Answer{
+			Records:    r.Table.NumRows(),
+			Total:      r.Cross.Total(),
+			Histograms: r.Cross.Histograms(),
+		}, nil
+	}
+	out, err := c.scatter(ctx, run)
+	if err != nil {
+		return nil, err
+	}
+	g := c.gather(ctx, out)
+	if !g.Complete() {
+		return nil, fmt.Errorf("shard: crossfilter scatter covered %d/%d shards: %w",
+			g.covered, len(g.Answers), g.FirstErr())
+	}
+	cfDims := make([]datacube.Dim, len(c.dims))
+	for i, d := range c.dims {
+		cfDims[i] = d
+		cfDims[i].Bins = c.opts.Bins
+	}
+	return g.MergeBrush(cfDims), nil
+}
+
+// CrossSet applies a crossfilter range filter on dimension d across every
+// shard and returns the merged post-mutation snapshot. Unlike the
+// stateless prefix-cube path, this cannot degrade to partial coverage.
+func (c *Coordinator) CrossSet(ctx context.Context, d int, lo, hi float64) (*Brush, error) {
+	return c.crossScatter(ctx, func(tctx context.Context, cf *crossfilter.Crossfilter) error {
+		return cf.SetFilterCtx(tctx, d, lo, hi)
+	})
+}
+
+// CrossClear clears dimension d's crossfilter filter across every shard.
+func (c *Coordinator) CrossClear(ctx context.Context, d int) (*Brush, error) {
+	return c.crossScatter(ctx, func(tctx context.Context, cf *crossfilter.Crossfilter) error {
+		return cf.ClearFilterCtx(tctx, d)
+	})
+}
+
+// QueryHistogram scatters a histogram-shaped SQL query across the shard
+// engines and merges the per-shard (bin, count) rows by addition. The bool
+// reports whether the statement matched the fast-path shape — anything
+// else cannot be merged by addition and must run on an unsharded replica.
+// When coverage is partial, counts are scaled by 1/fraction (the
+// PartialHistogram estimation convention) and the fraction is returned;
+// complete gathers return the counts untouched, byte-identical to the
+// unsharded fast path. A gather with zero coverage returns the first
+// shard error.
+func (c *Coordinator) QueryHistogram(ctx context.Context, query string) (*engine.Result, float64, bool, error) {
+	if !c.opts.WithEngine {
+		return nil, 0, false, nil
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !c.workers[0].rep.Engine.IsHistogramShaped(stmt) {
+		return nil, 0, false, nil
+	}
+	run := func(tctx context.Context, r *Replica) (*Answer, error) {
+		res, err := r.Engine.ExecuteCtx(tctx, stmt)
+		if err != nil {
+			return nil, err
+		}
+		bins, ok := res.Histogram()
+		if !ok {
+			return nil, fmt.Errorf("shard: histogram query returned %d columns", len(res.Columns))
+		}
+		return &Answer{
+			Records: r.Table.NumRows(),
+			Bins:    bins,
+			Scanned: res.Stats.TuplesScanned,
+			Cost:    res.Stats.ModelCost,
+		}, nil
+	}
+	out, err := c.scatter(ctx, run)
+	if err != nil {
+		return nil, 0, true, err
+	}
+	g := c.gather(ctx, out)
+	if g.covered == 0 {
+		return nil, 0, true, g.FirstErr()
+	}
+	res := mergeHistResult(g)
+	return res, g.Fraction(), true, nil
+}
+
+// mergeHistResult sums the covered shards' sparse bin counts and
+// materializes the (bin, count) rows in the fast path's exact shape:
+// ascending bins, only non-empty bins, float bin / int count values. Cost
+// stats sum tuples (work done) and take the max model cost (the shards ran
+// in parallel). Partial coverage scales counts by 1/fraction with
+// round-half-up, matching PartialHistogram.
+func mergeHistResult(g *Gather) *engine.Result {
+	merged := make(map[int]int64)
+	res := &engine.Result{Columns: []string{"bin", "count"}}
+	for _, a := range g.Answers {
+		if a == nil {
+			continue
+		}
+		for bin, v := range a.Bins {
+			merged[bin] += v
+		}
+		res.Stats.TuplesScanned += a.Scanned
+		if a.Cost > res.Stats.ModelCost {
+			res.Stats.ModelCost = a.Cost
+		}
+	}
+	res.Stats.UsedFastPath = true
+	scale := 1.0
+	if frac := g.Fraction(); frac > 0 && frac < 1 {
+		scale = 1 / frac
+	}
+	bins := make([]int, 0, len(merged))
+	for b := range merged {
+		bins = append(bins, b)
+	}
+	sort.Ints(bins)
+	res.Rows = make([][]storage.Value, len(bins))
+	for i, bin := range bins {
+		cnt := merged[bin]
+		if scale != 1 {
+			cnt = int64(float64(cnt)*scale + 0.5)
+		}
+		res.Rows[i] = []storage.Value{storage.NewFloat(float64(bin)), storage.NewInt(cnt)}
+	}
+	return res
+}

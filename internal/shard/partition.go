@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/datacube"
+	"repro/internal/storage"
+)
+
+// Mode selects the partitioning function.
+type Mode int
+
+const (
+	// Hash assigns each record by a splitmix64 hash of its values in the
+	// spatial dimensions — uniform shard sizes regardless of data skew,
+	// records with identical spatial coordinates colocated.
+	Hash Mode = iota
+	// Range assigns contiguous runs of the records sorted by one spatial
+	// dimension — shard-local value locality (a narrow brush on the range
+	// dimension touches few shards), balanced by splitting at equal-count
+	// positions rather than equal-width intervals.
+	Range
+)
+
+// String returns the mode's flag spelling.
+func (m Mode) String() string {
+	if m == Range {
+		return "range"
+	}
+	return "hash"
+}
+
+// ParseMode resolves a -shardmode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "hash":
+		return Hash, nil
+	case "range":
+		return Range, nil
+	}
+	return Hash, fmt.Errorf("shard: unknown mode %q (want hash or range)", s)
+}
+
+// splitmix64 is the SplitMix64 finalizer — the same mix internal/fault
+// uses for its deterministic schedules; here it spreads spatial
+// coordinates across shards.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Partition splits t into shards disjoint sub-tables covering every record
+// exactly once — the property that makes per-shard histograms merge back
+// to the unsharded answer by plain addition. dims are the spatial
+// dimensions partitioning hashes or ranges over; rangeDim names the Range
+// mode's sort dimension ("" means dims[0]). Row order within a shard
+// preserves the original table's row order, so every per-shard structure
+// is deterministic.
+func Partition(t *storage.Table, dims []datacube.Dim, shards int, mode Mode, rangeDim string) ([]*storage.Table, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard (got %d)", shards)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("shard: no partitioning dimensions")
+	}
+	cols := make([]*storage.Column, len(dims))
+	for i, d := range dims {
+		col := t.Column(d.Name)
+		if col == nil || col.Type == storage.String {
+			return nil, fmt.Errorf("shard: no numeric column %q in table %q", d.Name, t.Name)
+		}
+		cols[i] = col
+	}
+	n := t.NumRows()
+	assign := make([]int, n)
+	switch mode {
+	case Hash:
+		for row := 0; row < n; row++ {
+			h := uint64(0x9e3779b97f4a7c15)
+			for _, col := range cols {
+				h = splitmix64(h ^ math.Float64bits(col.Float(row)))
+			}
+			assign[row] = int(h % uint64(shards))
+		}
+	case Range:
+		col := cols[0]
+		if rangeDim != "" {
+			col = nil
+			for i, d := range dims {
+				if d.Name == rangeDim {
+					col = cols[i]
+				}
+			}
+			if col == nil {
+				return nil, fmt.Errorf("shard: range dimension %q is not a partitioning dimension", rangeDim)
+			}
+		}
+		// Equal-count cuts over the sorted order: shard k owns sorted
+		// positions [k·n/S, (k+1)·n/S) — balanced even under heavy skew.
+		order := make([]int32, n)
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return col.Float(int(order[a])) < col.Float(int(order[b]))
+		})
+		for pos, row := range order {
+			assign[row] = pos * shards / n
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown mode %d", mode)
+	}
+
+	parts := make([]*storage.Table, shards)
+	for s := range parts {
+		parts[s] = storage.NewTable(t.Name, t.Schema)
+		parts[s].PageRows = t.PageRows
+	}
+	for row := 0; row < n; row++ {
+		if err := parts[assign[row]].AppendRow(t.Row(row)...); err != nil {
+			return nil, fmt.Errorf("shard: partition row %d: %w", row, err)
+		}
+	}
+	return parts, nil
+}
