@@ -1,0 +1,203 @@
+// Command colbench measures the compressed columnar store against the raw
+// slice-backed form on a scaled road-style table: resident bytes before
+// and after freezing, and brush-shaped histogram scan cost (ns/row)
+// through the SQL engine on both — validating along the way that every
+// encoded answer is byte-identical to the plain one. Results go to
+// BENCH_colstore.json.
+//
+// Usage:
+//
+//	colbench [-rows 50000000] [-seed 1] [-brushes 40] [-parallel 0]
+//	         [-json BENCH_colstore.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/crossfilter"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/opt"
+	"repro/internal/storage"
+)
+
+// Report is the benchmark's JSON artifact.
+type Report struct {
+	Rows        int    `json:"rows"`
+	Seed        int64  `json:"seed"`
+	Brushes     int    `json:"brushes"`
+	Parallelism int    `json:"parallelism"`
+	Host        string `json:"host"`
+
+	// Bytes resident per form, from colstore's accounting: the raw table
+	// reports its slice footprint, the frozen one its encoded footprint.
+	PlainBytes   int64   `json:"plain_bytes"`
+	EncodedBytes int64   `json:"encoded_bytes"`
+	Ratio        float64 `json:"ratio"`
+
+	// Brush-shaped histogram scans through the engine, same queries on
+	// both forms, answers verified identical.
+	PlainNSPerRow   float64 `json:"plain_ns_per_row"`
+	EncodedNSPerRow float64 `json:"encoded_ns_per_row"`
+	Speedup         float64 `json:"speedup"`
+
+	FreezeMS float64 `json:"freeze_ms"`
+
+	Columns []colstore.ColumnStats `json:"columns"`
+}
+
+func main() {
+	rows := flag.Int("rows", 50_000_000, "row count of the synthetic road-style table")
+	seed := flag.Int64("seed", 1, "generator seed")
+	brushes := flag.Int("brushes", 40, "brush-shaped histogram queries per form")
+	parallel := flag.Int("parallel", 0, "engine scan parallelism (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "BENCH_colstore.json", "write the report here ('' = stdout only)")
+	flag.Parse()
+
+	if err := run(*rows, *seed, *brushes, *parallel, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "colbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rows int, seed int64, brushes, parallel int, jsonOut string) error {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "colbench: generating %d rows...\n", rows)
+	raw := dataset.SynthRoads(seed, rows)
+
+	start := time.Now()
+	frozen, err := colstore.Freeze(raw, &colstore.Options{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	freezeMS := float64(time.Since(start)) / float64(time.Millisecond)
+	encStats := colstore.StatsOf(frozen)
+	rawStats := colstore.StatsOf(raw)
+	fmt.Fprintf(os.Stderr, "colbench: frozen in %.0fms: %d -> %d bytes (%.2fx)\n",
+		freezeMS, rawStats.EncodedBytes, encStats.EncodedBytes, encStats.Ratio)
+
+	rep := Report{
+		Rows: rows, Seed: seed, Brushes: brushes, Parallelism: parallel,
+		Host:         fmt.Sprintf("go %s %s/%s %d cpus", runtime.Version(), runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		PlainBytes:   rawStats.EncodedBytes,
+		EncodedBytes: encStats.EncodedBytes,
+		Ratio:        encStats.Ratio,
+		FreezeMS:     freezeMS,
+		Columns:      encStats.Columns,
+	}
+
+	plainEng := engine.New(engine.ProfileMemory)
+	plainEng.Register(raw)
+	plainEng.SetParallelism(parallel)
+	encEng := engine.New(engine.ProfileMemory)
+	encEng.Register(frozen)
+	encEng.SetParallelism(parallel)
+
+	// Brush-shaped queries over the numeric dimensions, identical on both
+	// engines; the string column stays out (brushes are numeric ranges).
+	var dims []opt.CrossfilterDim
+	for _, sp := range dataset.RoadStyle() {
+		if sp.Type != storage.String {
+			dims = append(dims, opt.CrossfilterDim{Column: sp.Name, Lo: sp.Lo, Hi: sp.Hi})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([]string, brushes)
+	for i := range queries {
+		ranges := make([][2]float64, len(dims))
+		for j, d := range dims {
+			lo := d.Lo + rng.Float64()*(d.Hi-d.Lo)*0.8
+			ranges[j] = [2]float64{lo, lo + rng.Float64()*(d.Hi-lo)}
+		}
+		stmt, err := opt.HistogramQuery("synthroad", dims, ranges, i%len(dims), crossfilter.DefaultBins)
+		if err != nil {
+			return err
+		}
+		queries[i] = stmt.String()
+	}
+
+	measure := func(eng *engine.Engine) (time.Duration, []*engine.Result, error) {
+		// One warmup pass, then the measured pass.
+		for _, q := range queries[:min(3, len(queries))] {
+			if _, err := eng.Query(q); err != nil {
+				return 0, nil, err
+			}
+		}
+		results := make([]*engine.Result, len(queries))
+		t0 := time.Now()
+		for i, q := range queries {
+			r, err := eng.Query(q)
+			if err != nil {
+				return 0, nil, err
+			}
+			results[i] = r
+		}
+		return time.Since(t0), results, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "colbench: scanning %d brushes on the plain form...\n", brushes)
+	plainDur, plainRes, err := measure(plainEng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "colbench: scanning %d brushes on the encoded form...\n", brushes)
+	encDur, encRes, err := measure(encEng)
+	if err != nil {
+		return err
+	}
+	for i := range plainRes {
+		if !reflect.DeepEqual(plainRes[i].Rows, encRes[i].Rows) {
+			return fmt.Errorf("answer mismatch on query %d:\n  %s\nplain %v\nencoded %v",
+				i, queries[i], plainRes[i].Rows, encRes[i].Rows)
+		}
+		if !plainRes[i].Stats.UsedFastPath || !encRes[i].Stats.UsedFastPath {
+			return fmt.Errorf("query %d missed the fast path (plain %v, encoded %v)",
+				i, plainRes[i].Stats.UsedFastPath, encRes[i].Stats.UsedFastPath)
+		}
+	}
+
+	scanned := float64(rows) * float64(brushes)
+	rep.PlainNSPerRow = float64(plainDur) / scanned
+	rep.EncodedNSPerRow = float64(encDur) / scanned
+	rep.Speedup = rep.PlainNSPerRow / rep.EncodedNSPerRow
+
+	fmt.Printf("rows %d  memory %.2fx smaller (%d -> %d bytes)\n",
+		rows, rep.Ratio, rep.PlainBytes, rep.EncodedBytes)
+	fmt.Printf("brush scan  plain %.3f ns/row  encoded %.3f ns/row  (%.2fx)\n",
+		rep.PlainNSPerRow, rep.EncodedNSPerRow, rep.Speedup)
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "colbench: wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

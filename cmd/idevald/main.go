@@ -11,6 +11,7 @@
 //	        [-deadlines] [-degradeafter 250ms]   # degradation ladder
 //	        [-chaos PROFILE] [-chaosseed N]      # fault injection
 //	        [-shards N] [-shardmode hash|range]  # scatter-gather serving
+//	        [-encode]                            # compressed columnar storage
 //	        [-debug-addr 127.0.0.1:6060]         # pprof endpoint
 //
 // Endpoints: POST /v1/query {session,seq,sql}; POST /v1/brush
@@ -38,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -62,11 +64,12 @@ func main() {
 	chaosSeed := flag.Int64("chaosseed", 1, "fault injection seed")
 	shards := flag.Int("shards", 0, "partition the dataset across N scatter-gather shards (0 or 1 = unsharded)")
 	shardMode := flag.String("shardmode", "hash", "shard partitioning: hash or range")
+	encode := flag.Bool("encode", false, "freeze the dataset into compressed columnar form (dictionary / bit-packed encodings with vectorized scan kernels)")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
 
 	if err := run(*addr, *ds, *rows, *profile, *workers, *queue, *constraint, *execDelay, *logPath, *seed,
-		*deadlines, *degradeAfter, *chaos, *chaosSeed, *shards, *shardMode, *debugAddr); err != nil {
+		*deadlines, *degradeAfter, *chaos, *chaosSeed, *shards, *shardMode, *encode, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "idevald:", err)
 		os.Exit(1)
 	}
@@ -86,7 +89,7 @@ func buildBackends(ds string, rows int, prof engine.Profile, seed int64) (serve.
 }
 
 func run(addr, ds string, rows int, profile string, workers, queue int, constraint, execDelay time.Duration, logPath string, seed int64,
-	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64, shards int, shardMode, debugAddr string) error {
+	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64, shards int, shardMode string, encode bool, debugAddr string) error {
 	prof := engine.ProfileMemory
 	if profile == "disk" {
 		prof = engine.ProfileDisk
@@ -107,6 +110,15 @@ func run(addr, ds string, rows int, profile string, workers, queue int, constrai
 	backends, err := buildBackends(ds, rows, prof, seed)
 	if err != nil {
 		return err
+	}
+	if encode {
+		backends, err = serve.EncodeBackends(backends)
+		if err != nil {
+			return err
+		}
+		st := colstore.StatsOf(backends.Tiles)
+		fmt.Fprintf(os.Stderr, "idevald: encoded %d rows: %d -> %d bytes (%.2fx)\n",
+			st.Rows, st.PlainBytes, st.EncodedBytes, st.Ratio)
 	}
 
 	cfg := serve.Config{

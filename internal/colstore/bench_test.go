@@ -1,0 +1,74 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPacked builds n packed codes of the given width.
+func benchPacked(n int, width uint) *PackedInts {
+	rng := rand.New(rand.NewSource(int64(width)))
+	vals := make([]uint64, n)
+	max := uint64(1)<<width - 1
+	for i := range vals {
+		vals[i] = rng.Uint64() & max
+	}
+	return PackInts(vals, width)
+}
+
+func benchFilterCodes(b *testing.B, width uint, and bool) {
+	const n = 1 << 20
+	p := benchPacked(n, width)
+	dst := NewBitmap(n)
+	if and {
+		// A half-dense prior selection: the AND pass walks its set bits.
+		for w := range dst.words {
+			dst.words[w] = 0x5555555555555555
+		}
+	}
+	max := uint64(1)<<width - 1
+	cLo, cHi := max/4, 3*max/4
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filterCodes(p, cLo, cHi, 0, n, dst, and)
+		if and {
+			// Restore the prior selection so every iteration does the
+			// same work (the AND pass clears bits).
+			for w := range dst.words {
+				dst.words[w] = 0x5555555555555555
+			}
+		}
+	}
+}
+
+func BenchmarkFilterCodesW4(b *testing.B)     { benchFilterCodes(b, 4, false) }
+func BenchmarkFilterCodesW16(b *testing.B)    { benchFilterCodes(b, 16, false) }
+func BenchmarkFilterCodesW24(b *testing.B)    { benchFilterCodes(b, 24, false) }
+func BenchmarkFilterCodesAndW16(b *testing.B) { benchFilterCodes(b, 16, true) }
+
+func BenchmarkFilterFloats(b *testing.B) {
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	dst := NewBitmap(n)
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filterFloats(vals, 0.25, 0.75, 0, n, dst, false)
+	}
+}
+
+func BenchmarkPackedGet(b *testing.B) {
+	const n = 1 << 20
+	p := benchPacked(n, 16)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.Get(i & (n - 1))
+	}
+	_ = sink
+}

@@ -1,0 +1,324 @@
+package colstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, width := range []uint{0, 1, 3, 7, 8, 13, 16, 21, 32, 48, 63, 64} {
+		n := 500 + rng.Intn(200)
+		vals := make([]uint64, n)
+		var mask uint64
+		if width > 0 {
+			mask = ^uint64(0) >> (64 - width)
+		}
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		p := PackInts(vals, width)
+		if p.Len() != n || p.Width() != width {
+			t.Fatalf("width %d: Len/Width = %d/%d", width, p.Len(), p.Width())
+		}
+		for i, want := range vals {
+			if got := p.Get(i); got != want {
+				t.Fatalf("width %d: Get(%d) = %d, want %d", width, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPackedEmptyAndZeroWidth(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		width uint
+	}{{0, 0}, {0, 17}, {5, 0}} {
+		p := NewPackedZero(tc.n, tc.width)
+		for i := 0; i < tc.n; i++ {
+			if p.Get(i) != 0 {
+				t.Fatalf("n=%d width=%d: Get(%d) != 0", tc.n, tc.width, i)
+			}
+		}
+		if len(p.words) < 2 {
+			t.Fatalf("n=%d width=%d: %d words; Get needs two", tc.n, tc.width, len(p.words))
+		}
+	}
+}
+
+func TestPackedPutOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of an over-width value did not panic")
+		}
+	}()
+	NewPackedZero(4, 3).Put(0, 8)
+}
+
+func TestBitmapBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1000
+	b := NewBitmap(n)
+	ref := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			b.Set(i)
+			ref[i] = true
+		}
+	}
+	want := 0
+	for i, v := range ref {
+		if v {
+			want++
+		}
+		if b.Get(i) != v {
+			t.Fatalf("Get(%d) = %v, want %v", i, b.Get(i), v)
+		}
+	}
+	if b.Count() != want {
+		t.Fatalf("Count = %d, want %d", b.Count(), want)
+	}
+	for trial := 0; trial < 200; trial++ {
+		r0, r1 := rng.Intn(n+1), rng.Intn(n+1)
+		if r0 > r1 {
+			r0, r1 = r1, r0
+		}
+		cnt := 0
+		for i := r0; i < r1; i++ {
+			if ref[i] {
+				cnt++
+			}
+		}
+		if got := b.CountRange(r0, r1); got != cnt {
+			t.Fatalf("CountRange(%d, %d) = %d, want %d", r0, r1, got, cnt)
+		}
+	}
+	var visited []int
+	b.ForEachSet(0, n, func(i int) { visited = append(visited, i) })
+	j := 0
+	for i, v := range ref {
+		if !v {
+			continue
+		}
+		if j >= len(visited) || visited[j] != i {
+			t.Fatalf("ForEachSet order mismatch at set-bit %d", j)
+		}
+		j++
+	}
+	if j != len(visited) {
+		t.Fatalf("ForEachSet visited %d rows, want %d", len(visited), j)
+	}
+}
+
+func TestRangeFromOpMatchesComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := []float64{0, -0.0, 1, -1, 0.1, -2.5, math.Inf(1), math.Inf(-1), math.NaN(), math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64}
+	for i := 0; i < 50; i++ {
+		xs = append(xs, rng.NormFloat64()*100)
+	}
+	vs := append([]float64{}, xs...)
+	for _, op := range []string{">=", "<=", ">", "<"} {
+		for _, x := range xs {
+			lo, hi := RangeFromOp(op, x)
+			for _, v := range vs {
+				if math.IsNaN(v) {
+					continue // NaN values are filtered by kernels, not the transform
+				}
+				var want bool
+				switch op {
+				case ">=":
+					want = v >= x
+				case "<=":
+					want = v <= x
+				case ">":
+					want = v > x
+				case "<":
+					want = v < x
+				}
+				got := v >= lo && v <= hi
+				if got != want {
+					t.Fatalf("RangeFromOp(%q, %v) = [%v, %v]: v=%v selected=%v, want %v", op, x, lo, hi, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectRange(t *testing.T) {
+	if lo, hi := IntersectRange(0, 10, 5, 20); lo != 5 || hi != 10 {
+		t.Fatalf("IntersectRange = [%v, %v], want [5, 10]", lo, hi)
+	}
+	if lo, hi := IntersectRange(0, 1, 2, 3); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatalf("disjoint ranges should intersect to NaN, got [%v, %v]", lo, hi)
+	}
+	if lo, _ := IntersectRange(math.NaN(), math.NaN(), 0, 1); !math.IsNaN(lo) {
+		t.Fatal("NaN input should stay NaN")
+	}
+}
+
+// rawTable builds an unfrozen table directly from slices.
+func rawTable(name string, cols map[string]interface{}, order []string) *storage.Table {
+	t := &storage.Table{Name: name, PageRows: storage.DefaultPageRows}
+	for _, cn := range order {
+		switch vals := cols[cn].(type) {
+		case []float64:
+			t.Schema = append(t.Schema, storage.ColumnDef{Name: cn, Type: storage.Float64})
+			t.Columns = append(t.Columns, &storage.Column{Type: storage.Float64, Floats: vals})
+		case []int64:
+			t.Schema = append(t.Schema, storage.ColumnDef{Name: cn, Type: storage.Int64})
+			t.Columns = append(t.Columns, &storage.Column{Type: storage.Int64, Ints: vals})
+		case []string:
+			t.Schema = append(t.Schema, storage.ColumnDef{Name: cn, Type: storage.String})
+			t.Columns = append(t.Columns, &storage.Column{Type: storage.String, Strings: vals})
+		}
+	}
+	return t
+}
+
+func TestFreezeEncodingSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 4000
+	lowCardF := make([]float64, n) // quantized → dict
+	highCardF := make([]float64, n)
+	nanF := make([]float64, n)
+	walkI := make([]int64, n) // narrow range → for
+	hugeI := make([]int64, n) // distinct values past ±2^52 → plain
+	cat := make([]string, n)  // low cardinality → dict
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	for i := range lowCardF {
+		lowCardF[i] = float64(rng.Intn(100)) / 100
+		highCardF[i] = rng.NormFloat64()
+		nanF[i] = rng.NormFloat64()
+		walkI[i] = int64(1000 + rng.Intn(512))
+		hugeI[i] = (int64(1) << 53) + int64(i)*4096
+		cat[i] = names[rng.Intn(len(names))]
+	}
+	nanF[n/2] = math.NaN()
+
+	tbl := rawTable("sel", map[string]interface{}{
+		"lowf": lowCardF, "highf": highCardF, "nanf": nanF,
+		"walk": walkI, "huge": hugeI, "cat": cat,
+	}, []string{"lowf", "highf", "nanf", "walk", "huge", "cat"})
+	frozen, err := Freeze(tbl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Encoding{
+		"lowf": Dict, "highf": Plain, "nanf": Plain,
+		"walk": ForPacked, "huge": Plain, "cat": Dict,
+	}
+	for cn, enc := range want {
+		col, ok := Of(frozen.Column(cn))
+		if !ok {
+			t.Fatalf("column %q not encoded", cn)
+		}
+		if col.Encoding() != enc {
+			t.Fatalf("column %q: encoding %v, want %v", cn, col.Encoding(), enc)
+		}
+	}
+	if !IsFrozen(frozen) {
+		t.Fatal("IsFrozen(frozen) = false")
+	}
+	if IsFrozen(tbl) {
+		t.Fatal("IsFrozen(raw) = true")
+	}
+
+	// Frozen reads are bit-identical through the storage surface.
+	for _, cn := range []string{"lowf", "highf", "nanf", "walk", "huge", "cat"} {
+		raw, froze := tbl.Column(cn), frozen.Column(cn)
+		if raw.Len() != froze.Len() {
+			t.Fatalf("column %q: Len %d vs %d", cn, raw.Len(), froze.Len())
+		}
+		for i := 0; i < n; i++ {
+			a, b := raw.Value(i), froze.Value(i)
+			if a.Type != b.Type || a.S != b.S ||
+				math.Float64bits(a.F) != math.Float64bits(b.F) || a.I != b.I {
+				t.Fatalf("column %q row %d: %v vs %v", cn, i, a, b)
+			}
+		}
+	}
+
+	// Idempotent: refreezing shares the encoded columns.
+	again, err := Freeze(frozen, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frozen.Columns {
+		if again.Columns[i] != frozen.Columns[i] {
+			t.Fatalf("refreeze rebuilt column %d", i)
+		}
+	}
+
+	// Frozen tables refuse appends.
+	if err := frozen.AppendRow(storage.NewFloat(1), storage.NewFloat(1), storage.NewFloat(1),
+		storage.NewInt(1), storage.NewInt(1), storage.NewString("x")); err == nil {
+		t.Fatal("AppendRow on a frozen table succeeded")
+	}
+
+	st := StatsOf(frozen)
+	if st.Rows != n || len(st.Columns) != 6 {
+		t.Fatalf("StatsOf: rows=%d cols=%d", st.Rows, len(st.Columns))
+	}
+	if st.Ratio <= 1 {
+		t.Fatalf("StatsOf ratio %v, want > 1 for this mostly-compressible table", st.Ratio)
+	}
+	var total int64
+	for _, cs := range st.Columns {
+		if cs.Bytes <= 0 || cs.PlainBytes <= 0 {
+			t.Fatalf("column %q: bytes=%d plain=%d", cs.Name, cs.Bytes, cs.PlainBytes)
+		}
+		total += cs.Bytes
+	}
+	if total != st.EncodedBytes {
+		t.Fatalf("EncodedBytes %d != column sum %d", st.EncodedBytes, total)
+	}
+}
+
+func TestFreezeSignedZeroExactness(t *testing.T) {
+	vals := []float64{0, -0.0, 1, -0.0, 0, 2, 0, -0.0}
+	tbl := rawTable("zeros", map[string]interface{}{"v": vals}, []string{"v"})
+	frozen, err := Freeze(tbl, &Options{MinRatio: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := Of(frozen.Column("v"))
+	if col.Encoding() != Dict {
+		t.Fatalf("encoding %v, want Dict", col.Encoding())
+	}
+	for i, want := range vals {
+		got := frozen.Column("v").Float(i)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("row %d: %v (bits %x) != %v (bits %x)", i, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	// A range containing zero selects both signed-zero codes.
+	bm := NewBitmap(len(vals))
+	col.FilterRange(-0.5, 0.5, 0, len(vals), bm, false)
+	for i, v := range vals {
+		if bm.Get(i) != (v == 0) {
+			t.Fatalf("row %d (v=%v): selected=%v", i, v, bm.Get(i))
+		}
+	}
+}
+
+func TestStorageFloatPanicsOnText(t *testing.T) {
+	col := &storage.Column{Type: storage.String, Strings: []string{"a"}}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Float on a TEXT column did not panic")
+			}
+		}()
+		col.Float(0)
+	}()
+	if _, err := col.FloatAt(0); err == nil {
+		t.Fatal("FloatAt on a TEXT column returned no error")
+	}
+	num := &storage.Column{Type: storage.Float64, Floats: []float64{2.5}}
+	if v, err := num.FloatAt(0); err != nil || v != 2.5 {
+		t.Fatalf("FloatAt = %v, %v", v, err)
+	}
+}

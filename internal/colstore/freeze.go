@@ -1,0 +1,394 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+
+	"repro/internal/morsel"
+	"repro/internal/storage"
+)
+
+// Options tunes Freeze's encoding selection.
+type Options struct {
+	// Parallelism is the worker count for code packing; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+	// MaxDictCard caps dictionary cardinality; distinct-value collection
+	// bails out early past it and the column stays Plain (or ForPacked).
+	// 0 means DefaultMaxDictCard.
+	MaxDictCard int
+	// MinRatio is the minimum plain/encoded byte ratio an encoding must
+	// achieve to displace Plain — compressing 3% is not worth the decode
+	// arithmetic. 0 means DefaultMinRatio.
+	MinRatio float64
+}
+
+// DefaultMaxDictCard bounds dictionaries at 2M entries (16 MB of float64
+// dictionary), far past any real categorical or quantized column.
+const DefaultMaxDictCard = 1 << 21
+
+// DefaultMinRatio requires an encoding to save at least ~13% over plain.
+const DefaultMinRatio = 1.15
+
+func (o *Options) normalized() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Parallelism <= 0 {
+		out.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if out.MaxDictCard <= 0 {
+		out.MaxDictCard = DefaultMaxDictCard
+	}
+	if out.MinRatio <= 0 {
+		out.MinRatio = DefaultMinRatio
+	}
+	return out
+}
+
+// Freeze returns a new table with the same name, schema, and row contents
+// whose columns are encoded into their cheapest exact representation —
+// sorted-dictionary codes, frame-of-reference packed ints, or plain
+// passthrough. The frozen table is immutable (appends error) and reads
+// back bit-identically to the source through the storage.Column surface,
+// so every existing consumer works on it unchanged; scan hot paths
+// type-assert Of(col) for the vectorized kernels. Already-frozen columns
+// pass through untouched, making Freeze idempotent.
+func Freeze(t *storage.Table, opts *Options) (*storage.Table, error) {
+	if t == nil {
+		return nil, fmt.Errorf("colstore: nil table")
+	}
+	o := opts.normalized()
+	out := &storage.Table{
+		Name:     t.Name,
+		Schema:   t.Schema,
+		Columns:  make([]*storage.Column, len(t.Columns)),
+		PageRows: t.PageRows,
+	}
+	for i, col := range t.Columns {
+		if col.Enc != nil {
+			out.Columns[i] = col
+			continue
+		}
+		out.Columns[i] = &storage.Column{Type: col.Type, Enc: encodeColumn(col, &o)}
+	}
+	return out, nil
+}
+
+// IsFrozen reports whether every column of the table is colstore-encoded.
+func IsFrozen(t *storage.Table) bool {
+	if t == nil || len(t.Columns) == 0 {
+		return false
+	}
+	for _, col := range t.Columns {
+		if _, ok := Of(col); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeColumn picks and builds the encoding for one raw column.
+func encodeColumn(col *storage.Column, o *Options) Column {
+	switch col.Type {
+	case storage.Float64:
+		return encodeFloats(col.Floats, o)
+	case storage.Int64:
+		return encodeInts(col.Ints, o)
+	default:
+		return encodeStrings(col.Strings, o)
+	}
+}
+
+// encodeFloats dictionary-encodes a float column when its cardinality and
+// the resulting bytes justify it. Distinct values are keyed by bit
+// pattern (so -0.0 and +0.0 decode back exactly) and NaN disqualifies the
+// column — NaN has no sorted position, and the kernels' compare semantics
+// already match the oracle through the Plain path.
+func encodeFloats(vals []float64, o *Options) Column {
+	plainBytes := int64(len(vals)) * 8
+	distinct := make(map[uint64]uint32, 1024)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			return NewPlainFloats(vals)
+		}
+		bits := math.Float64bits(v)
+		if _, ok := distinct[bits]; !ok {
+			if len(distinct) >= o.MaxDictCard {
+				return NewPlainFloats(vals)
+			}
+			distinct[bits] = 0
+		}
+	}
+	card := len(distinct)
+	dict := make([]float64, 0, card)
+	for bits := range distinct {
+		dict = append(dict, math.Float64frombits(bits))
+	}
+	sort.Slice(dict, func(a, b int) bool {
+		x, y := dict[a], dict[b]
+		if x != y {
+			return x < y
+		}
+		// Only ±0.0 compares equal with distinct bits; put -0.0 first so
+		// the dictionary is deterministic.
+		return math.Signbit(x) && !math.Signbit(y)
+	})
+	width := WidthFor(uint64(maxInt(card-1, 0)))
+	c := &DictColumn{
+		typ:        storage.Float64,
+		fvals:      dict,
+		plainBytes: plainBytes,
+		dictBytes:  int64(card) * 8,
+	}
+	if float64(plainBytes) < o.MinRatio*float64(packedBytes(len(vals), width)+c.dictBytes) {
+		return NewPlainFloats(vals)
+	}
+	for code, v := range dict {
+		distinct[math.Float64bits(v)] = uint32(code)
+	}
+	c.codes = packCodes(len(vals), width, o.Parallelism, func(i int) uint64 {
+		return uint64(distinct[math.Float64bits(vals[i])])
+	})
+	return c
+}
+
+// encodeInts picks between frame-of-reference packing (contiguous-ish
+// ranges), a dictionary (low cardinality over a wide or huge-magnitude
+// range), and plain. ForPacked requires every value within ±2^52 — the
+// magnitude where float64(int64) stays exact, which the bound translation
+// depends on — and a useful width.
+func encodeInts(vals []int64, o *Options) Column {
+	plainBytes := int64(len(vals)) * 8
+	if len(vals) == 0 {
+		return NewPlainInts(vals)
+	}
+	minV, maxV := vals[0], vals[0]
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var forBytes int64 = math.MaxInt64
+	var forWidth uint
+	span := uint64(maxV) - uint64(minV)
+	if minV >= -forMaxMagnitude && maxV <= forMaxMagnitude {
+		if w := WidthFor(span); w <= forMaxWidth {
+			forWidth = w
+			forBytes = packedBytes(len(vals), w)
+		}
+	}
+
+	var dictBytes int64 = math.MaxInt64
+	var dict []int64
+	distinct := make(map[int64]uint32, 1024)
+	for _, v := range vals {
+		if _, ok := distinct[v]; !ok {
+			if len(distinct) >= o.MaxDictCard {
+				distinct = nil
+				break
+			}
+			distinct[v] = 0
+		}
+	}
+	if distinct != nil {
+		dict = make([]int64, 0, len(distinct))
+		for v := range distinct {
+			dict = append(dict, v)
+		}
+		sort.Slice(dict, func(a, b int) bool { return dict[a] < dict[b] })
+		dictBytes = packedBytes(len(vals), WidthFor(uint64(maxInt(len(dict)-1, 0)))) + int64(len(dict))*8
+	}
+
+	best := minInt64(forBytes, dictBytes)
+	if float64(plainBytes) < o.MinRatio*float64(best) {
+		return NewPlainInts(vals)
+	}
+	if forBytes <= dictBytes {
+		c := &ForColumn{ref: minV, span: span}
+		c.codes = packCodes(len(vals), forWidth, o.Parallelism, func(i int) uint64 {
+			return uint64(vals[i]) - uint64(minV)
+		})
+		return c
+	}
+	for code, v := range dict {
+		distinct[v] = uint32(code)
+	}
+	c := &DictColumn{
+		typ:        storage.Int64,
+		ivals:      dict,
+		plainBytes: plainBytes,
+		dictBytes:  int64(len(dict)) * 8,
+	}
+	c.codes = packCodes(len(vals), WidthFor(uint64(maxInt(len(dict)-1, 0))), o.Parallelism, func(i int) uint64 {
+		return uint64(distinct[vals[i]])
+	})
+	return c
+}
+
+// encodeStrings dictionary-encodes a string column unless its cardinality
+// approaches the row count, where a dictionary would just duplicate it.
+func encodeStrings(vals []string, o *Options) Column {
+	distinct := make(map[string]uint32, 1024)
+	for _, v := range vals {
+		if _, ok := distinct[v]; !ok {
+			if len(distinct) >= o.MaxDictCard {
+				return NewPlainStrings(vals)
+			}
+			distinct[v] = 0
+		}
+	}
+	dict := make([]string, 0, len(distinct))
+	var dataBytes int64
+	for v := range distinct {
+		dict = append(dict, v)
+		dataBytes += int64(len(v))
+	}
+	sort.Strings(dict)
+	width := WidthFor(uint64(maxInt(len(dict)-1, 0)))
+	c := &DictColumn{
+		typ:        storage.String,
+		svals:      dict,
+		plainBytes: stringHeaderBytes*int64(len(vals)) + dataBytes,
+		dictBytes:  stringHeaderBytes*int64(len(dict)) + dataBytes,
+	}
+	if float64(c.plainBytes) < o.MinRatio*float64(packedBytes(len(vals), width)+c.dictBytes) {
+		return NewPlainStrings(vals)
+	}
+	for code, v := range dict {
+		distinct[v] = uint32(code)
+	}
+	c.codes = packCodes(len(vals), width, o.Parallelism, func(i int) uint64 {
+		return uint64(distinct[vals[i]])
+	})
+	return c
+}
+
+// stringHeaderBytes is a Go string header (pointer + length). Plain-bytes
+// accounting for string columns counts one header per row plus each
+// distinct string's payload once — the fully-shared-backing assumption,
+// which understates (never inflates) the compression ratio.
+const stringHeaderBytes = 16
+
+// plainStringBytes is the equivalent-plain footprint of a string slice.
+func plainStringBytes(vals []string) int64 {
+	seen := make(map[string]struct{}, 1024)
+	var data int64
+	for _, v := range vals {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			data += int64(len(v))
+		}
+	}
+	return stringHeaderBytes*int64(len(vals)) + data
+}
+
+// packedBytes is the byte footprint of n elements packed at width.
+func packedBytes(n int, width uint) int64 {
+	nbits := uint64(n) * uint64(width)
+	nwords := (nbits+63)/64 + 1
+	if nwords < 2 {
+		nwords = 2
+	}
+	return int64(nwords) * 8
+}
+
+// packCodes fills a packed array morsel-parallel: morsel boundaries are
+// 64-element-aligned, so workers touch disjoint words (see NewPackedZero).
+func packCodes(n int, width uint, parallelism int, codeOf func(i int) uint64) *PackedInts {
+	p := NewPackedZero(n, width)
+	workers := 1
+	if parallelism > 1 && n >= 2*morsel.Size {
+		workers = morsel.Workers(parallelism, n)
+	}
+	morsel.Run(n, workers, func(_, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.Put(i, codeOf(i))
+		}
+	})
+	return p
+}
+
+// ColumnStats describes one column's encoded footprint.
+type ColumnStats struct {
+	Name        string  `json:"name"`
+	Encoding    string  `json:"encoding"`
+	Bytes       int64   `json:"bytes"`
+	PlainBytes  int64   `json:"plain_bytes"`
+	Ratio       float64 `json:"ratio"`
+	Cardinality int     `json:"cardinality,omitempty"` // dictionary entries; 0 = not dictionary-coded
+	BitWidth    uint    `json:"bit_width,omitempty"`   // packed code width; 0 = unpacked
+}
+
+// TableStats aggregates per-column footprints; Ratio is the table-level
+// compression factor (plain bytes over encoded bytes).
+type TableStats struct {
+	Table        string        `json:"table"`
+	Rows         int           `json:"rows"`
+	Columns      []ColumnStats `json:"columns"`
+	EncodedBytes int64         `json:"encoded_bytes"`
+	PlainBytes   int64         `json:"plain_bytes"`
+	Ratio        float64       `json:"ratio"`
+}
+
+// StatsOf computes the byte footprint of every column. Unfrozen columns
+// report their raw slice footprint under the "plain" encoding, so the
+// stats surface works before and after Freeze.
+func StatsOf(t *storage.Table) TableStats {
+	st := TableStats{Table: t.Name, Rows: t.NumRows()}
+	for i, col := range t.Columns {
+		cs := ColumnStats{Name: t.Schema[i].Name, Encoding: Plain.String()}
+		if enc, ok := Of(col); ok {
+			cs.Encoding = enc.EncodingName()
+			cs.Bytes = enc.EncodedBytes()
+			cs.PlainBytes = enc.PlainBytes()
+			if d, ok := enc.(*DictColumn); ok {
+				cs.Cardinality = d.card()
+				cs.BitWidth = d.codes.Width()
+			}
+			if f, ok := enc.(*ForColumn); ok {
+				cs.BitWidth = f.codes.Width()
+			}
+		} else {
+			switch col.Type {
+			case storage.Float64:
+				cs.Bytes = int64(len(col.Floats)) * 8
+			case storage.Int64:
+				cs.Bytes = int64(len(col.Ints)) * 8
+			default:
+				cs.Bytes = plainStringBytes(col.Strings)
+			}
+			cs.PlainBytes = cs.Bytes
+		}
+		if cs.Bytes > 0 {
+			cs.Ratio = float64(cs.PlainBytes) / float64(cs.Bytes)
+		}
+		st.Columns = append(st.Columns, cs)
+		st.EncodedBytes += cs.Bytes
+		st.PlainBytes += cs.PlainBytes
+	}
+	if st.EncodedBytes > 0 {
+		st.Ratio = float64(st.PlainBytes) / float64(st.EncodedBytes)
+	}
+	return st
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package colstore
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PackedInts stores n unsigned integers of one fixed bit width, packed
+// contiguously into 64-bit words. One padding word is appended so that any
+// element can be extracted by reading two adjacent words and shifting —
+// no bounds branch, no per-element width branch — which is what keeps the
+// filter kernels' inner loops branchless:
+//
+//	c := (words[w]>>off | words[w+1]<<(64-off)) & mask
+//
+// (Go defines shifts by >= 64 to yield 0, so the off == 0 case needs no
+// special handling.) Width 0 is the constant column: no payload bits, all
+// elements decode to 0.
+type PackedInts struct {
+	words []uint64
+	width uint
+	mask  uint64
+	n     int
+}
+
+// PackInts packs vals at the given width (0..64). Every value must fit:
+// values with bits above width panic, because silently truncating a code
+// would decode to the wrong value — an invariant violation, not an input
+// error.
+func PackInts(vals []uint64, width uint) *PackedInts {
+	p := NewPackedZero(len(vals), width)
+	for i, v := range vals {
+		p.Put(i, v)
+	}
+	return p
+}
+
+// NewPackedZero allocates a packed array of n zero elements at the given
+// width, ready for Put. Builders filling disjoint 64-row-aligned element
+// ranges may Put concurrently: an element range starting at a multiple of
+// 64 starts at a word boundary for every width.
+func NewPackedZero(n int, width uint) *PackedInts {
+	if width > 64 {
+		panic(fmt.Sprintf("colstore: bit width %d out of range", width))
+	}
+	var mask uint64
+	if width > 0 {
+		mask = ^uint64(0) >> (64 - width)
+	}
+	nbits := uint64(n) * uint64(width)
+	nwords := (nbits+63)/64 + 1
+	if nwords < 2 {
+		nwords = 2 // Get always reads two words, even at width 0
+	}
+	return &PackedInts{
+		words: make([]uint64, nwords),
+		width: width,
+		mask:  mask,
+		n:     n,
+	}
+}
+
+// Put sets element i, which must currently be zero (words are OR-filled).
+func (p *PackedInts) Put(i int, v uint64) {
+	if v&^p.mask != 0 {
+		panic(fmt.Sprintf("colstore: value %d exceeds %d-bit width", v, p.width))
+	}
+	if p.width == 0 {
+		return
+	}
+	bit := uint64(i) * uint64(p.width)
+	w, off := bit>>6, uint(bit&63)
+	p.words[w] |= v << off
+	if off+p.width > 64 {
+		p.words[w+1] |= v >> (64 - off)
+	}
+}
+
+// Get extracts element i.
+func (p *PackedInts) Get(i int) uint64 {
+	bit := uint64(i) * uint64(p.width)
+	w, off := bit>>6, uint(bit&63)
+	return (p.words[w]>>off | p.words[w+1]<<(64-off)) & p.mask
+}
+
+// Len returns the element count.
+func (p *PackedInts) Len() int { return p.n }
+
+// Width returns the per-element bit width.
+func (p *PackedInts) Width() uint { return p.width }
+
+// Bytes returns the resident byte footprint of the packed words.
+func (p *PackedInts) Bytes() int64 { return int64(len(p.words)) * 8 }
+
+// WidthFor returns the minimal bit width that represents max (0 for 0).
+func WidthFor(max uint64) uint {
+	return uint(bits.Len64(max))
+}

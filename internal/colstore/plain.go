@@ -1,0 +1,163 @@
+package colstore
+
+import (
+	"repro/internal/storage"
+)
+
+// PlainFloats is the passthrough encoding for incompressible float64
+// columns (high-cardinality or NaN-containing). It exists so that a frozen
+// table is uniformly colstore-backed: consumers type-assert one interface
+// and every column answers, compressed or not.
+type PlainFloats struct {
+	vals []float64
+}
+
+// NewPlainFloats wraps a float64 slice (borrowed, not copied).
+func NewPlainFloats(vals []float64) *PlainFloats { return &PlainFloats{vals: vals} }
+
+func (c *PlainFloats) Len() int                  { return len(c.vals) }
+func (c *PlainFloats) Value(i int) storage.Value { return storage.NewFloat(c.vals[i]) }
+func (c *PlainFloats) Float(i int) float64       { return c.vals[i] }
+func (c *PlainFloats) EncodedBytes() int64       { return int64(len(c.vals)) * 8 }
+func (c *PlainFloats) EncodingName() string      { return Plain.String() }
+func (c *PlainFloats) Encoding() Encoding        { return Plain }
+func (c *PlainFloats) Type() storage.Type        { return storage.Float64 }
+func (c *PlainFloats) PlainBytes() int64         { return int64(len(c.vals)) * 8 }
+
+// RawFloats exposes the backing slice (FloatSlice capability).
+func (c *PlainFloats) RawFloats() []float64 { return c.vals }
+
+func (c *PlainFloats) FilterRange(lo, hi float64, r0, r1 int, dst *Bitmap, and bool) {
+	filterFloats(c.vals, lo, hi, r0, r1, dst, and)
+}
+
+func (c *PlainFloats) FilterEqual(v storage.Value, r0, r1 int, dst *Bitmap, and bool) {
+	x := v.AsFloat()
+	filterFloats(c.vals, x, x, r0, r1, dst, and)
+}
+
+func (c *PlainFloats) FilterIn(vals []storage.Value, r0, r1 int, dst *Bitmap, and bool) {
+	filterAnyFloat(c.vals, nil, vals, r0, r1, dst, and)
+}
+
+// PlainInts is the passthrough encoding for int64 columns whose value
+// range defeats frame-of-reference packing (width >= 64 bits, or
+// magnitudes past 2^52 where the float64 image — what every scan compares
+// — goes inexact).
+type PlainInts struct {
+	vals []int64
+}
+
+// NewPlainInts wraps an int64 slice (borrowed, not copied).
+func NewPlainInts(vals []int64) *PlainInts { return &PlainInts{vals: vals} }
+
+func (c *PlainInts) Len() int                  { return len(c.vals) }
+func (c *PlainInts) Value(i int) storage.Value { return storage.NewInt(c.vals[i]) }
+func (c *PlainInts) Float(i int) float64       { return float64(c.vals[i]) }
+func (c *PlainInts) EncodedBytes() int64       { return int64(len(c.vals)) * 8 }
+func (c *PlainInts) EncodingName() string      { return Plain.String() }
+func (c *PlainInts) Encoding() Encoding        { return Plain }
+func (c *PlainInts) Type() storage.Type        { return storage.Int64 }
+func (c *PlainInts) PlainBytes() int64         { return int64(len(c.vals)) * 8 }
+
+func (c *PlainInts) FilterRange(lo, hi float64, r0, r1 int, dst *Bitmap, and bool) {
+	filterInts(c.vals, lo, hi, r0, r1, dst, and)
+}
+
+func (c *PlainInts) FilterEqual(v storage.Value, r0, r1 int, dst *Bitmap, and bool) {
+	x := v.AsFloat()
+	filterInts(c.vals, x, x, r0, r1, dst, and)
+}
+
+func (c *PlainInts) FilterIn(vals []storage.Value, r0, r1 int, dst *Bitmap, and bool) {
+	filterAnyFloat(nil, c.vals, vals, r0, r1, dst, and)
+}
+
+// PlainStrings is the passthrough encoding for string columns whose
+// cardinality defeats dictionary coding (near-distinct values, where a
+// dictionary would just duplicate the column). Numeric-range kernels
+// panic, mirroring storage.Column.Float's TEXT contract; equality and
+// in-set kernels compare strings directly.
+type PlainStrings struct {
+	vals       []string
+	plainBytes int64
+}
+
+// NewPlainStrings wraps a string slice (borrowed, not copied).
+func NewPlainStrings(vals []string) *PlainStrings {
+	return &PlainStrings{vals: vals, plainBytes: plainStringBytes(vals)}
+}
+
+func (c *PlainStrings) Len() int                  { return len(c.vals) }
+func (c *PlainStrings) Value(i int) storage.Value { return storage.NewString(c.vals[i]) }
+func (c *PlainStrings) Float(i int) float64 {
+	panic("storage: Float on a TEXT column (string columns have no numeric form; use Value)")
+}
+func (c *PlainStrings) EncodedBytes() int64  { return c.plainBytes }
+func (c *PlainStrings) EncodingName() string { return Plain.String() }
+func (c *PlainStrings) Encoding() Encoding   { return Plain }
+func (c *PlainStrings) Type() storage.Type   { return storage.String }
+func (c *PlainStrings) PlainBytes() int64    { return c.plainBytes }
+
+func (c *PlainStrings) FilterRange(lo, hi float64, r0, r1 int, dst *Bitmap, and bool) {
+	panic("colstore: FilterRange on a TEXT column")
+}
+
+func (c *PlainStrings) FilterEqual(v storage.Value, r0, r1 int, dst *Bitmap, and bool) {
+	c.FilterIn([]storage.Value{v}, r0, r1, dst, and)
+}
+
+func (c *PlainStrings) FilterIn(vals []storage.Value, r0, r1 int, dst *Bitmap, and bool) {
+	set := make([]string, 0, len(vals))
+	for _, v := range vals {
+		if v.Type == storage.String {
+			set = append(set, v.S)
+		}
+	}
+	for base := r0; base < r1; base += 64 {
+		end := base + 64
+		if end > r1 {
+			end = r1
+		}
+		var sel uint64
+		for i := base; i < end; i++ {
+			var hit uint64
+			for _, x := range set {
+				hit |= b2u(c.vals[i] == x)
+			}
+			sel |= hit << uint(i-base)
+		}
+		storeWord(dst, base, sel, and)
+	}
+}
+
+// filterAnyFloat selects rows whose float64 image equals any of vals —
+// the in-set kernel for unencoded numerics. Exactly one of fvals/ivals is
+// non-nil.
+func filterAnyFloat(fvals []float64, ivals []int64, vals []storage.Value, r0, r1 int, dst *Bitmap, and bool) {
+	set := make([]float64, len(vals))
+	for i, v := range vals {
+		set[i] = v.AsFloat()
+	}
+	for base := r0; base < r1; base += 64 {
+		end := base + 64
+		if end > r1 {
+			end = r1
+		}
+		var sel uint64
+		for i := base; i < end; i++ {
+			var v float64
+			if fvals != nil {
+				v = fvals[i]
+			} else {
+				v = float64(ivals[i])
+			}
+			var hit uint64
+			for _, x := range set {
+				hit |= b2u(v == x)
+			}
+			sel |= hit << uint(i-base)
+		}
+		storeWord(dst, base, sel, and)
+	}
+}

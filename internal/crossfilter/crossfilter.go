@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/colstore"
 	"repro/internal/morsel"
 	"repro/internal/storage"
 )
@@ -38,6 +39,21 @@ type Dimension struct {
 	active   bool
 	empty    bool // filter normalized to match-nothing (NaN or inverted bounds)
 
+	// Code-space state: when the backing column is colstore-encoded with
+	// order-preserving codes of manageable span, the dimension runs on the
+	// column's packed codes directly — values and bins stay nil (saving
+	// 12 bytes/record), the filter translates once per update into the code
+	// interval [cLo, cHi], per-record work becomes a packed read plus a LUT
+	// lookup, and the sorted permutation comes from a counting sort whose
+	// per-code prefix positions (offsets) replace the sorted-values array
+	// (another 8 bytes/record) for window binary searches.
+	coded     colstore.Coded
+	codes     *colstore.PackedInts
+	binLUT    []int32 // histogram bin per code
+	offsets   []int32 // len card+1: sorted positions of code c are [offsets[c], offsets[c+1])
+	cLo, cHi  uint64
+	codeEmpty bool // active filter's range contains no code's value
+
 	// Sorted-index delta state (delta.go): order is the permutation of
 	// record indexes sorted by value, sorted holds the values in that order
 	// (for cache-friendly binary search), and [winLo, winHi) is the sorted
@@ -49,6 +65,14 @@ type Dimension struct {
 	winHi  int
 	hasNaN bool
 }
+
+// codeLUTCap bounds the code span a dimension will build per-code tables
+// for (bin LUT, prefix offsets): 1<<22 codes ≈ 16 MB of int32 LUT, far past
+// any dictionary Freeze builds and most frame-of-reference spans.
+const codeLUTCap = 1 << 22
+
+// Coded reports whether the dimension runs in code space.
+func (d *Dimension) Coded() bool { return d.coded != nil }
 
 // FilterLo returns the active filter's lower bound; meaningful only when
 // Filtered.
@@ -72,6 +96,39 @@ func (d *Dimension) fails(v float64) bool {
 		return true
 	}
 	return v < d.filterLo || v > d.filterHi
+}
+
+// failRecord reports whether record i fails the dimension's current filter
+// — the per-record form of fails, reading the packed code in code-space
+// mode (where the filter is a code interval, compared branchlessly) and the
+// materialized value otherwise. Code-space dimensions never contain NaN
+// (Freeze keeps NaN-containing columns Plain), so the two forms agree
+// exactly.
+func (d *Dimension) failRecord(i int) bool {
+	if !d.active {
+		return false
+	}
+	if d.empty {
+		return true
+	}
+	if d.coded != nil {
+		if d.codeEmpty {
+			return true
+		}
+		c := d.codes.Get(i)
+		return c-d.cLo > d.cHi-d.cLo // unsigned wrap: true for c < cLo too
+	}
+	v := d.values[i]
+	return v < d.filterLo || v > d.filterHi
+}
+
+// binRecord returns record i's histogram bin: a code LUT lookup in
+// code-space mode, the precomputed per-record bin otherwise.
+func (d *Dimension) binRecord(i int) int32 {
+	if d.binLUT != nil {
+		return d.binLUT[d.codes.Get(i)]
+	}
+	return d.bins[i]
 }
 
 // BinOf returns the histogram bin of a value in this dimension's domain.
@@ -196,17 +253,44 @@ func NewWithBounds(table *storage.Table, specs []DimSpec, bins int) (*Crossfilte
 			return nil, fmt.Errorf("crossfilter: column %q is not numeric", name)
 		}
 		d := &Dimension{Name: name, Lo: spec.Lo, Hi: spec.Hi, Bins: bins}
-		d.values = make([]float64, n)
-		d.bins = make([]int32, n)
-		// Each slot is computed independently from the column, so workers
-		// writing disjoint ranges produce the exact serial result.
-		morsel.Run(n, c.workers(), func(_, _, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				v := col.Float(i)
-				d.values[i] = v
-				d.bins[i] = int32(d.BinOf(v))
+		if enc, ok := colstore.Of(col); ok && n > 0 {
+			if coded, isCoded := enc.(colstore.Coded); isCoded && coded.CodeSpan() < codeLUTCap {
+				// Code-space mode: share the column's packed codes, bin once
+				// per code, and counting-sort the delta permutation.
+				d.coded = coded
+				d.codes = coded.Codes()
+				card := int(coded.CodeSpan()) + 1
+				d.binLUT = make([]int32, card)
+				for code := 0; code < card; code++ {
+					d.binLUT[code] = int32(d.BinOf(coded.DecodeFloat(uint64(code))))
+				}
+				d.buildCodeIndex(n)
+				c.dims = append(c.dims, d)
+				continue
 			}
-		})
+		}
+		d.bins = make([]int32, n)
+		if fs, ok := colstore.FloatSliceOf(col); ok {
+			// Plain-float passthrough: borrow the slice instead of copying
+			// 8 bytes/record.
+			d.values = fs
+			morsel.Run(n, c.workers(), func(_, _, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					d.bins[i] = int32(d.BinOf(d.values[i]))
+				}
+			})
+		} else {
+			d.values = make([]float64, n)
+			// Each slot is computed independently from the column, so workers
+			// writing disjoint ranges produce the exact serial result.
+			morsel.Run(n, c.workers(), func(_, _, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := col.Float(i)
+					d.values[i] = v
+					d.bins[i] = int32(d.BinOf(v))
+				}
+			})
+		}
 		d.buildIndex(n)
 		c.dims = append(c.dims, d)
 	}
@@ -283,6 +367,13 @@ func (c *Crossfilter) SetFilterCtx(ctx context.Context, d int, lo, hi float64) e
 	bit := uint32(1) << uint(d)
 	dim.filterLo, dim.filterHi, dim.active = lo, hi, true
 	dim.empty = math.IsNaN(lo) || math.IsNaN(hi) || lo > hi
+	if dim.coded != nil && !dim.empty {
+		// Translate the value range into code space once; every record then
+		// compares its packed code against [cLo, cHi].
+		var ok bool
+		dim.cLo, dim.cHi, ok = dim.coded.CodeRange(lo, hi)
+		dim.codeEmpty = !ok
+	}
 	return c.updateFilter(ctx, d, bit)
 }
 
@@ -296,7 +387,7 @@ func (c *Crossfilter) ClearFilter(d int) {
 func (c *Crossfilter) ClearFilterCtx(ctx context.Context, d int) error {
 	dim := c.dims[d]
 	bit := uint32(1) << uint(d)
-	dim.active, dim.empty = false, false
+	dim.active, dim.empty, dim.codeEmpty = false, false, false
 	return c.updateFilter(ctx, d, bit)
 }
 
@@ -363,7 +454,7 @@ func (c *Crossfilter) applyFilter(ctx context.Context, d int, bit uint32) error 
 func (c *Crossfilter) flipRecord(i, d int, bit uint32, total *int64, delta []int64, offs []int) {
 	dim := c.dims[d]
 	oldFail := c.masks[i]&bit != 0
-	newFail := dim.fails(dim.values[i])
+	newFail := dim.failRecord(i)
 	if oldFail == newFail {
 		return
 	}
@@ -393,7 +484,7 @@ func (c *Crossfilter) flipRecord(i, d int, bit uint32, total *int64, delta []int
 		if oldIn == newIn {
 			continue
 		}
-		b := kd.bins[i]
+		b := kd.binRecord(i)
 		if newIn {
 			delta[offs[k]+int(b)]++
 		} else {
@@ -456,7 +547,7 @@ func (c *Crossfilter) recomputeAllCtx(ctx context.Context) error {
 		for i := lo; i < hi; i++ {
 			var mask uint32
 			for d, dim := range c.dims {
-				if dim.fails(dim.values[i]) {
+				if dim.failRecord(i) {
 					mask |= 1 << uint(d)
 				}
 			}
@@ -466,7 +557,7 @@ func (c *Crossfilter) recomputeAllCtx(ctx context.Context) error {
 			}
 			for d, dim := range c.dims {
 				if mask&^(1<<uint(d)) == 0 {
-					delta[offs[d]+int(dim.bins[i])]++
+					delta[offs[d]+int(dim.binRecord(i))]++
 				}
 			}
 		}

@@ -1,0 +1,162 @@
+package crossfilter
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/storage"
+)
+
+// encTable builds a table whose columns freeze into each dimension-relevant
+// shape: quantized floats (dict codes), narrow ints (frame-of-reference
+// codes), and dense floats (plain passthrough, slice-borrowed).
+func encTable(seed int64, n int) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	xq := make([]float64, n)
+	lanes := make([]int64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xq[i] = float64(rng.Intn(2000)-1000) / 250
+		lanes[i] = int64(100 + rng.Intn(900))
+		y[i] = rng.NormFloat64() * 3
+	}
+	return &storage.Table{
+		Name: "enc",
+		Schema: storage.Schema{
+			{Name: "xq", Type: storage.Float64},
+			{Name: "lanes", Type: storage.Int64},
+			{Name: "y", Type: storage.Float64},
+		},
+		Columns: []*storage.Column{
+			{Type: storage.Float64, Floats: xq},
+			{Type: storage.Int64, Ints: lanes},
+			{Type: storage.Float64, Floats: y},
+		},
+		PageRows: storage.DefaultPageRows,
+	}
+}
+
+// assertSameState compares every observable count of two crossfilters.
+func assertSameState(t *testing.T, label string, got, want *Crossfilter) {
+	t.Helper()
+	if got.Total() != want.Total() {
+		t.Fatalf("%s: total %d vs %d", label, got.Total(), want.Total())
+	}
+	for d := 0; d < want.NumDims(); d++ {
+		g, w := got.Histogram(d), want.Histogram(d)
+		for b := range w {
+			if g[b] != w[b] {
+				t.Fatalf("%s: dim %d bin %d: %d vs %d", label, d, b, g[b], w[b])
+			}
+		}
+	}
+}
+
+// TestEncodedCrossfilterMatchesPlain drives randomized brush sequences
+// (drags, jumps, clears, empty and inverted filters) through a crossfilter
+// over the frozen table and one over the raw table, across parallelism and
+// incremental settings. Every observable count must match at every step.
+func TestEncodedCrossfilterMatchesPlain(t *testing.T) {
+	n := 60_000
+	raw := encTable(17, n)
+	frozen, err := colstore.Freeze(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []string{"xq", "lanes", "y"}
+
+	for _, par := range []int{1, 4, 8} {
+		for _, incr := range []bool{false, true} {
+			want, err := New(raw, dims, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := New(frozen, dims, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The compressed dimensions must actually run in code space and
+			// the plain-float dimension must not.
+			if !got.Dim(0).Coded() || !got.Dim(1).Coded() || got.Dim(2).Coded() {
+				t.Fatalf("coded flags: %v %v %v, want true true false",
+					got.Dim(0).Coded(), got.Dim(1).Coded(), got.Dim(2).Coded())
+			}
+			if want.Dim(0).Coded() || want.Dim(1).Coded() {
+				t.Fatal("raw-table dimensions claim to be coded")
+			}
+			for _, c := range []*Crossfilter{want, got} {
+				c.SetParallelism(par)
+				c.SetIncremental(incr)
+			}
+			assertSameState(t, "initial", got, want)
+
+			rng := rand.New(rand.NewSource(int64(par)*100 + int64(len(dims))))
+			domains := [][2]float64{{-4, 4}, {100, 1000}, {-10, 10}}
+			// Persistent brush edges per dimension, nudged like a drag.
+			edges := [][2]float64{{-1, 1}, {300, 700}, {-2, 2}}
+			for step := 0; step < 120; step++ {
+				d := rng.Intn(len(dims))
+				switch rng.Intn(10) {
+				case 0:
+					want.ClearFilter(d)
+					got.ClearFilter(d)
+				case 1: // jump: new random brush
+					lo := domains[d][0] + rng.Float64()*(domains[d][1]-domains[d][0])
+					hi := domains[d][0] + rng.Float64()*(domains[d][1]-domains[d][0])
+					edges[d] = [2]float64{lo, hi} // may be inverted → empty filter
+					want.SetFilter(d, lo, hi)
+					got.SetFilter(d, lo, hi)
+				default: // drag: nudge one edge
+					span := domains[d][1] - domains[d][0]
+					e := rng.Intn(2)
+					edges[d][e] += (rng.Float64() - 0.5) * span * 0.05
+					want.SetFilter(d, edges[d][0], edges[d][1])
+					got.SetFilter(d, edges[d][0], edges[d][1])
+				}
+				assertSameState(t, "step", got, want)
+			}
+			if incr {
+				gd, _ := got.ScanStats()
+				wd, _ := want.ScanStats()
+				if gd == 0 || wd == 0 {
+					t.Fatalf("delta path never taken (encoded %d, plain %d)", gd, wd)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodedCrossfilterExactCodeBoundaries pins filter bounds exactly on
+// dictionary values and one ULP around them — the edges where code-interval
+// translation could diverge from float comparison.
+func TestEncodedCrossfilterExactCodeBoundaries(t *testing.T) {
+	n := 5_000
+	raw := encTable(3, n)
+	frozen, err := colstore.Freeze(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(raw, []string{"xq", "lanes"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(frozen, []string{"xq", "lanes"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := raw.Column("xq").Floats
+	for _, lo := range []float64{xs[0], xs[7], xs[99]} {
+		for _, hi := range []float64{xs[1], xs[42], lo} {
+			want.SetFilter(0, lo, hi)
+			got.SetFilter(0, lo, hi)
+			assertSameState(t, "float boundary", got, want)
+		}
+	}
+	// Integer dimension: fractional and exact bounds.
+	for _, b := range [][2]float64{{100, 100}, {100.5, 900}, {99.9, 100.1}, {500.2, 500.8}, {901, 1000}} {
+		want.SetFilter(1, b[0], b[1])
+		got.SetFilter(1, b[0], b[1])
+		assertSameState(t, "int boundary", got, want)
+	}
+}

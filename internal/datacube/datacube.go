@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/colstore"
 	"repro/internal/morsel"
 	"repro/internal/storage"
 )
@@ -129,13 +130,14 @@ func BuildWithCtx(ctx context.Context, t *storage.Table, dims []Dim, parallelism
 	}
 
 	n := t.NumRows()
+	binFns := c.binners(cols, n)
 	workers := 1
 	if parallelism != 1 && n >= 2*morsel.Size && total <= maxParallelCells {
 		workers = morsel.Workers(parallelism, n)
 	}
 	if workers <= 1 {
 		err := morsel.RunCtx(ctx, n, 1, func(_, _, lo, hi int) {
-			c.countRows(cols, c.cells, lo, hi)
+			c.countRows(binFns, c.cells, lo, hi)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("datacube: build aborted: %w", err)
@@ -147,7 +149,7 @@ func BuildWithCtx(ctx context.Context, t *storage.Table, dims []Dim, parallelism
 		partials[w] = make([]int64, total)
 	}
 	err := morsel.RunCtx(ctx, n, workers, func(w, _, lo, hi int) {
-		c.countRows(cols, partials[w], lo, hi)
+		c.countRows(binFns, partials[w], lo, hi)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("datacube: build aborted: %w", err)
@@ -160,12 +162,45 @@ func BuildWithCtx(ctx context.Context, t *storage.Table, dims []Dim, parallelism
 	return c, nil
 }
 
+// cubeLUTCap bounds the code span a build will precompute a bin-per-code
+// LUT for, mirroring crossfilter's cap.
+const cubeLUTCap = 1 << 22
+
+// binners compiles one bin-of-row function per dimension. Colstore-coded
+// columns bin through a code LUT (one decode per *distinct* value instead
+// of one per row), frozen plain-float columns borrow the raw slice, and
+// everything else reads through the column's Float surface.
+func (c *Cube) binners(cols []*storage.Column, n int) []func(row int) int {
+	binFns := make([]func(row int) int, len(cols))
+	for i, col := range cols {
+		d := c.dims[i]
+		if enc, ok := colstore.Of(col); ok && n > 0 {
+			if coded, isCoded := enc.(colstore.Coded); isCoded && coded.CodeSpan() < cubeLUTCap {
+				codes := coded.Codes()
+				lut := make([]int32, coded.CodeSpan()+1)
+				for code := range lut {
+					lut[code] = int32(d.binOf(coded.DecodeFloat(uint64(code))))
+				}
+				binFns[i] = func(row int) int { return int(lut[codes.Get(row)]) }
+				continue
+			}
+			if fs, ok := colstore.FloatSliceOf(col); ok {
+				binFns[i] = func(row int) int { return d.binOf(fs[row]) }
+				continue
+			}
+		}
+		col := col
+		binFns[i] = func(row int) int { return d.binOf(col.Float(row)) }
+	}
+	return binFns
+}
+
 // countRows bins rows [lo, hi) into cells.
-func (c *Cube) countRows(cols []*storage.Column, cells []int64, lo, hi int) {
+func (c *Cube) countRows(binFns []func(row int) int, cells []int64, lo, hi int) {
 	for row := lo; row < hi; row++ {
 		idx := 0
-		for i, d := range c.dims {
-			idx += d.binOf(cols[i].Float(row)) * c.strides[i]
+		for i := range c.dims {
+			idx += binFns[i](row) * c.strides[i]
 		}
 		cells[idx]++
 	}

@@ -1,0 +1,93 @@
+package datacube
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/storage"
+)
+
+// TestEncodedCubeMatchesPlain builds the same cube from a raw table and its
+// frozen form, at serial and parallel build levels, and requires identical
+// cells — then identical histograms under randomized filter boxes.
+func TestEncodedCubeMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 50_000
+	xq := make([]float64, n)
+	lanes := make([]int64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xq[i] = float64(rng.Intn(1200)) / 100
+		lanes[i] = int64(rng.Intn(64))
+		y[i] = rng.Float64() * 30
+	}
+	raw := &storage.Table{
+		Name: "cube",
+		Schema: storage.Schema{
+			{Name: "xq", Type: storage.Float64},
+			{Name: "lanes", Type: storage.Int64},
+			{Name: "y", Type: storage.Float64},
+		},
+		Columns: []*storage.Column{
+			{Type: storage.Float64, Floats: xq},
+			{Type: storage.Int64, Ints: lanes},
+			{Type: storage.Float64, Floats: y},
+		},
+		PageRows: storage.DefaultPageRows,
+	}
+	frozen, err := colstore.Freeze(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []Dim{
+		{Name: "xq", Lo: 0, Hi: 12, Bins: 20},
+		{Name: "lanes", Lo: 0, Hi: 63, Bins: 16},
+		{Name: "y", Lo: 0, Hi: 30, Bins: 20},
+	}
+	for _, par := range []int{1, 4} {
+		want, err := BuildWith(raw, dims, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BuildWith(frozen, dims, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumCells() != want.NumCells() || got.NumRecords() != want.NumRecords() {
+			t.Fatalf("P=%d: shape mismatch", par)
+		}
+		for i := range want.cells {
+			if got.cells[i] != want.cells[i] {
+				t.Fatalf("P=%d: cell %d: %d vs %d", par, i, got.cells[i], want.cells[i])
+			}
+		}
+		for trial := 0; trial < 20; trial++ {
+			filters := make([]*Range, len(dims))
+			for i, d := range dims {
+				if rng.Intn(2) == 0 {
+					lo := d.Lo + rng.Float64()*(d.Hi-d.Lo)
+					hi := d.Lo + rng.Float64()*(d.Hi-d.Lo)
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					filters[i] = &Range{Lo: lo, Hi: hi}
+				}
+			}
+			target := rng.Intn(len(dims))
+			hw, err := want.Histogram(target, filters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hg, err := got.Histogram(target, filters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := range hw {
+				if hg[b] != hw[b] {
+					t.Fatalf("P=%d trial %d: bin %d: %d vs %d", par, trial, b, hg[b], hw[b])
+				}
+			}
+		}
+	}
+}

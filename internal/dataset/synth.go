@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/storage"
+)
+
+// ColSpec describes one synthetic column for Synth: its storage type, the
+// value domain, and the knobs the colstore benchmarks turn — cardinality
+// (how many distinct values the column draws from), quantization (values
+// snapped to a grid, the shape sensor and coordinate data has), and random
+// walks (spatially correlated sequences like the road network's
+// coordinates, which stay dense but compress poorly).
+type ColSpec struct {
+	Name string
+	Type storage.Type // Float64, Int64, or String
+
+	// Lo/Hi bound numeric domains (ignored for strings).
+	Lo, Hi float64
+
+	// Cardinality > 0 draws values from that many distinct points spread
+	// over [Lo, Hi] (or that many distinct strings) — the dictionary-
+	// encoding case. 0 means unconstrained.
+	Cardinality int
+
+	// Quantum > 0 snaps numeric values to multiples of it — distinct
+	// counts then follow from the domain width, not an explicit list.
+	Quantum float64
+
+	// Walk makes the column a clamped random walk over [Lo, Hi] with the
+	// given step scale instead of independent draws — dense, correlated,
+	// and effectively incompressible at full float precision.
+	Walk float64
+}
+
+// Synth generates a rows-by-len(specs) table deterministically from seed.
+// Each column gets its own rng stream (derived from seed and the column
+// index), so adding or reordering columns never perturbs the values of the
+// others, and the same spec at two row counts agrees on the shared prefix.
+func Synth(name string, seed int64, rows int, specs []ColSpec) (*storage.Table, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("dataset: synth table needs at least one column")
+	}
+	schema := make(storage.Schema, len(specs))
+	cols := make([]*storage.Column, len(specs))
+	for i, sp := range specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("dataset: synth column %d has no name", i)
+		}
+		schema[i] = storage.ColumnDef{Name: sp.Name, Type: sp.Type}
+		col, err := synthColumn(seed+int64(i)*0x9e3779b9, rows, sp)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+	}
+	return &storage.Table{
+		Name:     name,
+		Schema:   schema,
+		Columns:  cols,
+		PageRows: storage.DefaultPageRows,
+	}, nil
+}
+
+// synthColumn fills one column from its spec.
+func synthColumn(seed int64, rows int, sp ColSpec) (*storage.Column, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch sp.Type {
+	case storage.String:
+		if sp.Cardinality <= 0 {
+			return nil, fmt.Errorf("dataset: string column %q needs Cardinality > 0", sp.Name)
+		}
+		vocab := make([]string, sp.Cardinality)
+		for i := range vocab {
+			vocab[i] = fmt.Sprintf("%s-%s-%03d", pick(rng, adjectives), pick(rng, nouns), i)
+		}
+		vals := make([]string, rows)
+		for i := range vals {
+			vals[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return &storage.Column{Type: storage.String, Strings: vals}, nil
+	case storage.Float64, storage.Int64:
+	default:
+		return nil, fmt.Errorf("dataset: column %q has unsupported type %v", sp.Name, sp.Type)
+	}
+	if sp.Hi < sp.Lo {
+		return nil, fmt.Errorf("dataset: column %q has inverted domain [%g, %g]", sp.Name, sp.Lo, sp.Hi)
+	}
+	vals := make([]float64, rows)
+	switch {
+	case sp.Walk > 0:
+		v := sp.Lo + rng.Float64()*(sp.Hi-sp.Lo)
+		for i := range vals {
+			v = clamp(v+rng.NormFloat64()*sp.Walk, sp.Lo, sp.Hi)
+			vals[i] = v
+		}
+	case sp.Cardinality > 0:
+		points := make([]float64, sp.Cardinality)
+		for i := range points {
+			if sp.Cardinality == 1 {
+				points[i] = sp.Lo
+				break
+			}
+			points[i] = sp.Lo + (sp.Hi-sp.Lo)*float64(i)/float64(sp.Cardinality-1)
+		}
+		for i := range vals {
+			vals[i] = points[rng.Intn(len(points))]
+		}
+	default:
+		for i := range vals {
+			vals[i] = sp.Lo + rng.Float64()*(sp.Hi-sp.Lo)
+		}
+	}
+	if sp.Quantum > 0 {
+		for i := range vals {
+			vals[i] = clamp(math.Round(vals[i]/sp.Quantum)*sp.Quantum, sp.Lo, sp.Hi)
+		}
+	}
+	if sp.Type == storage.Int64 {
+		ints := make([]int64, rows)
+		for i, v := range vals {
+			ints[i] = int64(math.Round(v))
+		}
+		return &storage.Column{Type: storage.Int64, Ints: ints}, nil
+	}
+	return &storage.Column{Type: storage.Float64, Floats: vals}, nil
+}
+
+// RoadStyle returns the column mix of the colstore benchmark's scaled
+// road-style table: two coordinate random walks quantized to a 1e-5 grid
+// (the precision GPS traces ship with), a coarsely quantized altitude, a
+// low-cardinality road category, a small-domain lane count, and a speed
+// limit drawn from a handful of legal values. The walks land in plain or
+// frame-of-reference storage; the rest dictionary-encode.
+func RoadStyle() []ColSpec {
+	lonLo, lonHi, latLo, latHi, altLo, altHi := RoadBounds()
+	return []ColSpec{
+		{Name: "x", Type: storage.Float64, Lo: lonLo, Hi: lonHi, Walk: 0.0004, Quantum: 1e-5},
+		{Name: "y", Type: storage.Float64, Lo: latLo, Hi: latHi, Walk: 0.0002, Quantum: 1e-5},
+		{Name: "z", Type: storage.Float64, Lo: altLo, Hi: altHi, Walk: 0.4, Quantum: 0.01},
+		{Name: "category", Type: storage.String, Cardinality: 24},
+		{Name: "lanes", Type: storage.Int64, Lo: 1, Hi: 6},
+		{Name: "speed", Type: storage.Int64, Lo: 30, Hi: 130, Cardinality: 8},
+	}
+}
+
+// SynthRoads builds the scaled road-style benchmark table at any row
+// count — the shape the 50M-row colstore benchmark runs against.
+func SynthRoads(seed int64, rows int) *storage.Table {
+	t, err := Synth("synthroad", seed, rows, RoadStyle())
+	if err != nil {
+		panic(err) // RoadStyle specs are statically valid
+	}
+	return t
+}

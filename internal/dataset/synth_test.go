@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestSynthDeterministicAndPrefixStable pins the two scaling guarantees:
+// the same seed reproduces the table exactly, and a larger row count
+// agrees with a smaller one on the shared prefix (per-column rng streams
+// make rows independent of the total).
+func TestSynthDeterministicAndPrefixStable(t *testing.T) {
+	a := SynthRoads(7, 2000)
+	b := SynthRoads(7, 2000)
+	big := SynthRoads(7, 6000)
+	if big.NumRows() != 6000 || a.NumRows() != 2000 {
+		t.Fatalf("row counts: %d, %d", a.NumRows(), big.NumRows())
+	}
+	for c, col := range a.Columns {
+		for i := 0; i < a.NumRows(); i++ {
+			if col.Value(i) != b.Columns[c].Value(i) {
+				t.Fatalf("col %d row %d: not deterministic", c, i)
+			}
+			if col.Value(i) != big.Columns[c].Value(i) {
+				t.Fatalf("col %d row %d: prefix differs at larger row count", c, i)
+			}
+		}
+	}
+}
+
+// TestSynthCardinalityControl checks each knob produces the distinct-value
+// profile it promises.
+func TestSynthCardinalityControl(t *testing.T) {
+	const n = 30_000
+	tbl, err := Synth("k", 3, n, []ColSpec{
+		{Name: "cat", Type: storage.String, Cardinality: 12},
+		{Name: "speed", Type: storage.Int64, Lo: 30, Hi: 130, Cardinality: 8},
+		{Name: "quant", Type: storage.Float64, Lo: 0, Hi: 1, Quantum: 0.01},
+		{Name: "dense", Type: storage.Float64, Lo: 0, Hi: 1},
+		{Name: "walk", Type: storage.Float64, Lo: -5, Hi: 5, Walk: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := func(name string) int {
+		col := tbl.Column(name)
+		seen := make(map[interface{}]struct{})
+		for i := 0; i < n; i++ {
+			seen[col.Value(i)] = struct{}{}
+		}
+		return len(seen)
+	}
+	if d := distinct("cat"); d != 12 {
+		t.Errorf("cat: %d distinct, want 12", d)
+	}
+	if d := distinct("speed"); d != 8 {
+		t.Errorf("speed: %d distinct, want 8", d)
+	}
+	if d := distinct("quant"); d < 95 || d > 101 {
+		t.Errorf("quant: %d distinct, want ~101", d)
+	}
+	if d := distinct("dense"); d < n*99/100 {
+		t.Errorf("dense: only %d distinct of %d", d, n)
+	}
+	if d := distinct("walk"); d < n/2 {
+		t.Errorf("walk: only %d distinct of %d", d, n)
+	}
+	// Domains hold.
+	speed := tbl.Column("speed")
+	for i := 0; i < n; i++ {
+		if v := speed.Float(i); v < 30 || v > 130 {
+			t.Fatalf("speed row %d out of domain: %g", i, v)
+		}
+	}
+}
+
+// TestSynthRejectsBadSpecs pins the error paths.
+func TestSynthRejectsBadSpecs(t *testing.T) {
+	cases := [][]ColSpec{
+		nil,
+		{{Name: "", Type: storage.Float64}},
+		{{Name: "s", Type: storage.String}}, // string without cardinality
+		{{Name: "f", Type: storage.Float64, Lo: 2, Hi: 1}},
+	}
+	for i, specs := range cases {
+		if _, err := Synth("bad", 1, 10, specs); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/dataset"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// encTestTable builds a table whose columns freeze to every encoding the
+// histogram fast path can meet: quantized floats (dict), dense floats
+// (plain), narrow ints (frame-of-reference), and sparse ints (int dict).
+func encTestTable(seed int64, n int) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	xq := make([]float64, n)
+	y := make([]float64, n)
+	lanes := make([]int64, n)
+	zone := make([]int64, n)
+	for i := 0; i < n; i++ {
+		xq[i] = 8.1 + float64(rng.Intn(3000))/1000
+		y[i] = 56.5 + rng.Float64()*1.3
+		lanes[i] = int64(1 + rng.Intn(6))
+		zone[i] = int64(rng.Intn(30)) * 1_000_003
+	}
+	return &storage.Table{
+		Name: "enc",
+		Schema: storage.Schema{
+			{Name: "xq", Type: storage.Float64},
+			{Name: "y", Type: storage.Float64},
+			{Name: "lanes", Type: storage.Int64},
+			{Name: "zone", Type: storage.Int64},
+		},
+		Columns: []*storage.Column{
+			{Type: storage.Float64, Floats: xq},
+			{Type: storage.Float64, Floats: y},
+			{Type: storage.Int64, Ints: lanes},
+			{Type: storage.Int64, Ints: zone},
+		},
+		PageRows: storage.DefaultPageRows,
+	}
+}
+
+// assertSameResult compares two histogram results row-for-row.
+func assertSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows vs %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if got.Rows[i][0].F != want.Rows[i][0].F || got.Rows[i][1].I != want.Rows[i][1].I {
+			t.Fatalf("%s row %d: (%v, %v) vs (%v, %v)", label, i,
+				got.Rows[i][0].F, got.Rows[i][1].I, want.Rows[i][0].F, want.Rows[i][1].I)
+		}
+	}
+}
+
+// TestEncodedHistogramMatchesPlain runs randomized histogram-shaped queries
+// against a plain engine and a frozen-table engine at several parallelism
+// levels; every result must be identical bin-for-bin, count-for-count, and
+// both must take the fast path.
+func TestEncodedHistogramMatchesPlain(t *testing.T) {
+	n := 60_000
+	raw := encTestTable(31, n)
+	frozen, err := colstore.Freeze(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"xq", "y", "lanes", "zone"} {
+		if _, ok := colstore.Of(frozen.Column(name)); !ok {
+			t.Fatalf("column %q did not encode", name)
+		}
+	}
+
+	plainEng := memEngine(raw)
+	encEng := memEngine(frozen)
+	rng := rand.New(rand.NewSource(77))
+
+	bins := []struct{ col, expr string }{
+		{"xq", "ROUND((xq - 8.1) / 0.15)"},
+		{"y", "ROUND((y - 56.5) / 0.065)"},
+		{"lanes", "ROUND(lanes)"},
+		{"zone", "ROUND(zone / 1000003)"},
+	}
+	predCols := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"xq", 8.1, 11.1},
+		{"y", 56.5, 57.8},
+		{"lanes", 1, 6},
+		{"zone", 0, 29_000_087},
+	}
+
+	for trial := 0; trial < 40; trial++ {
+		b := bins[rng.Intn(len(bins))]
+		where := ""
+		for j, k := 0, rng.Intn(3); j < k; j++ {
+			p := predCols[rng.Intn(len(predCols))]
+			op := []string{">=", "<=", ">", "<"}[rng.Intn(4)]
+			x := p.lo + rng.Float64()*(p.hi-p.lo)
+			cond := fmt.Sprintf("%s %s %v", p.name, op, x)
+			if where == "" {
+				where = " WHERE " + cond
+			} else {
+				where += " AND " + cond
+			}
+		}
+		q := fmt.Sprintf("SELECT %s, COUNT(*) FROM enc%s GROUP BY %s ORDER BY %s", b.expr, where, b.expr, b.expr)
+
+		for _, par := range []int{1, 4, 8} {
+			plainEng.SetParallelism(par)
+			encEng.SetParallelism(par)
+			want, err := plainEng.Query(q)
+			if err != nil {
+				t.Fatalf("plain: %v (query %s)", err, q)
+			}
+			got, err := encEng.Query(q)
+			if err != nil {
+				t.Fatalf("encoded: %v (query %s)", err, q)
+			}
+			if !want.Stats.UsedFastPath || !got.Stats.UsedFastPath {
+				t.Fatalf("fast path not used (plain %v, encoded %v) for %s", want.Stats.UsedFastPath, got.Stats.UsedFastPath, q)
+			}
+			assertSameResult(t, fmt.Sprintf("trial %d P=%d", trial, par), got, want)
+			// Cost accounting must not depend on the encoding.
+			if got.Stats.TuplesScanned != want.Stats.TuplesScanned {
+				t.Fatalf("trial %d P=%d: tuples %d vs %d", trial, par, got.Stats.TuplesScanned, want.Stats.TuplesScanned)
+			}
+		}
+	}
+}
+
+// TestEncodedPartialHistogramMatchesPlain checks the degradation tier's
+// serial bounded scan over frozen tables.
+func TestEncodedPartialHistogramMatchesPlain(t *testing.T) {
+	n := 40_000
+	raw := encTestTable(5, n)
+	frozen, err := colstore.Freeze(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainEng := memEngine(raw)
+	encEng := memEngine(frozen)
+
+	q := "SELECT ROUND((xq - 8.1) / 0.15), COUNT(*) FROM enc WHERE y >= 56.9 AND y <= 57.4 GROUP BY ROUND((xq - 8.1) / 0.15) ORDER BY ROUND((xq - 8.1) / 0.15)"
+	stmt := sql.MustParse(q)
+	for _, maxRows := range []int{1000, 17_000, n, 2 * n} {
+		want, wf, wok, err := plainEng.PartialHistogram(context.Background(), stmt, maxRows)
+		if err != nil || !wok {
+			t.Fatalf("plain partial: ok=%v err=%v", wok, err)
+		}
+		got, gf, gok, err := encEng.PartialHistogram(context.Background(), stmt, maxRows)
+		if err != nil || !gok {
+			t.Fatalf("encoded partial: ok=%v err=%v", gok, err)
+		}
+		if wf != gf {
+			t.Fatalf("maxRows %d: fraction %v vs %v", maxRows, gf, wf)
+		}
+		assertSameResult(t, fmt.Sprintf("partial maxRows=%d", maxRows), got, want)
+	}
+}
+
+// TestMixedEncodingFallsBackToGeneric freezes only one referenced column;
+// the fast path must refuse (neither the scalar loop nor the kernels can
+// run) and the generic path must still produce the plain answer.
+func TestMixedEncodingFallsBackToGeneric(t *testing.T) {
+	n := 5_000
+	raw := encTestTable(9, n)
+	frozen, err := colstore.Freeze(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := &storage.Table{
+		Name:     raw.Name,
+		Schema:   raw.Schema,
+		Columns:  []*storage.Column{frozen.Columns[0], raw.Columns[1], raw.Columns[2], raw.Columns[3]},
+		PageRows: raw.PageRows,
+	}
+	plainEng := memEngine(raw)
+	mixEng := memEngine(mixed)
+	q := "SELECT ROUND((xq - 8.1) / 0.15), COUNT(*) FROM enc WHERE y >= 57 GROUP BY ROUND((xq - 8.1) / 0.15) ORDER BY ROUND((xq - 8.1) / 0.15)"
+	// The secondary ORDER BY key forces the plain engine onto the generic
+	// path too: the comparison is generic-vs-generic, isolating what this
+	// test proves (frozen columns read correctly through the Value surface).
+	genericQ := q + ", COUNT(*)"
+	want, err := plainEng.Query(genericQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.UsedFastPath {
+		t.Fatal("plain control query unexpectedly took the fast path")
+	}
+	got, err := mixEng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.UsedFastPath {
+		t.Fatal("mixed-encoding table took the fast path")
+	}
+	assertSameResult(t, "mixed fallback", got, want)
+}
+
+// TestEncodedRoadsHistogram exercises the realistic full-precision road
+// table, whose float columns freeze to the plain passthrough — the encoded
+// fast path must still engage (a frozen table has no raw slices) and agree.
+func TestEncodedRoadsHistogram(t *testing.T) {
+	roads := dataset.Roads(3, 30_000)
+	frozen, err := colstore.Freeze(roads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainEng := memEngine(roads)
+	encEng := memEngine(frozen)
+	q := `SELECT ROUND((y - 56.582) / 0.0596), COUNT(*) FROM dataroad
+		WHERE x >= 9.0 AND x <= 10.5 AND z < 40
+		GROUP BY ROUND((y - 56.582) / 0.0596) ORDER BY ROUND((y - 56.582) / 0.0596)`
+	want, err := plainEng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := encEng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Stats.UsedFastPath {
+		t.Fatal("frozen roads table did not take the fast path")
+	}
+	assertSameResult(t, "roads", got, want)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"repro/internal/colstore"
 	"repro/internal/morsel"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -28,6 +29,89 @@ type histQuery struct {
 	table *storage.Table
 	bin   affine      // bin = round(a·col + b)
 	preds []rangePred // conjunctive numeric predicates
+
+	// enc is the vectorized kernel plan, set when every referenced column
+	// is colstore-encoded (always true for frozen tables, which have no
+	// raw slices for the scalar path to read).
+	enc *encodedHist
+}
+
+// encodedHist is the fast path's plan over encoded columns: predicates
+// canonicalized to closed ranges once per query, evaluated by the
+// colstore kernels into a per-worker selection bitmap, with the bin
+// column decoded only for surviving rows.
+type encodedHist struct {
+	bin   colstore.Column
+	preds []encodedPred
+}
+
+// encodedPred is one predicate as a closed value range.
+type encodedPred struct {
+	col    colstore.Column
+	lo, hi float64
+}
+
+// compileEncoded attaches the kernel plan to q. It reports false for the
+// mixed case — some referenced columns encoded, some raw — where neither
+// the scalar loop (nil slices) nor the kernels (no encoding) can run;
+// matchHistogram then rejects the fast path and the generic row-at-a-time
+// path answers through the Value interface.
+func (q *histQuery) compileEncoded() bool {
+	binEnc, binOK := colstore.Of(q.bin.col)
+	anyEnc := binOK
+	allEnc := binOK
+	e := &encodedHist{bin: binEnc}
+	// The usual brush shape carries two predicates per column (>= lo and
+	// <= hi); intersecting them into one closed range halves the kernel
+	// passes over the packed data.
+	seen := make(map[*storage.Column]int, len(q.preds))
+	for _, p := range q.preds {
+		pc, ok := colstore.Of(p.col)
+		anyEnc = anyEnc || ok
+		allEnc = allEnc && ok
+		if !ok {
+			continue
+		}
+		lo, hi := colstore.RangeFromOp(p.op, p.val)
+		if i, dup := seen[p.col]; dup {
+			ep := &e.preds[i]
+			ep.lo, ep.hi = colstore.IntersectRange(ep.lo, ep.hi, lo, hi)
+			continue
+		}
+		seen[p.col] = len(e.preds)
+		e.preds = append(e.preds, encodedPred{col: pc, lo: lo, hi: hi})
+	}
+	if !anyEnc {
+		return true // fully raw: the scalar path handles it
+	}
+	if !allEnc {
+		return false
+	}
+	// Most-selective predicate first: the later AND passes only touch rows
+	// still selected, so running the narrowest range first collapses the
+	// bitmap early and the rest of the conjunction rides the sparse path.
+	// The code-space fraction is a free selectivity estimate for coded
+	// columns; plain columns (estimate 1.0) keep their written order.
+	sort.SliceStable(e.preds, func(i, j int) bool {
+		return e.preds[i].estSelectivity() < e.preds[j].estSelectivity()
+	})
+	q.enc = e
+	return true
+}
+
+// estSelectivity estimates the fraction of rows an encoded predicate
+// keeps: the selected share of the column's code space when it is coded,
+// 1.0 (unknown) otherwise.
+func (p *encodedPred) estSelectivity() float64 {
+	coded, ok := p.col.(colstore.Coded)
+	if !ok {
+		return 1
+	}
+	cLo, cHi, ok := coded.CodeRange(p.lo, p.hi)
+	if !ok {
+		return 0
+	}
+	return float64(cHi-cLo+1) / float64(coded.CodeSpan()+1)
 }
 
 // affine is a·col + b over one numeric column.
@@ -96,6 +180,9 @@ func (e *Engine) matchHistogram(stmt *sql.SelectStmt) (*histQuery, bool) {
 			return nil, false
 		}
 		q.preds = preds
+	}
+	if !q.compileEncoded() {
+		return nil, false
 	}
 	return q, true
 }
@@ -347,6 +434,9 @@ func (e *Engine) PartialHistogram(ctx context.Context, stmt *sql.SelectStmt, max
 	}
 	var acc histAcc
 	acc.dense = make([]int64, 2*fastBinOffset)
+	if q.enc != nil && len(q.enc.preds) > 0 {
+		acc.bm = colstore.NewBitmap(scan)
+	}
 	err := morselScanHist(ctx, q, &acc, scan)
 	if err != nil {
 		return nil, 0, true, ctxErr(err)

@@ -3,7 +3,9 @@ package engine
 import (
 	"context"
 	"math"
+	"math/bits"
 
+	"repro/internal/colstore"
 	"repro/internal/morsel"
 	"repro/internal/storage"
 )
@@ -158,9 +160,25 @@ func groupAggregate(ctx context.Context, rows [][]storage.Value, groupFns []eval
 
 // histAcc is one worker's histogram accumulator: a dense window around bin
 // zero plus a sparse spill map, mirroring the serial fast path's layout.
+// Encoded plans add a scratch selection bitmap for the filter kernels;
+// workers only ever touch their own morsels' 64-bit words (morsel.Size is a
+// multiple of 64), so sharing one bitmap per worker is race-free.
 type histAcc struct {
 	dense  []int64
 	sparse map[int]int64
+	bm     *colstore.Bitmap
+}
+
+// bump counts one row in bin.
+func (acc *histAcc) bump(bin int) {
+	if idx := bin + fastBinOffset; idx >= 0 && idx < len(acc.dense) {
+		acc.dense[idx]++
+	} else {
+		if acc.sparse == nil {
+			acc.sparse = make(map[int]int64)
+		}
+		acc.sparse[bin]++
+	}
 }
 
 // countHistogram runs the fast path's filter+bin counting loop over all
@@ -172,6 +190,9 @@ func countHistogram(ctx context.Context, q *histQuery, n, workers int) (histAcc,
 	accs := make([]histAcc, workers)
 	for w := range accs {
 		accs[w].dense = make([]int64, 2*fastBinOffset)
+		if q.enc != nil && len(q.enc.preds) > 0 {
+			accs[w].bm = colstore.NewBitmap(n)
+		}
 	}
 	err := morsel.RunCtx(ctx, n, workers, func(w, _, lo, hi int) {
 		countHistogramRange(q, &accs[w], lo, hi)
@@ -197,6 +218,10 @@ func countHistogram(ctx context.Context, q *histQuery, n, workers int) (histAcc,
 // countHistogramRange applies the range predicates and bins rows [lo, hi)
 // into acc.
 func countHistogramRange(q *histQuery, acc *histAcc, lo, hi int) {
+	if q.enc != nil {
+		countHistogramRangeEncoded(q, acc, lo, hi)
+		return
+	}
 	binFloats := q.bin.col.Floats
 	binInts := q.bin.col.Ints
 	a, b := q.bin.a, q.bin.b
@@ -243,6 +268,38 @@ rows:
 				acc.sparse = make(map[int]int64)
 			}
 			acc.sparse[bin]++
+		}
+	}
+}
+
+// countHistogramRangeEncoded is countHistogramRange over encoded columns:
+// each predicate runs as one vectorized kernel pass over its column's packed
+// words into the worker's selection bitmap (first predicate stores, the rest
+// AND), then only surviving rows decode the bin column. Kernels leave bits
+// past hi zero in the final partial word, so the word walk needs no tail
+// guard. [lo, hi) is a morsel range, so lo is 64-aligned as the kernels
+// require.
+func countHistogramRangeEncoded(q *histQuery, acc *histAcc, lo, hi int) {
+	e := q.enc
+	a, b := q.bin.a, q.bin.b
+	if len(e.preds) == 0 {
+		for i := lo; i < hi; i++ {
+			acc.bump(int(math.Round(a*e.bin.Float(i) + b)))
+		}
+		return
+	}
+	for k := range e.preds {
+		p := &e.preds[k]
+		p.col.FilterRange(p.lo, p.hi, lo, hi, acc.bm, k > 0)
+	}
+	words := acc.bm.Words()
+	for w := lo >> 6; w<<6 < hi; w++ {
+		x := words[w]
+		base := w << 6
+		for x != 0 {
+			i := base + bits.TrailingZeros64(x)
+			x &= x - 1
+			acc.bump(int(math.Round(a*e.bin.Float(i) + b)))
 		}
 	}
 }

@@ -86,6 +86,21 @@ func (p *PromWriter) CounterVec(name, help, label string, vals map[string]float6
 	}
 }
 
+// GaugeVec emits one gauge series per label value, sorted for a
+// deterministic exposition.
+func (p *PromWriter) GaugeVec(name, help, label string, vals map[string]float64) {
+	n := p.ns + name
+	p.header(n, help, "gauge")
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.sample(n, fmt.Sprintf("%s=%q", label, k), vals[k])
+	}
+}
+
 // Histogram emits one histogram series from a snapshot, with cumulative
 // le buckets in seconds, under the given label list ("" for none).
 func (p *PromWriter) Histogram(name, help, labels string, s HistSnapshot) {

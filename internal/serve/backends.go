@@ -1,12 +1,38 @@
 package serve
 
 import (
+	"fmt"
+
+	"repro/internal/colstore"
 	"repro/internal/crossfilter"
 	"repro/internal/datacube"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/opt"
 )
+
+// EncodeBackends freezes the backends' table into colstore's compressed
+// columnar form and rewires everything that serves from it: the frozen
+// table replaces Tiles, and the engine's registration is swapped so SQL
+// queries scan the encoded columns through the vectorized kernels. The
+// cube is left alone — its cells are counts, identical either way — and
+// sharded serving picks the encoding up automatically (shard.New re-freezes
+// partitions of a frozen source). Idempotent: freezing a frozen table is a
+// pass-through.
+func EncodeBackends(b Backends) (Backends, error) {
+	if b.Tiles == nil {
+		return b, fmt.Errorf("serve: encode: backends have no table")
+	}
+	frozen, err := colstore.Freeze(b.Tiles, nil)
+	if err != nil {
+		return b, fmt.Errorf("serve: encode: %w", err)
+	}
+	b.Tiles = frozen
+	if b.Engine != nil {
+		b.Engine.Register(frozen)
+	}
+	return b, nil
+}
 
 // RoadBackends builds the full road-dataset serving stack: the table
 // registered in an engine with the given cost profile, a 20³ cube over

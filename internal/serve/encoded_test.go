@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/engine"
+	"repro/internal/leakcheck"
+	"repro/internal/storage"
+)
+
+// newEncodedPair builds two identical road-backed servers, one over raw
+// backends and one over EncodeBackends' frozen form.
+func newEncodedPair(t *testing.T, cfg Config) (plain, enc *httptest.Server) {
+	t.Helper()
+	leakcheck.Check(t)
+	for _, encode := range []bool{false, true} {
+		backends, err := RoadBackends(1, testRows, engine.ProfileMemory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if encode {
+			backends, err = EncodeBackends(backends)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !colstore.IsFrozen(backends.Tiles) {
+				t.Fatal("EncodeBackends did not freeze the table")
+			}
+		}
+		srv, err := New(backends, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Drain(ctx)
+		})
+		if encode {
+			enc = ts
+		} else {
+			plain = ts
+		}
+	}
+	return plain, enc
+}
+
+// TestEncodedServingMatchesPlain drives the same queries, brushes, and
+// tile fetches through a raw-backed server and an encoded-backed one, and
+// requires identical response bodies — encoding must be invisible to every
+// endpoint.
+func TestEncodedServingMatchesPlain(t *testing.T) {
+	plain, enc := newEncodedPair(t, Config{Workers: 2})
+
+	both := func(method, path string, body any) (p, e []byte) {
+		t.Helper()
+		for i, ts := range []*httptest.Server{plain, enc} {
+			var resp *http.Response
+			var raw []byte
+			if method == http.MethodPost {
+				resp, raw = postJSON(t, ts.URL+path, body)
+			} else {
+				r, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := buf.ReadFrom(r.Body); err != nil {
+					t.Fatal(err)
+				}
+				r.Body.Close()
+				resp, raw = r, buf.Bytes()
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s %s: status %d body %s", method, path, resp.StatusCode, raw)
+			}
+			if i == 0 {
+				p = raw
+			} else {
+				e = raw
+			}
+		}
+		return p, e
+	}
+
+	queries := []string{
+		"SELECT COUNT(*) FROM dataroad",
+		"SELECT ROUND((x - 8.146) / 0.2), COUNT(*) FROM dataroad WHERE y >= 56.9 AND y <= 57.4 GROUP BY 1 ORDER BY 1",
+	}
+	for seq, q := range queries {
+		p, e := both(http.MethodPost, "/v1/query", QueryRequest{Session: "s1", Seq: int64(seq), SQL: q})
+		var pr, er QueryResponse
+		if err := json.Unmarshal(p, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(e, &er); err != nil {
+			t.Fatal(err)
+		}
+		if len(pr.Rows) == 0 || len(pr.Rows) != len(er.Rows) {
+			t.Fatalf("query %q: %d vs %d rows", q, len(er.Rows), len(pr.Rows))
+		}
+		for i := range pr.Rows {
+			for j := range pr.Rows[i] {
+				if pr.Rows[i][j] != er.Rows[i][j] {
+					t.Fatalf("query %q row %d col %d: %v vs %v", q, i, j, er.Rows[i][j], pr.Rows[i][j])
+				}
+			}
+		}
+	}
+
+	for seq, rg := range [][]*[2]float64{
+		{{9, 10.5}, nil, nil},
+		{nil, {49.8, 50.2}, {100, 400}},
+	} {
+		p, e := both(http.MethodPost, "/v1/brush", BrushRequest{Session: "s2", Seq: int64(seq), Ranges: rg})
+		var pr, er BrushResponse
+		if err := json.Unmarshal(p, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(e, &er); err != nil {
+			t.Fatal(err)
+		}
+		if pr.Total != er.Total {
+			t.Fatalf("brush %d: total %d vs %d", seq, er.Total, pr.Total)
+		}
+	}
+
+	pTiles, eTiles := both(http.MethodGet, "/v1/tiles?session=s3&z=6&x=36&y=21", nil)
+	if !bytes.Equal(pTiles, eTiles) {
+		t.Fatalf("tile bodies differ: %s vs %s", eTiles, pTiles)
+	}
+}
+
+// TestEncodedMetricsStoreSection asserts the encoding breakdown surfaces
+// in both /metrics representations — and only on the encoded server.
+func TestEncodedMetricsStoreSection(t *testing.T) {
+	plain, enc := newEncodedPair(t, Config{Workers: 1})
+
+	get := func(url string) []byte {
+		t.Helper()
+		r, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(r.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	var st Stats
+	if err := json.Unmarshal(get(enc.URL+"/metrics"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil {
+		t.Fatal("encoded server /metrics has no store section")
+	}
+	if st.Store.Rows != testRows || st.Store.EncodedBytes <= 0 || len(st.Store.Columns) == 0 {
+		t.Fatalf("store section implausible: %+v", st.Store)
+	}
+	var pst Stats
+	if err := json.Unmarshal(get(plain.URL+"/metrics"), &pst); err != nil {
+		t.Fatal(err)
+	}
+	if pst.Store != nil {
+		t.Fatal("plain server /metrics reports a store section")
+	}
+
+	prom := string(get(enc.URL + "/metrics?format=prometheus"))
+	for _, series := range []string{
+		"idevald_colstore_encoded_bytes",
+		"idevald_colstore_plain_bytes",
+		"idevald_colstore_compression_ratio",
+		`idevald_colstore_column_bytes{column="x"}`,
+	} {
+		if !strings.Contains(prom, series) {
+			t.Fatalf("prometheus exposition lacks %s", series)
+		}
+	}
+	if strings.Contains(string(get(plain.URL+"/metrics?format=prometheus")), "colstore_") {
+		t.Fatal("plain server exposes colstore series")
+	}
+}
+
+// TestServeRejectsStringTileColumns pins the new build-time validation:
+// naming a TEXT column as a tile coordinate must fail construction, not
+// panic on the first tile request.
+func TestServeRejectsStringTileColumns(t *testing.T) {
+	tbl := storage.NewTable("t", storage.Schema{
+		{Name: "lat", Type: storage.Float64},
+		{Name: "name", Type: storage.String},
+	})
+	if err := tbl.AppendRow(storage.NewFloat(1.5), storage.NewString("a")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Backends{Tiles: tbl, TileLat: "lat", TileLng: "name"}, Config{Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "numeric") {
+		t.Fatalf("want numeric-column error, got %v", err)
+	}
+}

@@ -59,6 +59,17 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	p.Gauge("constraint_seconds", "The latency constraint in force.", float64(s.reg.Constraint())/1e9)
 	p.Gauge("latency_samples", "Observations in the latency histogram.", float64(st.LatencySamples))
 
+	if st.Store != nil {
+		p.Gauge("colstore_encoded_bytes", "Resident bytes of the served table's encoded columns.", float64(st.Store.EncodedBytes))
+		p.Gauge("colstore_plain_bytes", "Bytes the served table would occupy uncompressed.", float64(st.Store.PlainBytes))
+		p.Gauge("colstore_compression_ratio", "Plain bytes over encoded bytes for the served table.", st.Store.Ratio)
+		cols := make(map[string]float64, len(st.Store.Columns))
+		for _, c := range st.Store.Columns {
+			cols[c.Name] = float64(c.Bytes)
+		}
+		p.GaugeVec("colstore_column_bytes", "Resident encoded bytes per served column.", "column", cols)
+	}
+
 	lcv := s.reg.tracer.LCVByStage()
 	byStage := make(map[string]float64, int(obsv.NumStages))
 	for stg := obsv.StageAdmission; stg < obsv.NumStages; stg++ {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/metrics"
 	"repro/internal/obsv"
 )
@@ -217,6 +218,12 @@ type Stats struct {
 	// pipeline stage that consumed the most of the violating request's
 	// time — the "where did the budget go" view of LCV.
 	LCVByStage map[string]int64 `json:"lcv_by_stage,omitempty"`
+
+	// Store is the compressed-columnar encoding breakdown of the served
+	// table (per-column encodings, encoded vs plain bytes, compression
+	// ratio). Present only when the backends were frozen via
+	// colstore.Freeze / EncodeBackends.
+	Store *colstore.TableStats `json:"store,omitempty"`
 }
 
 const msPerNS = 1.0 / float64(time.Millisecond)

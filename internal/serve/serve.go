@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/datacube"
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -162,6 +163,7 @@ type Server struct {
 	prog         *progressive.Executor
 	cubeDims     []datacube.Dim
 	coord        *shard.Coordinator
+	storeStats   *colstore.TableStats
 	brushMu      sync.Mutex
 	brushCache   *opt.ResultLRU
 
@@ -308,6 +310,18 @@ func New(b Backends, cfg Config) (*Server, error) {
 		if s.tileLat == nil || s.tileLng == nil {
 			return nil, fmt.Errorf("serve: tile table %q lacks columns %q/%q", b.Tiles.Name, b.TileLat, b.TileLng)
 		}
+		// The tile path reads coordinates through Float, which panics on
+		// string columns — reject the misconfiguration at build time
+		// instead of on the first tile request.
+		if s.tileLat.Type == storage.String || s.tileLng.Type == storage.String {
+			return nil, fmt.Errorf("serve: tile columns %q/%q of table %q must be numeric", b.TileLat, b.TileLng, b.Tiles.Name)
+		}
+		// A frozen table's encoding breakdown is static; snapshot it once
+		// and attach it to every /metrics response.
+		if colstore.IsFrozen(b.Tiles) {
+			st := colstore.StatsOf(b.Tiles)
+			s.storeStats = &st
+		}
 	}
 	if cfg.Shards > 1 {
 		if b.Tiles == nil || len(s.cubeDims) == 0 {
@@ -361,6 +375,7 @@ func (s *Server) Registry() *Registry { return s.reg }
 func (s *Server) Stats() Stats {
 	st := s.reg.snapshot(len(s.queue), int(s.inflight.Load()))
 	st.BreakerTrips, _ = s.brk.stats()
+	st.Store = s.storeStats
 	return st
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/colstore"
 	"repro/internal/crossfilter"
 	"repro/internal/datacube"
 	"repro/internal/engine"
@@ -40,6 +41,16 @@ func New(t *storage.Table, dims []datacube.Dim, opts Options) (*Coordinator, err
 	parts, err := Partition(t, dims, opts.Shards, opts.Mode, opts.RangeDim)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Encode || colstore.IsFrozen(t) {
+		// Re-encode each partition: partitioning materializes raw rows, so
+		// a frozen source would otherwise silently fan out uncompressed.
+		for i, part := range parts {
+			parts[i], err = colstore.Freeze(part, &colstore.Options{Parallelism: opts.Parallelism})
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: freeze: %w", i, err)
+			}
+		}
 	}
 	c := &Coordinator{opts: opts, dims: dims, records: t.NumRows()}
 	for _, d := range dims {

@@ -64,6 +64,13 @@ type Options struct {
 	// global dimension domains.
 	WithCross bool
 
+	// Encode freezes each partition into colstore's compressed columnar
+	// form before the replica backends build over it — per-shard memory
+	// drops by the table's compression ratio and scans run the vectorized
+	// kernels. New also turns this on automatically when the source table
+	// is itself frozen, so encoding propagates through partitioning.
+	Encode bool
+
 	// Faults optionally gates each shard's task execution with a fault
 	// injector (len Shards; nil entries inject nothing) — the chaos hook
 	// that stalls or fails a single shard.

@@ -24,17 +24,46 @@ func (s Schema) ColumnIndex(name string) int {
 	return -1
 }
 
+// Encoded is an immutable, compressed column representation (implemented
+// by internal/colstore). A Column with a non-nil Enc stores no raw slices;
+// reads route through this interface, so every consumer of Value/Float
+// works unchanged over frozen tables. Hot paths type-assert the concrete
+// value for kernel capabilities (vectorized filters, packed-code access).
+type Encoded interface {
+	// Len returns the row count.
+	Len() int
+	// Value returns row i as a storage Value, bit-identical to the value
+	// the column was encoded from.
+	Value(i int) Value
+	// Float returns row i as float64; it must panic for string-typed
+	// encodings exactly like Column.Float does, so encoded and plain reads
+	// cannot diverge on type confusion.
+	Float(i int) float64
+	// EncodedBytes is the resident byte footprint of the encoded form.
+	EncodedBytes() int64
+	// EncodingName names the encoding ("plain", "dict", "for") for stats.
+	EncodingName() string
+}
+
 // Column is one typed column of values stored contiguously. Only the slice
-// matching Type is populated.
+// matching Type is populated — unless Enc is set, in which case the column
+// is frozen: the slices are nil and all reads route through the encoding.
 type Column struct {
 	Type    Type
 	Ints    []int64
 	Floats  []float64
 	Strings []string
+
+	// Enc, when non-nil, is the column's frozen encoded representation.
+	// Frozen columns are immutable: append returns an error.
+	Enc Encoded
 }
 
 // Len returns the number of values in the column.
 func (c *Column) Len() int {
+	if c.Enc != nil {
+		return c.Enc.Len()
+	}
 	switch c.Type {
 	case Int64:
 		return len(c.Ints)
@@ -47,6 +76,9 @@ func (c *Column) Len() int {
 
 // Value returns the value at row i.
 func (c *Column) Value(i int) Value {
+	if c.Enc != nil {
+		return c.Enc.Value(i)
+	}
 	switch c.Type {
 	case Int64:
 		return NewInt(c.Ints[i])
@@ -57,20 +89,39 @@ func (c *Column) Value(i int) Value {
 	}
 }
 
-// Float returns the value at row i as a float64 (0 for strings).
+// Float returns the value at row i as a float64. String columns have no
+// numeric form: asking for one is always a caller bug (every scan path
+// type-checks columns before reading them as floats), and silently
+// returning 0 would let an encoded and an unencoded scan diverge without
+// an error — so it panics, the same contract as Value.Compare on
+// mismatched types. Use FloatAt for a non-panicking error path.
 func (c *Column) Float(i int) float64 {
-	switch c.Type {
-	case Int64:
-		return float64(c.Ints[i])
-	case Float64:
-		return c.Floats[i]
-	default:
-		return 0
+	if c.Type == String {
+		panic("storage: Float on a TEXT column (string columns have no numeric form; use Value)")
 	}
+	if c.Enc != nil {
+		return c.Enc.Float(i)
+	}
+	if c.Type == Int64 {
+		return float64(c.Ints[i])
+	}
+	return c.Floats[i]
+}
+
+// FloatAt is Float with an explicit error path for string columns, for
+// callers handling externally supplied column names.
+func (c *Column) FloatAt(i int) (float64, error) {
+	if c.Type == String {
+		return 0, fmt.Errorf("storage: column is TEXT, not numeric")
+	}
+	return c.Float(i), nil
 }
 
 // append adds a value, which must match the column type.
 func (c *Column) append(v Value) error {
+	if c.Enc != nil {
+		return fmt.Errorf("storage: column is frozen (encoded columns are immutable)")
+	}
 	if v.Type != c.Type {
 		// Permit int → float widening so generators can be sloppy about
 		// literal types.
