@@ -65,11 +65,15 @@ func main() {
 	shards := flag.Int("shards", 0, "partition the dataset across N scatter-gather shards (0 or 1 = unsharded)")
 	shardMode := flag.String("shardmode", "hash", "shard partitioning: hash or range")
 	encode := flag.Bool("encode", false, "freeze the dataset into compressed columnar form (dictionary / bit-packed encodings with vectorized scan kernels)")
+	planOn := flag.Bool("planner", false, "enable the selection-aware materialization planner (cost-model structure selection + auto-built per-selection indexes)")
+	planBudget := flag.Int64("plannerbudget", 0, "planner store byte budget for indexes + cached answers (0 = 64 MiB)")
+	lazyPrefix := flag.Bool("lazyprefix", false, "with -planner, defer the prefix-cube build off startup to first brush demand")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
 
 	if err := run(*addr, *ds, *rows, *profile, *workers, *queue, *constraint, *execDelay, *logPath, *seed,
-		*deadlines, *degradeAfter, *chaos, *chaosSeed, *shards, *shardMode, *encode, *debugAddr); err != nil {
+		*deadlines, *degradeAfter, *chaos, *chaosSeed, *shards, *shardMode, *encode,
+		*planOn, *planBudget, *lazyPrefix, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "idevald:", err)
 		os.Exit(1)
 	}
@@ -89,7 +93,8 @@ func buildBackends(ds string, rows int, prof engine.Profile, seed int64) (serve.
 }
 
 func run(addr, ds string, rows int, profile string, workers, queue int, constraint, execDelay time.Duration, logPath string, seed int64,
-	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64, shards int, shardMode string, encode bool, debugAddr string) error {
+	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64, shards int, shardMode string, encode bool,
+	planOn bool, planBudget int64, lazyPrefix bool, debugAddr string) error {
 	prof := engine.ProfileMemory
 	if profile == "disk" {
 		prof = engine.ProfileDisk
@@ -133,6 +138,12 @@ func run(addr, ds string, rows int, profile string, workers, queue int, constrai
 		cfg.Shards = shards
 		cfg.ShardMode = mode
 		fmt.Fprintf(os.Stderr, "idevald: scatter-gather over %d %s-partitioned shards\n", shards, mode)
+	}
+	if planOn {
+		cfg.Planner = true
+		cfg.PlannerBudget = planBudget
+		cfg.PlannerLazyPrefix = lazyPrefix
+		fmt.Fprintf(os.Stderr, "idevald: materialization planner on (lazy prefix: %v)\n", lazyPrefix)
 	}
 	if chaos != "" {
 		fp, ok := fault.ProfileByName(chaos)

@@ -69,8 +69,21 @@ func main() {
 	shards := flag.Int("shards", 0, "shard the in-process server's dataset across N scatter-gather shards")
 	shardMode := flag.String("shardmode", "hash", "shard partitioning for -shards / -shardbench: hash or range")
 	shardBench := flag.Bool("shardbench", false, "run the shard matrix: S in {1,2,4,8} at the same offered load, in-process")
+	planBench := flag.Bool("planbench", false, "run the materialization-planner benchmark: byte-verified drag loop + load comparison, in-process")
 	flag.Parse()
 
+	if *planBench {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_planner.json"
+		}
+		if err := runPlanBench(*users, *adjust, *events, *timescale, *seed, out,
+			*rows, *profile, *workers, *queue); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *shardBench {
 		out := *jsonOut
 		if out == "" {

@@ -164,8 +164,11 @@ type Crossfilter struct {
 	// incremental enables the sorted-index delta path (delta.go); false
 	// pins the full-scan implementation, the differential-test oracle.
 	// crossover is the delta fraction above which the full scan wins.
+	// chooser, when non-nil, overrides crossover with a per-update
+	// cost-model decision (planner wiring).
 	incremental bool
 	crossover   float64
+	chooser     ScanChooser
 	deltaScans  int64
 	fullScans   int64
 

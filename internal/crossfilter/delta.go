@@ -48,6 +48,20 @@ func (c *Crossfilter) SetCrossover(frac float64) {
 	}
 }
 
+// ScanChooser decides delta-vs-full per update from the actual work sizes
+// — the planner's cost model implements it, replacing the fixed crossover
+// fraction with fitted per-structure latency lines. ChooseDelta reports
+// whether reconciling changed records through the sorted index is
+// predicted cheaper than a full scan over all total records.
+type ScanChooser interface {
+	ChooseDelta(changed, total int) bool
+}
+
+// SetScanChooser installs a chooser consulted instead of the crossover
+// fraction on every eligible update (nil restores the fraction). Not safe
+// to call concurrently with filter updates.
+func (c *Crossfilter) SetScanChooser(ch ScanChooser) { c.chooser = ch }
+
 // ScanStats reports how many filter updates took the delta path versus the
 // full scan, for tests and the ablation benchmark.
 func (c *Crossfilter) ScanStats() (delta, full int64) { return c.deltaScans, c.fullScans }
@@ -184,7 +198,11 @@ func (c *Crossfilter) updateFilter(ctx context.Context, d int, bit uint32) error
 	for s := 0; s < nseg; s++ {
 		total += segs[s][1] - segs[s][0]
 	}
-	if float64(total) > c.crossover*float64(c.n) {
+	useDelta := float64(total) <= c.crossover*float64(c.n)
+	if c.chooser != nil {
+		useDelta = c.chooser.ChooseDelta(total, c.n)
+	}
+	if !useDelta {
 		return c.runFull(ctx, d, bit)
 	}
 	c.deltaScans++

@@ -9,22 +9,51 @@ import (
 	"repro/internal/engine"
 )
 
-// ResultLRU is a fixed-capacity LRU cache that carries result values —
-// the server-side companion to SessionCache (which keys on quantized
-// interaction state) and to the key-only Cache policies. The serving
-// layer uses it for /v1/tiles results keyed by (dataset, tile). Not
-// synchronized; callers serialize access.
+// Sized values report their own approximate resident size to
+// byte-budgeted caches.
+type Sized interface {
+	ApproxBytes() int64
+}
+
+// SizeFunc estimates one cached value's resident bytes.
+type SizeFunc func(val any) int64
+
+// DefaultSize is the fallback size estimate: values implementing Sized
+// answer for themselves; anything else is charged a flat 64 bytes (the
+// order of an interface header plus a small payload), so entry-count
+// pressure still exists under a byte budget even for opaque values.
+func DefaultSize(val any) int64 {
+	if s, ok := val.(Sized); ok {
+		return s.ApproxBytes()
+	}
+	return 64
+}
+
+// ResultLRU is an LRU cache carrying result values — the server-side
+// companion to SessionCache (which keys on quantized interaction state)
+// and to the key-only Cache policies. The serving layer uses it for
+// /v1/tiles results keyed by (dataset, tile) and, planner-enabled, as the
+// single byte-budgeted store shared by cached brush answers and
+// materialized indexes. Bounds compose: a positive capacity caps entries,
+// a positive maxBytes caps the summed size estimates, and eviction runs
+// until both hold. Not synchronized; callers serialize access.
 type ResultLRU struct {
 	capacity int
+	maxBytes int64
+	size     SizeFunc
 	ll       *list.List
 	index    map[string]*list.Element
+	bytes    int64
 	hits     int64
 	misses   int64
+	evicted  int64
+	onEvict  func(key string, val any)
 }
 
 type resultEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	size int64
 }
 
 // NewResultLRU builds a cache holding at most capacity entries; capacity
@@ -32,6 +61,26 @@ type resultEntry struct {
 func NewResultLRU(capacity int) *ResultLRU {
 	return &ResultLRU{capacity: capacity, ll: list.New(), index: map[string]*list.Element{}}
 }
+
+// NewByteLRU builds a cache bounded by approximate resident bytes rather
+// than entry count: each Put charges size(val) against maxBytes and evicts
+// least-recently-used entries until the budget holds. A nil size falls
+// back to DefaultSize. maxBytes <= 0 disables storage. A single value
+// larger than the whole budget is refused outright — never stored, never
+// evicting the working set to make room for something that cannot fit.
+func NewByteLRU(maxBytes int64, size SizeFunc) *ResultLRU {
+	if size == nil {
+		size = DefaultSize
+	}
+	return &ResultLRU{maxBytes: maxBytes, size: size, ll: list.New(), index: map[string]*list.Element{}}
+}
+
+// SetOnEvict installs a callback fired with every entry leaving the cache
+// involuntarily: budget evictions and value replacements (a Put over an
+// existing key). The callback runs synchronously under the caller's
+// serialization, so it may maintain external accounting (gauges, byte
+// counters) without extra locks.
+func (c *ResultLRU) SetOnEvict(fn func(key string, val any)) { c.onEvict = fn }
 
 // Get returns the cached value and whether it was present, updating
 // recency and the hit/miss counters.
@@ -46,27 +95,79 @@ func (c *ResultLRU) Get(key string) (any, bool) {
 	return el.Value.(resultEntry).val, true
 }
 
-// Put inserts or refreshes a value, evicting the least recently used entry
-// beyond capacity.
-func (c *ResultLRU) Put(key string, val any) {
-	if c.capacity <= 0 {
-		return
+// Put inserts or refreshes a value, evicting least-recently-used entries
+// until the capacity and byte bounds both hold. It reports whether the
+// value was stored; an oversized value (larger than the whole byte budget)
+// is refused and false is returned.
+func (c *ResultLRU) Put(key string, val any) bool {
+	if c.capacity <= 0 && c.maxBytes <= 0 {
+		return false
+	}
+	var sz int64
+	if c.maxBytes > 0 {
+		sz = c.size(val)
+		if sz > c.maxBytes {
+			return false
+		}
 	}
 	if el, ok := c.index[key]; ok {
-		el.Value = resultEntry{key, val}
+		old := el.Value.(resultEntry)
+		c.bytes += sz - old.size
+		el.Value = resultEntry{key, val, sz}
 		c.ll.MoveToFront(el)
-		return
+		if c.onEvict != nil {
+			c.onEvict(old.key, old.val)
+		}
+		c.evictToBounds()
+		return true
 	}
-	if c.ll.Len() >= c.capacity {
+	c.index[key] = c.ll.PushFront(resultEntry{key, val, sz})
+	c.bytes += sz
+	c.evictToBounds()
+	return true
+}
+
+// evictToBounds drops least-recently-used entries until both bounds hold.
+// The front entry (just inserted or refreshed) is never evicted: an
+// oversized value was refused before insertion, so a one-entry cache
+// always fits.
+func (c *ResultLRU) evictToBounds() {
+	for c.overBounds() {
 		oldest := c.ll.Back()
+		if oldest == c.ll.Front() {
+			return
+		}
+		ent := oldest.Value.(resultEntry)
 		c.ll.Remove(oldest)
-		delete(c.index, oldest.Value.(resultEntry).key)
+		delete(c.index, ent.key)
+		c.bytes -= ent.size
+		c.evicted++
+		if c.onEvict != nil {
+			c.onEvict(ent.key, ent.val)
+		}
 	}
-	c.index[key] = c.ll.PushFront(resultEntry{key, val})
+}
+
+// overBounds reports whether either bound is currently exceeded.
+func (c *ResultLRU) overBounds() bool {
+	if c.capacity > 0 && c.ll.Len() > c.capacity {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes
 }
 
 // Len returns the number of cached entries.
 func (c *ResultLRU) Len() int { return c.ll.Len() }
+
+// Bytes returns the summed size estimates of the cached entries (0 when
+// the cache is entry-bounded only).
+func (c *ResultLRU) Bytes() int64 { return c.bytes }
+
+// MaxBytes returns the byte budget (0 when entry-bounded only).
+func (c *ResultLRU) MaxBytes() int64 { return c.maxBytes }
+
+// Evictions returns how many entries the bounds have pushed out.
+func (c *ResultLRU) Evictions() int64 { return c.evicted }
 
 // Stats returns hit and miss counts.
 func (c *ResultLRU) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -194,3 +194,124 @@ func TestKLFilterRidesDeltaPath(t *testing.T) {
 		t.Error("KL filter sample never took the delta path")
 	}
 }
+
+// sizedVal reports a fixed size to byte-budgeted caches.
+type sizedVal struct{ bytes int64 }
+
+func (s sizedVal) ApproxBytes() int64 { return s.bytes }
+
+// TestByteLRUBudget: the byte budget evicts least-recently-used entries,
+// recency protects the working set, and the byte/eviction accounting is
+// exact.
+func TestByteLRUBudget(t *testing.T) {
+	c := NewByteLRU(250, nil)
+	var evicted []string
+	c.SetOnEvict(func(key string, _ any) { evicted = append(evicted, key) })
+
+	if !c.Put("a", sizedVal{100}) || !c.Put("b", sizedVal{100}) {
+		t.Fatal("puts within budget refused")
+	}
+	if c.Bytes() != 200 || c.Len() != 2 {
+		t.Fatalf("bytes/len = %d/%d, want 200/2", c.Bytes(), c.Len())
+	}
+	// a is LRU; touching it must make b the eviction victim instead.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if !c.Put("c", sizedVal{100}) {
+		t.Fatal("c refused")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived the byte budget")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if c.Bytes() != 200 || c.Len() != 2 {
+		t.Errorf("post-eviction bytes/len = %d/%d, want 200/2", c.Bytes(), c.Len())
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions())
+	}
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Errorf("onEvict saw %v, want [b]", evicted)
+	}
+	if c.MaxBytes() != 250 {
+		t.Errorf("MaxBytes = %d", c.MaxBytes())
+	}
+}
+
+// TestByteLRUOversized: a value larger than the entire budget is refused
+// without disturbing the resident working set.
+func TestByteLRUOversized(t *testing.T) {
+	c := NewByteLRU(100, nil)
+	if !c.Put("a", sizedVal{60}) {
+		t.Fatal("a refused")
+	}
+	if c.Put("big", sizedVal{101}) {
+		t.Error("oversized value accepted")
+	}
+	if c.Len() != 1 || c.Bytes() != 60 {
+		t.Errorf("working set disturbed: len/bytes = %d/%d", c.Len(), c.Bytes())
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted to make room for a value that could never fit")
+	}
+	if c.Evictions() != 0 {
+		t.Errorf("evictions = %d, want 0", c.Evictions())
+	}
+}
+
+// TestByteLRUReplacement: refreshing a key re-charges the new size, fires
+// the eviction callback for the displaced value, and can push other
+// entries out when the entry grows.
+func TestByteLRUReplacement(t *testing.T) {
+	c := NewByteLRU(300, nil)
+	calls := 0
+	c.SetOnEvict(func(string, any) { calls++ })
+	c.Put("k", sizedVal{100})
+	c.Put("k", sizedVal{250})
+	if c.Bytes() != 250 || c.Len() != 1 {
+		t.Fatalf("after replacement bytes/len = %d/%d, want 250/1", c.Bytes(), c.Len())
+	}
+	if calls != 1 {
+		t.Errorf("onEvict calls = %d, want 1 (the replaced value)", calls)
+	}
+	if c.Evictions() != 0 {
+		t.Errorf("replacement counted as eviction")
+	}
+	c.Put("x", sizedVal{50})
+	// Growing k to the full budget must evict x, not k itself.
+	if !c.Put("k", sizedVal{300}) {
+		t.Fatal("full-budget refresh refused")
+	}
+	if _, ok := c.Get("x"); ok {
+		t.Error("x survived k growing to the full budget")
+	}
+	if c.Bytes() != 300 || c.Len() != 1 || c.Evictions() != 1 {
+		t.Errorf("bytes/len/evictions = %d/%d/%d, want 300/1/1", c.Bytes(), c.Len(), c.Evictions())
+	}
+	if calls != 3 { // two replacements of k plus the eviction of x
+		t.Errorf("onEvict calls = %d, want 3", calls)
+	}
+}
+
+// TestByteLRUDefaultSize: values that don't implement Sized are charged
+// the flat default, so entry pressure still exists under a byte budget.
+func TestByteLRUDefaultSize(t *testing.T) {
+	c := NewByteLRU(128, nil)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2 (3 x 64 bytes over a 128-byte budget)", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("oldest opaque entry survived")
+	}
+	// Zero budget stores nothing.
+	off := NewByteLRU(0, nil)
+	if off.Put("x", sizedVal{1}) {
+		t.Error("zero-budget cache stored an entry")
+	}
+}

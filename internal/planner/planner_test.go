@@ -1,0 +1,566 @@
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/crossfilter"
+	"repro/internal/datacube"
+	"repro/internal/dataset"
+	"repro/internal/storage"
+	"repro/internal/taxonomy"
+)
+
+// testTable builds the differential fixture: the road dataset under three
+// deliberately unequal bin counts (equal bins would hide transposed-axis
+// bugs in the view matrices).
+func testTable(t testing.TB, rows int) (*storage.Table, []datacube.Dim) {
+	t.Helper()
+	tbl := dataset.Roads(7, rows)
+	lonLo, lonHi, latLo, latHi, altLo, altHi := dataset.RoadBounds()
+	dims := []datacube.Dim{
+		{Name: "x", Lo: lonLo, Hi: lonHi, Bins: 16},
+		{Name: "y", Lo: latLo, Hi: latHi, Bins: 12},
+		{Name: "z", Lo: altLo, Hi: altHi, Bins: 20},
+	}
+	return tbl, dims
+}
+
+func newHists(dims []datacube.Dim) [][]int64 {
+	h := make([][]int64, len(dims))
+	for d := range h {
+		h[d] = make([]int64, dims[d].Bins)
+	}
+	return h
+}
+
+// oraBin is the oracle's own copy of the bin arithmetic — written out
+// independently so a bug in the production binOf cannot cancel against
+// itself.
+func oraBin(d datacube.Dim, v float64) int {
+	if d.Hi <= d.Lo {
+		return 0
+	}
+	b := int((v - d.Lo) / (d.Hi - d.Lo) * float64(d.Bins))
+	if b < 0 {
+		return 0
+	}
+	if b >= d.Bins {
+		return d.Bins - 1
+	}
+	return b
+}
+
+func oraBinRange(d datacube.Dim, r datacube.Range) (int, int) {
+	lo, hi := oraBin(d, r.Lo), oraBin(d, r.Hi)
+	if hi > lo && d.Lo+(d.Hi-d.Lo)*float64(hi)/float64(d.Bins) == r.Hi {
+		hi--
+	}
+	return lo, hi
+}
+
+// oracleAnswer is the single-threaded reference: one plain loop over every
+// row, no morsels, no precomputed structures. Everything the planner
+// returns must match it bit for bit.
+func oracleAnswer(tbl *storage.Table, dims []datacube.Dim, filters []*datacube.Range) (int64, [][]int64) {
+	nd := len(dims)
+	hists := newHists(dims)
+	lo, hi := make([]int, nd), make([]int, nd)
+	for i, d := range dims {
+		lo[i], hi[i] = 0, d.Bins-1
+		if filters[i] != nil {
+			lo[i], hi[i] = oraBinRange(d, *filters[i])
+			if lo[i] > hi[i] {
+				return 0, hists
+			}
+		}
+	}
+	cols := make([]*storage.Column, nd)
+	for i, d := range dims {
+		cols[i] = tbl.Column(d.Name)
+	}
+	var total int64
+	bins := make([]int, nd)
+	for row := 0; row < tbl.NumRows(); row++ {
+		pass := true
+		for i, d := range dims {
+			b := oraBin(d, cols[i].Float(row))
+			if b < lo[i] || b > hi[i] {
+				pass = false
+				break
+			}
+			bins[i] = b
+		}
+		if !pass {
+			continue
+		}
+		total++
+		for i := range dims {
+			hists[i][bins[i]]++
+		}
+	}
+	return total, hists
+}
+
+func compareAnswer(t *testing.T, tag string, wantTotal, gotTotal int64, want, got [][]int64) {
+	t.Helper()
+	if wantTotal != gotTotal {
+		t.Fatalf("%s: total = %d, oracle %d", tag, gotTotal, wantTotal)
+	}
+	for d := range want {
+		for b := range want[d] {
+			if want[d][b] != got[d][b] {
+				t.Fatalf("%s: hist[%d][%d] = %d, oracle %d", tag, d, b, got[d][b], want[d][b])
+			}
+		}
+	}
+}
+
+// forceModel pins one structure as free and every other as astronomically
+// expensive, so the differential suite can put each executor on the hook
+// by name.
+func forceModel(s Structure) *CostModel {
+	m := DefaultModel()
+	for _, o := range Structures() {
+		c := Coeff{FixedNS: 1e15, PerUnitNS: 1e15}
+		if o == s {
+			c = Coeff{}
+		}
+		m.SetCoeffs(o, c)
+	}
+	return m
+}
+
+// dragStep is a template-stable drag snapshot: fixed sub-range filters on
+// every dimension except moved, whose quarter-width window slides with
+// step.
+func dragStep(dims []datacube.Dim, moved, step, steps int) []*datacube.Range {
+	filters := make([]*datacube.Range, len(dims))
+	for i, d := range dims {
+		span := d.Hi - d.Lo
+		var r datacube.Range
+		if i == moved {
+			lo := d.Lo + span*0.75*float64(step%steps)/float64(steps)
+			r = datacube.Range{Lo: lo, Hi: lo + span*0.25}
+		} else {
+			r = datacube.Range{Lo: d.Lo + span*0.2, Hi: d.Lo + span*0.8}
+		}
+		rr := r
+		filters[i] = &rr
+	}
+	return filters
+}
+
+// randomFilters draws a brush snapshot that exercises the edge cases: nil
+// (unfiltered) dimensions, full-domain ranges, degenerate points, inverted
+// (empty) ranges, and out-of-domain endpoints that must clamp.
+func randomFilters(rng *rand.Rand, dims []datacube.Dim) []*datacube.Range {
+	filters := make([]*datacube.Range, len(dims))
+	for i, d := range dims {
+		span := d.Hi - d.Lo
+		switch rng.Intn(10) {
+		case 0: // unfiltered
+			filters[i] = nil
+		case 1: // whole domain
+			filters[i] = &datacube.Range{Lo: d.Lo, Hi: d.Hi}
+		case 2: // inverted: an empty selection zeroes the whole answer
+			filters[i] = &datacube.Range{Lo: d.Lo + span*0.7, Hi: d.Lo + span*0.3}
+		case 3: // degenerate point
+			v := d.Lo + span*rng.Float64()
+			filters[i] = &datacube.Range{Lo: v, Hi: v}
+		case 4: // spills past the domain edges: clamps
+			filters[i] = &datacube.Range{Lo: d.Lo - span, Hi: d.Hi + span}
+		default:
+			a := d.Lo + span*rng.Float64()
+			b := d.Lo + span*rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			filters[i] = &datacube.Range{Lo: a, Hi: b}
+		}
+	}
+	return filters
+}
+
+// TestPlannerDifferential: every executor the planner can choose —
+// engine scan, dense cube, prefix cube, and the materialized template
+// index — answers randomized brushes bit-identically to the serial
+// oracle, at every parallelism level.
+func TestPlannerDifferential(t *testing.T) {
+	tbl, dims := testTable(t, 30000)
+	cube, err := datacube.BuildWith(tbl, dims, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := datacube.NewPrefix(cube)
+
+	for _, par := range []int{1, 2, 4, 8} {
+		for _, forced := range []Structure{EngineScan, DenseCube, PrefixCube, MatIndex} {
+			t.Run(fmt.Sprintf("%s/p%d", forced, par), func(t *testing.T) {
+				pl, err := New(tbl, cube, dims, Config{
+					Model: forceModel(forced), Prefix: prefix,
+					Parallelism: par, HotStreak: 2,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pl.Close()
+
+				rng := rand.New(rand.NewSource(int64(100*par) + int64(forced)))
+				hists := newHists(dims)
+				session := fmt.Sprintf("s-%v-%d", forced, par)
+				const steps = 24
+				for step := 0; step < steps; step++ {
+					var filters []*datacube.Range
+					if forced == MatIndex {
+						// A stable template, so the index materializes and
+						// the back half of the loop runs on it.
+						filters = dragStep(dims, 0, step, steps)
+					} else {
+						filters = randomFilters(rng, dims)
+					}
+					total, choice, err := pl.Answer(session, 0, filters, hists)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantTotal, want := oracleAnswer(tbl, dims, filters)
+					compareAnswer(t, fmt.Sprintf("step %d (%v)", step, choice), wantTotal, total, want, hists)
+					if forced == MatIndex && step == steps/2 {
+						pl.WaitBuilds()
+					}
+				}
+				st := pl.Stats()
+				if forced == MatIndex {
+					if st.Materializations != 1 {
+						t.Errorf("materializations = %d, want 1", st.Materializations)
+					}
+					if st.Choices[taxonomy.StructMatIndex] == 0 {
+						t.Error("mat-index never chosen after the swap-in")
+					}
+				} else if st.Choices[forced.String()] != steps {
+					t.Errorf("choices[%v] = %d, want %d", forced, st.Choices[forced.String()], steps)
+				}
+			})
+		}
+	}
+}
+
+// TestPlannerSwapInMidSession: concurrent drag sessions under the default
+// model, each racing its own template's background materialization — every
+// answer, before, during, and after the swap-in, matches the oracle.
+// Run under -race this is the suite's main concurrency proof.
+func TestPlannerSwapInMidSession(t *testing.T) {
+	tbl, dims := testTable(t, 12000)
+	cube, err := datacube.BuildWith(tbl, dims, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(tbl, cube, dims, Config{
+		Prefix: datacube.NewPrefix(cube), HotStreak: 3, MaxBuilds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+
+	const steps = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for moved := 0; moved < len(dims); moved++ {
+		wg.Add(1)
+		go func(moved int) {
+			defer wg.Done()
+			hists := newHists(dims)
+			session := fmt.Sprintf("dragger-%d", moved)
+			for step := 0; step < steps; step++ {
+				filters := dragStep(dims, moved, step, steps)
+				total, _, err := pl.Answer(session, moved, filters, hists)
+				if err != nil {
+					errs <- err
+					return
+				}
+				wantTotal, want := oracleAnswer(tbl, dims, filters)
+				if wantTotal != total {
+					errs <- fmt.Errorf("moved %d step %d: total %d, oracle %d", moved, step, total, wantTotal)
+					return
+				}
+				for d := range want {
+					for b := range want[d] {
+						if want[d][b] != hists[d][b] {
+							errs <- fmt.Errorf("moved %d step %d: hist[%d][%d] = %d, oracle %d",
+								moved, step, d, b, hists[d][b], want[d][b])
+							return
+						}
+					}
+				}
+			}
+		}(moved)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	pl.WaitBuilds()
+	st := pl.Stats()
+	if st.Materializations == 0 {
+		t.Error("no template materialized across three sustained drags")
+	}
+	if st.IndexCount != st.Materializations-st.Evictions {
+		t.Errorf("index accounting: count %d, built %d, evicted %d", st.IndexCount, st.Materializations, st.Evictions)
+	}
+}
+
+// TestPlannerBudgetEviction: a budget sized for two indexes under four hot
+// templates forces evictions; the accounting stays exact and the answers
+// stay oracle-identical after the churn.
+func TestPlannerBudgetEviction(t *testing.T) {
+	tbl, dims := testTable(t, 8000)
+	prefix, err := datacube.BuildPrefix(tbl, dims, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One index for these dims costs ~4.9 KB (see ApproxBytes); give the
+	// store room for two.
+	pl, err := New(tbl, nil, dims, Config{Prefix: prefix, HotStreak: 1, Budget: 10 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+
+	hists := newHists(dims)
+	for tpl := 0; tpl < 4; tpl++ {
+		session := fmt.Sprintf("tpl-%d", tpl)
+		for step := 0; step < 3; step++ {
+			// Each template pins a different fixed box on the non-moved dims.
+			filters := dragStep(dims, 0, step, 8)
+			for i := 1; i < len(dims); i++ {
+				span := dims[i].Hi - dims[i].Lo
+				filters[i].Lo = dims[i].Lo + span*0.1*float64(tpl)
+			}
+			total, _, err := pl.Answer(session, 0, filters, hists)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTotal, want := oracleAnswer(tbl, dims, filters)
+			compareAnswer(t, fmt.Sprintf("tpl %d step %d", tpl, step), wantTotal, total, want, hists)
+		}
+		pl.WaitBuilds()
+	}
+	st := pl.Stats()
+	if st.Materializations != 4 {
+		t.Fatalf("materializations = %d, want 4", st.Materializations)
+	}
+	if st.Evictions < 2 {
+		t.Errorf("evictions = %d, want >= 2 (four indexes through a two-index budget)", st.Evictions)
+	}
+	if st.IndexCount != st.Materializations-st.Evictions {
+		t.Errorf("index count %d != built %d - evicted %d", st.IndexCount, st.Materializations, st.Evictions)
+	}
+	if st.IndexBytes < 0 || st.IndexBytes > st.BudgetBytes || st.StoreBytes > st.BudgetBytes {
+		t.Errorf("byte accounting out of bounds: index %d, store %d, budget %d",
+			st.IndexBytes, st.StoreBytes, st.BudgetBytes)
+	}
+	// The store keeps answering correctly after the churn.
+	filters := dragStep(dims, 0, 5, 8)
+	total, _, err := pl.Answer("after", 0, filters, hists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal, want := oracleAnswer(tbl, dims, filters)
+	compareAnswer(t, "post-eviction", wantTotal, total, want, hists)
+}
+
+// TestPlannerLazyPrefix: with LazyPrefix the cube is built in the
+// background on first demand; answers before, during, and after the build
+// are oracle-identical, and the build happens exactly once.
+func TestPlannerLazyPrefix(t *testing.T) {
+	tbl, dims := testTable(t, 10000)
+	cube, err := datacube.BuildWith(tbl, dims, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(tbl, cube, dims, Config{LazyPrefix: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+
+	hists := newHists(dims)
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 10; step++ {
+		filters := randomFilters(rng, dims)
+		total, _, err := pl.Answer("lazy", 0, filters, hists)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTotal, want := oracleAnswer(tbl, dims, filters)
+		compareAnswer(t, fmt.Sprintf("lazy step %d", step), wantTotal, total, want, hists)
+		if step == 4 {
+			pl.WaitBuilds()
+		}
+	}
+	if n := pl.Stats().PrefixBuilds; n != 1 {
+		t.Errorf("prefix builds = %d, want 1", n)
+	}
+
+	// Without any structure source the constructor refuses.
+	if _, err := New(tbl, nil, dims, Config{}); err == nil {
+		t.Error("New accepted a config with no prefix, no cube, and LazyPrefix off")
+	}
+}
+
+// TestTemplateIndexUnits: the index answers exactly what it claims to
+// cost, sizes itself plausibly, and Matches tracks template identity.
+func TestTemplateIndexUnits(t *testing.T) {
+	tbl, dims := testTable(t, 5000)
+	filters := dragStep(dims, 1, 0, 8)
+	lo, hi, ok := TemplateOf(dims, 1, filters)
+	if !ok {
+		t.Fatal("TemplateOf rejected a valid drag snapshot")
+	}
+	if lo[1] != 0 || hi[1] != dims[1].Bins-1 {
+		t.Fatalf("moved slot not full-range: [%d,%d]", lo[1], hi[1])
+	}
+	fns, err := binners(tbl, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildTemplateIndex(nil, tbl, dims, 1, lo, hi, fns, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(16 + 12 + 20); idx.AnswerUnits() != want {
+		t.Errorf("AnswerUnits = %v, want %v (Σ bins)", idx.AnswerUnits(), want)
+	}
+	if idx.ApproxBytes() <= 0 {
+		t.Errorf("ApproxBytes = %d", idx.ApproxBytes())
+	}
+	if idx.Moved() != 1 {
+		t.Errorf("Moved = %d", idx.Moved())
+	}
+	if !idx.Matches(1, filters) {
+		t.Error("index rejects its own template")
+	}
+	if idx.Matches(0, filters) {
+		t.Error("index matches a different moved dimension")
+	}
+	other := dragStep(dims, 1, 0, 8)
+	other[0].Lo = dims[0].Lo // widened fixed box: different template
+	if idx.Matches(1, other) {
+		t.Error("index matches a different fixed box")
+	}
+
+	// The moved window itself may vary freely, including to empty.
+	hists := newHists(dims)
+	empty := dragStep(dims, 1, 0, 8)
+	empty[1] = &datacube.Range{Lo: dims[1].Hi, Hi: dims[1].Lo}
+	total, err := idx.AnswerInto(empty, hists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("empty moved window: total = %d", total)
+	}
+	for d := range hists {
+		for b, v := range hists[d] {
+			if v != 0 {
+				t.Fatalf("empty moved window: hist[%d][%d] = %d", d, b, v)
+			}
+		}
+	}
+
+	// TemplateOf rejects malformed input.
+	if _, _, ok := TemplateOf(dims, -1, filters); ok {
+		t.Error("TemplateOf accepted moved = -1")
+	}
+	if _, _, ok := TemplateOf(dims, len(dims), filters); ok {
+		t.Error("TemplateOf accepted moved past the last dimension")
+	}
+	if _, _, ok := TemplateOf(dims, 0, filters[:1]); ok {
+		t.Error("TemplateOf accepted a short filter slice")
+	}
+}
+
+// TestBinRangeEdges: the re-derived bin arithmetic honors the cube
+// family's half-open-upper convention at the awkward spots.
+func TestBinRangeEdges(t *testing.T) {
+	d := datacube.Dim{Name: "v", Lo: 0, Hi: 10, Bins: 10}
+	for _, tc := range []struct {
+		r      datacube.Range
+		lo, hi int
+	}{
+		{datacube.Range{Lo: 0, Hi: 10}, 0, 9},    // whole domain
+		{datacube.Range{Lo: 0, Hi: 5}, 0, 4},     // upper edge on a boundary: exclusive
+		{datacube.Range{Lo: 2.5, Hi: 2.5}, 2, 2}, // point
+		{datacube.Range{Lo: 7, Hi: 3}, 7, 3},     // inverted: lo > hi marks empty
+		{datacube.Range{Lo: -5, Hi: 50}, 0, 9},   // clamps
+	} {
+		lo, hi := BinRange(d, tc.r)
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("BinRange(%v) = [%d,%d], want [%d,%d]", tc.r, lo, hi, tc.lo, tc.hi)
+		}
+	}
+	flat := datacube.Dim{Name: "flat", Lo: 3, Hi: 3, Bins: 5}
+	if lo, hi := BinRange(flat, datacube.Range{Lo: 0, Hi: 9}); lo != 0 || hi != 0 {
+		t.Errorf("degenerate dim: [%d,%d], want [0,0]", lo, hi)
+	}
+}
+
+// TestScanChooserDifferential: crossfilter driven by the cost model's
+// ChooseDelta returns histograms and totals bit-identical to an unwired
+// crossfilter across a drag-plus-jump workload, while actually exercising
+// both scan paths.
+func TestScanChooserDifferential(t *testing.T) {
+	tbl, _ := testTable(t, 20000)
+	names := []string{"x", "y", "z"}
+	withChooser, err := crossfilter.New(tbl, names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := crossfilter.New(tbl, names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withChooser.SetScanChooser(DefaultModel())
+
+	check := func(tag string) {
+		t.Helper()
+		if a, b := withChooser.Total(), plain.Total(); a != b {
+			t.Fatalf("%s: total %d vs %d", tag, a, b)
+		}
+		for d := range names {
+			a, b := withChooser.Histogram(d), plain.Histogram(d)
+			for bin := range a {
+				if a[bin] != b[bin] {
+					t.Fatalf("%s: hist[%d][%d] = %d vs %d", tag, d, bin, a[bin], b[bin])
+				}
+			}
+		}
+	}
+
+	lonLo, lonHi, latLo, latHi, _, _ := dataset.RoadBounds()
+	// A drag: small per-step deltas ride the sorted-index path.
+	for i := 0; i < 15; i++ {
+		lo := lonLo + float64(i)*0.01
+		withChooser.SetFilter(0, lo, lonHi-1)
+		plain.SetFilter(0, lo, lonHi-1)
+		check(fmt.Sprintf("drag %d", i))
+	}
+	// Jumps: page-wide changes flip most records and take the full scan.
+	for i, r := range [][2]float64{{latLo, latLo + 0.1}, {latLo, latHi}, {latLo + 0.5, latLo + 0.6}} {
+		withChooser.SetFilter(1, r[0], r[1])
+		plain.SetFilter(1, r[0], r[1])
+		check(fmt.Sprintf("jump %d", i))
+	}
+	withChooser.ClearFilter(0)
+	plain.ClearFilter(0)
+	check("clear")
+
+	delta, full := withChooser.ScanStats()
+	if delta == 0 || full == 0 {
+		t.Errorf("chooser never split paths: delta %d, full %d", delta, full)
+	}
+}

@@ -49,6 +49,7 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	p.Counter("deadline_exceeded_total", "Executions cut short by their deadline budget.", float64(st.Deadlines))
 	p.Counter("retries_total", "Backend retries after injected transient errors.", float64(st.Retries))
 	p.Counter("brush_cache_hits_total", "Brushes answered from the exact-result cache.", float64(st.BrushCacheHits))
+	p.Counter("brush_cache_misses_total", "Cache-tier lookups that found no exact answer.", float64(st.BrushCacheMiss))
 	p.Counter("breaker_rejects_total", "Requests rejected by the open circuit breaker.", float64(st.BreakerRejects))
 	p.Counter("breaker_trips_total", "Circuit-breaker open transitions.", float64(st.BreakerTrips))
 
@@ -68,6 +69,23 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 			cols[c.Name] = float64(c.Bytes)
 		}
 		p.GaugeVec("colstore_column_bytes", "Resident encoded bytes per served column.", "column", cols)
+	}
+
+	if st.Planner != nil {
+		choices := make(map[string]float64, len(st.Planner.Choices))
+		for name, n := range st.Planner.Choices {
+			choices[name] = float64(n)
+		}
+		p.CounterVec("planner_choice_total",
+			"Brush answers per structure the cost model selected.",
+			"structure", choices)
+		p.Counter("planner_materializations_total", "Per-selection indexes built for hot drag templates.", float64(st.Planner.Materializations))
+		p.Counter("planner_evictions_total", "Entries the planner store's byte budget pushed out.", float64(st.Planner.Evictions))
+		p.Counter("planner_prefix_builds_total", "Deferred prefix-cube builds completed.", float64(st.Planner.PrefixBuilds))
+		p.Gauge("planner_index_count", "Materialized per-selection indexes resident.", float64(st.Planner.IndexCount))
+		p.Gauge("planner_index_bytes", "Resident bytes of materialized indexes.", float64(st.Planner.IndexBytes))
+		p.Gauge("planner_store_bytes", "Resident bytes of the planner's shared store (indexes + cached answers).", float64(st.Planner.StoreBytes))
+		p.Gauge("planner_budget_bytes", "The planner store's byte budget.", float64(st.Planner.BudgetBytes))
 	}
 
 	lcv := s.reg.tracer.LCVByStage()

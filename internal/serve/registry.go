@@ -8,6 +8,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/metrics"
 	"repro/internal/obsv"
+	"repro/internal/planner"
 )
 
 // qifWindow bounds the ring of recent issue timestamps that the QIF
@@ -27,21 +28,22 @@ const qifWindow = 1 << 12
 type Registry struct {
 	constraint time.Duration
 
-	issued         atomic.Int64
-	executed       atomic.Int64
-	coalesced      atomic.Int64
-	shed           atomic.Int64
-	errors         atomic.Int64
-	lcv            atomic.Int64
-	overConstraint atomic.Int64
-	regressions    atomic.Int64
-	tileHits       atomic.Int64
-	tileMisses     atomic.Int64
-	degraded       atomic.Int64
-	deadlines      atomic.Int64
-	retries        atomic.Int64
-	brushCacheHits atomic.Int64
-	breakerRejects atomic.Int64
+	issued           atomic.Int64
+	executed         atomic.Int64
+	coalesced        atomic.Int64
+	shed             atomic.Int64
+	errors           atomic.Int64
+	lcv              atomic.Int64
+	overConstraint   atomic.Int64
+	regressions      atomic.Int64
+	tileHits         atomic.Int64
+	tileMisses       atomic.Int64
+	degraded         atomic.Int64
+	deadlines        atomic.Int64
+	retries          atomic.Int64
+	brushCacheHits   atomic.Int64
+	brushCacheMisses atomic.Int64
+	breakerRejects   atomic.Int64
 
 	// hist holds user-perceived end-to-end latency; percentile reads are a
 	// bucket walk over atomic counters — no reservoir, no sorting.
@@ -166,6 +168,11 @@ func (r *Registry) recordRetry() { r.retries.Add(1) }
 // recordBrushCacheHit counts one brush answered from the exact-result cache.
 func (r *Registry) recordBrushCacheHit() { r.brushCacheHits.Add(1) }
 
+// recordBrushCacheMiss counts one cache-tier lookup that found no exact
+// answer for the requested ranges — the other half of the brush cache's
+// hit rate, which was previously unobservable.
+func (r *Registry) recordBrushCacheMiss() { r.brushCacheMisses.Add(1) }
+
 // recordBreakerReject counts one request rejected by the open circuit
 // breaker before admission.
 func (r *Registry) recordBreakerReject() { r.breakerRejects.Add(1) }
@@ -198,6 +205,7 @@ type Stats struct {
 	Deadlines      int64   `json:"deadline_exceeded"`
 	Retries        int64   `json:"retries"`
 	BrushCacheHits int64   `json:"brush_cache_hits"`
+	BrushCacheMiss int64   `json:"brush_cache_misses"`
 	BreakerRejects int64   `json:"breaker_rejects"`
 	BreakerTrips   int64   `json:"breaker_trips"`
 	QIFPerSec      float64 `json:"qif_per_sec"`
@@ -224,6 +232,11 @@ type Stats struct {
 	// ratio). Present only when the backends were frozen via
 	// colstore.Freeze / EncodeBackends.
 	Store *colstore.TableStats `json:"store,omitempty"`
+
+	// Planner is the materialization planner's decision and index-economy
+	// snapshot (per-structure choice counts, materializations, store
+	// bytes). Present only when the server runs with Config.Planner.
+	Planner *planner.Stats `json:"planner,omitempty"`
 }
 
 const msPerNS = 1.0 / float64(time.Millisecond)
@@ -251,6 +264,7 @@ func (r *Registry) snapshot(queueDepth, inflight int) Stats {
 		Deadlines:      r.deadlines.Load(),
 		Retries:        r.retries.Load(),
 		BrushCacheHits: r.brushCacheHits.Load(),
+		BrushCacheMiss: r.brushCacheMisses.Load(),
 		BreakerRejects: r.breakerRejects.Load(),
 		QueueDepth:     queueDepth,
 		Inflight:       inflight,

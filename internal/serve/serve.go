@@ -42,6 +42,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obsv"
 	"repro/internal/opt"
+	"repro/internal/planner"
 	"repro/internal/progressive"
 	"repro/internal/shard"
 	"repro/internal/sql"
@@ -104,6 +105,29 @@ type Config struct {
 	// means 32768 rows.
 	PartialRows int
 
+	// Planner enables the selection-aware materialization planner: every
+	// brush is answered by the cheapest structure a per-structure cost
+	// model predicts (materialized per-selection index, prefix cube, dense
+	// cube, engine scan — all bit-identical), and hot drag templates get
+	// dedicated indexes built off the hot path. Requires a cube with a
+	// backing table (Backends.Tiles) carrying every cube dimension as a
+	// numeric column; mutually exclusive with Shards > 1. The brush answer
+	// cache moves into the planner's byte-budgeted store, shared with the
+	// materialized indexes.
+	Planner bool
+	// PlannerBudget bounds the planner's shared store (indexes + cached
+	// brush answers) in approximate resident bytes; 0 means
+	// planner.DefaultBudget.
+	PlannerBudget int64
+	// PlannerHotStreak is how many consecutive same-template brushes a
+	// session issues before its template is materialized; 0 means
+	// planner.DefaultHotStreak.
+	PlannerHotStreak int
+	// PlannerLazyPrefix defers the summed-area cube build off the startup
+	// path: the planner builds it in the background on first brush demand,
+	// answering from the other structures meanwhile.
+	PlannerLazyPrefix bool
+
 	// Shards enables sharded scatter-gather serving: the cube's backing
 	// table (Backends.Tiles) is partitioned across this many shard
 	// replicas, each with its own prefix cube (and engine, when the
@@ -164,6 +188,7 @@ type Server struct {
 	cubeDims     []datacube.Dim
 	coord        *shard.Coordinator
 	storeStats   *colstore.TableStats
+	plan         *planner.Planner
 	brushMu      sync.Mutex
 	brushCache   *opt.ResultLRU
 
@@ -278,13 +303,19 @@ func New(b Backends, cfg Config) (*Server, error) {
 	if brushCacheSize == 0 {
 		brushCacheSize = 256
 	}
-	if brushCacheSize > 0 {
+	if brushCacheSize > 0 && !cfg.Planner {
+		// Planner-enabled, brush answers live in the planner's shared
+		// byte-budgeted store instead.
 		s.brushCache = opt.NewResultLRU(brushCacheSize)
 	}
 	if b.Cube != nil {
 		// The summed-area form answers every brush in O(bins·2^(d-1))
-		// lookups; the dense cube stays as the differential oracle.
-		s.prefix = datacube.NewPrefix(b.Cube)
+		// lookups; the dense cube stays as the differential oracle. With
+		// the planner's lazy-prefix mode, this eager build is deferred to
+		// the planner's background path instead.
+		if !cfg.Planner || !cfg.PlannerLazyPrefix {
+			s.prefix = datacube.NewPrefix(b.Cube)
+		}
 		for d := 0; d < b.Cube.NumDims(); d++ {
 			s.cubeDims = append(s.cubeDims, b.Cube.Dim(d))
 		}
@@ -322,6 +353,27 @@ func New(b Backends, cfg Config) (*Server, error) {
 			st := colstore.StatsOf(b.Tiles)
 			s.storeStats = &st
 		}
+	}
+	if cfg.Planner {
+		if cfg.Shards > 1 {
+			// The planner's session-template tracking and shard scatter
+			// both own the brush execution path; composing them is a
+			// different design, not a config knob.
+			return nil, fmt.Errorf("serve: planner and sharded serving are mutually exclusive")
+		}
+		if b.Cube == nil || b.Tiles == nil {
+			return nil, fmt.Errorf("serve: planner needs a cube with a backing table")
+		}
+		pl, err := planner.New(b.Tiles, b.Cube, s.cubeDims, planner.Config{
+			Budget:     cfg.PlannerBudget,
+			HotStreak:  cfg.PlannerHotStreak,
+			Prefix:     s.prefix,
+			LazyPrefix: cfg.PlannerLazyPrefix,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: planner: %w", err)
+		}
+		s.plan = pl
 	}
 	if cfg.Shards > 1 {
 		if b.Tiles == nil || len(s.cubeDims) == 0 {
@@ -376,8 +428,15 @@ func (s *Server) Stats() Stats {
 	st := s.reg.snapshot(len(s.queue), int(s.inflight.Load()))
 	st.BreakerTrips, _ = s.brk.stats()
 	st.Store = s.storeStats
+	if s.plan != nil {
+		st.Planner = s.plan.Stats()
+	}
 	return st
 }
+
+// Planner returns the materialization planner, or nil when Config.Planner
+// is off — the determinism hook for tests and benchmarks (WaitBuilds).
+func (s *Server) Planner() *planner.Planner { return s.plan }
 
 // Drain stops admission (new requests get 503), lets queued and in-flight
 // work finish, and waits for the worker pool to exit or ctx to expire.
@@ -399,9 +458,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		// The worker pool is gone, so no scatter can be in flight: the
-		// shard pools can drain too.
+		// shard pools can drain too, and the planner's background builds
+		// can be waited out (no brush will ever trigger a new one).
 		if s.coord != nil {
 			s.coord.Close()
+		}
+		if s.plan != nil {
+			s.plan.Close()
 		}
 		return nil
 	case <-ctx.Done():
@@ -769,6 +832,17 @@ type BrushResponse struct {
 	SampleFraction float64   `json:"sample_fraction,omitempty"`
 }
 
+// ApproxBytes reports the response's resident size to the planner's
+// byte-budgeted store (opt.Sized), which it shares with the materialized
+// indexes.
+func (r *BrushResponse) ApproxBytes() int64 {
+	n := int64(96) // struct + outer slice header
+	for _, h := range r.Histograms {
+		n += 24 + 8*int64(len(h))
+	}
+	return n
+}
+
 func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -1109,6 +1183,12 @@ func brushKey(req BrushRequest) string {
 // is read-only from then on; lookup copies the struct before overriding
 // per-request fields.
 func (s *Server) cacheBrush(req BrushRequest, resp *BrushResponse) {
+	if s.plan != nil {
+		// Cached answers share the planner's byte-budgeted store with the
+		// materialized indexes: one memory budget for both.
+		s.plan.CachePut(brushCachePrefix+brushKey(req), resp)
+		return
+	}
 	if s.brushCache == nil {
 		return
 	}
@@ -1117,9 +1197,21 @@ func (s *Server) cacheBrush(req BrushRequest, resp *BrushResponse) {
 	s.brushMu.Unlock()
 }
 
+// brushCachePrefix namespaces cached brush answers inside the planner's
+// shared store, next to the "ix|" materialized indexes.
+const brushCachePrefix = "br|"
+
 // lookupBrush returns the cached exact answer for the request's ranges, or
-// nil.
+// nil, counting the outcome either way.
 func (s *Server) lookupBrush(req BrushRequest) *BrushResponse {
+	if s.plan != nil {
+		v, ok := s.plan.CacheGet(brushCachePrefix + brushKey(req))
+		if !ok {
+			s.reg.recordBrushCacheMiss()
+			return nil
+		}
+		return v.(*BrushResponse)
+	}
 	if s.brushCache == nil {
 		return nil
 	}
@@ -1127,6 +1219,7 @@ func (s *Server) lookupBrush(req BrushRequest) *BrushResponse {
 	v, ok := s.brushCache.Get(brushKey(req))
 	s.brushMu.Unlock()
 	if !ok {
+		s.reg.recordBrushCacheMiss()
 		return nil
 	}
 	return v.(*BrushResponse)
@@ -1235,19 +1328,32 @@ func (s *Server) execBrushShard(ctx context.Context, req BrushRequest, stamp fun
 // walk. One flat backing array serves every histogram, so the hot path
 // allocates only what the JSON response itself needs.
 func (s *Server) execBrush(req BrushRequest) (*BrushResponse, error) {
-	ndims := s.prefix.NumDims()
+	ndims := len(s.cubeDims)
 	filters := brushFilters(req.Ranges)
 	resp := &BrushResponse{AppliedSeq: req.Seq}
 	resp.Histograms = make([][]int64, ndims)
 	bins := 0
 	for d := 0; d < ndims; d++ {
-		bins += s.prefix.Dim(d).Bins
+		bins += s.cubeDims[d].Bins
 	}
 	backing := make([]int64, bins)
 	for d := 0; d < ndims; d++ {
-		nb := s.prefix.Dim(d).Bins
+		nb := s.cubeDims[d].Bins
 		resp.Histograms[d] = backing[:nb:nb]
 		backing = backing[nb:]
+	}
+	if s.plan != nil {
+		// Planner path: the cheapest available structure answers — the
+		// choice is bit-identical across structures, so the response is
+		// indistinguishable from the fixed prefix-cube path below.
+		total, _, err := s.plan.Answer(req.Session, req.Moved, filters, resp.Histograms)
+		if err != nil {
+			return nil, err
+		}
+		resp.Total = total
+		return resp, nil
+	}
+	for d := 0; d < ndims; d++ {
 		if err := s.prefix.HistogramInto(d, filters, resp.Histograms[d]); err != nil {
 			return nil, err
 		}
