@@ -11,6 +11,7 @@
 //	        [-deadlines] [-degradeafter 250ms]   # degradation ladder
 //	        [-chaos PROFILE] [-chaosseed N]      # fault injection
 //	        [-shards N] [-shardmode hash|range]  # scatter-gather serving
+//	        [-router N] [-routerreplicas R]      # multi-process shard fleet
 //	        [-encode]                            # compressed columnar storage
 //	        [-debug-addr 127.0.0.1:6060]         # pprof endpoint
 //
@@ -26,6 +27,15 @@
 // -debug-addr starts a second HTTP listener with net/http/pprof handlers
 // at /debug/pprof/ — kept off the serving mux so profiling endpoints are
 // never exposed on the public address.
+//
+// -router N runs the dataset as N supervised shard child processes instead
+// of in-process shards: each child is this same binary re-exec'd (it
+// detects child mode via the environment before flag parsing), rebuilding
+// its partition deterministically and serving raw partial histograms that
+// the parent gathers and merges. Children are health-checked, restarted
+// with capped jittered backoff, and parked dark after crash-looping;
+// /readyz reports the per-shard breakdown. -routerreplicas 2 adds a warm
+// replica per shard for hedged gathers.
 package main
 
 import (
@@ -43,11 +53,22 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/shard"
 )
 
 func main() {
+	// Shard-child mode first, before flags: when the router re-execs this
+	// binary as a child, the spec rides the environment and the child must
+	// serve its partition, not parse a server command line.
+	if ok, err := router.RunChildFromEnv(); ok {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idevald shard child:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	addr := flag.String("addr", ":8080", "listen address")
 	ds := flag.String("dataset", "road", "road or listings")
 	rows := flag.Int("rows", 0, "dataset cardinality (0 = paper scale)")
@@ -64,6 +85,8 @@ func main() {
 	chaosSeed := flag.Int64("chaosseed", 1, "fault injection seed")
 	shards := flag.Int("shards", 0, "partition the dataset across N scatter-gather shards (0 or 1 = unsharded)")
 	shardMode := flag.String("shardmode", "hash", "shard partitioning: hash or range")
+	routerN := flag.Int("router", 0, "supervise N shard child processes and gather across them (0 = in-process)")
+	routerReplicas := flag.Int("routerreplicas", 1, "child replicas per shard in -router mode (2 enables hedged gathers)")
 	encode := flag.Bool("encode", false, "freeze the dataset into compressed columnar form (dictionary / bit-packed encodings with vectorized scan kernels)")
 	planOn := flag.Bool("planner", false, "enable the selection-aware materialization planner (cost-model structure selection + auto-built per-selection indexes)")
 	planBudget := flag.Int64("plannerbudget", 0, "planner store byte budget for indexes + cached answers (0 = 64 MiB)")
@@ -73,7 +96,7 @@ func main() {
 
 	if err := run(*addr, *ds, *rows, *profile, *workers, *queue, *constraint, *execDelay, *logPath, *seed,
 		*deadlines, *degradeAfter, *chaos, *chaosSeed, *shards, *shardMode, *encode,
-		*planOn, *planBudget, *lazyPrefix, *debugAddr); err != nil {
+		*planOn, *planBudget, *lazyPrefix, *debugAddr, *routerN, *routerReplicas); err != nil {
 		fmt.Fprintln(os.Stderr, "idevald:", err)
 		os.Exit(1)
 	}
@@ -94,7 +117,7 @@ func buildBackends(ds string, rows int, prof engine.Profile, seed int64) (serve.
 
 func run(addr, ds string, rows int, profile string, workers, queue int, constraint, execDelay time.Duration, logPath string, seed int64,
 	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64, shards int, shardMode string, encode bool,
-	planOn bool, planBudget int64, lazyPrefix bool, debugAddr string) error {
+	planOn bool, planBudget int64, lazyPrefix bool, debugAddr string, routerN, routerReplicas int) error {
 	prof := engine.ProfileMemory
 	if profile == "disk" {
 		prof = engine.ProfileDisk
@@ -111,24 +134,54 @@ func run(addr, ds string, rows int, profile string, workers, queue int, constrai
 		fmt.Fprintf(os.Stderr, "idevald: pprof at http://%s/debug/pprof/\n", debugAddr)
 	}
 
-	fmt.Fprintf(os.Stderr, "idevald: building %s dataset...\n", ds)
-	backends, err := buildBackends(ds, rows, prof, seed)
-	if err != nil {
-		return err
-	}
-	if encode {
-		backends, err = serve.EncodeBackends(backends)
-		if err != nil {
-			return err
-		}
-		st := colstore.StatsOf(backends.Tiles)
-		fmt.Fprintf(os.Stderr, "idevald: encoded %d rows: %d -> %d bytes (%.2fx)\n",
-			st.Rows, st.PlainBytes, st.EncodedBytes, st.Ratio)
-	}
-
 	cfg := serve.Config{
 		Workers: workers, QueueDepth: queue, Constraint: constraint, ExecDelay: execDelay,
 		Deadlines: deadlines, DegradeAfter: degradeAfter,
+	}
+	var backends serve.Backends
+	if routerN > 1 {
+		// Multi-process mode: the dataset lives in the children, not here.
+		// The parent only needs the global dims to validate and merge.
+		if shards > 1 || planOn {
+			return fmt.Errorf("-router is mutually exclusive with -shards and -planner")
+		}
+		mode, err := shard.ParseMode(shardMode)
+		if err != nil {
+			return err
+		}
+		fleet, err := router.New(router.Config{
+			Shards:      routerN,
+			Replicas:    routerReplicas,
+			Dataset:     ds,
+			Rows:        rows,
+			Seed:        seed,
+			Mode:        mode,
+			Encode:      encode,
+			ChildStderr: os.Stderr,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Gatherer = fleet
+		cfg.GatherDims = fleet.Dims()
+		fmt.Fprintf(os.Stderr, "idevald: supervising %d shard processes x %d replicas (%s-partitioned)\n",
+			routerN, fleet.Stats().Replicas, mode)
+	} else {
+		fmt.Fprintf(os.Stderr, "idevald: building %s dataset...\n", ds)
+		var err error
+		backends, err = buildBackends(ds, rows, prof, seed)
+		if err != nil {
+			return err
+		}
+		if encode {
+			backends, err = serve.EncodeBackends(backends)
+			if err != nil {
+				return err
+			}
+			st := colstore.StatsOf(backends.Tiles)
+			fmt.Fprintf(os.Stderr, "idevald: encoded %d rows: %d -> %d bytes (%.2fx)\n",
+				st.Rows, st.PlainBytes, st.EncodedBytes, st.Ratio)
+		}
 	}
 	if shards > 1 {
 		mode, err := shard.ParseMode(shardMode)
@@ -163,6 +216,9 @@ func run(addr, ds string, rows int, profile string, workers, queue int, constrai
 	}
 	srv, err := serve.New(backends, cfg)
 	if err != nil {
+		if cfg.Gatherer != nil {
+			cfg.Gatherer.Close()
+		}
 		return err
 	}
 

@@ -17,6 +17,8 @@
 //	loadgen -chaos [-json BENCH_chaos.json] # fault-profile matrix, in-process
 //	loadgen -shardbench [-users N]          # shard-count matrix, in-process
 //	        [-json BENCH_shard.json]
+//	loadgen -routerbench [-users N]         # multi-process router matrix:
+//	        [-json BENCH_router.json]       # S × process-chaos × deadlines
 //
 // With -obsvjson, a scraper pulls /metrics?format=prometheus continuously
 // while the load runs, validates every body against the exposition format
@@ -42,11 +44,22 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obsv"
+	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/shard"
 )
 
 func main() {
+	// Shard-child mode first: -routerbench fleets re-exec this binary as
+	// their shard children, and a child must serve its partition instead of
+	// generating load.
+	if ok, err := router.RunChildFromEnv(); ok {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen shard child:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	addr := flag.String("addr", "", "base URL of a running idevald (empty = in-process server)")
 	users := flag.Int("users", 32, "concurrent synthetic users")
 	adjust := flag.Int("adjust", 4, "slider adjustments per user session")
@@ -70,7 +83,21 @@ func main() {
 	shardMode := flag.String("shardmode", "hash", "shard partitioning for -shards / -shardbench: hash or range")
 	shardBench := flag.Bool("shardbench", false, "run the shard matrix: S in {1,2,4,8} at the same offered load, in-process")
 	planBench := flag.Bool("planbench", false, "run the materialization-planner benchmark: byte-verified drag loop + load comparison, in-process")
+	routerBench := flag.Bool("routerbench", false, "run the multi-process router matrix: shard counts × process chaos × deadlines, each cell a supervised child fleet")
 	flag.Parse()
+
+	if *routerBench {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_router.json"
+		}
+		if err := runRouterBench(*users, *adjust, *events, *timescale, *seed, out,
+			*rows, *workers, *queue, *execDelay, *degradeAfter); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *planBench {
 		out := *jsonOut

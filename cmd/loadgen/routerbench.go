@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/router"
+	"repro/internal/serve"
+)
+
+// routerCell is one (shards, chaos profile, deadlines) cell of the
+// BENCH_router.json matrix: the same synthetic-user load driven through a
+// fresh supervised child fleet while a deterministic process-fault schedule
+// kills, freezes, or blackholes real shard processes underneath it.
+type routerCell struct {
+	Shards    int    `json:"shards"`
+	Replicas  int    `json:"replicas"`
+	Chaos     string `json:"chaos"` // "" = fault-free
+	Deadlines bool   `json:"deadlines"`
+	Users     int    `json:"users"`
+	Issued    int    `json:"issued"`
+	Executed  int64  `json:"executed"`
+	Coalesced int64  `json:"coalesced"`
+	Errors    int    `json:"errors"`
+
+	QIFPerSec  float64 `json:"qif_per_sec"`
+	LCVPercent float64 `json:"lcv_percent"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	WallMS     float64 `json:"wall_ms"`
+
+	Degraded     int64 `json:"degraded"`
+	DeadlineCuts int64 `json:"deadline_exceeded"`
+
+	// Fleet-side accounting: what the chaos actually did and how the
+	// supervisor and hedging responded.
+	Kills      int   `json:"kills"`
+	Stops      int   `json:"stops"`
+	Blackholes int   `json:"blackholes"`
+	Restarts   int64 `json:"restarts"`
+	Hedges     int64 `json:"hedges"`
+	HedgeWins  int64 `json:"hedge_wins"`
+}
+
+// runRouterBench drives the multi-process robustness matrix: S ∈ {2, 4}
+// fleets (two replicas per shard) under no chaos, process kills, and
+// process freezes with the degradation ladder on — plus a deadlines-off
+// kill baseline at S=2 showing what the ladder is worth. Every cell gets a
+// fresh fleet and a fresh deterministic chaos schedule from the same seed.
+func runRouterBench(users, adjust, events int, timescale float64, seed int64, jsonOut string,
+	rows, workers, queue int, execDelay, degradeAfter time.Duration) error {
+	type spec struct {
+		shards    int
+		chaos     string
+		deadlines bool
+	}
+	specs := []spec{
+		{2, "", true},
+		{2, "prockill", true},
+		{2, "procstop", true},
+		{2, "prockill", false}, // the no-ladder baseline
+		{4, "", true},
+		{4, "prockill", true},
+		{4, "procstop", true},
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: router matrix, %d cells (%d rows, %d users, 2 replicas/shard)...\n",
+		len(specs), rows, users)
+
+	cells := make([]routerCell, 0, len(specs))
+	for _, sp := range specs {
+		cell, err := runRouterCell(sp.shards, sp.chaos, sp.deadlines,
+			users, adjust, events, timescale, seed, rows, workers, queue, execDelay, degradeAfter)
+		if err != nil {
+			return fmt.Errorf("S=%d chaos=%q deadlines=%v: %w", sp.shards, sp.chaos, sp.deadlines, err)
+		}
+		cells = append(cells, cell)
+		name := cell.Chaos
+		if name == "" {
+			name = "none"
+		}
+		fmt.Printf("S=%d %-9s deadlines=%-5v lcv %5.2f%%  p50 %6.1fms  p99 %6.1fms  degraded %-4d kills %d stops %d restarts %d hedges %d\n",
+			cell.Shards, name, cell.Deadlines, 100*cell.LCVPercent, cell.P50MS, cell.P99MS,
+			cell.Degraded, cell.Kills, cell.Stops, cell.Restarts, cell.Hedges)
+	}
+
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cells); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", jsonOut)
+	return nil
+}
+
+// runRouterCell runs one matrix cell: fresh fleet, fresh frontend, load and
+// chaos concurrently, then a full drain (which reaps the children) before
+// the counters are read.
+func runRouterCell(shards int, chaosName string, deadlines bool,
+	users, adjust, events int, timescale float64, seed int64,
+	rows, workers, queue int, execDelay, degradeAfter time.Duration) (routerCell, error) {
+	fleet, err := router.New(router.Config{
+		Shards:   shards,
+		Replicas: 2,
+		Dataset:  "road",
+		Rows:     rows,
+		Seed:     seed,
+		// Bench-scale supervision: recover within the run, not on
+		// production timescales.
+		BackoffBase: 50 * time.Millisecond,
+		BackoffCap:  500 * time.Millisecond,
+		ChildStderr: os.Stderr,
+	})
+	if err != nil {
+		return routerCell{}, err
+	}
+	readyCtx, cancelReady := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancelReady()
+	if err := fleet.WaitReady(readyCtx); err != nil {
+		fleet.Close()
+		return routerCell{}, err
+	}
+
+	srv, err := serve.New(serve.Backends{}, serve.Config{
+		Workers: workers, QueueDepth: queue, Constraint: metrics.DefaultConstraint,
+		ExecDelay: execDelay,
+		Deadlines: deadlines, DegradeAfter: degradeAfter,
+		Gatherer: fleet, GatherDims: fleet.Dims(),
+		// Isolate the ladder-vs-baseline comparison from breaker trips, as
+		// the in-process chaos matrix does.
+		BreakerThreshold: -1,
+	})
+	if err != nil {
+		fleet.Close()
+		return routerCell{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fleet.Close()
+		return routerCell{}, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+
+	// Chaos runs for as long as the load does: schedule far past any
+	// realistic wall time and cancel when the load returns.
+	var chaosDone chan router.ChaosReport
+	chaosCtx, stopChaos := context.WithCancel(context.Background())
+	if chaosName != "" {
+		profile, ok := fault.ProcProfileByName(chaosName)
+		if !ok {
+			stopChaos()
+			httpSrv.Close()
+			fleet.Close()
+			return routerCell{}, fmt.Errorf("unknown process chaos profile %q", chaosName)
+		}
+		schedule := profile.Schedule(seed, shards, 10*time.Minute)
+		chaosDone = make(chan router.ChaosReport, 1)
+		go func() { chaosDone <- fleet.RunChaos(chaosCtx, schedule) }()
+	}
+
+	report, loadErr := serve.RunLoad(serve.LoadConfig{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Users:       users,
+		Adjustments: adjust,
+		MaxEvents:   events,
+		Seed:        seed,
+		TimeScale:   timescale,
+		Dims:        serve.RoadLoadDims(),
+	})
+	stopChaos()
+	var chaosReport router.ChaosReport
+	if chaosDone != nil {
+		chaosReport = <-chaosDone
+	}
+	fleetStats := fleet.Stats()
+	httpSrv.Close()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelDrain()
+	drainErr := srv.Drain(drainCtx) // closes the fleet and reaps the children
+	if loadErr != nil {
+		return routerCell{}, loadErr
+	}
+	if drainErr != nil {
+		return routerCell{}, drainErr
+	}
+
+	s := report.Server
+	return routerCell{
+		Shards:       shards,
+		Replicas:     2,
+		Chaos:        chaosName,
+		Deadlines:    deadlines,
+		Users:        len(report.Users),
+		Issued:       report.Issued,
+		Executed:     s.Executed,
+		Coalesced:    s.Coalesced,
+		Errors:       report.Errors,
+		QIFPerSec:    report.QIFPerSec,
+		LCVPercent:   s.LCVPercent,
+		P50MS:        report.P50MS,
+		P95MS:        report.P95MS,
+		P99MS:        report.P99MS,
+		WallMS:       float64(report.Wall) / float64(time.Millisecond),
+		Degraded:     s.Degraded,
+		DeadlineCuts: s.Deadlines,
+		Kills:        chaosReport.Kills,
+		Stops:        chaosReport.Stops,
+		Blackholes:   chaosReport.Blackholes,
+		Restarts:     fleetStats.Restarts,
+		Hedges:       fleetStats.Hedges,
+		HedgeWins:    fleetStats.HedgeWins,
+	}, nil
+}

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestProcScheduleDeterministic pins the determinism contract: the same
+// (profile, seed, shards, horizon) draws byte-identical schedules, and a
+// different seed draws a different one.
+func TestProcScheduleDeterministic(t *testing.T) {
+	for _, p := range ProcProfiles {
+		a := p.Schedule(42, 4, 5*time.Second)
+		b := p.Schedule(42, 4, 5*time.Second)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed drew different schedules\n%v\n%v", p.Name, a, b)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: empty schedule over 5s with period %v", p.Name, p.Period)
+		}
+		c := p.Schedule(43, 4, 5*time.Second)
+		if reflect.DeepEqual(a, c) {
+			t.Fatalf("%s: seeds 42 and 43 drew identical schedules", p.Name)
+		}
+	}
+}
+
+// TestProcScheduleShape checks event invariants: monotonically increasing
+// offsets at the profile period, shards in range, kinds drawn from the
+// profile, pauses only on stop/blackhole.
+func TestProcScheduleShape(t *testing.T) {
+	for _, p := range ProcProfiles {
+		events := p.Schedule(7, 3, 4*time.Second)
+		for i, ev := range events {
+			if want := time.Duration(i+1) * p.Period; ev.At != want {
+				t.Fatalf("%s event %d: at %v, want %v", p.Name, i, ev.At, want)
+			}
+			if ev.Shard < 0 || ev.Shard >= 3 {
+				t.Fatalf("%s event %d: shard %d out of range", p.Name, i, ev.Shard)
+			}
+			found := false
+			for _, k := range p.Kinds {
+				if ev.Kind == k {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s event %d: kind %v not in profile", p.Name, i, ev.Kind)
+			}
+			if ev.Kind == ProcKill && ev.Pause != 0 {
+				t.Fatalf("%s event %d: kill with pause %v", p.Name, i, ev.Pause)
+			}
+			if ev.Kind != ProcKill && ev.Pause != p.Pause {
+				t.Fatalf("%s event %d: %v pause %v, want %v", p.Name, i, ev.Kind, ev.Pause, p.Pause)
+			}
+		}
+	}
+}
+
+// TestProcProfileByName covers lookup hits and misses, and that every kind
+// has a stable name (bench output keys on them).
+func TestProcProfileByName(t *testing.T) {
+	for _, p := range ProcProfiles {
+		got, ok := ProcProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("ProcProfileByName(%q) = %+v, %v", p.Name, got, ok)
+		}
+	}
+	if _, ok := ProcProfileByName("nosuch"); ok {
+		t.Fatal("ProcProfileByName accepted an unknown name")
+	}
+	names := map[string]bool{}
+	for _, k := range []ProcKind{ProcKill, ProcStop, ProcBlackhole} {
+		if k.String() == "unknown" || names[k.String()] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, k.String())
+		}
+		names[k.String()] = true
+	}
+}

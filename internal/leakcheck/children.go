@@ -1,0 +1,119 @@
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckChildren records the test process's current child processes and
+// registers a cleanup that fails the test if any child spawned during the
+// test is still alive (or an unreaped zombie) shortly after every other
+// cleanup ran — the process-level analog of Check for router tests that
+// spawn real shard child processes. Like Check, call it FIRST so the
+// assertion runs after the fleet's own cleanup has killed and reaped its
+// children.
+//
+// On platforms without a readable /proc the guard is a no-op.
+func CheckChildren(t *testing.T) {
+	t.Helper()
+	baseline, ok := childProcs()
+	if !ok {
+		return
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			current, ok := childProcs()
+			if !ok {
+				return
+			}
+			var leaked []string
+			for pid, cmd := range current {
+				if _, existed := baseline[pid]; !existed {
+					leaked = append(leaked, fmt.Sprintf("pid %d (%s)", pid, cmd))
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				sort.Strings(leaked)
+				t.Errorf("leakcheck: %d child process(es) outlive the test:\n  %s",
+					len(leaked), strings.Join(leaked, "\n  "))
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+}
+
+// childProcs scans /proc for processes whose parent is this process,
+// returning pid → short command line. A zombie still counts: an exited
+// child nobody reaped is a leak of the supervisor's Wait discipline.
+func childProcs() (map[int]string, bool) {
+	entries, err := os.ReadDir("/proc")
+	if err != nil {
+		return nil, false
+	}
+	self := os.Getpid()
+	children := make(map[int]string)
+	for _, e := range entries {
+		pid, err := strconv.Atoi(e.Name())
+		if err != nil {
+			continue
+		}
+		if procPPID(pid) != self {
+			continue
+		}
+		children[pid] = procComm(pid)
+	}
+	return children, true
+}
+
+// procPPID reads a process's parent pid from /proc/<pid>/stat; -1 when the
+// process vanished mid-scan. The stat line is "pid (comm) state ppid ..."
+// and comm may itself contain spaces and parentheses, so fields are split
+// after the last ')'.
+func procPPID(pid int) int {
+	data, err := os.ReadFile("/proc/" + strconv.Itoa(pid) + "/stat")
+	if err != nil {
+		return -1
+	}
+	s := string(data)
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 {
+		return -1
+	}
+	fields := strings.Fields(s[i+1:])
+	if len(fields) < 2 {
+		return -1
+	}
+	ppid, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return -1
+	}
+	return ppid
+}
+
+// procComm returns a short human-readable identity for the leak report:
+// the command line when readable, the stat comm otherwise.
+func procComm(pid int) string {
+	if data, err := os.ReadFile("/proc/" + strconv.Itoa(pid) + "/cmdline"); err == nil && len(data) > 0 {
+		cmd := strings.TrimRight(strings.ReplaceAll(string(data), "\x00", " "), " ")
+		if len(cmd) > 120 {
+			cmd = cmd[:120] + "..."
+		}
+		if cmd != "" {
+			return cmd
+		}
+	}
+	if data, err := os.ReadFile("/proc/" + strconv.Itoa(pid) + "/comm"); err == nil {
+		return strings.TrimSpace(string(data))
+	}
+	return "?"
+}

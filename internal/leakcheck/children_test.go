@@ -1,0 +1,44 @@
+package leakcheck
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestChildProcsSeesSpawnAndReap drives the /proc scan directly: a spawned
+// child appears in the child set, and after kill+Wait it disappears — the
+// two transitions CheckChildren's cleanup polls between.
+func TestChildProcsSeesSpawnAndReap(t *testing.T) {
+	CheckChildren(t)
+	if _, ok := childProcs(); !ok {
+		t.Skip("no readable /proc on this platform")
+	}
+
+	// Re-exec the test binary against a test name that matches nothing: a
+	// cheap, portable child that exits on its own (a zombie until Wait).
+	cmd := exec.Command(os.Args[0], "-test.run=TestNoSuchTestEver")
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	pid := cmd.Process.Pid
+	procs, _ := childProcs()
+	if _, ok := procs[pid]; !ok {
+		t.Fatalf("spawned child %d not in child set %v", pid, procs)
+	}
+
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		procs, _ = childProcs()
+		if _, ok := procs[pid]; !ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reaped child %d still in child set", pid)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

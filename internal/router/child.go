@@ -1,0 +1,403 @@
+// Package router is the multi-process sharding layer: a Fleet supervises N
+// idevald shard child processes (spawn, health-check, restart with capped
+// jittered backoff, crash-loop darkening), routes brush traffic with
+// per-session replica affinity, and gathers per-shard partial histograms
+// with merge-by-addition exactly as internal/shard does in-process — so the
+// serving layer's coalescing, degradation ladder, and metrics work
+// unchanged across the process boundary.
+//
+// The process model is socket-activation style: the parent creates each
+// replica's listener once and passes a dup across exec, so a shard's
+// address is stable across restarts and the parent-held socket keeps
+// accepting (into the kernel backlog) while a child is down — a restarting
+// shard picks its pending connections back up instead of refusing them.
+// Children are stateless: each one deterministically rebuilds the full
+// dataset from (dataset, seed, rows), partitions it exactly as
+// shard.Partition does, keeps only its own partition, and serves raw
+// unscaled partial histograms. Statelessness is what makes SIGKILL a
+// recoverable event rather than data loss, and determinism is what makes a
+// restarted shard re-fence onto exactly the records it owned before.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/crossfilter"
+	"repro/internal/datacube"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/storage"
+)
+
+// ChildEnv is the environment variable that flips a binary into shard-child
+// mode: when set, the process is a re-exec'd shard child and must serve its
+// partition instead of running its own main. cmd/idevald, cmd/loadgen, and
+// the router test binaries all call RunChildFromEnv first thing, so any of
+// them can host a child.
+const ChildEnv = "IDEVAL_ROUTER_CHILD"
+
+// childListenFD is the file descriptor number the parent passes the
+// pre-bound listener on (the first ExtraFiles slot after stdio).
+const childListenFD = 3
+
+// ChildSpec tells a shard child which partition it owns. It rides ChildEnv
+// as JSON across exec.
+type ChildSpec struct {
+	Dataset     string     `json:"dataset"`
+	Rows        int        `json:"rows"`
+	Seed        int64      `json:"seed"`
+	Shard       int        `json:"shard"`
+	Of          int        `json:"of"`
+	Mode        shard.Mode `json:"mode"`
+	Encode      bool       `json:"encode,omitempty"`
+	Parallelism int        `json:"parallelism,omitempty"`
+	Generation  int        `json:"generation"`
+}
+
+// RunChildFromEnv checks ChildEnv and, when set, runs the shard child until
+// it is killed or told to stop. The bool reports whether child mode was
+// engaged at all; hosts exit after it returns true.
+func RunChildFromEnv() (bool, error) {
+	raw := os.Getenv(ChildEnv)
+	if raw == "" {
+		return false, nil
+	}
+	var spec ChildSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		return true, fmt.Errorf("router child: bad spec: %w", err)
+	}
+	return true, runChild(spec)
+}
+
+// partialRequest is the router→child brush RPC: one range per served
+// dimension, nil entries unfiltered — the wire form of the serving layer's
+// BrushRequest ranges.
+type partialRequest struct {
+	Ranges []*[2]float64 `json:"ranges"`
+}
+
+// partialResponse is one shard's raw, UNSCALED contribution: its partition
+// record count, the filtered total, and one histogram per dimension. The
+// router merges these by addition into a shard.Gather; scaling for partial
+// coverage happens once, at the serving layer, exactly as in-process.
+type partialResponse struct {
+	Shard      int       `json:"shard"`
+	Generation int       `json:"generation"`
+	Records    int       `json:"records"`
+	Total      int64     `json:"total"`
+	Histograms [][]int64 `json:"histograms"`
+}
+
+// childReady is the child's /readyz body.
+type childReady struct {
+	Status     string `json:"status"` // "building" or "ready"
+	Shard      int    `json:"shard"`
+	Of         int    `json:"of"`
+	Generation int    `json:"generation"`
+	Records    int    `json:"records"`
+}
+
+// child is the shard-child server state.
+type child struct {
+	spec   ChildSpec
+	dims   []datacube.Dim
+	prefix *datacube.PrefixCube
+	rows   int // partition rows
+
+	ready atomic.Bool
+	// blackholeUntil (unix nanos) gates every data endpoint: while set in
+	// the future, requests are held unanswered — the listener-blackhole
+	// chaos mode. /chaosctl itself is exempt so the hold can be set and
+	// lifted.
+	blackholeUntil atomic.Int64
+}
+
+// runChild serves the child's partition on the inherited listener until
+// SIGTERM/SIGINT. The HTTP server starts before the dataset build so health
+// probes get a real "building" answer instead of a connection that hangs in
+// a backlog.
+func runChild(spec ChildSpec) error {
+	f := os.NewFile(uintptr(childListenFD), "router-listener")
+	if f == nil {
+		return fmt.Errorf("router child: no inherited listener on fd %d", childListenFD)
+	}
+	ln, err := net.FileListener(f)
+	if err != nil {
+		return fmt.Errorf("router child: inherited fd %d: %w", childListenFD, err)
+	}
+	f.Close()
+
+	c := &child{spec: spec}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/partial", c.handlePartial)
+	mux.HandleFunc("/readyz", c.handleReadyz)
+	mux.HandleFunc("/healthz", c.handleReadyz)
+	mux.HandleFunc("/chaosctl", c.handleChaosctl)
+	srv := &http.Server{Handler: c.gate(mux)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	buildErr := make(chan error, 1)
+	go func() { buildErr <- c.build() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-buildErr:
+		if err != nil {
+			srv.Close()
+			return err
+		}
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		return srv.Close()
+	}
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+}
+
+// build deterministically reconstructs the full dataset, partitions it the
+// way every sibling does, and keeps only this child's share — the re-fencing
+// step that makes a restart land on exactly the records the dead instance
+// owned.
+func (c *child) build() error {
+	table, dims, err := datasetTable(c.spec.Dataset, c.spec.Seed, c.spec.Rows)
+	if err != nil {
+		return err
+	}
+	parts, err := shard.Partition(table, dims, c.spec.Of, c.spec.Mode, "")
+	if err != nil {
+		return err
+	}
+	if c.spec.Shard < 0 || c.spec.Shard >= len(parts) {
+		return fmt.Errorf("router child: shard %d of %d", c.spec.Shard, len(parts))
+	}
+	part := parts[c.spec.Shard]
+	if c.spec.Encode {
+		par := c.spec.Parallelism
+		if par <= 0 {
+			par = 1
+		}
+		part, err = colstore.Freeze(part, &colstore.Options{Parallelism: par})
+		if err != nil {
+			return fmt.Errorf("router child: freeze: %w", err)
+		}
+	}
+	prefix, err := datacube.BuildPrefix(part, dims, c.spec.Parallelism)
+	if err != nil {
+		return err
+	}
+	c.dims = dims
+	c.prefix = prefix
+	c.rows = part.NumRows()
+	c.ready.Store(true)
+	return nil
+}
+
+// datasetTable builds the named dataset at (seed, rows) and its GLOBAL cube
+// dimensions — the same domains every sibling and the parent use, because
+// bin edges must agree across shards or histogram addition is meaningless.
+func datasetTable(ds string, seed int64, rows int) (*storage.Table, []datacube.Dim, error) {
+	switch ds {
+	case "road":
+		if rows <= 0 {
+			rows = dataset.RoadCount
+		}
+		return dataset.Roads(seed, rows), serve.RoadCubeDims(), nil
+	case "listings":
+		if rows <= 0 {
+			rows = dataset.DefaultListingCount
+		}
+		table := dataset.Listings(seed, rows)
+		dims, err := listingsDims(table)
+		return table, dims, err
+	default:
+		return nil, nil, fmt.Errorf("router: unknown dataset %q", ds)
+	}
+}
+
+// listingsDims derives the listings cube dimensions from the full table's
+// min/max — which is why a child builds the full table before partitioning:
+// global domains cannot be computed from one partition.
+func listingsDims(table *storage.Table) ([]datacube.Dim, error) {
+	dims := make([]datacube.Dim, 0, 3)
+	for _, name := range []string{"lat", "lng", "price"} {
+		lo, hi, ok := table.MinMax(name)
+		if !ok {
+			return nil, fmt.Errorf("router: listings table lacks column %q", name)
+		}
+		dims = append(dims, datacube.Dim{Name: name, Lo: lo, Hi: hi, Bins: crossfilter.DefaultBins})
+	}
+	return dims, nil
+}
+
+// DatasetDims returns the global cube dimensions the fleet serves for a
+// dataset — what the parent passes to serve.Config.GatherDims. For road the
+// domains are constants; listings costs one throwaway table build.
+func DatasetDims(ds string, seed int64, rows int) ([]datacube.Dim, error) {
+	if ds == "road" {
+		return serve.RoadCubeDims(), nil
+	}
+	_, dims, err := datasetTable(ds, seed, rows)
+	return dims, err
+}
+
+// gate applies the blackhole hold to every endpoint except /chaosctl: held
+// requests are parked unanswered until the hold lifts or the client gives
+// up, which is exactly what a partitioned-but-alive shard looks like from
+// the router.
+func (c *child) gate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/chaosctl" {
+			if until := c.blackholeUntil.Load(); until > 0 {
+				if hold := time.Until(time.Unix(0, until)); hold > 0 {
+					select {
+					case <-time.After(hold):
+					case <-r.Context().Done():
+						return
+					}
+				}
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (c *child) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	body := childReady{
+		Status:     "building",
+		Shard:      c.spec.Shard,
+		Of:         c.spec.Of,
+		Generation: c.spec.Generation,
+	}
+	status := http.StatusServiceUnavailable
+	if c.ready.Load() {
+		body.Status = "ready"
+		body.Records = c.rows
+		status = http.StatusOK
+	}
+	writeJSON(w, status, body)
+}
+
+// handlePartial answers one brush scatter leg: per-dimension histograms
+// over this partition plus the filtered count, raw and unscaled.
+func (c *child) handlePartial(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !c.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, "building")
+		return
+	}
+	var req partialRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "want JSON {ranges}")
+		return
+	}
+	if len(req.Ranges) != len(c.dims) {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("want %d ranges, got %d", len(c.dims), len(req.Ranges)))
+		return
+	}
+	filters := make([]*datacube.Range, len(req.Ranges))
+	buf := make([]datacube.Range, len(req.Ranges))
+	for i, rg := range req.Ranges {
+		if rg != nil {
+			buf[i] = datacube.Range{Lo: rg[0], Hi: rg[1]}
+			filters[i] = &buf[i]
+		}
+	}
+	resp := partialResponse{
+		Shard:      c.spec.Shard,
+		Generation: c.spec.Generation,
+		Records:    c.rows,
+		Histograms: make([][]int64, len(c.dims)),
+	}
+	bins := 0
+	for _, d := range c.dims {
+		bins += d.Bins
+	}
+	backing := make([]int64, bins)
+	for i, d := range c.dims {
+		resp.Histograms[i] = backing[:d.Bins:d.Bins]
+		backing = backing[d.Bins:]
+		if err := c.prefix.HistogramInto(i, filters, resp.Histograms[i]); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	total, err := c.prefix.Count(filters)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp.Total = total
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleChaosctl arms the listener blackhole: POST /chaosctl?blackhole_ms=N
+// holds every other endpoint unanswered for N milliseconds (0 lifts it).
+// Exempt from its own gate, so chaos can always be lifted.
+func (c *child) handleChaosctl(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	ms, err := time.ParseDuration(r.URL.Query().Get("blackhole_ms") + "ms")
+	if err != nil || ms < 0 {
+		httpError(w, http.StatusBadRequest, "want ?blackhole_ms=N")
+		return
+	}
+	until := int64(0)
+	if ms > 0 {
+		until = time.Now().Add(ms).UnixNano()
+	}
+	c.blackholeUntil.Store(until)
+	writeJSON(w, http.StatusOK, map[string]any{"blackhole_ms": ms.Milliseconds()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// defaultParallelism sizes a child's build parallelism: an even split of
+// the machine across the fleet, floored at 1.
+func defaultParallelism(of int) int {
+	if of < 1 {
+		of = 1
+	}
+	p := runtime.GOMAXPROCS(0) / of
+	if p < 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,535 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datacube"
+	"repro/internal/shard"
+)
+
+// Config parameterizes a Fleet. The zero value of every tuning knob gets a
+// production-shaped default; tests shrink the timing knobs to keep runs
+// fast.
+type Config struct {
+	// Shards is the partition count — one shard child (per replica) each.
+	Shards int
+	// Replicas is the number of child processes per shard; 0 or 1 means
+	// one. With 2+, brush legs route to a per-session affinity replica and
+	// hedge to a warm sibling when the affinity replica is slow.
+	Replicas int
+
+	// Dataset, Rows, Seed, Mode, Encode describe the served partitioning;
+	// children rebuild it deterministically from exactly these values.
+	Dataset string
+	Rows    int
+	Seed    int64
+	Mode    shard.Mode
+	Encode  bool
+
+	// ChildArgs is the argv exec'd for each child; empty means re-exec this
+	// binary (os.Executable), which works for any host that calls
+	// RunChildFromEnv first — including test binaries.
+	ChildArgs []string
+	// ChildStderr receives the children's stderr; nil discards it.
+	ChildStderr io.Writer
+
+	// HealthInterval is the probe cadence (default 50ms); HealthTimeout
+	// bounds one probe (default 250ms — a dead child's socket accepts and
+	// then hangs, so probes must time out, not error).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// FailThreshold is the consecutive probe failures after which a ready
+	// child is killed and restarted (default 3).
+	FailThreshold int
+	// StartupTimeout bounds a child's build-to-ready window (default 60s).
+	StartupTimeout time.Duration
+	// BackoffBase/BackoffCap shape the capped jittered exponential restart
+	// backoff (defaults 100ms / 2s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// DarkAfter is the consecutive crash count (spawns that died before
+	// StableAfter of readiness) that parks a replica dark (default 5);
+	// DarkRetry is the slow revival cadence once dark (default 30s).
+	DarkAfter   int
+	DarkRetry   time.Duration
+	StableAfter time.Duration
+	// HedgeAfter is how long a gather leg waits on the affinity replica
+	// before hedging to a warm sibling (default 25ms); RPCTimeout bounds a
+	// leg when the caller brings no deadline (default 10s).
+	HedgeAfter time.Duration
+	RPCTimeout time.Duration
+}
+
+func (c *Config) normalize() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("router: need at least 1 shard")
+	}
+	if c.Dataset == "" {
+		c.Dataset = "road"
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	def := func(d *time.Duration, v time.Duration) {
+		if *d <= 0 {
+			*d = v
+		}
+	}
+	def(&c.HealthInterval, 50*time.Millisecond)
+	def(&c.HealthTimeout, 250*time.Millisecond)
+	def(&c.StartupTimeout, 60*time.Second)
+	def(&c.BackoffBase, 100*time.Millisecond)
+	def(&c.BackoffCap, 2*time.Second)
+	def(&c.DarkRetry, 30*time.Second)
+	def(&c.StableAfter, 2*time.Second)
+	def(&c.HedgeAfter, 25*time.Millisecond)
+	def(&c.RPCTimeout, 10*time.Second)
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.DarkAfter <= 0 {
+		c.DarkAfter = 5
+	}
+	return nil
+}
+
+// Stats is a fleet counters snapshot.
+type Stats struct {
+	Shards    int   `json:"shards"`
+	Replicas  int   `json:"replicas"`
+	Records   int   `json:"records"`
+	Spawns    int64 `json:"spawns"`
+	Restarts  int64 `json:"restarts"`
+	Darks     int64 `json:"dark_events"`
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+}
+
+// Fleet supervises Shards×Replicas shard child processes and implements
+// the serving layer's Gatherer over them: ScatterBrush fans one filter
+// snapshot out (one leg per shard, with per-session affinity and hedging
+// across replicas) and assembles the answers into a shard.Gather, so the
+// serving layer's ladder sees exactly the coverage semantics the in-process
+// coordinator gives it.
+type Fleet struct {
+	cfg  Config
+	dims []datacube.Dim
+	reps [][]*replica // [shard][replica]
+
+	client       *http.Client // gather legs
+	healthClient *http.Client // probes (separate pool: probes must not queue behind gathers)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	recordsMu    sync.Mutex
+	shardRecords []int // -1 until the shard first reports
+	totalRecords atomic.Int64
+	recordsKnown atomic.Bool
+
+	spawns    atomic.Int64
+	restarts  atomic.Int64
+	darks     atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+// New builds the fleet: one pre-bound loopback listener per replica slot
+// (held by the parent across child restarts) and one supervisor goroutine
+// per slot, spawning immediately. Returns before any child is ready; use
+// WaitReady to block for full coverage.
+func New(cfg Config) (*Fleet, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	dims, err := DatasetDims(cfg.Dataset, cfg.Seed, cfg.Rows)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Fleet{
+		cfg:    cfg,
+		dims:   dims,
+		ctx:    ctx,
+		cancel: cancel,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     30 * time.Second,
+		}},
+		healthClient: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 2,
+			IdleConnTimeout:     30 * time.Second,
+		}},
+		shardRecords: make([]int, cfg.Shards),
+	}
+	for i := range f.shardRecords {
+		f.shardRecords[i] = -1
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		var row []*replica
+		for i := 0; i < cfg.Replicas; i++ {
+			rep, err := f.newReplica(s, i)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			row = append(row, rep)
+			f.wg.Add(1)
+			go rep.supervise()
+		}
+		f.reps = append(f.reps, row)
+	}
+	return f, nil
+}
+
+// newReplica binds the slot's loopback listener and dups it for passing
+// across exec. The net.Listener itself is closed right away — the dup keeps
+// the socket open and LISTENING for the fleet's whole life, which is what
+// lets connections queue in the kernel backlog while a child restarts.
+func (f *Fleet) newReplica(shardIdx, idx int) (*replica, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("router: shard %d replica %d: %w", shardIdx, idx, err)
+	}
+	file, err := ln.(*net.TCPListener).File()
+	addr := ln.Addr().String()
+	ln.Close()
+	if err != nil {
+		return nil, fmt.Errorf("router: shard %d replica %d: dup listener: %w", shardIdx, idx, err)
+	}
+	return &replica{fleet: f, shard: shardIdx, idx: idx, addr: addr, ln: file}, nil
+}
+
+func (f *Fleet) replicas() int { return f.cfg.Replicas }
+
+// Dims returns the global cube dimensions the fleet serves — what the
+// serving layer passes as GatherDims.
+func (f *Fleet) Dims() []datacube.Dim { return f.dims }
+
+// Records returns the total record count across all shards (0 until every
+// shard has reported once).
+func (f *Fleet) Records() int { return int(f.totalRecords.Load()) }
+
+// ShardRecords returns shard i's partition record count, or 0 if it has
+// never reported — tests compute exact expected covered fractions from it.
+func (f *Fleet) ShardRecords(i int) int {
+	f.recordsMu.Lock()
+	defer f.recordsMu.Unlock()
+	if f.shardRecords[i] < 0 {
+		return 0
+	}
+	return f.shardRecords[i]
+}
+
+// ReplicaAddr returns the stable address of a replica slot (chaos and tests
+// target children through it).
+func (f *Fleet) ReplicaAddr(shardIdx, idx int) string { return f.reps[shardIdx][idx].addr }
+
+// ReplicaPID returns the replica's current child PID (0 while down).
+func (f *Fleet) ReplicaPID(shardIdx, idx int) int { return f.reps[shardIdx][idx].currentPID() }
+
+// AffinityReplica returns the replica index a session's gather legs prefer
+// — a stable hash, so one session's brushes keep hitting the same warm
+// replica (its kernel caches, its connection pool) across requests.
+func (f *Fleet) AffinityReplica(shardIdx int, session string) int {
+	if f.cfg.Replicas == 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(session); i++ {
+		h ^= uint64(session[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(shardIdx) * 0x9e3779b97f4a7c15
+	return int(h % uint64(f.cfg.Replicas))
+}
+
+// noteShardRecords pins one shard's partition size the first time any of
+// its replicas reports ready; once every shard is known the fleet total is
+// published and coverage fractions become exact.
+func (f *Fleet) noteShardRecords(shardIdx, records int) {
+	f.recordsMu.Lock()
+	defer f.recordsMu.Unlock()
+	if f.shardRecords[shardIdx] < 0 {
+		f.shardRecords[shardIdx] = records
+	}
+	total := 0
+	for _, n := range f.shardRecords {
+		if n < 0 {
+			return
+		}
+		total += n
+	}
+	f.totalRecords.Store(int64(total))
+	f.recordsKnown.Store(true)
+}
+
+// Health implements serve.HealthReporter: ready means every shard has at
+// least one serving replica; the detail is the full per-replica breakdown.
+func (f *Fleet) Health() (bool, any) {
+	ready := true
+	detail := make([]ReplicaHealth, 0, f.cfg.Shards*f.cfg.Replicas)
+	for _, row := range f.reps {
+		shardUp := false
+		for _, rep := range row {
+			h := rep.health()
+			detail = append(detail, h)
+			if h.State == StateReady.String() {
+				shardUp = true
+			}
+		}
+		if !shardUp {
+			ready = false
+		}
+	}
+	if !f.recordsKnown.Load() {
+		ready = false
+	}
+	return ready, detail
+}
+
+// Stats snapshots the fleet counters.
+func (f *Fleet) Stats() Stats {
+	return Stats{
+		Shards:    f.cfg.Shards,
+		Replicas:  f.cfg.Replicas,
+		Records:   f.Records(),
+		Spawns:    f.spawns.Load(),
+		Restarts:  f.restarts.Load(),
+		Darks:     f.darks.Load(),
+		Hedges:    f.hedges.Load(),
+		HedgeWins: f.hedgeWins.Load(),
+	}
+}
+
+// WaitReady blocks until every shard has a ready replica and the fleet's
+// record total is pinned, or ctx expires.
+func (f *Fleet) WaitReady(ctx context.Context) error {
+	for {
+		if ready, _ := f.Health(); ready {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			ready, detail := f.Health()
+			if ready {
+				return nil
+			}
+			return fmt.Errorf("router: fleet not ready: %w (%+v)", ctx.Err(), detail)
+		case <-f.ctx.Done():
+			return fmt.Errorf("router: fleet closed")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops the supervisors, kills and reaps every child, and releases
+// the parent-held listeners. Idempotent; implements the Gatherer lifecycle
+// the serving layer drives from Drain.
+func (f *Fleet) Close() {
+	if f.closed.Swap(true) {
+		return
+	}
+	f.cancel()
+	f.wg.Wait()
+	for _, row := range f.reps {
+		for _, rep := range row {
+			rep.ln.Close()
+		}
+	}
+	f.client.CloseIdleConnections()
+	f.healthClient.CloseIdleConnections()
+}
+
+// ScatterBrush implements the serving layer's Gatherer across the process
+// boundary: one leg per shard (affinity replica first, hedged to a warm
+// sibling when slow), answers merged into a shard.Gather whose coverage
+// accounting is exactly the in-process coordinator's — a dead shard's
+// records fall out of the covered fraction, and the serving ladder degrades
+// on it the same way.
+func (f *Fleet) ScatterBrush(ctx context.Context, session string, filters []*datacube.Range) (*shard.Gather, error) {
+	if f.closed.Load() {
+		return nil, fmt.Errorf("router: fleet closed")
+	}
+	if !f.recordsKnown.Load() {
+		// Without every shard's record count the covered fraction of a
+		// partial gather would be wrong; refuse rather than misreport.
+		return nil, fmt.Errorf("router: fleet still coming up (coverage totals unknown)")
+	}
+	ranges := make([]*[2]float64, len(filters))
+	for i, rg := range filters {
+		if rg != nil {
+			ranges[i] = &[2]float64{rg.Lo, rg.Hi}
+		}
+	}
+	body, err := json.Marshal(partialRequest{Ranges: ranges})
+	if err != nil {
+		return nil, err
+	}
+	// Callers without a deadline (the ladder's no-deadlines baseline) still
+	// must not hang on a dead shard forever: bound the legs by RPCTimeout.
+	legCtx := ctx
+	if legCtx == nil {
+		legCtx = context.Background()
+	}
+	if _, ok := legCtx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		legCtx, cancel = context.WithTimeout(legCtx, f.cfg.RPCTimeout)
+		defer cancel()
+	}
+
+	answers := make([]*shard.Answer, f.cfg.Shards)
+	errs := make([]error, f.cfg.Shards)
+	var wg sync.WaitGroup
+	for s := 0; s < f.cfg.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			answers[s], errs[s] = f.shardLeg(legCtx, s, session, body)
+		}(s)
+	}
+	wg.Wait()
+	return shard.NewGather(answers, errs, f.Records()), nil
+}
+
+// legResult tags a replica's answer with where it came from, so hedge wins
+// are countable.
+type legResult struct {
+	ans    *shard.Answer
+	err    error
+	hedged bool
+}
+
+// shardLeg gathers one shard's partial: POST to the session's affinity
+// replica, hedge to a warm sibling after HedgeAfter (or immediately when
+// the primary fails fast), first success wins. Replicas that are not
+// serving are skipped up front — supervision state is the router's cheap
+// failure detector, saving the timeout on provably dead children.
+func (f *Fleet) shardLeg(ctx context.Context, shardIdx int, session string, body []byte) (*shard.Answer, error) {
+	order := f.legOrder(shardIdx, session)
+	if len(order) == 0 {
+		return nil, fmt.Errorf("router: shard %d has no serving replica", shardIdx)
+	}
+	ch := make(chan legResult, len(order))
+	post := func(rep *replica, hedged bool) {
+		ans, err := f.postPartial(ctx, rep, body)
+		ch <- legResult{ans: ans, err: err, hedged: hedged}
+	}
+	go post(order[0], false)
+	inflight := 1
+	hedged := false
+
+	var hedgeC <-chan time.Time
+	if len(order) > 1 {
+		delay := f.cfg.HedgeAfter
+		if dl, ok := ctx.Deadline(); ok {
+			// Never hedge later than half the remaining budget: a hedge
+			// that cannot finish before the deadline is pure waste.
+			if rem := time.Until(dl) / 2; rem < delay {
+				delay = rem
+			}
+		}
+		if delay < 0 {
+			delay = 0
+		}
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case res := <-ch:
+			if res.err == nil {
+				if res.hedged {
+					f.hedgeWins.Add(1)
+				}
+				return res.ans, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			inflight--
+			if inflight > 0 {
+				continue
+			}
+			if !hedged && len(order) > 1 {
+				// The primary failed fast (connection reset by a dying
+				// child) with the sibling never tried: fail over now.
+				hedged = true
+				f.hedges.Add(1)
+				go post(order[1], true)
+				inflight = 1
+				continue
+			}
+			return nil, firstErr
+		case <-hedgeC:
+			hedgeC = nil
+			if !hedged {
+				hedged = true
+				f.hedges.Add(1)
+				go post(order[1], true)
+				inflight++
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// legOrder lists the shard's serving replicas, affinity replica first. A
+// replica whose supervisor has it starting/restarting/dark is excluded; a
+// ready-or-merely-unhealthy one still gets a chance (its probe failures may
+// be a blip the RPC survives).
+func (f *Fleet) legOrder(shardIdx int, session string) []*replica {
+	row := f.reps[shardIdx]
+	aff := f.AffinityReplica(shardIdx, session)
+	order := make([]*replica, 0, len(row))
+	for i := 0; i < len(row); i++ {
+		rep := row[(aff+i)%len(row)]
+		switch rep.getState() {
+		case StateReady, StateUnhealthy:
+			order = append(order, rep)
+		}
+	}
+	return order
+}
+
+// postPartial runs one replica RPC and decodes the raw partial into a
+// shard.Answer.
+func (f *Fleet) postPartial(ctx context.Context, rep *replica, body []byte) (*shard.Answer, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+rep.addr+"/v1/partial", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("router: shard %d replica %d: %s: %s", rep.shard, rep.idx, resp.Status, msg)
+	}
+	var pr partialResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	if pr.Shard != rep.shard {
+		return nil, fmt.Errorf("router: shard %d replica %d answered as shard %d", rep.shard, rep.idx, pr.Shard)
+	}
+	return &shard.Answer{Records: pr.Records, Total: pr.Total, Histograms: pr.Histograms}, nil
+}

@@ -1,0 +1,19 @@
+//go:build linux
+
+package router
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig wires the kernel to SIGKILL the child the moment its parent
+// dies — the last-ditch orphan guard behind the supervisor's own cleanup.
+// SIGKILL rather than SIGTERM because a child frozen by SIGSTOP chaos would
+// never handle anything gentler.
+func setPdeathsig(cmd *exec.Cmd) {
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Pdeathsig = syscall.SIGKILL
+}

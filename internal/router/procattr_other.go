@@ -1,0 +1,9 @@
+//go:build !linux
+
+package router
+
+import "os/exec"
+
+// setPdeathsig is a no-op off Linux: there is no parent-death signal, so
+// orphan cleanup relies on the supervisor's terminate path alone.
+func setPdeathsig(_ *exec.Cmd) {}

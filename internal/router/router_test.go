@@ -1,0 +1,489 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/leakcheck"
+	"repro/internal/serve"
+)
+
+// TestMain is the child hook: when the supervisor re-execs this test binary
+// with ChildEnv set, the process is a shard child, not a test run. This is
+// what lets the whole fleet — parent and children — run under one -race
+// build with no external binary to compile.
+func TestMain(m *testing.M) {
+	if ok, err := RunChildFromEnv(); ok {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "router child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+const testRows = 20000
+
+// oracleServer builds the single-process S=1 road server every differential
+// test compares against.
+func oracleServer(t *testing.T, scfg serve.Config) *httptest.Server {
+	t.Helper()
+	backends, err := serve.RoadBackends(1, testRows, engine.ProfileMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(backends, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		drain(t, srv)
+	})
+	return ts
+}
+
+// fleetServer builds a fleet and the serving frontend routed through it.
+// Drain (via cleanup) closes the fleet, which kills and reaps the children;
+// CheckChildren then asserts none leaked.
+func fleetServer(t *testing.T, fcfg Config, scfg serve.Config) (*Fleet, *httptest.Server) {
+	t.Helper()
+	if fcfg.Rows == 0 {
+		fcfg.Rows = testRows
+	}
+	if fcfg.Seed == 0 {
+		fcfg.Seed = 1
+	}
+	fcfg.ChildStderr = os.Stderr
+	f, err := New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := f.WaitReady(ctx); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	scfg.Gatherer = f
+	scfg.GatherDims = f.Dims()
+	srv, err := serve.New(serve.Backends{}, scfg)
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		drain(t, srv) // Drain closes the Gatherer, i.e. the fleet
+	})
+	return f, ts
+}
+
+func drain(t *testing.T, srv *serve.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Error(err)
+	}
+}
+
+func postJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// randomRanges draws one brush filter state over the road dims.
+func randomRanges(rng *rand.Rand) []*[2]float64 {
+	dims := serve.RoadCubeDims()
+	ranges := make([]*[2]float64, len(dims))
+	for i, d := range dims {
+		if rng.Intn(4) == 0 {
+			continue
+		}
+		lo := d.Lo + rng.Float64()*(d.Hi-d.Lo)
+		ranges[i] = &[2]float64{lo, lo + rng.Float64()*(d.Hi-lo)}
+	}
+	return ranges
+}
+
+// TestFleetMatchesSingleProcessOracle is the acceptance differential: the
+// multi-process router at S ∈ {2, 4} must answer every brush byte-identical
+// to the single-process S=1 oracle — full coverage is the exact answer, and
+// merge-by-addition across process boundaries is the same merge as
+// in-process.
+func TestFleetMatchesSingleProcessOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	leakcheck.Check(t)
+	leakcheck.CheckChildren(t)
+	oracle := oracleServer(t, serve.Config{Workers: 2})
+
+	for _, s := range []int{2, 4} {
+		t.Run(fmt.Sprintf("S%d", s), func(t *testing.T) {
+			_, routed := fleetServer(t, Config{Shards: s}, serve.Config{Workers: 2})
+			rng := rand.New(rand.NewSource(int64(9000 + s)))
+			session := fmt.Sprintf("diff-%d", s)
+			for seq := int64(0); seq < 12; seq++ {
+				req := serve.BrushRequest{Session: session, Seq: seq, Ranges: randomRanges(rng)}
+				st1, body1 := postJSON(t, oracle.URL+"/v1/brush", req)
+				st2, body2 := postJSON(t, routed.URL+"/v1/brush", req)
+				if st1 != http.StatusOK || st2 != http.StatusOK {
+					t.Fatalf("seq %d: status %d vs %d (%s)", seq, st1, st2, body2)
+				}
+				if !bytes.Equal(body1, body2) {
+					t.Fatalf("seq %d: routed brush differs:\n%s\nvs oracle:\n%s", seq, body2, body1)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetKillPartialThenRestartExact is the robustness acceptance: kill a
+// shard child mid-run and the very next brush is a degraded partial whose
+// covered fraction is exactly the surviving shard's record share — not
+// approximately, exactly, because coverage accounting is record-based. When
+// the supervisor restarts the child and it re-fences onto its partition,
+// the next brush is exact again.
+func TestFleetKillPartialThenRestartExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	leakcheck.Check(t)
+	leakcheck.CheckChildren(t)
+	f, ts := fleetServer(t,
+		Config{Shards: 2, BackoffBase: 20 * time.Millisecond, BackoffCap: 100 * time.Millisecond},
+		// BrushCacheSize -1: no cache tier, so a partial gather MUST surface
+		// as the partial tier instead of hiding behind a cached exact hit.
+		serve.Config{Workers: 2, Deadlines: true, DegradeAfter: 2 * time.Second, BrushCacheSize: -1})
+
+	rng := rand.New(rand.NewSource(42))
+	ranges := randomRanges(rng)
+	brush := func(seq int64) serve.BrushResponse {
+		st, body := postJSON(t, ts.URL+"/v1/brush",
+			serve.BrushRequest{Session: "kill", Seq: seq, Ranges: ranges})
+		if st != http.StatusOK {
+			t.Fatalf("seq %d: status %d: %s", seq, st, body)
+		}
+		var resp serve.BrushResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	before := brush(0)
+	if before.Degraded || before.Tier != "exact" {
+		t.Fatalf("healthy fleet answered tier %q degraded=%v", before.Tier, before.Degraded)
+	}
+
+	// SIGKILL shard 1's only replica and wait for the supervisor to notice
+	// (so the leg is skipped as down, not left to hang in the dead child's
+	// listener backlog — that path is the chaos test's job).
+	pid := f.ReplicaPID(1, 0)
+	if pid == 0 {
+		t.Fatal("shard 1 has no pid")
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, f, 1, 0, func(s State) bool { return s != StateReady })
+
+	during := brush(1)
+	if !during.Degraded || during.Tier != "partial" {
+		t.Fatalf("brush with shard 1 dead: tier %q degraded=%v", during.Tier, during.Degraded)
+	}
+	want := float64(f.ShardRecords(0)) / float64(f.ShardRecords(0)+f.ShardRecords(1))
+	if during.SampleFraction != want {
+		t.Fatalf("covered fraction %v, want exactly %v", during.SampleFraction, want)
+	}
+
+	// The supervisor restarts the child; the rebuilt partition must be the
+	// same records, so the answer snaps back to exact — identical to before.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := f.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after := brush(2)
+	if after.Degraded || after.Tier != "exact" {
+		t.Fatalf("post-restart brush: tier %q degraded=%v", after.Tier, after.Degraded)
+	}
+	if after.Total != before.Total || fmt.Sprint(after.Histograms) != fmt.Sprint(before.Histograms) {
+		t.Fatalf("post-restart answer differs from pre-kill exact answer")
+	}
+	if got := f.Stats().Restarts; got < 1 {
+		t.Fatalf("restarts = %d, want >= 1", got)
+	}
+}
+
+// TestFleetHedgesAroundSlowReplica: with two replicas per shard, a
+// blackholed (alive but unresponsive) affinity replica must not stall the
+// gather — after HedgeAfter the leg races a sibling and the answer is still
+// exact and on time.
+func TestFleetHedgesAroundSlowReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	leakcheck.Check(t)
+	leakcheck.CheckChildren(t)
+	f, ts := fleetServer(t,
+		Config{Shards: 1, Replicas: 2, HedgeAfter: 10 * time.Millisecond, RPCTimeout: 5 * time.Second},
+		serve.Config{Workers: 2})
+
+	const session = "hedge"
+	aff := f.AffinityReplica(0, session)
+	// Hold the affinity replica's data endpoints for 1.5s — longer than any
+	// reasonable hedge path, much shorter than RPCTimeout.
+	resp, err := http.Post("http://"+f.ReplicaAddr(0, aff)+"/chaosctl?blackhole_ms=1500", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	start := time.Now()
+	st, body := postJSON(t, ts.URL+"/v1/brush",
+		serve.BrushRequest{Session: session, Seq: 0, Ranges: randomRanges(rng)})
+	elapsed := time.Since(start)
+	if st != http.StatusOK {
+		t.Fatalf("status %d: %s", st, body)
+	}
+	var br serve.BrushResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Degraded {
+		t.Fatalf("hedged gather degraded: %s", body)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedged gather took %v — waited out the blackhole instead of hedging", elapsed)
+	}
+	stats := f.Stats()
+	if stats.Hedges < 1 || stats.HedgeWins < 1 {
+		t.Fatalf("hedges=%d hedge_wins=%d, want both >= 1", stats.Hedges, stats.HedgeWins)
+	}
+}
+
+// TestFleetCrashLoopGoesDark: a replica whose child can never come up must
+// stop hot-looping — after DarkAfter consecutive crashes the supervisor
+// parks it dark and the fleet reports not-ready instead of burning CPU on
+// doomed respawns.
+func TestFleetCrashLoopGoesDark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	leakcheck.Check(t)
+	leakcheck.CheckChildren(t)
+	f, err := New(Config{
+		Shards:      1,
+		Rows:        1000,
+		Seed:        1,
+		ChildArgs:   []string{"/bin/false"}, // exits 1 instantly, every time
+		BackoffBase: 2 * time.Millisecond,
+		BackoffCap:  10 * time.Millisecond,
+		DarkAfter:   3,
+		DarkRetry:   time.Hour, // park firmly; the test asserts the parked state
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+
+	waitState(t, f, 0, 0, func(s State) bool { return s == StateDark })
+	if ready, _ := f.Health(); ready {
+		t.Fatal("fleet with a dark shard reports ready")
+	}
+	if got := f.Stats().Darks; got < 1 {
+		t.Fatalf("dark events = %d, want >= 1", got)
+	}
+	if _, err := f.ScatterBrush(context.Background(), "s", nil); err == nil {
+		t.Fatal("ScatterBrush on a never-ready fleet must error, not fabricate coverage")
+	}
+	h := f.reps[0][0].health()
+	if h.State != "dark" || h.LastError == "" {
+		t.Fatalf("dark replica health = %+v", h)
+	}
+}
+
+// TestFleetReadyzPerShardHealth: /readyz on a fleet-backed server embeds
+// the per-shard supervision breakdown — state, pid, generation, failure
+// counters, last transition — and flips to 503 with status shard_down when
+// a shard loses its last serving replica.
+func TestFleetReadyzPerShardHealth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	leakcheck.Check(t)
+	leakcheck.CheckChildren(t)
+	f, ts := fleetServer(t,
+		Config{Shards: 2, Rows: 5000, BackoffBase: 250 * time.Millisecond, BackoffCap: time.Second},
+		serve.Config{Workers: 2})
+
+	readyz := func() (int, string, []ReplicaHealth) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Status string          `json:"status"`
+			Shards []ReplicaHealth `json:"shards"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body.Status, body.Shards
+	}
+
+	st, status, shards := readyz()
+	if st != http.StatusOK || status != "ready" {
+		t.Fatalf("healthy readyz: %d %q", st, status)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("want 2 replica entries, got %d", len(shards))
+	}
+	for i, h := range shards {
+		if h.Shard != i || h.State != "ready" || h.PID == 0 || h.Generation < 1 ||
+			h.Records == 0 || h.LastTransition.IsZero() {
+			t.Fatalf("replica %d health incomplete: %+v", i, h)
+		}
+	}
+
+	// Kill shard 0 and catch readyz while it is down: 503, shard_down, and
+	// the breakdown says exactly which replica is out and why.
+	if err := syscall.Kill(f.ReplicaPID(0, 0), syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, f, 0, 0, func(s State) bool { return s != StateReady })
+	st, status, shards = readyz()
+	if st != http.StatusServiceUnavailable || status != "shard_down" {
+		t.Fatalf("readyz with shard 0 down: %d %q", st, status)
+	}
+	if shards[0].State == "ready" {
+		t.Fatalf("down replica still reported ready: %+v", shards[0])
+	}
+}
+
+// TestFleetChaosScheduleRecovers runs the deterministic prockill schedule
+// against a live fleet while brush traffic flows: every response must be
+// well-formed (exact or honestly degraded, never a hang), and once the
+// schedule drains and the supervisor re-fences the children, answers are
+// exact again.
+func TestFleetChaosScheduleRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	leakcheck.Check(t)
+	leakcheck.CheckChildren(t)
+	f, ts := fleetServer(t,
+		Config{Shards: 2, BackoffBase: 20 * time.Millisecond, BackoffCap: 100 * time.Millisecond},
+		serve.Config{Workers: 2, Deadlines: true, DegradeAfter: 300 * time.Millisecond, BrushCacheSize: -1})
+
+	rng := rand.New(rand.NewSource(3))
+	ranges := randomRanges(rng)
+	exact := func(seq int64) serve.BrushResponse {
+		st, body := postJSON(t, ts.URL+"/v1/brush",
+			serve.BrushRequest{Session: "chaos", Seq: seq, Ranges: ranges})
+		if st != http.StatusOK {
+			t.Fatalf("seq %d: status %d: %s", seq, st, body)
+		}
+		var resp serve.BrushResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	before := exact(0)
+	if before.Degraded {
+		t.Fatal("healthy fleet degraded")
+	}
+
+	profile, ok := fault.ProcProfileByName("prockill")
+	if !ok {
+		t.Fatal("prockill profile missing")
+	}
+	events := profile.Schedule(11, 2, 1300*time.Millisecond)
+	if len(events) == 0 {
+		t.Fatal("empty chaos schedule")
+	}
+	done := make(chan ChaosReport, 1)
+	go func() { done <- f.RunChaos(context.Background(), events) }()
+
+	// Brush through the storm. Some answers are exact, some degraded
+	// partials, and a fully-uncovered instant may 500 — but nothing hangs
+	// past the deadline budget and nothing panics.
+	seq := int64(1)
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		st, body := postJSON(t, ts.URL+"/v1/brush",
+			serve.BrushRequest{Session: "chaos", Seq: seq, Ranges: ranges})
+		if st != http.StatusOK && st < 500 {
+			t.Fatalf("seq %d: unexpected status %d: %s", seq, st, body)
+		}
+		seq++
+		time.Sleep(40 * time.Millisecond)
+	}
+	report := <-done
+	if report.Kills < 1 {
+		t.Fatalf("chaos report %+v: want at least one kill", report)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := f.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after := exact(seq)
+	if after.Degraded || after.Total != before.Total {
+		t.Fatalf("post-chaos answer not exact: degraded=%v total=%d want %d",
+			after.Degraded, after.Total, before.Total)
+	}
+	if got := f.Stats().Restarts; got < 1 {
+		t.Fatalf("restarts = %d, want >= 1 after kills", got)
+	}
+}
+
+// waitState polls a replica's supervision state until cond holds.
+func waitState(t *testing.T, f *Fleet, shard, idx int, cond func(State) bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if cond(f.reps[shard][idx].getState()) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %d/%d stuck in %v", shard, idx, f.reps[shard][idx].getState())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,387 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// State is a replica's supervision state.
+type State int32
+
+const (
+	// StateStarting: the child is spawned (or spawning) and has not yet
+	// answered ready; the dataset build is in flight.
+	StateStarting State = iota
+	// StateReady: the child answers /readyz and serves partials.
+	StateReady
+	// StateUnhealthy: consecutive health probes failed; the supervisor is
+	// about to kill and restart the child.
+	StateUnhealthy
+	// StateRestarting: the child exited; the supervisor is waiting out the
+	// backoff before the next spawn.
+	StateRestarting
+	// StateDark: the replica crash-looped — every recent spawn died before
+	// stabilizing — so the supervisor stopped hot-looping and parked it,
+	// re-probing only at the slow DarkRetry cadence. Routing skips dark
+	// replicas; their shard's records fall out of coverage.
+	StateDark
+	// StateStopped: the fleet is closed.
+	StateStopped
+)
+
+// String names the state for health reports.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateReady:
+		return "ready"
+	case StateUnhealthy:
+		return "unhealthy"
+	case StateRestarting:
+		return "restarting"
+	case StateDark:
+		return "dark"
+	case StateStopped:
+		return "stopped"
+	default:
+		return "unknown"
+	}
+}
+
+// replica is one supervised shard child process slot: a stable address and
+// parent-held listener, plus the mutable process state its supervisor
+// goroutine drives.
+type replica struct {
+	fleet *Fleet
+	shard int
+	idx   int // replica index within the shard
+	addr  string
+	ln    *os.File // parent's dup of the listening socket, re-passed on every spawn
+
+	mu             sync.Mutex
+	state          State
+	generation     int // increments per spawn; children echo it back
+	pid            int
+	consecFails    int
+	lastTransition time.Time
+	records        int
+	lastErr        string
+}
+
+// setState transitions the replica, stamping the transition time. fails
+// resets on every transition except unhealthy accrual, which is tracked
+// separately via noteProbe.
+func (r *replica) setState(s State, errText string) {
+	r.mu.Lock()
+	if r.state != s {
+		r.lastTransition = time.Now()
+	}
+	r.state = s
+	if errText != "" {
+		r.lastErr = errText
+	}
+	r.mu.Unlock()
+}
+
+func (r *replica) getState() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+func (r *replica) currentPID() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pid
+}
+
+// ReplicaHealth is one replica's externally visible supervision state — the
+// per-shard breakdown /readyz embeds.
+type ReplicaHealth struct {
+	Shard            int       `json:"shard"`
+	Replica          int       `json:"replica"`
+	State            string    `json:"state"`
+	PID              int       `json:"pid,omitempty"`
+	Generation       int       `json:"generation"`
+	ConsecutiveFails int       `json:"consecutive_fails"`
+	LastTransition   time.Time `json:"last_transition"`
+	Records          int       `json:"records,omitempty"`
+	LastError        string    `json:"last_error,omitempty"`
+}
+
+func (r *replica) health() ReplicaHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaHealth{
+		Shard:            r.shard,
+		Replica:          r.idx,
+		State:            r.state.String(),
+		PID:              r.pid,
+		Generation:       r.generation,
+		ConsecutiveFails: r.consecFails,
+		LastTransition:   r.lastTransition,
+		Records:          r.records,
+		LastError:        r.lastErr,
+	}
+}
+
+// spawn starts one child process generation: the spec rides ChildEnv, the
+// pre-bound listener rides fd 3, and the child is hard-wired to die with
+// the parent (pdeathsig on Linux) so no fleet crash strands shard
+// processes.
+func (r *replica) spawn() (*exec.Cmd, <-chan error, error) {
+	f := r.fleet
+	r.mu.Lock()
+	r.generation++
+	gen := r.generation
+	r.mu.Unlock()
+
+	spec := ChildSpec{
+		Dataset:     f.cfg.Dataset,
+		Rows:        f.cfg.Rows,
+		Seed:        f.cfg.Seed,
+		Shard:       r.shard,
+		Of:          f.cfg.Shards,
+		Mode:        f.cfg.Mode,
+		Encode:      f.cfg.Encode,
+		Parallelism: defaultParallelism(f.cfg.Shards * f.replicas()),
+		Generation:  gen,
+	}
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	argv := f.cfg.ChildArgs
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, nil, fmt.Errorf("router: no child binary: %w", err)
+		}
+		argv = []string{exe}
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), ChildEnv+"="+string(payload))
+	cmd.ExtraFiles = []*os.File{r.ln}
+	cmd.Stderr = f.cfg.ChildStderr
+	setPdeathsig(cmd)
+	if err := cmd.Start(); err != nil {
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	r.pid = cmd.Process.Pid
+	r.mu.Unlock()
+	f.spawns.Add(1)
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+	return cmd, waitCh, nil
+}
+
+// probe health-checks the child over its own socket with a short timeout —
+// a dead or frozen child hangs the connection (the parent-held listener
+// keeps accepting), so probes must give up fast rather than block.
+func (r *replica) probe() (ready bool, records int) {
+	ctx, cancel := context.WithTimeout(r.fleet.ctx, r.fleet.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+r.addr+"/readyz", nil)
+	if err != nil {
+		return false, 0
+	}
+	resp, err := r.fleet.healthClient.Do(req)
+	if err != nil {
+		return false, 0
+	}
+	defer resp.Body.Close()
+	var body childReady
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false, 0
+	}
+	if resp.StatusCode != http.StatusOK || body.Status != "ready" || body.Shard != r.shard {
+		return false, 0
+	}
+	return true, body.Records
+}
+
+// supervise is the replica's lifecycle loop: spawn → health-monitor →
+// (kill|exit) → backoff → respawn, with crash-loop detection parking the
+// replica dark instead of hot-looping. Runs until the fleet closes.
+func (r *replica) supervise() {
+	f := r.fleet
+	defer f.wg.Done()
+	crashes := 0
+	for f.ctx.Err() == nil {
+		r.setState(StateStarting, "")
+		cmd, waitCh, err := r.spawn()
+		if err != nil {
+			crashes++
+			r.setState(StateRestarting, err.Error())
+			if r.parkOrBackoff(&crashes) {
+				return
+			}
+			continue
+		}
+
+		born := time.Now()
+		becameReady := false
+		ticker := time.NewTicker(f.cfg.HealthInterval)
+	monitor:
+		for {
+			select {
+			case <-f.ctx.Done():
+				ticker.Stop()
+				r.terminate(cmd, waitCh)
+				r.setState(StateStopped, "")
+				return
+			case err := <-waitCh:
+				ticker.Stop()
+				msg := "exited"
+				if err != nil {
+					msg = err.Error()
+				}
+				r.noteDown(msg)
+				break monitor
+			case <-ticker.C:
+				ok, records := r.probe()
+				if ok {
+					r.noteReady(records, becameReady)
+					becameReady = true
+					continue
+				}
+				fails := r.noteFail()
+				switch {
+				case becameReady && fails >= f.cfg.FailThreshold:
+					// Alive but not answering (frozen, wedged): treat like a
+					// crash — kill it and let the exit arm restart it.
+					r.setState(StateUnhealthy, "health checks failing")
+					killProcess(cmd)
+				case !becameReady && time.Since(born) > f.cfg.StartupTimeout:
+					r.setState(StateUnhealthy, "startup timeout")
+					killProcess(cmd)
+				}
+			}
+		}
+
+		// The child is gone. A spawn that served stably long enough resets
+		// the crash-loop counter; anything else counts toward dark.
+		if becameReady && time.Since(born) >= f.cfg.StableAfter {
+			crashes = 0
+		} else {
+			crashes++
+		}
+		if f.ctx.Err() != nil {
+			r.setState(StateStopped, "")
+			return
+		}
+		f.restarts.Add(1)
+		if r.parkOrBackoff(&crashes) {
+			return
+		}
+	}
+	r.setState(StateStopped, "")
+}
+
+// parkOrBackoff waits out the restart backoff — or, when the replica has
+// crash-looped, parks it dark for the much longer DarkRetry. Reports true
+// when the fleet closed during the wait.
+func (r *replica) parkOrBackoff(crashes *int) bool {
+	f := r.fleet
+	var wait time.Duration
+	if *crashes >= f.cfg.DarkAfter {
+		r.setState(StateDark, "")
+		f.darks.Add(1)
+		wait = f.cfg.DarkRetry
+		// One more chance per DarkRetry: leave the counter at the brink so
+		// a failed revival parks again immediately instead of re-earning
+		// DarkAfter fast crashes.
+		*crashes = f.cfg.DarkAfter - 1
+	} else {
+		r.setState(StateRestarting, "")
+		// Capped exponential backoff with full jitter: base·2^(crashes-1),
+		// then a uniform draw over [backoff, 2·backoff) to decorrelate
+		// replicas restarting off the same failure.
+		backoff := f.cfg.BackoffBase
+		for i := 1; i < *crashes; i++ {
+			backoff *= 2
+			if backoff >= f.cfg.BackoffCap {
+				break
+			}
+		}
+		if backoff > f.cfg.BackoffCap {
+			backoff = f.cfg.BackoffCap
+		}
+		wait = backoff + time.Duration(rand.Int63n(int64(backoff)))
+	}
+	select {
+	case <-f.ctx.Done():
+		r.setState(StateStopped, "")
+		return true
+	case <-time.After(wait):
+		return false
+	}
+}
+
+// noteReady marks the replica serving and pins its record count; first
+// readiness of a generation reports records to the fleet's coverage total.
+func (r *replica) noteReady(records int, wasReady bool) {
+	r.mu.Lock()
+	r.consecFails = 0
+	if r.state != StateReady {
+		r.lastTransition = time.Now()
+	}
+	r.state = StateReady
+	r.records = records
+	r.lastErr = ""
+	r.mu.Unlock()
+	if !wasReady {
+		r.fleet.noteShardRecords(r.shard, records)
+	}
+}
+
+// noteFail accrues one failed health probe and returns the consecutive
+// count. The state only flips once the supervisor decides to act — a single
+// missed probe under load is not an incident.
+func (r *replica) noteFail() int {
+	r.mu.Lock()
+	r.consecFails++
+	n := r.consecFails
+	r.mu.Unlock()
+	return n
+}
+
+// noteDown marks the replica's process gone.
+func (r *replica) noteDown(msg string) {
+	r.mu.Lock()
+	if r.state != StateRestarting {
+		r.lastTransition = time.Now()
+	}
+	r.state = StateRestarting
+	r.pid = 0
+	r.lastErr = msg
+	r.mu.Unlock()
+}
+
+// terminate ends the current child on fleet close: SIGKILL (children are
+// stateless — there is nothing to flush) and reap. SIGKILL also takes down
+// SIGSTOPped children, which a graceful signal would leave frozen forever.
+func (r *replica) terminate(cmd *exec.Cmd, waitCh <-chan error) {
+	killProcess(cmd)
+	<-waitCh
+	r.mu.Lock()
+	r.pid = 0
+	r.mu.Unlock()
+}
+
+// killProcess SIGKILLs the child if it is still running; errors (already
+// exited) are irrelevant.
+func killProcess(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+}

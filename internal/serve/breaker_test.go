@@ -1,9 +1,91 @@
 package serve
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/leakcheck"
 )
+
+// TestBreakerHalfOpenConcurrentProbes pins the half-open single-probe
+// contract under contention: with the cooldown elapsed, N goroutines racing
+// allow() must admit exactly one probe — a thundering herd through a
+// half-open breaker would re-stampede the backend the breaker exists to
+// protect. Runs under -race in CI; the loop repeats the transition so the
+// race detector sees many interleavings.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	leakcheck.Check(t)
+	const racers = 32
+	for round := 0; round < 50; round++ {
+		b := newBreaker(1, time.Millisecond)
+		now := time.Unix(0, int64(round)*int64(time.Second))
+		b.failure(now) // threshold 1: opens immediately
+		probeAt := now.Add(2 * time.Millisecond)
+
+		var admitted atomic.Int32
+		var start, wg sync.WaitGroup
+		start.Add(1)
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start.Wait()
+				if ok, _ := b.allow(probeAt); ok {
+					admitted.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		wg.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("round %d: %d probes admitted through the half-open breaker, want exactly 1", round, n)
+		}
+
+		// The losing racers must have been turned away with the cooldown as
+		// the hint, and a failed probe must swing straight back to open for
+		// everyone.
+		b.failure(probeAt)
+		var rejected atomic.Int32
+		wg = sync.WaitGroup{}
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if ok, _ := b.allow(probeAt.Add(100 * time.Microsecond)); !ok {
+					rejected.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if n := rejected.Load(); n != racers {
+			t.Fatalf("round %d: reopened breaker admitted %d requests inside cooldown", round, racers-n)
+		}
+
+		// A successful probe closes it for everyone.
+		secondProbe := probeAt.Add(2 * time.Millisecond)
+		if ok, _ := b.allow(secondProbe); !ok {
+			t.Fatalf("round %d: second probe rejected", round)
+		}
+		b.success()
+		var closed atomic.Int32
+		wg = sync.WaitGroup{}
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if ok, _ := b.allow(secondProbe); ok {
+					closed.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if n := closed.Load(); n != racers {
+			t.Fatalf("round %d: closed breaker rejected %d of %d requests", round, racers-int(n), racers)
+		}
+	}
+}
 
 func TestBreakerTripAndRecover(t *testing.T) {
 	b := newBreaker(3, 100*time.Millisecond)

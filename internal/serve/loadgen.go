@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -307,15 +309,36 @@ func postRetry(cfg LoadConfig, do func() (*http.Response, error)) (*http.Respons
 	}
 }
 
-// retryAfterHint parses a Retry-After seconds header and scales it by
-// TimeScale — the synthetic clock compresses think time, so it compresses
-// server pushback the same way.
+// retryAfterHint parses a Retry-After header and scales it by TimeScale —
+// the synthetic clock compresses think time, so it compresses server
+// pushback the same way. Both RFC 9110 forms are accepted: delay-seconds
+// and HTTP-date (the span from now to the date).
 func retryAfterHint(resp *http.Response, scale float64) time.Duration {
-	var secs int
-	if _, err := fmt.Sscanf(resp.Header.Get("Retry-After"), "%d", &secs); err != nil || secs <= 0 {
+	return retryAfterHintAt(resp.Header.Get("Retry-After"), time.Now(), scale)
+}
+
+// retryAfterHintAt is retryAfterHint against an explicit clock, so the
+// HTTP-date arithmetic is testable without racing wall time. Malformed,
+// empty, or already-elapsed values hint nothing.
+func retryAfterHintAt(header string, now time.Time, scale float64) time.Duration {
+	header = strings.TrimSpace(header)
+	if header == "" {
 		return 0
 	}
-	return time.Duration(float64(secs) * float64(time.Second) * scale)
+	if secs, err := strconv.Atoi(header); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(float64(secs) * float64(time.Second) * scale)
+	}
+	// http.ParseTime tries the three date layouts RFC 9110 admits
+	// (IMF-fixdate, RFC 850, ANSI C asctime).
+	if at, err := http.ParseTime(header); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return time.Duration(float64(d) * scale)
+		}
+	}
+	return 0
 }
 
 // retryWait computes the backoff for one retry: jittered exponential from

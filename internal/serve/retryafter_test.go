@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterHint covers both RFC 9110 Retry-After forms — delay-seconds
+// and HTTP-date — against a fixed clock, plus the malformed and elapsed
+// cases that must hint nothing. The router's 503s carry Retry-After, so the
+// load generator has to be spec-clean about what it honors.
+func TestRetryAfterHint(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name   string
+		header string
+		scale  float64
+		want   time.Duration
+	}{
+		{name: "seconds", header: "2", scale: 1, want: 2 * time.Second},
+		{name: "seconds scaled", header: "10", scale: 0.1, want: time.Second},
+		{name: "seconds padded", header: "  3 ", scale: 1, want: 3 * time.Second},
+		{name: "zero seconds", header: "0", scale: 1, want: 0},
+		{name: "negative seconds", header: "-5", scale: 1, want: 0},
+		{name: "imf fixdate", header: now.Add(90 * time.Second).Format(http.TimeFormat), scale: 1, want: 90 * time.Second},
+		{name: "imf fixdate scaled", header: now.Add(100 * time.Second).Format(http.TimeFormat), scale: 0.25, want: 25 * time.Second},
+		{name: "rfc850 date", header: now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 MST"), scale: 1, want: 30 * time.Second},
+		{name: "asctime date", header: now.Add(45 * time.Second).Format(time.ANSIC), scale: 1, want: 45 * time.Second},
+		{name: "date in the past", header: now.Add(-time.Minute).Format(http.TimeFormat), scale: 1, want: 0},
+		{name: "date equal to now", header: now.Format(http.TimeFormat), scale: 1, want: 0},
+		{name: "empty", header: "", scale: 1, want: 0},
+		{name: "garbage", header: "soon", scale: 1, want: 0},
+		{name: "float seconds rejected", header: "1.5", scale: 1, want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfterHintAt(tc.header, now, tc.scale); got != tc.want {
+				t.Fatalf("retryAfterHintAt(%q, scale %g) = %v, want %v", tc.header, tc.scale, got, tc.want)
+			}
+		})
+	}
+}

@@ -144,6 +144,50 @@ type Config struct {
 	// inject nothing) — the chaos hook for wedging one shard while the
 	// rest stay healthy. Independent of Fault, which gates whole requests.
 	ShardFaults []*fault.Injector
+
+	// Gatherer, when non-nil, replaces the in-process backends for the
+	// brush path entirely: every brush scatter-gathers through it (the
+	// process-level router hands one in, fronting supervised shard child
+	// processes) and merges by addition exactly as the in-process
+	// coordinator does. Requires GatherDims; mutually exclusive with
+	// Shards > 1, Planner, and a Cube backend. The server owns the
+	// gatherer's lifecycle: Drain closes it.
+	Gatherer Gatherer
+	// GatherDims are the served cube dimensions when a Gatherer is
+	// configured — the global domains every shard child bins against.
+	GatherDims []datacube.Dim
+}
+
+// Gatherer is the brush scatter-gather backend: fan one filter snapshot out
+// to every shard, collect per-shard partial histograms, and report coverage.
+// *shard.Coordinator implements it with in-process goroutine pools;
+// router.Fleet implements it across supervised child processes — the serving
+// layer's ladder, coalescing, and metrics are identical over either.
+type Gatherer interface {
+	// ScatterBrush scatters one brush snapshot. The session token lets
+	// process-level implementations route with per-session affinity; a nil
+	// ctx means no deadline (the gather blocks for full coverage).
+	ScatterBrush(ctx context.Context, session string, filters []*datacube.Range) (*shard.Gather, error)
+	// Close releases the gatherer's resources (worker pools, child
+	// processes). Called once, from Drain.
+	Close()
+}
+
+// histogramQuerier is the optional SQL fan-out face of a Gatherer: the
+// in-process coordinator scatters histogram-shaped queries across shard
+// engines. Gatherers without it (the process router) leave /v1/query to the
+// local engine backend.
+type histogramQuerier interface {
+	QueryHistogram(ctx context.Context, query string) (*engine.Result, float64, bool, error)
+}
+
+// HealthReporter is optionally implemented by gatherers that supervise
+// remote shard backends. Ready reports whether every shard can currently
+// serve; detail is a JSON-marshalable per-shard breakdown (state,
+// consecutive failures, last transition) that /readyz embeds so supervisors
+// and tests can assert on why readiness flipped.
+type HealthReporter interface {
+	Health() (ready bool, detail any)
 }
 
 // Backends are the data systems the server fronts. Engine serves /v1/query,
@@ -186,7 +230,7 @@ type Server struct {
 	partialRows  int
 	prog         *progressive.Executor
 	cubeDims     []datacube.Dim
-	coord        *shard.Coordinator
+	coord        Gatherer
 	storeStats   *colstore.TableStats
 	plan         *planner.Planner
 	brushMu      sync.Mutex
@@ -394,6 +438,19 @@ func New(b Backends, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: shard coordinator: %w", err)
 		}
 		s.coord = coord
+	}
+	if cfg.Gatherer != nil {
+		if cfg.Shards > 1 || cfg.Planner {
+			return nil, fmt.Errorf("serve: an external gatherer is mutually exclusive with in-process shards and the planner")
+		}
+		if b.Cube != nil {
+			return nil, fmt.Errorf("serve: an external gatherer replaces the cube backend; configure one or the other")
+		}
+		if len(cfg.GatherDims) == 0 {
+			return nil, fmt.Errorf("serve: a gatherer needs GatherDims (the global cube dimensions)")
+		}
+		s.cubeDims = append([]datacube.Dim(nil), cfg.GatherDims...)
+		s.coord = cfg.Gatherer
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
@@ -640,13 +697,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			if err := s.faultGate(execCtx); err != nil {
 				return outcome{err: err}
 			}
-			if s.coord != nil {
+			if hq, ok := s.coord.(histogramQuerier); ok {
 				// Histogram-shaped queries scatter across the shard engines
 				// and merge by addition; any other shape has no merge law
 				// and runs on the unsharded engine below.
 				tr.Enter(obsv.StageScatter)
-				res, frac, ok, err := s.coord.QueryHistogram(execCtx, req.SQL)
-				if ok {
+				res, frac, shaped, err := hq.QueryHistogram(execCtx, req.SQL)
+				if shaped {
 					return outcome{res: res, frac: frac, err: err}
 				}
 			}
@@ -848,7 +905,7 @@ func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	if s.cube == nil {
+	if s.cube == nil && s.coord == nil {
 		httpError(w, http.StatusNotImplemented, "no cube backend")
 		return
 	}
@@ -857,9 +914,9 @@ func (s *Server) handleBrush(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "want JSON {session, seq, ranges, moved}")
 		return
 	}
-	if len(req.Ranges) != s.cube.NumDims() {
+	if len(req.Ranges) != len(s.cubeDims) {
 		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("want %d ranges, got %d", s.cube.NumDims(), len(req.Ranges)))
+			fmt.Sprintf("want %d ranges, got %d", len(s.cubeDims), len(req.Ranges)))
 		return
 	}
 	// Note: no isDraining pre-check here. During Drain a brush may still
@@ -1294,7 +1351,7 @@ func brushFilters(ranges []*[2]float64) []*datacube.Range {
 // error.
 func (s *Server) execBrushShard(ctx context.Context, req BrushRequest, stamp func(obsv.Stage)) (*BrushResponse, float64, error) {
 	stamp(obsv.StageScatter)
-	g, err := s.coord.Scatter(ctx, brushFilters(req.Ranges))
+	g, err := s.coord.ScatterBrush(ctx, req.Session, brushFilters(req.Ranges))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -1555,7 +1612,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReadyz is readiness: 503 while draining (stop routing new traffic
-// here) or while the circuit breaker holds the backend open.
+// here), while the circuit breaker holds the backend open, or while a
+// supervised shard fleet has a shard with no serving replica. The body
+// always carries the reason, and — when the gatherer reports health — a
+// per-shard breakdown (state, consecutive failures, last transition), so a
+// supervisor or test can assert on why readiness flipped, not just that it
+// did.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	status := http.StatusOK
 	state := "ready"
@@ -1567,10 +1629,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "breaker_open"
 	}
-	writeJSON(w, status, map[string]any{
-		"status":      state,
-		"queue_depth": len(s.queue),
-	})
+	body := map[string]any{"queue_depth": len(s.queue)}
+	if hr, ok := s.coord.(HealthReporter); ok {
+		ready, detail := hr.Health()
+		body["shards"] = detail
+		if !ready && status == http.StatusOK {
+			status = http.StatusServiceUnavailable
+			state = "shard_down"
+		}
+	}
+	body["status"] = state
+	writeJSON(w, status, body)
 }
 
 // --- helpers ----------------------------------------------------------------

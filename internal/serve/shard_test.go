@@ -137,13 +137,14 @@ func TestShardedBrushDegradesOnStalledShard(t *testing.T) {
 		BrushCacheSize: -1, // force the partial tier; the cache tier would win
 	})
 
+	coord := srv.coord.(*shard.Coordinator)
 	wantFrac := float64(0)
-	for i := 0; i < srv.coord.NumShards(); i++ {
+	for i := 0; i < coord.NumShards(); i++ {
 		if i != stalled {
-			wantFrac += float64(srv.coord.Replica(i).Table.NumRows())
+			wantFrac += float64(coord.Replica(i).Table.NumRows())
 		}
 	}
-	wantFrac /= float64(srv.coord.Records())
+	wantFrac /= float64(coord.Records())
 
 	req := BrushRequest{Session: "chaos", Seq: 5, Ranges: make([]*[2]float64, 3)}
 	start := time.Now()

@@ -152,6 +152,32 @@ type Gather struct {
 	coveredRecords int // records owned by the shards that answered
 }
 
+// NewGather assembles a Gather from per-shard answers collected outside the
+// in-process coordinator — the constructor the process-level router uses
+// after gathering partial histograms over HTTP. totalRecords is the record
+// count across ALL shards (answered or not); coverage accounting follows
+// from which answer slots are non-nil, exactly as the in-process gather
+// computes it, so Fraction and MergeBrush behave identically across the
+// process boundary.
+func NewGather(answers []*Answer, errs []error, totalRecords int) *Gather {
+	g := &Gather{Answers: answers, Errs: errs, records: totalRecords}
+	for _, a := range answers {
+		if a != nil {
+			g.covered++
+			g.coveredRecords += a.Records
+		}
+	}
+	return g
+}
+
+// ScatterBrush adapts Scatter to the serving layer's Gatherer interface.
+// The session is ignored: in-process shards share one address space, so
+// there is no affinity to route — every scatter reaches every shard pool
+// directly.
+func (c *Coordinator) ScatterBrush(ctx context.Context, _ string, filters []*datacube.Range) (*Gather, error) {
+	return c.Scatter(ctx, filters)
+}
+
 // gather collects up to len(workers) results, stopping early when ctx
 // expires; shards that have not answered by then are marked with ctx's
 // error.
