@@ -12,6 +12,7 @@
 //	        [-chaos PROFILE] [-chaosseed N]      # fault injection
 //	        [-shards N] [-shardmode hash|range]  # scatter-gather serving
 //	        [-router N] [-routerreplicas R]      # multi-process shard fleet
+//	        [-snapshotdir DIR]                   # warm child restarts via mmap
 //	        [-encode]                            # compressed columnar storage
 //	        [-debug-addr 127.0.0.1:6060]         # pprof endpoint
 //
@@ -35,7 +36,13 @@
 // the parent gathers and merges. Children are health-checked, restarted
 // with capped jittered backoff, and parked dark after crash-looping;
 // /readyz reports the per-shard breakdown. -routerreplicas 2 adds a warm
-// replica per shard for hedged gathers.
+// replica per shard for hedged gathers. With -snapshotdir, each child
+// persists its frozen partition (encoded columns + prefix cube) to a
+// checksummed snapshot on first build; a restarted child mmaps the
+// snapshot back read-only and is ready in O(columns) instead of
+// regenerating and re-indexing its partition, falling back to the
+// deterministic rebuild whenever the snapshot is stale, torn, or from a
+// different run shape.
 package main
 
 import (
@@ -87,6 +94,7 @@ func main() {
 	shardMode := flag.String("shardmode", "hash", "shard partitioning: hash or range")
 	routerN := flag.Int("router", 0, "supervise N shard child processes and gather across them (0 = in-process)")
 	routerReplicas := flag.Int("routerreplicas", 1, "child replicas per shard in -router mode (2 enables hedged gathers)")
+	snapshotDir := flag.String("snapshotdir", "", "in -router mode, persist each shard's partition snapshot here so restarted children warm-start via mmap instead of rebuilding")
 	encode := flag.Bool("encode", false, "freeze the dataset into compressed columnar form (dictionary / bit-packed encodings with vectorized scan kernels)")
 	planOn := flag.Bool("planner", false, "enable the selection-aware materialization planner (cost-model structure selection + auto-built per-selection indexes)")
 	planBudget := flag.Int64("plannerbudget", 0, "planner store byte budget for indexes + cached answers (0 = 64 MiB)")
@@ -96,7 +104,7 @@ func main() {
 
 	if err := run(*addr, *ds, *rows, *profile, *workers, *queue, *constraint, *execDelay, *logPath, *seed,
 		*deadlines, *degradeAfter, *chaos, *chaosSeed, *shards, *shardMode, *encode,
-		*planOn, *planBudget, *lazyPrefix, *debugAddr, *routerN, *routerReplicas); err != nil {
+		*planOn, *planBudget, *lazyPrefix, *debugAddr, *routerN, *routerReplicas, *snapshotDir); err != nil {
 		fmt.Fprintln(os.Stderr, "idevald:", err)
 		os.Exit(1)
 	}
@@ -117,7 +125,7 @@ func buildBackends(ds string, rows int, prof engine.Profile, seed int64) (serve.
 
 func run(addr, ds string, rows int, profile string, workers, queue int, constraint, execDelay time.Duration, logPath string, seed int64,
 	deadlines bool, degradeAfter time.Duration, chaos string, chaosSeed int64, shards int, shardMode string, encode bool,
-	planOn bool, planBudget int64, lazyPrefix bool, debugAddr string, routerN, routerReplicas int) error {
+	planOn bool, planBudget int64, lazyPrefix bool, debugAddr string, routerN, routerReplicas int, snapshotDir string) error {
 	prof := engine.ProfileMemory
 	if profile == "disk" {
 		prof = engine.ProfileDisk
@@ -157,6 +165,7 @@ func run(addr, ds string, rows int, profile string, workers, queue int, constrai
 			Seed:        seed,
 			Mode:        mode,
 			Encode:      encode,
+			SnapshotDir: snapshotDir,
 			ChildStderr: os.Stderr,
 		})
 		if err != nil {

@@ -19,6 +19,8 @@
 //	        [-json BENCH_shard.json]
 //	loadgen -routerbench [-users N]         # multi-process router matrix:
 //	        [-json BENCH_router.json]       # S × process-chaos × deadlines
+//	        [-snapshotdir DIR]              # warm child restarts via mmap
+//	        [-restartrows N]                # cold-vs-warm restart window cell
 //
 // With -obsvjson, a scraper pulls /metrics?format=prometheus continuously
 // while the load runs, validates every body against the exposition format
@@ -84,6 +86,8 @@ func main() {
 	shardBench := flag.Bool("shardbench", false, "run the shard matrix: S in {1,2,4,8} at the same offered load, in-process")
 	planBench := flag.Bool("planbench", false, "run the materialization-planner benchmark: byte-verified drag loop + load comparison, in-process")
 	routerBench := flag.Bool("routerbench", false, "run the multi-process router matrix: shard counts × process chaos × deadlines, each cell a supervised child fleet")
+	snapshotDir := flag.String("snapshotdir", "", "persist shard partition snapshots here so restarted children warm-start via mmap instead of rebuilding")
+	restartRows := flag.Int("restartrows", 0, "with -routerbench, also measure the cold vs warm kill→ready restart window at this row count (0 = skip)")
 	flag.Parse()
 
 	if *routerBench {
@@ -92,7 +96,7 @@ func main() {
 			out = "BENCH_router.json"
 		}
 		if err := runRouterBench(*users, *adjust, *events, *timescale, *seed, out,
-			*rows, *workers, *queue, *execDelay, *degradeAfter); err != nil {
+			*rows, *workers, *queue, *execDelay, *degradeAfter, *snapshotDir, *restartRows); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
 			os.Exit(1)
 		}

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/fault"
@@ -48,6 +51,36 @@ type routerCell struct {
 	Restarts   int64 `json:"restarts"`
 	Hedges     int64 `json:"hedges"`
 	HedgeWins  int64 `json:"hedge_wins"`
+
+	// Restart-window accounting: kill→ready latency for every child the
+	// chaos took down, and how many of those came back from a mapped
+	// snapshot instead of an O(rows) rebuild.
+	WarmStarts     int64   `json:"warm_starts"`
+	RestartWindows int64   `json:"restart_windows"`
+	RestartMeanMS  float64 `json:"restart_mean_ms"`
+	RestartMaxMS   float64 `json:"restart_max_ms"`
+}
+
+// restartBench is the BENCH_router.json "restart" block: the same kill
+// measured twice against the same fleet shape — once with the partition
+// snapshots deleted (cold: the child regenerates, partitions, freezes, and
+// re-indexes its shard) and once with them present (warm: the child mmaps
+// the frozen columns and prefix cube back). Both report the supervisor's
+// kill→ready window and the frontend-observed time to the first exact
+// (non-degraded) brush after the kill.
+type restartBench struct {
+	Rows          int   `json:"rows"`
+	Shards        int   `json:"shards"`
+	Encode        bool  `json:"encode"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+
+	InitialBuildMS   float64 `json:"initial_build_ms"`
+	ColdRestartMS    float64 `json:"cold_restart_ms"`
+	WarmRestartMS    float64 `json:"warm_restart_ms"`
+	Speedup          float64 `json:"speedup"`
+	ColdFirstExactMS float64 `json:"cold_first_exact_ms"`
+	WarmFirstExactMS float64 `json:"warm_first_exact_ms"`
+	WarmStarts       int64   `json:"warm_starts"`
 }
 
 // runRouterBench drives the multi-process robustness matrix: S ∈ {2, 4}
@@ -56,7 +89,7 @@ type routerCell struct {
 // kill baseline at S=2 showing what the ladder is worth. Every cell gets a
 // fresh fleet and a fresh deterministic chaos schedule from the same seed.
 func runRouterBench(users, adjust, events int, timescale float64, seed int64, jsonOut string,
-	rows, workers, queue int, execDelay, degradeAfter time.Duration) error {
+	rows, workers, queue int, execDelay, degradeAfter time.Duration, snapshotDir string, restartRows int) error {
 	type spec struct {
 		shards    int
 		chaos     string
@@ -77,7 +110,7 @@ func runRouterBench(users, adjust, events int, timescale float64, seed int64, js
 	cells := make([]routerCell, 0, len(specs))
 	for _, sp := range specs {
 		cell, err := runRouterCell(sp.shards, sp.chaos, sp.deadlines,
-			users, adjust, events, timescale, seed, rows, workers, queue, execDelay, degradeAfter)
+			users, adjust, events, timescale, seed, rows, workers, queue, execDelay, degradeAfter, snapshotDir)
 		if err != nil {
 			return fmt.Errorf("S=%d chaos=%q deadlines=%v: %w", sp.shards, sp.chaos, sp.deadlines, err)
 		}
@@ -86,9 +119,25 @@ func runRouterBench(users, adjust, events int, timescale float64, seed int64, js
 		if name == "" {
 			name = "none"
 		}
-		fmt.Printf("S=%d %-9s deadlines=%-5v lcv %5.2f%%  p50 %6.1fms  p99 %6.1fms  degraded %-4d kills %d stops %d restarts %d hedges %d\n",
+		fmt.Printf("S=%d %-9s deadlines=%-5v lcv %5.2f%%  p50 %6.1fms  p99 %6.1fms  degraded %-4d kills %d stops %d restarts %d hedges %d warm %d restart-mean %.0fms\n",
 			cell.Shards, name, cell.Deadlines, 100*cell.LCVPercent, cell.P50MS, cell.P99MS,
-			cell.Degraded, cell.Kills, cell.Stops, cell.Restarts, cell.Hedges)
+			cell.Degraded, cell.Kills, cell.Stops, cell.Restarts, cell.Hedges, cell.WarmStarts, cell.RestartMeanMS)
+	}
+
+	out := struct {
+		Cells   []routerCell  `json:"cells"`
+		Restart *restartBench `json:"restart,omitempty"`
+	}{Cells: cells}
+
+	if restartRows > 0 {
+		restart, err := runRestartBench(restartRows, seed, workers, queue, snapshotDir)
+		if err != nil {
+			return fmt.Errorf("restart bench (%d rows): %w", restartRows, err)
+		}
+		out.Restart = &restart
+		fmt.Printf("restart S=%d rows=%d  cold %.0fms  warm %.0fms  speedup %.1fx  first-exact cold %.0fms warm %.0fms  snapshots %d bytes\n",
+			restart.Shards, restart.Rows, restart.ColdRestartMS, restart.WarmRestartMS, restart.Speedup,
+			restart.ColdFirstExactMS, restart.WarmFirstExactMS, restart.SnapshotBytes)
 	}
 
 	f, err := os.Create(jsonOut)
@@ -98,7 +147,7 @@ func runRouterBench(users, adjust, events int, timescale float64, seed int64, js
 	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(cells); err != nil {
+	if err := enc.Encode(out); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", jsonOut)
@@ -110,13 +159,17 @@ func runRouterBench(users, adjust, events int, timescale float64, seed int64, js
 // the counters are read.
 func runRouterCell(shards int, chaosName string, deadlines bool,
 	users, adjust, events int, timescale float64, seed int64,
-	rows, workers, queue int, execDelay, degradeAfter time.Duration) (routerCell, error) {
+	rows, workers, queue int, execDelay, degradeAfter time.Duration, snapshotDir string) (routerCell, error) {
 	fleet, err := router.New(router.Config{
 		Shards:   shards,
 		Replicas: 2,
 		Dataset:  "road",
 		Rows:     rows,
 		Seed:     seed,
+		// With a snapshot dir, the first cell's children persist their
+		// partitions and every later restart — including chaos kills —
+		// comes back from the mapped snapshot instead of a rebuild.
+		SnapshotDir: snapshotDir,
 		// Bench-scale supervision: recover within the run, not on
 		// production timescales.
 		BackoffBase: 50 * time.Millisecond,
@@ -222,5 +275,211 @@ func runRouterCell(shards int, chaosName string, deadlines bool,
 		Restarts:     fleetStats.Restarts,
 		Hedges:       fleetStats.Hedges,
 		HedgeWins:    fleetStats.HedgeWins,
+
+		WarmStarts:     fleetStats.WarmStarts,
+		RestartWindows: fleetStats.RestartWindows,
+		RestartMeanMS:  fleetStats.RestartMeanMS,
+		RestartMaxMS:   fleetStats.RestartMaxMS,
 	}, nil
+}
+
+// runRestartBench measures the tentpole payoff: kill the same shard child
+// with and without its partition snapshot on disk and compare the
+// supervisor's kill→ready windows. One fleet per phase so each fleet's
+// restart counters hold exactly the one measured window; replicas=1 so the
+// killed shard has no warm sibling masking the rebuild.
+func runRestartBench(rows int, seed int64, workers, queue int, snapshotDir string) (restartBench, error) {
+	if snapshotDir == "" {
+		dir, err := os.MkdirTemp("", "loadgen-snap-")
+		if err != nil {
+			return restartBench{}, err
+		}
+		defer os.RemoveAll(dir)
+		snapshotDir = dir
+	}
+	const shards = 2
+	fmt.Fprintf(os.Stderr, "loadgen: restart bench (%d rows, S=%d, snapshots in %s)...\n", rows, shards, snapshotDir)
+
+	newFleet := func() (*router.Fleet, error) {
+		return router.New(router.Config{
+			Shards:   shards,
+			Replicas: 1,
+			Dataset:  "road",
+			Rows:     rows,
+			Seed:     seed,
+			Encode:   true,
+			// A cold rebuild at bench scale can take minutes on one core;
+			// the point is to measure it, not have the supervisor give up.
+			StartupTimeout: 30 * time.Minute,
+			SnapshotDir:    snapshotDir,
+			BackoffBase:    20 * time.Millisecond,
+			BackoffCap:     100 * time.Millisecond,
+			ChildStderr:    os.Stderr,
+		})
+	}
+
+	// killAndMeasure SIGKILLs shard 0's only replica, polls the frontend
+	// for the first exact (non-degraded) brush, then waits for the
+	// supervisor to record the kill→ready window.
+	killAndMeasure := func(fleet *router.Fleet, baseURL string) (window, firstExact float64, err error) {
+		pid := fleet.ReplicaPID(0, 0)
+		if pid == 0 {
+			return 0, 0, fmt.Errorf("shard 0 has no live child")
+		}
+		t0 := time.Now()
+		if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+			return 0, 0, err
+		}
+		deadline := time.Now().Add(30 * time.Minute)
+		// Wait for the supervisor to mark the shard down before brushing:
+		// a request racing the probe would hang in the dead child's
+		// listener backlog instead of degrading.
+		for {
+			if ok, _ := fleet.Health(); !ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				return 0, 0, fmt.Errorf("supervisor never noticed the kill")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		client := &http.Client{Timeout: 30 * time.Second}
+		for seq := int64(0); ; seq++ {
+			if time.Now().After(deadline) {
+				return 0, 0, fmt.Errorf("no exact answer within 30m of the kill")
+			}
+			body, _ := json.Marshal(serve.BrushRequest{
+				Session: "restart-probe", Seq: seq,
+				Ranges: make([]*[2]float64, len(serve.RoadCubeDims())),
+			})
+			resp, err := client.Post(baseURL+"/v1/brush", "application/json", bytes.NewReader(body))
+			if err == nil {
+				var br serve.BrushResponse
+				decodeErr := json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if decodeErr == nil && resp.StatusCode == http.StatusOK &&
+					!br.Degraded && br.Tier == "exact" {
+					firstExact = float64(time.Since(t0)) / float64(time.Millisecond)
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		for {
+			if s := fleet.Stats(); s.RestartWindows >= 1 {
+				return s.RestartMaxMS, firstExact, nil
+			}
+			if time.Now().After(deadline) {
+				return 0, 0, fmt.Errorf("supervisor never recorded the restart window")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	phase := func(deleteSnapshots bool) (window, firstExact, buildMS float64, warmStarts int64, err error) {
+		buildStart := time.Now()
+		fleet, err := newFleet()
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		readyCtx, cancelReady := context.WithTimeout(context.Background(), 30*time.Minute)
+		defer cancelReady()
+		if err := fleet.WaitReady(readyCtx); err != nil {
+			fleet.Close()
+			return 0, 0, 0, 0, err
+		}
+		buildMS = float64(time.Since(buildStart)) / float64(time.Millisecond)
+		warmStarts = fleet.Stats().WarmStarts
+
+		srv, err := serve.New(serve.Backends{}, serve.Config{
+			Workers: workers, QueueDepth: queue, Constraint: metrics.DefaultConstraint,
+			Gatherer: fleet, GatherDims: fleet.Dims(),
+			// The degradation ladder labels each answer's tier, which is
+			// what the first-exact poll keys on; the cache tier is off so a
+			// pre-kill exact answer can't satisfy the post-kill poll.
+			Deadlines: true, DegradeAfter: 2 * time.Second, BrushCacheSize: -1,
+			BreakerThreshold: -1,
+		})
+		if err != nil {
+			fleet.Close()
+			return 0, 0, 0, 0, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fleet.Close()
+			return 0, 0, 0, 0, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer func() {
+			httpSrv.Close()
+			drainCtx, cancelDrain := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancelDrain()
+			if derr := srv.Drain(drainCtx); err == nil && derr != nil {
+				err = derr
+			}
+		}()
+
+		if deleteSnapshots {
+			// Only the killed shard's snapshot: its rebuild rewrites it, so
+			// the warm phase finds a complete set on disk.
+			snaps, globErr := filepath.Glob(filepath.Join(snapshotDir, "*-s0of*.snap"))
+			if globErr != nil {
+				return 0, 0, 0, 0, globErr
+			}
+			for _, s := range snaps {
+				if rmErr := os.Remove(s); rmErr != nil {
+					return 0, 0, 0, 0, rmErr
+				}
+			}
+		}
+		window, firstExact, err = killAndMeasure(fleet, "http://"+ln.Addr().String())
+		return window, firstExact, buildMS, warmStarts, err
+	}
+
+	// Phase 1 — cold: the initial fleet builds from scratch and persists
+	// snapshots; we delete them before the kill so the restarted child must
+	// rebuild (and re-persist) its partition.
+	coldWindow, coldExact, buildMS, _, err := phase(true)
+	if err != nil {
+		return restartBench{}, fmt.Errorf("cold phase: %w", err)
+	}
+	// Phase 2 — warm: the snapshots rewritten by the cold restart are on
+	// disk; the fresh fleet maps them at startup and the restarted child
+	// maps them again after the kill.
+	warmWindow, warmExact, _, warmStarts, err := phase(false)
+	if err != nil {
+		return restartBench{}, fmt.Errorf("warm phase: %w", err)
+	}
+	if warmStarts != shards {
+		return restartBench{}, fmt.Errorf("warm fleet warm-started %d of %d children — fence refused the snapshots", warmStarts, shards)
+	}
+
+	var snapshotBytes int64
+	snaps, err := filepath.Glob(filepath.Join(snapshotDir, "*.snap"))
+	if err != nil {
+		return restartBench{}, err
+	}
+	for _, s := range snaps {
+		if fi, err := os.Stat(s); err == nil {
+			snapshotBytes += fi.Size()
+		}
+	}
+
+	out := restartBench{
+		Rows:             rows,
+		Shards:           shards,
+		Encode:           true,
+		SnapshotBytes:    snapshotBytes,
+		InitialBuildMS:   buildMS,
+		ColdRestartMS:    coldWindow,
+		WarmRestartMS:    warmWindow,
+		ColdFirstExactMS: coldExact,
+		WarmFirstExactMS: warmExact,
+		WarmStarts:       warmStarts,
+	}
+	if warmWindow > 0 {
+		out.Speedup = coldWindow / warmWindow
+	}
+	return out, nil
 }

@@ -1,0 +1,25 @@
+//go:build !unix
+
+package colstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile loads path into the heap on platforms without syscall.Mmap. The
+// snapshot still avoids the O(rows) rebuild — one sequential read replaces
+// the generate/partition/encode pipeline — it just isn't shared or lazy.
+func mapFile(path string) ([]byte, bool, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(buf) == 0 {
+		return nil, false, fmt.Errorf("colstore: snapshot %s: empty file", path)
+	}
+	return buf, false, nil
+}
+
+// unmapFile releases a mapFile result (a no-op for heap buffers).
+func unmapFile(buf []byte, mapped bool) error { return nil }

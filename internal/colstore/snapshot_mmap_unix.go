@@ -1,0 +1,44 @@
+//go:build unix
+
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The returned bool reports whether the bytes
+// are a kernel mapping (true) or a heap copy: empty files fall back to a
+// heap slice because mmap of length 0 is an error on Linux.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, fmt.Errorf("colstore: snapshot %s: empty file", path)
+	}
+	if size != int64(int(size)) {
+		return nil, false, fmt.Errorf("colstore: snapshot %s: %d bytes exceeds address space", path, size)
+	}
+	buf, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("colstore: snapshot %s: mmap: %w", path, err)
+	}
+	return buf, true, nil
+}
+
+// unmapFile releases a mapFile result.
+func unmapFile(buf []byte, mapped bool) error {
+	if !mapped || buf == nil {
+		return nil
+	}
+	return syscall.Munmap(buf)
+}

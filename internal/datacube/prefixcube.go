@@ -83,6 +83,39 @@ func BuildPrefixCtx(ctx context.Context, t *storage.Table, dims []Dim, paralleli
 	return NewPrefix(c), nil
 }
 
+// Sums exposes the integrated prefix grid in ascending flat order — the
+// cube's entire query state. Together with the dims it fully determines
+// every Count/Histogram answer, which is what makes prefix cubes snapshot
+// cleanly: persist dims + records + sums, reconstruct with
+// NewPrefixFromSums. The returned slice is the live grid; callers must
+// treat it as read-only.
+func (p *PrefixCube) Sums() []int64 { return p.sums }
+
+// NewPrefixFromSums reconstructs a PrefixCube from a previously integrated
+// prefix grid (a Sums() result, possibly mapped read-only from a snapshot
+// file — queries only ever read the grid). The grid length must match the
+// dims' (Bins+1)-per-dimension geometry exactly.
+func NewPrefixFromSums(dims []Dim, records int, sums []int64) (*PrefixCube, error) {
+	if len(dims) == 0 || len(dims) > maxHistDims {
+		return nil, fmt.Errorf("datacube: %d dimensions out of range", len(dims))
+	}
+	p := &PrefixCube{dims: dims, records: records}
+	p.strides = make([]int, len(dims))
+	total := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		if dims[i].Bins < 1 {
+			return nil, fmt.Errorf("datacube: dimension %q has %d bins", dims[i].Name, dims[i].Bins)
+		}
+		p.strides[i] = total
+		total *= dims[i].Bins + 1
+	}
+	if len(sums) != total {
+		return nil, fmt.Errorf("datacube: prefix grid has %d cells, dims need %d", len(sums), total)
+	}
+	p.sums = sums
+	return p, nil
+}
+
 // NumRecords returns the number of records aggregated into the cube.
 func (p *PrefixCube) NumRecords() int { return p.records }
 

@@ -1,0 +1,79 @@
+package datacube
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestPrefixFromSumsMatchesOriginal reconstructs a prefix cube from its
+// exported grid — the snapshot load path — and requires every Count and
+// Histogram answer to match the original exactly.
+func TestPrefixFromSumsMatchesOriginal(t *testing.T) {
+	roads := dataset.Roads(5, 6000)
+	dims := roadDims()
+	orig, err := BuildPrefix(roads, dims, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewPrefixFromSums(dims, orig.NumRecords(), orig.Sums())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumRecords() != orig.NumRecords() || re.NumDims() != orig.NumDims() {
+		t.Fatalf("shape: %d/%d vs %d/%d", re.NumRecords(), re.NumDims(), orig.NumRecords(), orig.NumDims())
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 80; trial++ {
+		filters := randomFilters(rng, dims)
+		wantN, err := orig.Count(filters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, err := re.Count(filters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != wantN {
+			t.Fatalf("trial %d: count %d, want %d", trial, gotN, wantN)
+		}
+		for target := range dims {
+			want, err := orig.Histogram(target, filters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := re.Histogram(target, filters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := range want {
+				if got[b] != want[b] {
+					t.Fatalf("trial %d target %d bin %d: %d, want %d", trial, target, b, got[b], want[b])
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixFromSumsValidation rejects grids whose length disagrees with
+// the dims' geometry — a mis-sized mapped section must never query.
+func TestPrefixFromSumsValidation(t *testing.T) {
+	dims := []Dim{{Name: "a", Lo: 0, Hi: 1, Bins: 3}, {Name: "b", Lo: 0, Hi: 1, Bins: 2}}
+	good := make([]int64, (3+1)*(2+1))
+	if _, err := NewPrefixFromSums(dims, 0, good); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+	if _, err := NewPrefixFromSums(dims, 0, good[:len(good)-1]); err == nil {
+		t.Fatal("short grid accepted")
+	}
+	if _, err := NewPrefixFromSums(dims, 0, append(good, 0)); err == nil {
+		t.Fatal("long grid accepted")
+	}
+	if _, err := NewPrefixFromSums(nil, 0, nil); err == nil {
+		t.Fatal("no dims accepted")
+	}
+	if _, err := NewPrefixFromSums([]Dim{{Name: "a", Bins: 0}}, 0, []int64{0}); err == nil {
+		t.Fatal("zero-bin dim accepted")
+	}
+}

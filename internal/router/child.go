@@ -16,13 +16,21 @@
 // shard.Partition does, keeps only its own partition, and serves raw
 // unscaled partial histograms. Statelessness is what makes SIGKILL a
 // recoverable event rather than data loss, and determinism is what makes a
-// restarted shard re-fence onto exactly the records it owned before.
+// restarted shard re-fence onto exactly the records it owned before. With a
+// SnapshotDir configured, the rebuild is a cold path only: the first build
+// of a slot persists the partition as an mmap-able colstore snapshot, and
+// every later restart maps it read-only and is ready in O(columns) — the
+// fence (dataset, seed, rows, mode, shard, encode) plus the snapshot
+// checksum guarantee a warm start serves byte-identical answers or falls
+// back to the rebuild.
 package router
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
@@ -64,6 +72,12 @@ type ChildSpec struct {
 	Encode      bool       `json:"encode,omitempty"`
 	Parallelism int        `json:"parallelism,omitempty"`
 	Generation  int        `json:"generation"`
+
+	// SnapshotDir, when set, enables warm restarts: the child first tries
+	// to mmap its partition snapshot from this directory (falling back to
+	// the deterministic rebuild on any mismatch), and a cold build writes
+	// the snapshot for the slot's next restart.
+	SnapshotDir string `json:"snapshot_dir,omitempty"`
 }
 
 // RunChildFromEnv checks ChildEnv and, when set, runs the shard child until
@@ -107,6 +121,10 @@ type childReady struct {
 	Of         int    `json:"of"`
 	Generation int    `json:"generation"`
 	Records    int    `json:"records"`
+	// WarmStart reports that this child came up from a mapped snapshot
+	// rather than a rebuild; BuildMS is the build-to-ready wall time.
+	WarmStart bool    `json:"warm_start,omitempty"`
+	BuildMS   float64 `json:"build_ms,omitempty"`
 }
 
 // child is the shard-child server state.
@@ -115,6 +133,13 @@ type child struct {
 	dims   []datacube.Dim
 	prefix *datacube.PrefixCube
 	rows   int // partition rows
+
+	// warm/buildMS describe how the partition came up; snap keeps a
+	// warm-started child's mapping (and every view into it) alive for the
+	// process lifetime — exit unmaps it.
+	warm    bool
+	buildMS float64
+	snap    *colstore.Snapshot
 
 	ready atomic.Bool
 	// blackholeUntil (unix nanos) gates every data endpoint: while set in
@@ -178,23 +203,38 @@ func runChild(spec ChildSpec) error {
 	}
 }
 
-// build deterministically reconstructs the full dataset, partitions it the
-// way every sibling does, and keeps only this child's share — the re-fencing
-// step that makes a restart land on exactly the records the dead instance
-// owned.
+// build brings the child's partition up, preferring the warm path: map the
+// slot's snapshot and reconstruct the colstore views and prefix cube
+// zero-copy in O(columns). Any snapshot problem — absent file, checksum
+// failure, fence mismatch — falls back to the deterministic cold path: the
+// child reconstructs the full dataset, partitions it the way every sibling
+// does, and keeps only its own share (the re-fencing step that makes a
+// restart land on exactly the records the dead instance owned), then
+// writes the snapshot so the next restart of this slot is warm.
 func (c *child) build() error {
+	start := time.Now()
+	if c.spec.SnapshotDir != "" {
+		if ws, err := tryWarmStart(c.spec); err == nil {
+			c.dims = ws.dims
+			c.prefix = ws.prefix
+			c.rows = ws.snap.Rows()
+			c.snap = ws.snap
+			c.warm = true
+			c.buildMS = float64(time.Since(start)) / float64(time.Millisecond)
+			c.ready.Store(true)
+			return nil
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "router child: falling back to rebuild: %v\n", err)
+		}
+	}
 	table, dims, err := datasetTable(c.spec.Dataset, c.spec.Seed, c.spec.Rows)
 	if err != nil {
 		return err
 	}
-	parts, err := shard.Partition(table, dims, c.spec.Of, c.spec.Mode, "")
+	part, err := shard.PartitionOne(table, dims, c.spec.Of, c.spec.Shard, c.spec.Mode, "")
 	if err != nil {
 		return err
 	}
-	if c.spec.Shard < 0 || c.spec.Shard >= len(parts) {
-		return fmt.Errorf("router child: shard %d of %d", c.spec.Shard, len(parts))
-	}
-	part := parts[c.spec.Shard]
 	if c.spec.Encode {
 		par := c.spec.Parallelism
 		if par <= 0 {
@@ -209,9 +249,17 @@ func (c *child) build() error {
 	if err != nil {
 		return err
 	}
+	if c.spec.SnapshotDir != "" {
+		if err := writeChildSnapshot(c.spec, part, dims, prefix); err != nil {
+			// Best-effort: a failed write costs the next restart its warm
+			// path, nothing else.
+			fmt.Fprintf(os.Stderr, "router child: snapshot write failed: %v\n", err)
+		}
+	}
 	c.dims = dims
 	c.prefix = prefix
 	c.rows = part.NumRows()
+	c.buildMS = float64(time.Since(start)) / float64(time.Millisecond)
 	c.ready.Store(true)
 	return nil
 }
@@ -296,6 +344,8 @@ func (c *child) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if c.ready.Load() {
 		body.Status = "ready"
 		body.Records = c.rows
+		body.WarmStart = c.warm
+		body.BuildMS = c.buildMS
 		status = http.StatusOK
 	}
 	writeJSON(w, status, body)

@@ -35,6 +35,12 @@ type Config struct {
 	Mode    shard.Mode
 	Encode  bool
 
+	// SnapshotDir, when set, enables warm restarts: children try to mmap
+	// their partition snapshot from this directory before falling back to
+	// the deterministic rebuild, and cold builds write the snapshot for the
+	// slot's next restart. Empty disables snapshots entirely.
+	SnapshotDir string
+
 	// ChildArgs is the argv exec'd for each child; empty means re-exec this
 	// binary (os.Executable), which works for any host that calls
 	// RunChildFromEnv first — including test binaries.
@@ -79,6 +85,26 @@ func (c *Config) normalize() error {
 	if c.Replicas < 1 {
 		c.Replicas = 1
 	}
+	// Negative durations are rejected, not silently defaulted: a caller
+	// computing a knob (say, a fraction of a deadline) that goes negative
+	// has a bug upstream, and a "default" would hide it — worse, a negative
+	// value that slipped past defaulting would feed rand.Int63n a
+	// non-positive bound in the backoff jitter.
+	for name, d := range map[string]time.Duration{
+		"HealthInterval": c.HealthInterval,
+		"HealthTimeout":  c.HealthTimeout,
+		"StartupTimeout": c.StartupTimeout,
+		"BackoffBase":    c.BackoffBase,
+		"BackoffCap":     c.BackoffCap,
+		"DarkRetry":      c.DarkRetry,
+		"StableAfter":    c.StableAfter,
+		"HedgeAfter":     c.HedgeAfter,
+		"RPCTimeout":     c.RPCTimeout,
+	} {
+		if d < 0 {
+			return fmt.Errorf("router: negative %s (%v)", name, d)
+		}
+	}
 	def := func(d *time.Duration, v time.Duration) {
 		if *d <= 0 {
 			*d = v
@@ -112,6 +138,12 @@ type Stats struct {
 	Darks     int64 `json:"dark_events"`
 	Hedges    int64 `json:"hedges"`
 	HedgeWins int64 `json:"hedge_wins"`
+	// WarmStarts counts generations that came up from a mapped snapshot;
+	// the restart-window stats aggregate observed down→ready latencies.
+	WarmStarts     int64   `json:"warm_starts"`
+	RestartWindows int64   `json:"restart_windows"`
+	RestartMeanMS  float64 `json:"restart_mean_ms"`
+	RestartMaxMS   float64 `json:"restart_max_ms"`
 }
 
 // Fleet supervises Shards×Replicas shard child processes and implements
@@ -143,6 +175,23 @@ type Fleet struct {
 	darks     atomic.Int64
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
+
+	warmStarts     atomic.Int64
+	restartCount   atomic.Int64
+	restartTotalNS atomic.Int64
+	restartMaxNS   atomic.Int64
+}
+
+// noteRestartWindow records one observed down→ready window.
+func (f *Fleet) noteRestartWindow(w time.Duration) {
+	f.restartCount.Add(1)
+	f.restartTotalNS.Add(int64(w))
+	for {
+		cur := f.restartMaxNS.Load()
+		if int64(w) <= cur || f.restartMaxNS.CompareAndSwap(cur, int64(w)) {
+			return
+		}
+	}
 }
 
 // New builds the fleet: one pre-bound loopback listener per replica slot
@@ -301,16 +350,23 @@ func (f *Fleet) Health() (bool, any) {
 
 // Stats snapshots the fleet counters.
 func (f *Fleet) Stats() Stats {
-	return Stats{
-		Shards:    f.cfg.Shards,
-		Replicas:  f.cfg.Replicas,
-		Records:   f.Records(),
-		Spawns:    f.spawns.Load(),
-		Restarts:  f.restarts.Load(),
-		Darks:     f.darks.Load(),
-		Hedges:    f.hedges.Load(),
-		HedgeWins: f.hedgeWins.Load(),
+	s := Stats{
+		Shards:         f.cfg.Shards,
+		Replicas:       f.cfg.Replicas,
+		Records:        f.Records(),
+		Spawns:         f.spawns.Load(),
+		Restarts:       f.restarts.Load(),
+		Darks:          f.darks.Load(),
+		Hedges:         f.hedges.Load(),
+		HedgeWins:      f.hedgeWins.Load(),
+		WarmStarts:     f.warmStarts.Load(),
+		RestartWindows: f.restartCount.Load(),
+		RestartMaxMS:   float64(f.restartMaxNS.Load()) / float64(time.Millisecond),
 	}
+	if s.RestartWindows > 0 {
+		s.RestartMeanMS = float64(f.restartTotalNS.Load()) / float64(s.RestartWindows) / float64(time.Millisecond)
+	}
+	return s
 }
 
 // WaitReady blocks until every shard has a ready replica and the fleet's

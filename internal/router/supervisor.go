@@ -1,9 +1,11 @@
 package router
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -74,6 +76,9 @@ type replica struct {
 	lastTransition time.Time
 	records        int
 	lastErr        string
+	warmStart      bool      // current generation came up from a snapshot
+	downAt         time.Time // when the previous child was observed gone
+	lastRestart    time.Duration
 }
 
 // setState transitions the replica, stamping the transition time. fails
@@ -115,6 +120,10 @@ type ReplicaHealth struct {
 	LastTransition   time.Time `json:"last_transition"`
 	Records          int       `json:"records,omitempty"`
 	LastError        string    `json:"last_error,omitempty"`
+	// WarmStart reports the current generation came up from a mapped
+	// snapshot; LastRestartMS is the last observed down→ready window.
+	WarmStart     bool    `json:"warm_start,omitempty"`
+	LastRestartMS float64 `json:"last_restart_ms,omitempty"`
 }
 
 func (r *replica) health() ReplicaHealth {
@@ -130,6 +139,8 @@ func (r *replica) health() ReplicaHealth {
 		LastTransition:   r.lastTransition,
 		Records:          r.records,
 		LastError:        r.lastErr,
+		WarmStart:        r.warmStart,
+		LastRestartMS:    float64(r.lastRestart) / float64(time.Millisecond),
 	}
 }
 
@@ -154,6 +165,7 @@ func (r *replica) spawn() (*exec.Cmd, <-chan error, error) {
 		Encode:      f.cfg.Encode,
 		Parallelism: defaultParallelism(f.cfg.Shards * f.replicas()),
 		Generation:  gen,
+		SnapshotDir: f.cfg.SnapshotDir,
 	}
 	payload, err := json.Marshal(spec)
 	if err != nil {
@@ -186,27 +198,34 @@ func (r *replica) spawn() (*exec.Cmd, <-chan error, error) {
 
 // probe health-checks the child over its own socket with a short timeout —
 // a dead or frozen child hangs the connection (the parent-held listener
-// keeps accepting), so probes must give up fast rather than block.
-func (r *replica) probe() (ready bool, records int) {
+// keeps accepting), so probes must give up fast rather than block. errMsg
+// carries the failure detail the health report surfaces as last_error.
+func (r *replica) probe() (ready bool, body childReady, errMsg string) {
 	ctx, cancel := context.WithTimeout(r.fleet.ctx, r.fleet.cfg.HealthTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+r.addr+"/readyz", nil)
 	if err != nil {
-		return false, 0
+		return false, body, err.Error()
 	}
 	resp, err := r.fleet.healthClient.Do(req)
 	if err != nil {
-		return false, 0
+		return false, body, err.Error()
 	}
 	defer resp.Body.Close()
-	var body childReady
+	if resp.StatusCode != http.StatusOK {
+		// Status first: a non-200 is "not ready" no matter what the body
+		// holds, and the status itself is the detail worth reporting — a
+		// 503 with a non-JSON body must not masquerade as a decode failure.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return false, body, fmt.Sprintf("readyz %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return false, 0
+		return false, body, "readyz decode: " + err.Error()
 	}
-	if resp.StatusCode != http.StatusOK || body.Status != "ready" || body.Shard != r.shard {
-		return false, 0
+	if body.Status != "ready" || body.Shard != r.shard {
+		return false, body, fmt.Sprintf("readyz: status %q from shard %d", body.Status, body.Shard)
 	}
-	return true, body.Records
+	return true, body, ""
 }
 
 // supervise is the replica's lifecycle loop: spawn → health-monitor →
@@ -230,31 +249,39 @@ func (r *replica) supervise() {
 
 		born := time.Now()
 		becameReady := false
-		ticker := time.NewTicker(f.cfg.HealthInterval)
+		// Probe immediately after spawn: a fast child (warm start, small
+		// dataset) must become routable in milliseconds, not after a full
+		// HealthInterval tick. Until first readiness the re-probe delay
+		// ramps exponentially from 1ms up to HealthInterval — cheap while
+		// the answer is "building", prompt the moment it flips — then
+		// settles into the steady HealthInterval cadence.
+		startupDelay := time.Duration(0)
+		timer := time.NewTimer(0)
 	monitor:
 		for {
 			select {
 			case <-f.ctx.Done():
-				ticker.Stop()
+				timer.Stop()
 				r.terminate(cmd, waitCh)
 				r.setState(StateStopped, "")
 				return
 			case err := <-waitCh:
-				ticker.Stop()
+				timer.Stop()
 				msg := "exited"
 				if err != nil {
 					msg = err.Error()
 				}
 				r.noteDown(msg)
 				break monitor
-			case <-ticker.C:
-				ok, records := r.probe()
+			case <-timer.C:
+				ok, body, errMsg := r.probe()
 				if ok {
-					r.noteReady(records, becameReady)
+					r.noteReady(body, becameReady)
 					becameReady = true
+					timer.Reset(f.cfg.HealthInterval)
 					continue
 				}
-				fails := r.noteFail()
+				fails := r.noteFail(errMsg)
 				switch {
 				case becameReady && fails >= f.cfg.FailThreshold:
 					// Alive but not answering (frozen, wedged): treat like a
@@ -264,6 +291,19 @@ func (r *replica) supervise() {
 				case !becameReady && time.Since(born) > f.cfg.StartupTimeout:
 					r.setState(StateUnhealthy, "startup timeout")
 					killProcess(cmd)
+				}
+				if becameReady {
+					timer.Reset(f.cfg.HealthInterval)
+				} else {
+					if startupDelay == 0 {
+						startupDelay = time.Millisecond
+					} else if startupDelay < f.cfg.HealthInterval {
+						startupDelay *= 2
+					}
+					if startupDelay > f.cfg.HealthInterval {
+						startupDelay = f.cfg.HealthInterval
+					}
+					timer.Reset(startupDelay)
 				}
 			}
 		}
@@ -303,20 +343,7 @@ func (r *replica) parkOrBackoff(crashes *int) bool {
 		*crashes = f.cfg.DarkAfter - 1
 	} else {
 		r.setState(StateRestarting, "")
-		// Capped exponential backoff with full jitter: base·2^(crashes-1),
-		// then a uniform draw over [backoff, 2·backoff) to decorrelate
-		// replicas restarting off the same failure.
-		backoff := f.cfg.BackoffBase
-		for i := 1; i < *crashes; i++ {
-			backoff *= 2
-			if backoff >= f.cfg.BackoffCap {
-				break
-			}
-		}
-		if backoff > f.cfg.BackoffCap {
-			backoff = f.cfg.BackoffCap
-		}
-		wait = backoff + time.Duration(rand.Int63n(int64(backoff)))
+		wait = backoffWait(f.cfg.BackoffBase, f.cfg.BackoffCap, *crashes)
 	}
 	select {
 	case <-f.ctx.Done():
@@ -327,35 +354,79 @@ func (r *replica) parkOrBackoff(crashes *int) bool {
 	}
 }
 
+// backoffWait computes the capped exponential restart backoff with full
+// jitter: base·2^(crashes-1) capped at cap, then a uniform draw over
+// [wait, 2·wait) to decorrelate replicas restarting off the same failure.
+// A non-positive base is clamped to 1ms — callers can legitimately hand a
+// zeroed config straight through, and rand.Int63n panics on n <= 0.
+func backoffWait(base, cap time.Duration, crashes int) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	backoff := base
+	for i := 1; i < crashes; i++ {
+		backoff *= 2
+		if backoff >= cap {
+			break
+		}
+	}
+	if backoff > cap {
+		backoff = cap
+	}
+	return backoff + time.Duration(rand.Int63n(int64(backoff)))
+}
+
 // noteReady marks the replica serving and pins its record count; first
-// readiness of a generation reports records to the fleet's coverage total.
-func (r *replica) noteReady(records int, wasReady bool) {
+// readiness of a generation reports records to the fleet's coverage total,
+// counts the warm start, and closes out the down→ready restart window.
+func (r *replica) noteReady(body childReady, wasReady bool) {
 	r.mu.Lock()
 	r.consecFails = 0
 	if r.state != StateReady {
 		r.lastTransition = time.Now()
 	}
 	r.state = StateReady
-	r.records = records
+	r.records = body.Records
 	r.lastErr = ""
+	r.warmStart = body.WarmStart
+	var window time.Duration
+	if !wasReady && !r.downAt.IsZero() {
+		window = time.Since(r.downAt)
+		r.lastRestart = window
+		r.downAt = time.Time{}
+	}
 	r.mu.Unlock()
 	if !wasReady {
-		r.fleet.noteShardRecords(r.shard, records)
+		r.fleet.noteShardRecords(r.shard, body.Records)
+		if body.WarmStart {
+			r.fleet.warmStarts.Add(1)
+		}
+		if window > 0 {
+			r.fleet.noteRestartWindow(window)
+		}
 	}
 }
 
 // noteFail accrues one failed health probe and returns the consecutive
 // count. The state only flips once the supervisor decides to act — a single
-// missed probe under load is not an incident.
-func (r *replica) noteFail() int {
+// missed probe under load is not an incident — but the probe's failure
+// detail is surfaced right away so /readyz explains a stuck replica.
+func (r *replica) noteFail(errMsg string) int {
 	r.mu.Lock()
 	r.consecFails++
 	n := r.consecFails
+	if errMsg != "" {
+		r.lastErr = errMsg
+	}
 	r.mu.Unlock()
 	return n
 }
 
-// noteDown marks the replica's process gone.
+// noteDown marks the replica's process gone and opens the restart window
+// that noteReady closes at the next generation's first readiness.
 func (r *replica) noteDown(msg string) {
 	r.mu.Lock()
 	if r.state != StateRestarting {
@@ -364,6 +435,9 @@ func (r *replica) noteDown(msg string) {
 	r.state = StateRestarting
 	r.pid = 0
 	r.lastErr = msg
+	if r.downAt.IsZero() {
+		r.downAt = time.Now()
+	}
 	r.mu.Unlock()
 }
 

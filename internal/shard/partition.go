@@ -61,6 +61,53 @@ func splitmix64(x uint64) uint64 {
 // preserves the original table's row order, so every per-shard structure
 // is deterministic.
 func Partition(t *storage.Table, dims []datacube.Dim, shards int, mode Mode, rangeDim string) ([]*storage.Table, error) {
+	assign, err := assignRows(t, dims, shards, mode, rangeDim)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*storage.Table, shards)
+	for s := range parts {
+		parts[s] = storage.NewTable(t.Name, t.Schema)
+		parts[s].PageRows = t.PageRows
+	}
+	for row, s := range assign {
+		if err := parts[s].AppendRow(t.Row(row)...); err != nil {
+			return nil, fmt.Errorf("shard: partition row %d: %w", row, err)
+		}
+	}
+	return parts, nil
+}
+
+// PartitionOne builds only shard index's sub-table — identical row content
+// and order to Partition(...)[index], without materializing the other
+// shards. Restarting shard children use it to cold-rebuild just their own
+// partition, which bounds a rebuild's extra memory at one shard instead of
+// the whole dataset.
+func PartitionOne(t *storage.Table, dims []datacube.Dim, shards, index int, mode Mode, rangeDim string) (*storage.Table, error) {
+	if index < 0 || index >= shards {
+		return nil, fmt.Errorf("shard: index %d out of range for %d shards", index, shards)
+	}
+	assign, err := assignRows(t, dims, shards, mode, rangeDim)
+	if err != nil {
+		return nil, err
+	}
+	part := storage.NewTable(t.Name, t.Schema)
+	part.PageRows = t.PageRows
+	for row, s := range assign {
+		if s != index {
+			continue
+		}
+		if err := part.AppendRow(t.Row(row)...); err != nil {
+			return nil, fmt.Errorf("shard: partition row %d: %w", row, err)
+		}
+	}
+	return part, nil
+}
+
+// assignRows computes each row's shard index — the single source of truth
+// for both Partition and PartitionOne, so the full and single-shard builds
+// cannot diverge.
+func assignRows(t *storage.Table, dims []datacube.Dim, shards int, mode Mode, rangeDim string) ([]int, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard (got %d)", shards)
 	}
@@ -114,16 +161,5 @@ func Partition(t *storage.Table, dims []datacube.Dim, shards int, mode Mode, ran
 	default:
 		return nil, fmt.Errorf("shard: unknown mode %d", mode)
 	}
-
-	parts := make([]*storage.Table, shards)
-	for s := range parts {
-		parts[s] = storage.NewTable(t.Name, t.Schema)
-		parts[s].PageRows = t.PageRows
-	}
-	for row := 0; row < n; row++ {
-		if err := parts[assign[row]].AppendRow(t.Row(row)...); err != nil {
-			return nil, fmt.Errorf("shard: partition row %d: %w", row, err)
-		}
-	}
-	return parts, nil
+	return assign, nil
 }
